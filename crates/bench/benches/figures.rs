@@ -1,0 +1,86 @@
+//! Short-horizon versions of every figure workload, so `cargo bench`
+//! exercises the exact code paths behind each reproduced table/figure
+//! (the full-length regenerations live in the `table1`/`fig7`/`fig8`/
+//! `fig9`/`fig10` binaries).
+
+use ccfit::experiment::{
+    config1_case1_scaled, config2_case2_scaled, config2_case3, config3_case4,
+};
+use ccfit::{Mechanism, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cfg() -> SimConfig {
+    SimConfig { metrics_bin_ns: 50_000.0, ..SimConfig::default() }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_short");
+    group.sample_size(10);
+    // 7a: Config #1 Case #1 at 1/50 scale; 7b: Config #2 Case #2; 7c: +uniform.
+    let specs = vec![
+        ("a", config1_case1_scaled(0.02)),
+        ("b", config2_case2_scaled(0.02)),
+        ("c", {
+            let mut s = config2_case3(10.0);
+            s.duration_ns = 200_000.0;
+            s
+        }),
+    ];
+    for (panel, spec) in specs {
+        for mech in [Mechanism::OneQ, Mechanism::ccfit()] {
+            let id = format!("{panel}-{}", mech.name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &mech, |b, mech| {
+                b.iter(|| black_box(spec.run_with(mech.clone(), 1, cfg())));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_short");
+    group.sample_size(10);
+    for h in [1usize, 4, 6] {
+        let mut spec = config3_case4(h, 4.0);
+        // Shrink to a 0.2 ms slice with the burst starting at 0.1 ms.
+        spec.duration_ns = 200_000.0;
+        for f in &mut spec.pattern.flows {
+            if f.start_ns > 0.0 {
+                f.start_ns = 100_000.0;
+            }
+            if let Some(e) = &mut f.end_ns {
+                *e = 200_000.0;
+            }
+        }
+        for mech in [Mechanism::fbicm(), Mechanism::ccfit()] {
+            let id = format!("h{h}-{}", mech.name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &mech, |b, mech| {
+                b.iter(|| black_box(spec.run_with(mech.clone(), 1, cfg())));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fig10_short");
+    group.sample_size(10);
+    let f9 = config1_case1_scaled(0.02);
+    let f10 = config2_case2_scaled(0.02);
+    for (name, spec) in [("fig9", f9), ("fig10", f10)] {
+        for mech in [Mechanism::ith(), Mechanism::ccfit()] {
+            let id = format!("{name}-{}", mech.name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &mech, |b, mech| {
+                b.iter(|| {
+                    let r = spec.run_with(mech.clone(), 1, cfg());
+                    black_box(r.jain_over(&r.flow_ids(), 0.0, spec.duration_ns))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7, bench_fig8, bench_fig9_fig10);
+criterion_main!(benches);

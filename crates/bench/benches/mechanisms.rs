@@ -1,0 +1,46 @@
+//! Simulator throughput (simulated microseconds per wall second) for
+//! every congestion-control mechanism on Config #2 under uniform load —
+//! the cost of each mechanism's per-cycle machinery.
+
+use ccfit::{Mechanism, SimBuilder, SimConfig};
+use ccfit_topology::{KAryNTree, LinkParams};
+use ccfit_traffic::uniform_all;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_100us_config2");
+    group.sample_size(10);
+    for mech in [
+        Mechanism::OneQ,
+        Mechanism::VoqSw,
+        Mechanism::voqnet(),
+        Mechanism::fbicm(),
+        Mechanism::ith(),
+        Mechanism::ccfit(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mech.name()),
+            &mech,
+            |b, mech| {
+                let tree = KAryNTree::new(2, 3);
+                b.iter(|| {
+                    let report = SimBuilder::new(tree.build(LinkParams::default()))
+                        .routing(tree.det_routing())
+                        .mechanism(mech.clone())
+                        .traffic(uniform_all(8, 0.8))
+                        .duration_ns(100_000.0)
+                        .config(SimConfig { metrics_bin_ns: 50_000.0, ..SimConfig::default() })
+                        .seed(1)
+                        .build()
+                        .run();
+                    black_box(report.delivered_packets)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Ablation sweeps for the design choices §III-E discusses.
+//!
+//! * `ablate cfqs`    — CFQ count: when does isolation alone stop needing
+//!   throttling? (Fig. 8b scenario, FBICM vs CCFIT at 1/2/4/8 CFQs.)
+//! * `ablate marking` — `Marking_Rate` sensitivity: the paper claims
+//!   CCFIT is less parameter-sensitive than ITh.
+//! * `ablate timer`   — `CCTI_Timer`: recovery speed vs oscillation.
+//! * `ablate stopgo`  — Stop/Go gap: blocking vs forwarding of congested
+//!   traffic.
+//! * `ablate detect`  — detection threshold: "not too early, not too
+//!   late".
+//!
+//! Each sweep runs a compressed Config #1 Case #1 (fairness-sensitive) or
+//! Config #3 Case #4 storm (resource-sensitive) and prints the metric the
+//! design choice trades off.
+
+use ccfit::experiment::{config1_case1_scaled, config3_case4};
+use ccfit::params::{CctProfile, IsolationParams, ThrottleParams};
+use ccfit::{Mechanism, SimConfig};
+use ccfit_engine::ids::FlowId;
+
+fn cfg() -> SimConfig {
+    SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() }
+}
+
+fn sweep_cfqs() {
+    println!("-- CFQ count sweep (Config #3, 4-tree storm, burst window) --");
+    println!("cfqs  FBICM  CCFIT   (normalized throughput during [1,2] ms)");
+    let spec = config3_case4(4, 3.0);
+    for n in [1usize, 2, 4, 8] {
+        let iso = IsolationParams { num_cfqs: n, out_cam_lines: 2 * n, ..IsolationParams::default() };
+        let f = spec.run_with(Mechanism::Fbicm(iso), 1, cfg());
+        let c = spec.run_with(Mechanism::Ccfit(iso, ThrottleParams::default()), 1, cfg());
+        println!(
+            "{n:>4}  {:.3}  {:.3}",
+            f.mean_normalized_throughput(1.1e6, 2.0e6),
+            c.mean_normalized_throughput(1.1e6, 2.0e6)
+        );
+    }
+}
+
+fn sweep_marking() {
+    println!("-- Marking_Rate sweep (Config #1, victim bandwidth + contributor fairness) --");
+    println!("rate   ITh victim  ITh Jain   CCFIT victim  CCFIT Jain");
+    let spec = config1_case1_scaled(0.3);
+    let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
+    let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
+    for rate in [0.1f64, 0.25, 0.5, 0.85, 1.0] {
+        let thr = ThrottleParams { marking_rate: rate, ..ThrottleParams::default() };
+        let i = spec.run_with(Mechanism::Ith(thr.clone()), 1, cfg());
+        let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
+        println!(
+            "{rate:>4.2}   {:>10.2}  {:>8.3}   {:>12.2}  {:>10.3}",
+            i.flow_mean_bandwidth_gbps(FlowId(0), w0, w1),
+            i.jain_over(&contributors, w0, w1),
+            c.flow_mean_bandwidth_gbps(FlowId(0), w0, w1),
+            c.jain_over(&contributors, w0, w1)
+        );
+    }
+}
+
+fn sweep_timer() {
+    println!("-- CCTI_Timer sweep (Config #1, contributor throughput vs fairness) --");
+    println!("timer_ns  victim  contrib_total  Jain   (CCFIT)");
+    let spec = config1_case1_scaled(0.3);
+    let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
+    let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
+    for timer in [2000.0f64, 4000.0, 8000.0, 16000.0, 32000.0] {
+        let thr = ThrottleParams { ccti_timer_ns: timer, ..ThrottleParams::default() };
+        let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
+        let total: f64 = contributors
+            .iter()
+            .map(|&f| c.flow_mean_bandwidth_gbps(f, w0, w1))
+            .sum();
+        println!(
+            "{timer:>8.0}  {:>6.2}  {:>13.2}  {:>5.3}",
+            c.flow_mean_bandwidth_gbps(FlowId(0), w0, w1),
+            total,
+            c.jain_over(&contributors, w0, w1)
+        );
+    }
+}
+
+fn sweep_stopgo() {
+    println!("-- Stop/Go threshold sweep (Config #1, FBICM victim + buffering) --");
+    println!("stop  go   victim  contrib_total");
+    let spec = config1_case1_scaled(0.3);
+    let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
+    let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
+    for (stop, go) in [(6u32, 2u32), (10, 4), (10, 8), (16, 4), (24, 8)] {
+        let iso = IsolationParams { stop_mtus: stop, go_mtus: go, ..IsolationParams::default() };
+        let f = spec.run_with(Mechanism::Fbicm(iso), 1, cfg());
+        let total: f64 = contributors
+            .iter()
+            .map(|&fl| f.flow_mean_bandwidth_gbps(fl, w0, w1))
+            .sum();
+        println!(
+            "{stop:>4}  {go:>2}  {:>6.2}  {:>13.2}",
+            f.flow_mean_bandwidth_gbps(FlowId(0), w0, w1),
+            total
+        );
+    }
+}
+
+fn sweep_detect() {
+    println!("-- Detection threshold sweep (Config #3 storm, CCFIT burst throughput) --");
+    println!("detect_mtus  burst_nt  cfq_allocated");
+    let spec = config3_case4(4, 3.0);
+    for detect in [2u32, 4, 8, 16, 24] {
+        let iso = IsolationParams { detect_threshold_mtus: detect, ..IsolationParams::default() };
+        let c = spec.run_with(Mechanism::Ccfit(iso, ThrottleParams::default()), 1, cfg());
+        println!(
+            "{detect:>11}  {:>8.3}  {:>13}",
+            c.mean_normalized_throughput(1.1e6, 2.0e6),
+            c.counters.get("cfq_allocated").copied().unwrap_or(0)
+        );
+    }
+}
+
+fn sweep_cct() {
+    println!("-- CCT profile sweep (Config #1, CCFIT victim + contributor total) --");
+    println!("profile        victim  contrib_total  Jain");
+    let spec = config1_case1_scaled(0.3);
+    let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
+    let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
+    let profiles: Vec<(&str, CctProfile)> = vec![
+        ("linear", CctProfile::Linear),
+        ("exp/4", CctProfile::Exponential { period: 4 }),
+        ("exp/8", CctProfile::Exponential { period: 8 }),
+        ("exp/16", CctProfile::Exponential { period: 16 }),
+    ];
+    for (name, profile) in profiles {
+        let thr = ThrottleParams { cct_profile: profile, ..ThrottleParams::default() };
+        let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
+        let total: f64 = contributors
+            .iter()
+            .map(|&f| c.flow_mean_bandwidth_gbps(f, w0, w1))
+            .sum();
+        println!(
+            "{name:<13} {:>6.2}  {:>13.2}  {:>5.3}",
+            c.flow_mean_bandwidth_gbps(FlowId(0), w0, w1),
+            total,
+            c.jain_over(&contributors, w0, w1)
+        );
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "cfqs" => sweep_cfqs(),
+        "marking" => sweep_marking(),
+        "timer" => sweep_timer(),
+        "stopgo" => sweep_stopgo(),
+        "detect" => sweep_detect(),
+        "cct" => sweep_cct(),
+        _ => {
+            sweep_cfqs();
+            println!();
+            sweep_marking();
+            println!();
+            sweep_timer();
+            println!();
+            sweep_stopgo();
+            println!();
+            sweep_detect();
+            println!();
+            sweep_cct();
+        }
+    }
+}

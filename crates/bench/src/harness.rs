@@ -1,0 +1,130 @@
+//! Parallel experiment execution and result archiving.
+
+use ccfit::experiment::ExperimentSpec;
+use ccfit::{Mechanism, SimConfig};
+use ccfit_metrics::SimReport;
+use parking_lot::Mutex;
+use std::path::Path;
+
+/// One mechanism's result within a figure.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// The frozen report.
+    pub report: SimReport,
+    /// Wall-clock seconds the simulation took.
+    pub wall_s: f64,
+}
+
+/// Run `spec` under every mechanism in parallel (one OS thread per
+/// mechanism — simulations are single-threaded and independent, so this
+/// is an embarrassingly parallel sweep; results come back in input
+/// order).
+pub fn run_all(
+    spec: &ExperimentSpec,
+    mechanisms: &[Mechanism],
+    seed: u64,
+    cfg: &SimConfig,
+) -> Vec<RunOutput> {
+    let results: Mutex<Vec<Option<RunOutput>>> =
+        Mutex::new((0..mechanisms.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for (i, mech) in mechanisms.iter().enumerate() {
+            let results = &results;
+            let spec = &spec;
+            let cfg = cfg.clone();
+            scope.spawn(move |_| {
+                let t0 = std::time::Instant::now();
+                let report = spec.run_with(mech.clone(), seed, cfg);
+                let out = RunOutput {
+                    mechanism: mech.name().to_string(),
+                    report,
+                    wall_s: t0.elapsed().as_secs_f64(),
+                };
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("simulation threads never panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every mechanism produced a report"))
+        .collect()
+}
+
+/// Parse a `--csv <dir>` argument pair from the command line, if present.
+pub fn csv_dir_from_args(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Archive each run as `<dir>/<figure>-<mechanism>.{csv,json}`.
+pub fn archive(dir: &str, figure: &str, runs: &[RunOutput]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for run in runs {
+        let base = format!("{figure}-{}", run.mechanism.to_lowercase());
+        std::fs::write(
+            Path::new(dir).join(format!("{base}-throughput.csv")),
+            run.report.throughput_csv(),
+        )?;
+        std::fs::write(
+            Path::new(dir).join(format!("{base}-flows.csv")),
+            run.report.flow_bandwidth_csv(),
+        )?;
+        std::fs::write(Path::new(dir).join(format!("{base}.json")), run.report.to_json())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfit::experiment::config1_case1_scaled;
+
+    #[test]
+    fn run_all_preserves_mechanism_order() {
+        let spec = config1_case1_scaled(0.02);
+        let mechs = vec![Mechanism::OneQ, Mechanism::ccfit()];
+        let runs = run_all(&spec, &mechs, 1, &SimConfig::default());
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].mechanism, "1Q");
+        assert_eq!(runs[1].mechanism, "CCFIT");
+        assert!(runs.iter().all(|r| r.report.delivered_packets > 0));
+    }
+
+    #[test]
+    fn parallel_runs_match_sequential_runs() {
+        let spec = config1_case1_scaled(0.02);
+        let mechs = vec![Mechanism::fbicm(), Mechanism::ith()];
+        let par = run_all(&spec, &mechs, 7, &SimConfig::default());
+        for (mech, out) in mechs.iter().zip(&par) {
+            let seq = spec.run_with(mech.clone(), 7, SimConfig::default());
+            assert_eq!(seq, out.report, "{} diverged under parallel execution", mech.name());
+        }
+    }
+
+    #[test]
+    fn csv_dir_parsing() {
+        let args: Vec<String> = ["x", "--csv", "/tmp/out"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(csv_dir_from_args(&args).as_deref(), Some("/tmp/out"));
+        let none: Vec<String> = vec!["x".into()];
+        assert_eq!(csv_dir_from_args(&none), None);
+    }
+
+    #[test]
+    fn archive_writes_expected_files() {
+        let spec = config1_case1_scaled(0.02);
+        let runs = run_all(&spec, &[Mechanism::OneQ], 1, &SimConfig::default());
+        let dir = std::env::temp_dir().join("ccfit-archive-test");
+        let dir = dir.to_str().unwrap();
+        archive(dir, "figX", &runs).unwrap();
+        for suffix in ["-throughput.csv", "-flows.csv", ".json"] {
+            let p = format!("{dir}/figX-1q{suffix}");
+            assert!(std::path::Path::new(&p).exists(), "{p} missing");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

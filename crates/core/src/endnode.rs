@@ -1,0 +1,884 @@
+//! The end-node Input Adapter (§III-B, §III-D, Fig. 2).
+//!
+//! An [`Adapter`] is the injection side of an end node:
+//!
+//! * **AdVOQs** — one admittance queue per destination, so traffic
+//!   generation never suffers HoL-blocking,
+//! * an **output buffer** organised like a switch input port: one NFQ
+//!   plus (for FBICM/CCFIT) a few CFQs with a CAM, fed by the same
+//!   Stop/Go congestion information the attached switch propagates up the
+//!   injection link,
+//! * the **throttling state** of the IB-style CC: the Congestion Control
+//!   Table (CCT) of injection rate delays, the per-destination CCT index
+//!   (CCTI) bumped by incoming BECNs, the recovery `Timer`, and the Last
+//!   Time of Injection (LTI) used by the arbiter to gate each AdVOQ.
+//!
+//! Per cycle the adapter: expires timers, moves at most one packet from
+//! an AdVOQ (round-robin, IRD-gated) into the output buffer, and offers
+//! the output buffer's eligible head to the injection link.
+
+use crate::params::{IsolationParams, ThrottleParams};
+
+use crate::port::{CfqSlot, CfqState};
+use crate::switch::{OutCamState, VoqNetCredits};
+use ccfit_engine::cam::Cam;
+use ccfit_engine::ids::{LinkId, NodeId, PacketId};
+use ccfit_engine::link::{CtrlEvent, Link};
+use ccfit_engine::packet::Packet;
+use ccfit_engine::queue::PacketQueue;
+use ccfit_engine::ram::PortRam;
+use ccfit_engine::units::{Cycle, UnitModel};
+use ccfit_metrics::MetricsCollector;
+use ccfit_traffic::GenPacket;
+
+/// Adapter-side throttling configuration, pre-converted to cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdapterThrottle {
+    /// CCT: IRD (extra inter-packet delay) in cycles, indexed by CCTI.
+    pub cct: Vec<Cycle>,
+    /// `CCTI_Timer` in cycles.
+    pub ccti_timer_cycles: Cycle,
+    /// CCTI increment per BECN.
+    pub ccti_increase: u16,
+}
+
+impl AdapterThrottle {
+    /// Derive from the mechanism parameters, materialising the CCT
+    /// according to the configured profile.
+    pub fn from_params(p: &ThrottleParams, units: &UnitModel) -> Self {
+        use crate::params::CctProfile;
+        let ird_ns = |i: usize| -> f64 {
+            match p.cct_profile {
+                CctProfile::Linear => i as f64 * p.cct_unit_ns,
+                CctProfile::Exponential { period } => {
+                    let period = period.max(1) as f64;
+                    p.cct_unit_ns * (2f64.powf(i as f64 / period) - 1.0)
+                }
+            }
+        };
+        let cct = (0..p.cct_len)
+            .map(|i| units.ns_to_cycles(ird_ns(i)))
+            .collect();
+        Self {
+            cct,
+            ccti_timer_cycles: units.ns_to_cycles(p.ccti_timer_ns),
+            ccti_increase: p.ccti_increase,
+        }
+    }
+}
+
+/// Static adapter configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdapterCfg {
+    /// Isolation parameters when the mechanism isolates (FBICM/CCFIT).
+    pub iso: Option<IsolationParams>,
+    /// Throttling state when the mechanism throttles (ITh/CCFIT).
+    pub thr: Option<AdapterThrottle>,
+    /// MTU in flits.
+    pub mtu_flits: u32,
+    /// Output-buffer RAM in flits (64 KB by default, like a switch port).
+    pub out_ram_flits: u32,
+    /// Admittance capacity per AdVOQ in flits (application backpressure
+    /// point).
+    pub advoq_cap_flits: u32,
+    /// NFQ fill level (flits) above which the AdVOQ arbiter pauses, so
+    /// the output buffer never becomes a second HoL point.
+    pub nfq_gate_flits: u32,
+    /// VOQnet mode: bypass the NFQ funnel and arbitrate the injection
+    /// link directly across the AdVOQs, honouring the per-destination
+    /// reserved credits. A single output FIFO would reintroduce
+    /// head-of-line blocking at the source, which is exactly what VOQnet
+    /// exists to eliminate.
+    pub per_dest_output: bool,
+}
+
+/// The injection side of one end node.
+#[derive(Debug, Clone)]
+pub struct Adapter {
+    node: NodeId,
+    cfg: AdapterCfg,
+    inject_link: LinkId,
+    inject_bw: u32,
+    advoqs: Vec<PacketQueue>,
+    rr: usize,
+    nfq: PacketQueue,
+    cfqs: Vec<CfqSlot>,
+    /// Congestion info received from the attached switch, keyed by
+    /// congested destination (plays the role of an output-port CAM).
+    cam: Cam<NodeId, OutCamState>,
+    out_ram: PortRam,
+    /// Outgoing congestion notification packets (BECNs): transmitted with
+    /// absolute priority, bypassing the NFQ/CFQ output buffer (§III-B).
+    becn_out: std::collections::VecDeque<Packet>,
+    // ---- throttling state, one entry per destination ----
+    ccti: Vec<u16>,
+    timer_deadline: Vec<Cycle>,
+    /// Earliest next injection per destination: LTI + packet time + IRD.
+    next_allowed: Vec<Cycle>,
+}
+
+/// A completed injection: the simulator releases `flits` of the output
+/// RAM at cycle `at`.
+#[derive(Debug, Clone, Copy)]
+pub struct AdapterRelease {
+    /// Completion cycle.
+    pub at: Cycle,
+    /// Flits to release.
+    pub flits: u32,
+}
+
+impl Adapter {
+    /// Build the adapter for `node` with `num_nodes` AdVOQs.
+    pub fn new(
+        node: NodeId,
+        cfg: AdapterCfg,
+        inject_link: LinkId,
+        inject_bw: u32,
+        num_nodes: usize,
+    ) -> Self {
+        let num_cfqs = cfg.iso.map_or(0, |i| i.num_cfqs);
+        let cam_lines = cfg.iso.map_or(0, |i| i.out_cam_lines);
+        Self {
+            node,
+            out_ram: PortRam::new(cfg.out_ram_flits),
+            cfg,
+            inject_link,
+            inject_bw,
+            advoqs: (0..num_nodes).map(|_| PacketQueue::new()).collect(),
+            rr: 0,
+            nfq: PacketQueue::new(),
+            cfqs: (0..num_cfqs).map(|_| CfqSlot::default()).collect(),
+            cam: Cam::new(cam_lines),
+            becn_out: std::collections::VecDeque::new(),
+            ccti: vec![0; num_nodes],
+            timer_deadline: vec![Cycle::MAX; num_nodes],
+            next_allowed: vec![0; num_nodes],
+        }
+    }
+
+    /// The node this adapter belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Admit a generated packet into its AdVOQ; `false` = admittance
+    /// queue full (the generator keeps its budget and retries).
+    pub fn try_inject(&mut self, now: Cycle, gp: GenPacket, id: PacketId) -> bool {
+        let q = &mut self.advoqs[gp.dst.index()];
+        if q.occupancy_flits() + gp.size_flits > self.cfg.advoq_cap_flits {
+            return false;
+        }
+        let pkt = Packet::data(id, self.node, gp.dst, gp.size_flits, gp.size_bytes, gp.flow, now);
+        q.push(pkt, now, now);
+        true
+    }
+
+    /// Drain the congestion information the attached switch sent up the
+    /// injection link (Stop/Go + CFQ allocation/deallocation hints).
+    pub fn poll_ctrl(&mut self, now: Cycle, links: &mut [Link], metrics: &mut MetricsCollector) {
+        if self.cfg.iso.is_none() {
+            // Non-isolating adapters ignore (and never receive) these.
+            let _ = links[self.inject_link.index()].poll_ctrl(now);
+            return;
+        }
+        for ev in links[self.inject_link.index()].poll_ctrl(now) {
+            match ev {
+                CtrlEvent::CfqAlloc { dst } => {
+                    if self.cam.lookup(dst).is_none()
+                        && self.cam.allocate(dst, OutCamState { stopped: false }).is_err()
+                    {
+                        metrics.count("ia_cam_exhausted", 1);
+                    }
+                }
+                CtrlEvent::CfqDealloc { dst } => {
+                    if let Some(i) = self.cam.lookup(dst) {
+                        self.cam.free(i);
+                    }
+                }
+                CtrlEvent::Stop { dst } => {
+                    if let Some(i) = self.cam.lookup(dst) {
+                        self.cam.get_mut(i).unwrap().value.stopped = true;
+                    } else if self.cam.allocate(dst, OutCamState { stopped: true }).is_err() {
+                        metrics.count("ia_cam_exhausted", 1);
+                    }
+                }
+                CtrlEvent::Go { dst } => {
+                    if let Some(i) = self.cam.lookup(dst) {
+                        self.cam.get_mut(i).unwrap().value.stopped = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queue an outgoing congestion notification packet (generated by
+    /// this node's receive side for a FECN-marked delivery). Sent with
+    /// priority by [`Self::tick`].
+    pub fn queue_becn(&mut self, pkt: Packet) {
+        debug_assert!(pkt.is_becn());
+        self.becn_out.push_back(pkt);
+    }
+
+    /// Outgoing BECNs not yet on the wire (conservation checks).
+    pub fn pending_becns(&self) -> usize {
+        self.becn_out.len()
+    }
+
+    /// React to a BECN for congested destination `dst` (§III-D event #6):
+    /// bump the CCTI and arm the recovery timer.
+    pub fn on_becn(&mut self, now: Cycle, dst: NodeId, metrics: &mut MetricsCollector) {
+        let Some(thr) = &self.cfg.thr else { return };
+        let d = dst.index();
+        let max = (thr.cct.len() - 1) as u16;
+        self.ccti[d] = (self.ccti[d] + thr.ccti_increase).min(max);
+        self.timer_deadline[d] = now + thr.ccti_timer_cycles;
+        metrics.count("becn_received", 1);
+    }
+
+    /// Current CCTI for a destination (tests and introspection).
+    pub fn ccti(&self, dst: NodeId) -> u16 {
+        self.ccti[dst.index()]
+    }
+
+    fn cfq_lookup(&self, dst: NodeId) -> Option<usize> {
+        self.cfqs
+            .iter()
+            .position(|c| matches!(c.state, Some(s) if s.dst == dst))
+    }
+
+    fn stopped(&self, dst: NodeId) -> bool {
+        self.cam
+            .lookup(dst)
+            .map(|i| self.cam.get(i).unwrap().value.stopped)
+            .unwrap_or(false)
+    }
+
+    /// One cycle of adapter work. Returns the RAM release to schedule if
+    /// a packet started injecting.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        links: &mut [Link],
+        voqnet: Option<&mut VoqNetCredits>,
+        metrics: &mut MetricsCollector,
+    ) -> Option<AdapterRelease> {
+        self.expire_timers(now);
+        if self.cfg.per_dest_output {
+            self.direct_output_arbitration(now, links, voqnet);
+            return None;
+        }
+        self.advoq_arbitration(now, metrics);
+        self.output_arbitration(now, links, voqnet)
+    }
+
+    /// VOQnet injection: round-robin directly over the AdVOQs, gated by
+    /// the per-destination reserved credits of the injection link.
+    fn direct_output_arbitration(
+        &mut self,
+        now: Cycle,
+        links: &mut [Link],
+        mut voqnet: Option<&mut VoqNetCredits>,
+    ) {
+        let link = &links[self.inject_link.index()];
+        if !link.tx_idle(now) {
+            return;
+        }
+        if let Some(b) = self.becn_out.front() {
+            if link.can_send(now, b.size_flits)
+                && Self::voqnet_ok(&voqnet, self.inject_link, b.dst, b.size_flits)
+            {
+                let b = self.becn_out.pop_front().expect("front exists");
+                if let Some(vn) = voqnet.as_deref_mut() {
+                    if let Some(cr) = vn.get_mut(&(self.inject_link.0, b.dst.0)) {
+                        *cr -= b.size_flits;
+                    }
+                }
+                links[self.inject_link.index()].send(now, b);
+                return;
+            }
+        }
+        let n = self.advoqs.len();
+        for step in 0..n {
+            let d = (self.rr + step) % n;
+            let Some(head) = self.advoqs[d].head_visible(now) else { continue };
+            let size = head.packet.size_flits;
+            if now < self.next_allowed[d]
+                || !link.can_send(now, size)
+                || !Self::voqnet_ok(&voqnet, self.inject_link, head.packet.dst, size)
+            {
+                continue;
+            }
+            let entry = self.advoqs[d].pop().expect("head exists");
+            if let Some(vn) = voqnet.as_deref_mut() {
+                if let Some(cr) = vn.get_mut(&(self.inject_link.0, entry.packet.dst.0)) {
+                    *cr -= size;
+                }
+            }
+            let packet_time = size.div_ceil(self.inject_bw).max(1) as Cycle;
+            self.next_allowed[d] = now + packet_time;
+            links[self.inject_link.index()].send(now, entry.packet);
+            self.rr = (d + 1) % n;
+            return;
+        }
+    }
+
+    /// Timer expiry (§III-D event #7): decrement CCTI, re-arm while
+    /// nonzero.
+    fn expire_timers(&mut self, now: Cycle) {
+        let Some(thr) = &self.cfg.thr else { return };
+        for d in 0..self.ccti.len() {
+            if now >= self.timer_deadline[d] {
+                if self.ccti[d] > 0 {
+                    self.ccti[d] -= 1;
+                }
+                self.timer_deadline[d] = if self.ccti[d] > 0 {
+                    now + thr.ccti_timer_cycles
+                } else {
+                    Cycle::MAX
+                };
+            }
+        }
+    }
+
+    /// Round-robin AdVOQ arbitration gated by the IRD (§III-D event #8):
+    /// move at most one packet per cycle into the output buffer.
+    fn advoq_arbitration(&mut self, now: Cycle, metrics: &mut MetricsCollector) {
+        let n = self.advoqs.len();
+        let iso = self.cfg.iso;
+        let stop_flits = iso.map_or(0, |i| i.stop_mtus * self.cfg.mtu_flits);
+        for step in 0..n {
+            let d = (self.rr + step) % n;
+            let Some(head) = self.advoqs[d].head_visible(now) else { continue };
+            if now < self.next_allowed[d] {
+                continue; // IRD throttling gates this destination.
+            }
+            let size = head.packet.size_flits;
+            if !self.out_ram.can_reserve(size) {
+                continue;
+            }
+            // Decide where the packet would go in the output buffer.
+            enum Target {
+                Nfq,
+                Cfq(usize),
+            }
+            let target = if iso.is_some() && self.cam.lookup(head.packet.dst).is_some() {
+                // Congested destination: goes to (or allocates) its CFQ,
+                // honouring the Stop threshold as per-destination
+                // backpressure into the AdVOQ.
+                match self.cfq_lookup(head.packet.dst) {
+                    Some(c) if self.cfqs[c].queue.occupancy_flits() + size <= stop_flits => {
+                        Some(Target::Cfq(c))
+                    }
+                    Some(_) => None, // CFQ full past Stop: hold in AdVOQ
+                    None => {
+                        let free = self.cfqs.iter().position(|c| c.state.is_none());
+                        match free {
+                            Some(c) => {
+                                self.cfqs[c].state =
+                                    Some(CfqState::new(head.packet.dst, 0, false));
+                                metrics.count("ia_cfq_allocated", 1);
+                                Some(Target::Cfq(c))
+                            }
+                            None => {
+                                metrics.count("ia_cfq_exhausted", 1);
+                                // No CFQ left: fall back to the NFQ (the
+                                // HoL risk the paper accepts when
+                                // isolation resources run out).
+                                Some(Target::Nfq)
+                            }
+                        }
+                    }
+                }
+            } else {
+                Some(Target::Nfq)
+            };
+            let target = match target {
+                Some(Target::Nfq)
+                    if self.nfq.occupancy_flits() + size
+                        > self.cfg.nfq_gate_flits.max(size) =>
+                {
+                    continue; // NFQ gate: keep backlog in the AdVOQs.
+                }
+                Some(t) => t,
+                None => continue,
+            };
+            // Commit the move.
+            let entry = self.advoqs[d].pop().expect("head exists");
+            self.out_ram.reserve(size).expect("checked above");
+            match target {
+                Target::Nfq => self.nfq.push(entry.packet, now, now),
+                Target::Cfq(c) => self.cfqs[c].queue.push(entry.packet, now, now),
+            }
+            // LTI + IRD: earliest next injection for this destination.
+            let packet_time = size.div_ceil(self.inject_bw).max(1) as Cycle;
+            let ird = self
+                .cfg
+                .thr
+                .as_ref()
+                .map_or(0, |t| t.cct[self.ccti[d] as usize]);
+            self.next_allowed[d] = now + packet_time + ird;
+            if ird > 0 {
+                metrics.count("throttled_injections", 1);
+            }
+            self.rr = (d + 1) % n;
+            break; // one move per cycle
+        }
+        // CFQ deallocation at the adapter: calm for the linger period,
+        // momentarily empty, and the switch has released the congestion
+        // tree (our CAM line was removed by its CfqDealloc).
+        if let Some(iso) = iso {
+            let calm_flits = iso.propagate_threshold_mtus * self.cfg.mtu_flits;
+            for c in 0..self.cfqs.len() {
+                let Some(mut st) = self.cfqs[c].state else { continue };
+                let occ = self.cfqs[c].queue.occupancy_flits();
+                if occ < calm_flits {
+                    if st.calm_since.is_none() {
+                        st.calm_since = Some(now);
+                    }
+                    let lingered = st
+                        .calm_since
+                        .is_some_and(|s| now.saturating_sub(s) >= iso.dealloc_linger_cycles);
+                    if occ == 0 && lingered && self.cam.lookup(st.dst).is_none() {
+                        self.cfqs[c].state = None;
+                        metrics.count("ia_cfq_deallocated", 1);
+                        continue;
+                    }
+                } else {
+                    st.calm_since = None;
+                }
+                self.cfqs[c].state = Some(st);
+            }
+        }
+    }
+
+    /// Pick an eligible output-buffer queue and start injecting.
+    fn output_arbitration(
+        &mut self,
+        now: Cycle,
+        links: &mut [Link],
+        voqnet: Option<&mut VoqNetCredits>,
+    ) -> Option<AdapterRelease> {
+        let link = &links[self.inject_link.index()];
+        if !link.tx_idle(now) {
+            return None;
+        }
+        // Congestion notifications first: absolute priority (§III-B).
+        if let Some(b) = self.becn_out.front() {
+            if link.can_send(now, b.size_flits)
+                && Self::voqnet_ok(&voqnet, self.inject_link, b.dst, b.size_flits)
+            {
+                let b = self.becn_out.pop_front().expect("front exists");
+                if let Some(vn) = voqnet {
+                    if let Some(cr) = vn.get_mut(&(self.inject_link.0, b.dst.0)) {
+                        *cr -= b.size_flits;
+                    }
+                }
+                links[self.inject_link.index()].send(now, b);
+                return None; // BECNs bypass the output RAM entirely
+            }
+        }
+        // Candidates: NFQ plus every allocated, unstopped CFQ.
+        let mut cands: Vec<Option<usize>> = Vec::new(); // None = NFQ
+        if let Some(h) = self.nfq.head_visible(now) {
+            if link.can_send(now, h.packet.size_flits)
+                && Self::voqnet_ok(&voqnet, self.inject_link, h.packet.dst, h.packet.size_flits)
+            {
+                cands.push(None);
+            }
+        }
+        for (c, slot) in self.cfqs.iter().enumerate() {
+            let Some(st) = slot.state else { continue };
+            if self.stopped(st.dst) {
+                continue;
+            }
+            if let Some(h) = slot.queue.head_visible(now) {
+                if link.can_send(now, h.packet.size_flits)
+                    && Self::voqnet_ok(&voqnet, self.inject_link, h.packet.dst, h.packet.size_flits)
+                {
+                    cands.push(Some(c));
+                }
+            }
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        let pick = cands[self.rr % cands.len()];
+        let entry = match pick {
+            None => self.nfq.pop().expect("candidate head"),
+            Some(c) => self.cfqs[c].queue.pop().expect("candidate head"),
+        };
+        if let Some(vn) = voqnet {
+            if let Some(cr) = vn.get_mut(&(self.inject_link.0, entry.packet.dst.0)) {
+                *cr -= entry.packet.size_flits;
+            }
+        }
+        let done = links[self.inject_link.index()].send(now, entry.packet);
+        Some(AdapterRelease { at: done, flits: entry.packet.size_flits })
+    }
+
+    fn voqnet_ok(
+        voqnet: &Option<&mut VoqNetCredits>,
+        link: LinkId,
+        dst: NodeId,
+        size: u32,
+    ) -> bool {
+        match voqnet {
+            Some(vn) => vn
+                .get(&(link.0, dst.0))
+                .map(|&c| c >= size)
+                .unwrap_or(true),
+            None => true,
+        }
+    }
+
+    /// Release output-buffer RAM for a packet whose tail has left
+    /// (scheduled by the simulator at the completion cycle).
+    pub fn release_ram(&mut self, flits: u32) {
+        self.out_ram.release(flits);
+    }
+
+    /// Packets currently buffered in the adapter (AdVOQs + output
+    /// buffer), for conservation checks.
+    pub fn resident_packets(&self) -> usize {
+        self.advoqs.iter().map(|q| q.len()).sum::<usize>()
+            + self.nfq.len()
+            + self.cfqs.iter().map(|c| c.queue.len()).sum::<usize>()
+    }
+
+    /// Current backlog of one AdVOQ in flits (tests).
+    pub fn advoq_occupancy(&self, dst: NodeId) -> u32 {
+        self.advoqs[dst.index()].occupancy_flits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfit_engine::link::LinkConfig;
+    use ccfit_engine::units::UnitModel;
+
+    fn cfg(thr: bool, iso: bool) -> AdapterCfg {
+        let units = UnitModel::default();
+        AdapterCfg {
+            iso: iso.then(IsolationParams::default),
+            thr: thr.then(|| AdapterThrottle::from_params(&ThrottleParams::default(), &units)),
+            mtu_flits: 32,
+            out_ram_flits: 1024,
+            advoq_cap_flits: 256,
+            nfq_gate_flits: 128,
+            per_dest_output: false,
+        }
+    }
+
+    fn adapter(thr: bool, iso: bool) -> (Adapter, Vec<Link>) {
+        let links = vec![Link::new(LinkConfig::default(), 1024)];
+        (Adapter::new(NodeId(0), cfg(thr, iso), LinkId(0), 1, 8), links)
+    }
+
+    fn gp(dst: u32) -> GenPacket {
+        GenPacket { flow: ccfit_engine::ids::FlowId(0), dst: NodeId(dst), size_flits: 32, size_bytes: 2048 }
+    }
+
+    #[test]
+    fn injection_flows_through_to_the_link() {
+        let (mut a, mut links) = adapter(false, false);
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        assert!(a.try_inject(0, gp(3), PacketId(1)));
+        // Single-cycle passthrough: AdVOQ -> NFQ -> link within tick 0.
+        let rel = a.tick(0, &mut links, None, &mut m);
+        assert!(rel.is_some());
+        let d = links[0].deliver(100);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.dst, NodeId(3));
+        assert_eq!(a.resident_packets(), 0);
+    }
+
+    #[test]
+    fn advoq_admission_is_bounded() {
+        let (mut a, _links) = adapter(false, false);
+        // Cap is 256 flits = 8 MTU packets.
+        for i in 0..8 {
+            assert!(a.try_inject(0, gp(3), PacketId(i)), "packet {i}");
+        }
+        assert!(!a.try_inject(0, gp(3), PacketId(99)), "ninth packet refused");
+        assert!(a.try_inject(0, gp(4), PacketId(100)), "other AdVOQ unaffected");
+    }
+
+    #[test]
+    fn becn_bumps_ccti_and_timer_decays_it() {
+        let (mut a, mut links) = adapter(true, false);
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        a.on_becn(0, NodeId(4), &mut m);
+        a.on_becn(0, NodeId(4), &mut m);
+        assert_eq!(a.ccti(NodeId(4)), 2);
+        assert_eq!(a.ccti(NodeId(3)), 0, "per-destination state");
+        assert_eq!(m.counter("becn_received"), 2);
+        // CCTI_Timer = 8000 ns = 313 cycles; after two expiries it is 0.
+        let timer = AdapterThrottle::from_params(&ThrottleParams::default(), &UnitModel::default())
+            .ccti_timer_cycles;
+        a.tick(timer, &mut links, None, &mut m);
+        assert_eq!(a.ccti(NodeId(4)), 1);
+        a.tick(2 * timer, &mut links, None, &mut m);
+        assert_eq!(a.ccti(NodeId(4)), 0);
+    }
+
+    #[test]
+    fn throttled_destination_injects_slower() {
+        let (mut a, mut links) = adapter(true, false);
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        // Saturate the AdVOQ for node 3, no BECNs: packets stream at line
+        // rate (32 cycles per MTU).
+        let mut next_id = 0u64;
+        let mut sent_unthrottled = 0u64;
+        for now in 0..3200u64 {
+            if a.try_inject(now, gp(3), PacketId(next_id)) {
+                next_id += 1;
+            }
+            a.tick(now, &mut links, None, &mut m);
+            links[0].poll_credits(now);
+        }
+        for d in links[0].deliver(10_000) {
+            let _ = d;
+            sent_unthrottled += 1;
+        }
+        // Now hammer BECNs to raise the IRD and measure again.
+        let (mut b, mut links2) = adapter(true, false);
+        for _ in 0..20 {
+            b.on_becn(0, NodeId(3), &mut m);
+        }
+        let mut next_id = 0u64;
+        let mut sent_throttled = 0u64;
+        for now in 0..3200u64 {
+            if b.try_inject(now, gp(3), PacketId(next_id)) {
+                next_id += 1;
+            }
+            // Keep the CCTI pinned high against timer decay.
+            if now % 100 == 0 {
+                b.on_becn(now, NodeId(3), &mut m);
+            }
+            b.tick(now, &mut links2, None, &mut m);
+            links2[0].poll_credits(now);
+        }
+        for d in links2[0].deliver(10_000) {
+            let _ = d;
+            sent_throttled += 1;
+        }
+        assert!(
+            sent_throttled * 2 < sent_unthrottled,
+            "throttled {sent_throttled} vs unthrottled {sent_unthrottled}"
+        );
+        assert!(m.counter("throttled_injections") > 0);
+    }
+
+    #[test]
+    fn stop_pauses_the_isolated_flow_and_go_resumes_it() {
+        let (mut a, mut links) = adapter(false, true);
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        // Switch announces congestion tree for node 4, then stops it.
+        links[0].send_ctrl(0, CtrlEvent::CfqAlloc { dst: NodeId(4) });
+        links[0].send_ctrl(0, CtrlEvent::Stop { dst: NodeId(4) });
+        a.poll_ctrl(10, &mut links, &mut m);
+        assert!(a.try_inject(10, gp(4), PacketId(0)));
+        assert!(a.try_inject(10, gp(3), PacketId(1)));
+        let mut injected_dsts = Vec::new();
+        for now in 10..200u64 {
+            a.tick(now, &mut links, None, &mut m);
+            links[0].poll_credits(now);
+        }
+        for d in links[0].deliver(1000) {
+            injected_dsts.push(d.packet.dst);
+        }
+        assert_eq!(injected_dsts, vec![NodeId(3)], "only the uncongested flow moves");
+        // Go resumes.
+        links[0].send_ctrl(200, CtrlEvent::Go { dst: NodeId(4) });
+        a.poll_ctrl(210, &mut links, &mut m);
+        for now in 210..400u64 {
+            a.tick(now, &mut links, None, &mut m);
+            links[0].poll_credits(now);
+        }
+        let d = links[0].deliver(1000);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.dst, NodeId(4));
+    }
+
+    #[test]
+    fn isolated_flow_does_not_block_the_nfq() {
+        let (mut a, mut links) = adapter(false, true);
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        links[0].send_ctrl(0, CtrlEvent::CfqAlloc { dst: NodeId(4) });
+        links[0].send_ctrl(0, CtrlEvent::Stop { dst: NodeId(4) });
+        a.poll_ctrl(5, &mut links, &mut m);
+        // Many packets for the stopped destination, then one for another.
+        let mut id = 0u64;
+        for _ in 0..4 {
+            assert!(a.try_inject(5, gp(4), PacketId(id)));
+            id += 1;
+        }
+        assert!(a.try_inject(5, gp(3), PacketId(id)));
+        let mut got = Vec::new();
+        for now in 5..400u64 {
+            a.tick(now, &mut links, None, &mut m);
+            links[0].poll_credits(now);
+            for d in links[0].deliver(now) {
+                got.push(d.packet.dst);
+            }
+        }
+        assert_eq!(got, vec![NodeId(3)], "victim bypasses the stopped congested flow");
+    }
+
+    #[test]
+    fn non_throttling_adapter_ignores_becns() {
+        let (mut a, _links) = adapter(false, false);
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        a.on_becn(0, NodeId(4), &mut m);
+        assert_eq!(a.ccti(NodeId(4)), 0);
+    }
+
+    #[test]
+    fn ccti_saturates_at_cct_length() {
+        let (mut a, _links) = adapter(true, false);
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        for _ in 0..1000 {
+            a.on_becn(0, NodeId(2), &mut m);
+        }
+        assert_eq!(a.ccti(NodeId(2)) as usize, ThrottleParams::default().cct_len - 1);
+    }
+}
+
+#[cfg(test)]
+mod voqnet_tests {
+    use super::*;
+    use ccfit_engine::link::LinkConfig;
+    use ccfit_engine::units::UnitModel;
+    use std::collections::HashMap;
+
+    fn direct_adapter() -> (Adapter, Vec<Link>) {
+        let cfg = AdapterCfg {
+            iso: None,
+            thr: None,
+            mtu_flits: 32,
+            out_ram_flits: 1024,
+            advoq_cap_flits: 256,
+            nfq_gate_flits: 128,
+            per_dest_output: true,
+        };
+        let links = vec![Link::new(LinkConfig::default(), 1024)];
+        (Adapter::new(NodeId(0), cfg, LinkId(0), 1, 8), links)
+    }
+
+    fn gp(dst: u32) -> ccfit_traffic::GenPacket {
+        ccfit_traffic::GenPacket {
+            flow: ccfit_engine::ids::FlowId(0),
+            dst: NodeId(dst),
+            size_flits: 32,
+            size_bytes: 2048,
+        }
+    }
+
+    #[test]
+    fn direct_mode_bypasses_the_nfq() {
+        let (mut a, mut links) = direct_adapter();
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        assert!(a.try_inject(0, gp(3), PacketId(0)));
+        let rel = a.tick(0, &mut links, None, &mut m);
+        assert!(rel.is_none(), "direct mode does not use the output RAM");
+        let d = links[0].deliver(100);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.dst, NodeId(3));
+        assert_eq!(a.resident_packets(), 0);
+    }
+
+    #[test]
+    fn per_dest_credits_block_only_their_destination() {
+        let (mut a, mut links) = direct_adapter();
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        // Per-destination credits: dst 4 has none, dst 3 plenty.
+        let mut vn: HashMap<(u32, u32), u32> = HashMap::new();
+        vn.insert((0, 4), 0);
+        vn.insert((0, 3), 256);
+        assert!(a.try_inject(0, gp(4), PacketId(0)));
+        assert!(a.try_inject(0, gp(3), PacketId(1)));
+        let mut dsts = Vec::new();
+        let mut now = 0u64;
+        for _ in 0..8 {
+            a.tick(now, &mut links, Some(&mut vn), &mut m);
+            links[0].poll_credits(now);
+            now += 33;
+            for d in links[0].deliver(now) {
+                dsts.push(d.packet.dst);
+            }
+        }
+        assert_eq!(dsts, vec![NodeId(3)], "hot destination held back, other flows");
+        assert_eq!(vn[&(0, 3)], 256 - 32, "credits debited for the sent packet");
+        assert_eq!(a.advoq_occupancy(NodeId(4)), 32, "blocked packet waits in its AdVOQ");
+    }
+
+    #[test]
+    fn direct_mode_round_robins_across_advoqs() {
+        let (mut a, mut links) = direct_adapter();
+        let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
+        for (i, d) in [1u32, 2, 3].iter().enumerate() {
+            assert!(a.try_inject(0, gp(*d), PacketId(i as u64)));
+            assert!(a.try_inject(0, gp(*d), PacketId(100 + i as u64)));
+        }
+        let mut dsts = Vec::new();
+        let mut now = 0u64;
+        while dsts.len() < 6 {
+            a.tick(now, &mut links, None, &mut m);
+            links[0].poll_credits(now);
+            now += 1;
+            for d in links[0].deliver(now) {
+                dsts.push(d.packet.dst.0);
+            }
+            assert!(now < 1000, "all packets must drain");
+        }
+        // Round robin: first three are 1,2,3 in some rotation, then repeat.
+        assert_eq!(&dsts[0..3], &[1, 2, 3]);
+        assert_eq!(&dsts[3..6], &[1, 2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod cct_tests {
+    use super::*;
+    use crate::params::CctProfile;
+    use ccfit_engine::units::UnitModel;
+
+    #[test]
+    fn linear_cct_grows_proportionally() {
+        let t = ThrottleParams::default();
+        let a = AdapterThrottle::from_params(&t, &UnitModel::default());
+        assert_eq!(a.cct[0], 0);
+        // IRD(i) = i * 400 ns; one cycle = 25.6 ns.
+        let one = a.cct[1];
+        assert!(one >= 15 && one <= 16, "400 ns ~ 15.6 cycles: {one}");
+        assert!(a.cct[10] >= 10 * one - 10 && a.cct[10] <= 10 * one + 10);
+    }
+
+    #[test]
+    fn exponential_cct_doubles() {
+        let mut t = ThrottleParams::default();
+        t.cct_profile = CctProfile::Exponential { period: 8 };
+        let a = AdapterThrottle::from_params(&t, &UnitModel::default());
+        assert_eq!(a.cct[0], 0);
+        // IRD(8) = unit*(2-1) = 400 ns; IRD(16) = unit*3 = 1200 ns;
+        // IRD(24) = unit*7 = 2800 ns.
+        let u = UnitModel::default();
+        assert_eq!(a.cct[8], u.ns_to_cycles(400.0));
+        assert_eq!(a.cct[16], u.ns_to_cycles(1200.0));
+        assert_eq!(a.cct[24], u.ns_to_cycles(2800.0));
+        // Strictly non-decreasing everywhere.
+        assert!(a.cct.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn exponential_outgrows_linear_at_high_ccti() {
+        let u = UnitModel::default();
+        let lin = AdapterThrottle::from_params(&ThrottleParams::default(), &u);
+        let mut t = ThrottleParams::default();
+        t.cct_profile = CctProfile::Exponential { period: 8 };
+        let exp = AdapterThrottle::from_params(&t, &u);
+        assert!(exp.cct[64] > lin.cct[64]);
+        assert!(exp.cct[8] < lin.cct[8], "gentler at small CCTI");
+    }
+}

@@ -1,0 +1,236 @@
+//! The paper's experiments as ready-to-run specifications (Table I +
+//! §IV-A).
+//!
+//! Every figure of the evaluation is a combination of a network
+//! configuration, a traffic case and a mechanism; this module provides
+//! the `(configuration, case)` pairs so the figure harness and the tests
+//! only pick mechanisms and durations.
+
+use crate::params::Mechanism;
+use crate::simulator::{SimBuilder, SimConfig};
+use ccfit_metrics::SimReport;
+use ccfit_topology::{config1_topology, KAryNTree, LinkParams, RoutingTable, Topology};
+use ccfit_traffic::{case1, case2, case3, case4, TrafficPattern};
+
+/// A fully specified experiment minus the mechanism.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Human-readable name (e.g. `"config2/case3"`).
+    pub name: String,
+    /// The network.
+    pub topology: Topology,
+    /// Routing tables (DET for the fat trees).
+    pub routing: RoutingTable,
+    /// The workload.
+    pub pattern: TrafficPattern,
+    /// Simulated time in nanoseconds.
+    pub duration_ns: f64,
+    /// Crossbar bandwidth in flits/cycle (Table I).
+    pub crossbar_bw_flits_per_cycle: u32,
+}
+
+impl ExperimentSpec {
+    /// Run the experiment under `mech` with the given seed.
+    pub fn run(&self, mech: Mechanism, seed: u64) -> SimReport {
+        self.run_with(mech, seed, SimConfig::default())
+    }
+
+    /// Run with a custom [`SimConfig`] (tests shrink bins/durations).
+    pub fn run_with(&self, mech: Mechanism, seed: u64, mut cfg: SimConfig) -> SimReport {
+        cfg.duration_ns = self.duration_ns;
+        cfg.crossbar_bw_flits_per_cycle = self.crossbar_bw_flits_per_cycle;
+        SimBuilder::new(self.topology.clone())
+            .routing(self.routing.clone())
+            .mechanism(mech)
+            .traffic(self.pattern.clone())
+            .config(cfg)
+            .seed(seed)
+            .build()
+            .run()
+    }
+}
+
+/// Config #1 / Case #1: the ad-hoc two-switch network with the victim
+/// flow and the staggered hotspot contributors (Figs. 7a and 9).
+/// `end_ms` scales the whole schedule (the paper uses 10 ms; the flow
+/// activation points stay at 2/4/6 ms, so `end_ms` below ~7 truncates
+/// the schedule — use [`config1_case1_scaled`] for quick runs).
+pub fn config1_case1(end_ms: f64) -> ExperimentSpec {
+    let topology = config1_topology();
+    ExperimentSpec {
+        name: "config1/case1".into(),
+        routing: RoutingTable::shortest_path(&topology),
+        topology,
+        pattern: case1(end_ms),
+        duration_ns: end_ms * 1e6,
+        crossbar_bw_flits_per_cycle: 2, // 5 GB/s (Table I, Config #1)
+    }
+}
+
+/// Config #1 / Case #1 with the activation schedule compressed by
+/// `scale` (e.g. `scale = 0.1` activates flows at 0.2/0.4/0.6 ms and
+/// runs 1 ms) — same shape, test-friendly runtimes.
+pub fn config1_case1_scaled(scale: f64) -> ExperimentSpec {
+    let mut spec = config1_case1(10.0);
+    scale_pattern(&mut spec, scale);
+    spec
+}
+
+/// Compress an experiment's schedule and duration by `scale`.
+fn scale_pattern(spec: &mut ExperimentSpec, scale: f64) {
+    for f in &mut spec.pattern.flows {
+        f.start_ns *= scale;
+        if let Some(e) = &mut f.end_ns {
+            *e *= scale;
+        }
+    }
+    spec.duration_ns *= scale;
+}
+
+fn config2_parts() -> (Topology, RoutingTable) {
+    let tree = KAryNTree::new(2, 3);
+    let topology = tree.build(LinkParams::default());
+    let routing = tree.det_routing();
+    (topology, routing)
+}
+
+/// Config #2 / Case #2: the 2-ary 3-tree with five flows converging on
+/// node 7 (Figs. 7b and 10).
+pub fn config2_case2(end_ms: f64) -> ExperimentSpec {
+    let (topology, routing) = config2_parts();
+    ExperimentSpec {
+        name: "config2/case2".into(),
+        topology,
+        routing,
+        pattern: case2(end_ms),
+        duration_ns: end_ms * 1e6,
+        crossbar_bw_flits_per_cycle: 1, // 2.5 GB/s (Table I)
+    }
+}
+
+/// Config #2 / Case #2 with the schedule compressed by `scale`.
+pub fn config2_case2_scaled(scale: f64) -> ExperimentSpec {
+    let mut spec = config2_case2(10.0);
+    scale_pattern(&mut spec, scale);
+    spec
+}
+
+/// Config #2 / Case #3: Case #2 plus uniform background from nodes 5–7
+/// (Fig. 7c).
+pub fn config2_case3(end_ms: f64) -> ExperimentSpec {
+    let (topology, routing) = config2_parts();
+    ExperimentSpec {
+        name: "config2/case3".into(),
+        topology,
+        routing,
+        pattern: case3(end_ms),
+        duration_ns: end_ms * 1e6,
+        crossbar_bw_flits_per_cycle: 1,
+    }
+}
+
+/// Config #3 / Case #4: the 4-ary 3-tree under 75 % uniform traffic with
+/// a 25 %-of-sources hotspot storm during [1 ms, 2 ms] forming
+/// `hotspots` congestion trees (Fig. 8). `duration_ms` should cover the
+/// recovery after the burst (the paper plots ≈4 ms).
+pub fn config3_case4(hotspots: usize, duration_ms: f64) -> ExperimentSpec {
+    let tree = KAryNTree::new(4, 3);
+    let topology = tree.build(LinkParams::default());
+    let routing = tree.det_routing();
+    ExperimentSpec {
+        name: format!("config3/case4-h{hotspots}"),
+        pattern: case4(topology.num_nodes(), hotspots),
+        topology,
+        routing,
+        duration_ns: duration_ms * 1e6,
+        crossbar_bw_flits_per_cycle: 1,
+    }
+}
+
+/// The mechanisms of the paper's evaluation, in plotting order.
+pub fn paper_mechanisms() -> Vec<Mechanism> {
+    vec![
+        Mechanism::OneQ,
+        Mechanism::ith(),
+        Mechanism::fbicm(),
+        Mechanism::ccfit(),
+    ]
+}
+
+/// Render Table I (the evaluated network configurations).
+pub fn table1() -> String {
+    let rows = [
+        ("", "Config #1", "Config #2", "Config #3"),
+        ("# Nodes", "7", "8", "64"),
+        ("Topology", "Ad-hoc (Fig. 5)", "2-ary 3-tree", "4-ary 3-tree"),
+        ("# Switches", "2", "12", "48"),
+        ("Switching", "Virtual Cut-Through", "VCT", "VCT"),
+        ("Scheduling", "iSLIP", "iSLIP", "iSLIP"),
+        ("Packet MTU", "2048 B", "2048 B", "2048 B"),
+        ("Memory size", "64 KB/port", "64 KB/port", "64 KB/port"),
+        ("Link BW", "2.5 / 5 GB/s", "2.5 GB/s", "2.5 GB/s"),
+        ("Flow control", "credit-based", "credit-based", "credit-based"),
+        ("Routing", "DET (table-based)", "DET", "DET"),
+    ];
+    let mut out = String::new();
+    for (a, b, c, d) in rows {
+        out.push_str(&format!("{a:<14} | {b:<20} | {c:<14} | {d:<14}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config1_spec_is_consistent() {
+        let s = config1_case1(10.0);
+        assert_eq!(s.topology.num_nodes(), 7);
+        assert_eq!(s.topology.num_switches(), 2);
+        assert_eq!(s.pattern.flows.len(), 5);
+        s.routing.verify_delivers_all(&s.topology).unwrap();
+    }
+
+    #[test]
+    fn config2_specs_are_consistent() {
+        let s = config2_case2(10.0);
+        assert_eq!(s.topology.num_nodes(), 8);
+        assert_eq!(s.topology.num_switches(), 12);
+        s.routing.verify_delivers_all(&s.topology).unwrap();
+        let s3 = config2_case3(10.0);
+        assert_eq!(s3.pattern.flows.len(), 8);
+    }
+
+    #[test]
+    fn config3_spec_matches_table_one() {
+        let s = config3_case4(4, 4.0);
+        assert_eq!(s.topology.num_nodes(), 64);
+        assert_eq!(s.topology.num_switches(), 48);
+        assert_eq!(s.pattern.flows.len(), 64);
+    }
+
+    #[test]
+    fn scaled_schedule_compresses_activations() {
+        let s = config1_case1_scaled(0.1);
+        assert!((s.duration_ns - 1e6).abs() < 1.0);
+        let f1 = s.pattern.flows.iter().find(|f| f.src.0 == 1).unwrap();
+        assert!((f1.start_ns - 0.2e6).abs() < 1.0);
+        assert!((f1.end_ns.unwrap() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn table1_mentions_all_configs() {
+        let t = table1();
+        assert!(t.contains("Config #1"));
+        assert!(t.contains("4-ary 3-tree"));
+        assert!(t.contains("iSLIP"));
+    }
+
+    #[test]
+    fn paper_mechanisms_order() {
+        let ms = paper_mechanisms();
+        let names: Vec<&str> = ms.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["1Q", "ITh", "FBICM", "CCFIT"]);
+    }
+}

@@ -1,0 +1,882 @@
+//! The network simulator: assembles switches, adapters and links from a
+//! topology + mechanism + traffic pattern, and runs the deterministic
+//! per-cycle phase loop (DESIGN.md §6).
+
+use crate::endnode::{Adapter, AdapterCfg, AdapterThrottle};
+use crate::params::{Mechanism, QueueingScheme};
+use crate::switch::{MarkingSource, Switch, SwitchCfg, SwitchThrottle, VoqNetCredits};
+use ccfit_engine::ids::{FlowId, LinkId, NodeId, PacketId, PortId, SwitchId};
+use ccfit_engine::link::{Link, LinkConfig};
+use ccfit_engine::packet::Packet;
+use ccfit_engine::rng::SeedSplitter;
+use ccfit_engine::units::{Cycle, UnitModel};
+use ccfit_metrics::{MetricsCollector, SimReport};
+use ccfit_topology::{Endpoint, RoutingTable, Topology};
+use ccfit_traffic::{GenPacket, NodeGenerator, TrafficPattern};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// How congestion notification packets travel back to the sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BecnTransport {
+    /// The paper's model: BECNs are 1-flit packets injected by the
+    /// destination with absolute priority, riding the normal data path
+    /// (NFQs only) back to the source.
+    InBand,
+    /// Modelling shortcut: BECNs arrive after `hops × (delay + 1)`
+    /// cycles without touching the data path. Useful to isolate the
+    /// feedback loop from data-path effects and to validate that the
+    /// in-band path behaves equivalently (see the integration tests).
+    OutOfBand,
+}
+
+/// Global simulation parameters (defaults reproduce Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Unit model (flit size / cycle time).
+    pub units: UnitModel,
+    /// MTU in bytes (Table I: 2048).
+    pub mtu_bytes: u32,
+    /// Input-port memory in bytes (Table I: 64 KB). VOQnet overrides this
+    /// with its per-destination reservation.
+    pub port_ram_bytes: u32,
+    /// Simulated time in nanoseconds.
+    pub duration_ns: f64,
+    /// Metrics bin width in nanoseconds.
+    pub metrics_bin_ns: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// iSLIP iterations per cycle.
+    pub islip_iterations: usize,
+    /// AdVOQ admittance capacity in MTUs.
+    pub advoq_cap_mtus: u32,
+    /// IA NFQ gate in MTUs.
+    pub nfq_gate_mtus: u32,
+    /// NFQ→CFQ post-processing moves per port per cycle.
+    pub move_budget: u32,
+    /// Crossbar bandwidth in flits/cycle (Table I: 2 for Config #1,
+    /// 1 for Configs #2/#3).
+    pub crossbar_bw_flits_per_cycle: u32,
+    /// BECN transport model.
+    pub becn_transport: BecnTransport,
+    /// Trace every Nth injected data packet (None = tracing off).
+    pub trace_sample_every: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            units: UnitModel::default(),
+            mtu_bytes: 2048,
+            port_ram_bytes: 64 * 1024,
+            duration_ns: 1e6,
+            metrics_bin_ns: 100_000.0,
+            seed: 0xCCF1_7000,
+            islip_iterations: 2,
+            advoq_cap_mtus: 8,
+            nfq_gate_mtus: 4,
+            move_budget: 4,
+            crossbar_bw_flits_per_cycle: 1,
+            becn_transport: BecnTransport::InBand,
+            trace_sample_every: None,
+        }
+    }
+}
+
+/// Where a directed link terminates.
+#[derive(Debug, Clone, Copy)]
+enum LinkDst {
+    SwitchIn(SwitchId, PortId),
+    NodeRecv(NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Release {
+    /// Free `flits` of switch `sw` input `port` RAM and return credits on
+    /// its in-link (plus VOQnet per-destination credits for `dst`).
+    SwitchPort { sw: u32, port: u16, flits: u32, dst: u32 },
+    /// Free `flits` of node `node`'s adapter output RAM.
+    Node { node: u32, flits: u32 },
+}
+
+/// Builder for a [`Simulator`].
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    topo: Topology,
+    routing: Option<RoutingTable>,
+    mech: Mechanism,
+    pattern: Option<TrafficPattern>,
+    cfg: SimConfig,
+}
+
+impl SimBuilder {
+    /// Start from a topology. Mechanism defaults to CCFIT; routing to
+    /// deterministic shortest-path (use [`Self::routing`] to install DET
+    /// fat-tree tables).
+    pub fn new(topo: Topology) -> Self {
+        Self {
+            topo,
+            routing: None,
+            mech: Mechanism::ccfit(),
+            pattern: None,
+            cfg: SimConfig::default(),
+        }
+    }
+
+    /// Select the congestion-control mechanism.
+    pub fn mechanism(mut self, m: Mechanism) -> Self {
+        self.mech = m;
+        self
+    }
+
+    /// Install explicit routing tables.
+    pub fn routing(mut self, r: RoutingTable) -> Self {
+        self.routing = Some(r);
+        self
+    }
+
+    /// Set the workload.
+    pub fn traffic(mut self, p: TrafficPattern) -> Self {
+        self.pattern = Some(p);
+        self
+    }
+
+    /// Simulated duration in nanoseconds.
+    pub fn duration_ns(mut self, ns: f64) -> Self {
+        self.cfg.duration_ns = ns;
+        self
+    }
+
+    /// Metrics bin width in nanoseconds.
+    pub fn metrics_bin_ns(mut self, ns: f64) -> Self {
+        self.cfg.metrics_bin_ns = ns;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Crossbar bandwidth in flits per cycle (Table I: Config #1 uses 2,
+    /// i.e. a 5 GB/s crossbar; the fat-tree configs use 1).
+    pub fn crossbar_bw(mut self, flits_per_cycle: u32) -> Self {
+        self.cfg.crossbar_bw_flits_per_cycle = flits_per_cycle;
+        self
+    }
+
+    /// Override every [`SimConfig`] field at once.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Assemble the simulator.
+    ///
+    /// # Panics
+    /// Panics on invalid mechanism parameters, a missing traffic pattern,
+    /// or a pattern referencing nodes outside the topology.
+    pub fn build(self) -> Simulator {
+        let pattern = self.pattern.expect("a traffic pattern is required");
+        self.mech.validate().expect("mechanism parameters are invalid");
+        let routing = self
+            .routing
+            .unwrap_or_else(|| RoutingTable::shortest_path(&self.topo));
+        Simulator::assemble(self.topo, routing, self.mech, pattern, self.cfg)
+    }
+}
+
+/// The assembled network, ready to run.
+pub struct Simulator {
+    cfg: SimConfig,
+    topo: Topology,
+    routing: RoutingTable,
+    mech: Mechanism,
+    pattern: TrafficPattern,
+    switches: Vec<Switch>,
+    adapters: Vec<Adapter>,
+    gens: Vec<NodeGenerator>,
+    links: Vec<Link>,
+    link_dst: Vec<LinkDst>,
+    voqnet: Option<VoqNetCredits>,
+    metrics: MetricsCollector,
+    release_q: BinaryHeap<Reverse<(Cycle, u64, Release)>>,
+    becn_q: BinaryHeap<Reverse<(Cycle, u64, u32, u32)>>, // (at, seq, congested_dst, throttle_node)
+    becn_delay_cache: HashMap<(u32, u32), Cycle>,
+    seq: u64,
+    now: Cycle,
+    end: Cycle,
+    next_packet_id: u64,
+    injected: u64,
+    delivered: u64,
+    gauge_every: Cycle,
+    trace: Option<crate::trace::TraceLog>,
+}
+
+impl Simulator {
+    fn assemble(
+        topo: Topology,
+        routing: RoutingTable,
+        mech: Mechanism,
+        pattern: TrafficPattern,
+        cfg: SimConfig,
+    ) -> Self {
+        let units = cfg.units;
+        let mtu_flits = units.bytes_to_flits(cfg.mtu_bytes);
+        let ram_flits = units
+            .bytes_to_flits_exact(cfg.port_ram_bytes)
+            .expect("port RAM must be a whole number of flits");
+        let num_nodes = topo.num_nodes();
+        let num_switches = topo.num_switches();
+        let seeds = SeedSplitter::new(cfg.seed);
+
+        // ---- mechanism-derived static configs ----
+        let per_dest_queue_flits = match mech {
+            Mechanism::VoqNet { per_queue_flits } => per_queue_flits,
+            _ => 0,
+        };
+
+        let switch_ram_flits = match mech.queueing() {
+            QueueingScheme::PerDest => per_dest_queue_flits * num_nodes as u32,
+            _ => ram_flits,
+        };
+        let thr_cfg = mech.throttle().map(|t| SwitchThrottle {
+            marking_rate: t.marking_rate,
+            packet_size_threshold_bytes: t.packet_size_threshold_bytes,
+            high_flits: t.high_mtus * mtu_flits,
+            low_flits: t.low_mtus * mtu_flits,
+            entry_delay_cycles: units.ns_to_cycles(t.congestion_entry_delay_ns),
+            starvation_window_cycles: units.ns_to_cycles(t.starvation_window_ns),
+            source: if mech.isolation().is_some() {
+                MarkingSource::RootCfq
+            } else {
+                MarkingSource::VoqOccupancy
+            },
+        });
+        let switch_cfg = SwitchCfg {
+            scheme: mech.queueing(),
+            iso: mech.isolation().copied(),
+            thr: thr_cfg,
+            mtu_flits,
+            ram_flits,
+            per_dest_queue_flits,
+            dbbm_queues: mech.dbbm_queues(),
+            islip_iterations: cfg.islip_iterations,
+            move_budget: cfg.move_budget,
+            crossbar_bw_flits_per_cycle: cfg.crossbar_bw_flits_per_cycle,
+        };
+
+        // ---- links ----
+        // For each switch port we create this port's *outgoing* directed
+        // link; incoming links are created by the peer's iteration (or by
+        // the node loop for injection links).
+        let mut links: Vec<Link> = Vec::new();
+        let mut link_dst: Vec<LinkDst> = Vec::new();
+        let mut out_link: Vec<Vec<Option<LinkId>>> = Vec::with_capacity(num_switches);
+        let mut in_link: Vec<Vec<Option<LinkId>>> = Vec::with_capacity(num_switches);
+        for s in topo.switch_ids() {
+            let n_ports = topo.switch(s).num_ports();
+            out_link.push(vec![None; n_ports]);
+            in_link.push(vec![None; n_ports]);
+        }
+        let mut inject_link: Vec<Option<LinkId>> = vec![None; num_nodes];
+        let mut recv_link: Vec<Option<LinkId>> = vec![None; num_nodes];
+        let node_sink_credits = 4 * switch_ram_flits.max(1024);
+
+        let push_link =
+            |links: &mut Vec<Link>,
+             link_dst: &mut Vec<LinkDst>,
+             params: ccfit_topology::LinkParams,
+             dst: LinkDst,
+             credits: u32| {
+                let id = LinkId(links.len() as u32);
+                links.push(Link::new(
+                    LinkConfig {
+                        bw_flits_per_cycle: params.bw_flits_per_cycle,
+                        delay_cycles: params.delay_cycles,
+                    },
+                    credits,
+                ));
+                link_dst.push(dst);
+                id
+            };
+
+        for s in topo.switch_ids() {
+            for p in topo.switch(s).connected() {
+                let (peer, params) = topo.peer(s, p).expect("connected");
+                match peer {
+                    Endpoint::Switch(t, q) => {
+                        let id = push_link(
+                            &mut links,
+                            &mut link_dst,
+                            params,
+                            LinkDst::SwitchIn(t, q),
+                            switch_ram_flits,
+                        );
+                        out_link[s.index()][p.index()] = Some(id);
+                        in_link[t.index()][q.index()] = Some(id);
+                    }
+                    Endpoint::Node(n) => {
+                        // switch -> node (reception)
+                        let id = push_link(
+                            &mut links,
+                            &mut link_dst,
+                            params,
+                            LinkDst::NodeRecv(n),
+                            node_sink_credits,
+                        );
+                        out_link[s.index()][p.index()] = Some(id);
+                        recv_link[n.index()] = Some(id);
+                        // node -> switch (injection)
+                        let id = push_link(
+                            &mut links,
+                            &mut link_dst,
+                            params,
+                            LinkDst::SwitchIn(s, p),
+                            switch_ram_flits,
+                        );
+                        inject_link[n.index()] = Some(id);
+                        in_link[s.index()][p.index()] = Some(id);
+                    }
+                }
+            }
+        }
+
+        // ---- VOQnet per-destination reserved credits ----
+        let voqnet = match mech.queueing() {
+            QueueingScheme::PerDest => {
+                let mut vn: VoqNetCredits = HashMap::new();
+                for (li, dst) in link_dst.iter().enumerate() {
+                    if matches!(dst, LinkDst::SwitchIn(..)) {
+                        for d in 0..num_nodes {
+                            vn.insert((li as u32, d as u32), per_dest_queue_flits);
+                        }
+                    }
+                }
+                Some(vn)
+            }
+            _ => None,
+        };
+
+        // ---- switches ----
+        let switches: Vec<Switch> = topo
+            .switch_ids()
+            .map(|s| {
+                let n_ports = topo.switch(s).num_ports();
+                let wiring: Vec<(Option<LinkId>, Option<LinkId>)> = (0..n_ports)
+                    .map(|p| (in_link[s.index()][p], out_link[s.index()][p]))
+                    .collect();
+                Switch::new(
+                    s,
+                    switch_cfg.clone(),
+                    &wiring,
+                    num_nodes,
+                    seeds.rng("marking", s.index() as u64),
+                )
+            })
+            .collect();
+
+        // ---- adapters ----
+        let adapter_thr = mech
+            .throttle()
+            .map(|t| AdapterThrottle::from_params(t, &units));
+        let adapters: Vec<Adapter> = topo
+            .node_ids()
+            .map(|n| {
+                let (_, _, params) = topo.node_attachment(n);
+                let acfg = AdapterCfg {
+                    iso: mech.isolation().copied(),
+                    thr: adapter_thr.clone(),
+                    mtu_flits,
+                    out_ram_flits: ram_flits,
+                    advoq_cap_flits: cfg.advoq_cap_mtus * mtu_flits,
+                    nfq_gate_flits: cfg.nfq_gate_mtus * mtu_flits,
+                    per_dest_output: mech.queueing() == QueueingScheme::PerDest,
+                };
+                Adapter::new(
+                    n,
+                    acfg,
+                    inject_link[n.index()].expect("every node has an injection link"),
+                    params.bw_flits_per_cycle,
+                    num_nodes,
+                )
+            })
+            .collect();
+
+        // ---- traffic ----
+        let gens = pattern.build_generators(
+            num_nodes,
+            &units,
+            |n| topo.node_attachment(n).2.bw_flits_per_cycle,
+            &seeds,
+        );
+
+        let metrics = MetricsCollector::new(units, cfg.metrics_bin_ns);
+        let end = units.ns_to_cycles(cfg.duration_ns);
+        debug_assert!(recv_link.iter().all(|l| l.is_some()), "every node receives");
+
+        let gauge_every = units.ns_to_cycles(cfg.metrics_bin_ns / 4.0).max(64);
+        let trace = cfg.trace_sample_every.map(crate::trace::TraceLog::new);
+        Simulator {
+            cfg,
+            topo,
+            routing,
+            mech,
+            pattern,
+            switches,
+            adapters,
+            gens,
+            links,
+            link_dst,
+            voqnet,
+            metrics,
+            release_q: BinaryHeap::new(),
+            becn_q: BinaryHeap::new(),
+            becn_delay_cache: HashMap::new(),
+            seq: 0,
+            now: 0,
+            end,
+            next_packet_id: 0,
+            injected: 0,
+            delivered: 0,
+            gauge_every,
+            trace,
+        }
+    }
+
+    /// The mechanism under simulation.
+    pub fn mechanism(&self) -> &Mechanism {
+        &self.mech
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Final cycle (exclusive).
+    pub fn end_cycle(&self) -> Cycle {
+        self.end
+    }
+
+    /// Data packets admitted into adapters so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Data packets delivered to their destinations so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Data packets currently buffered in adapters, switches, or on
+    /// links — the conservation counterpart of
+    /// `injected() - delivered()`. In-band BECNs are excluded (they are
+    /// control traffic, not workload).
+    pub fn resident_packets(&self) -> usize {
+        self.adapters.iter().map(|a| a.resident_packets()).sum::<usize>()
+            + self.switches.iter().map(|s| s.resident_data_packets()).sum::<usize>()
+            + self.links.iter().map(|l| l.in_flight_data_count()).sum::<usize>()
+    }
+
+    /// CFQs currently allocated network-wide (scalability introspection).
+    pub fn cfqs_allocated(&self) -> usize {
+        self.switches.iter().map(|s| s.cfqs_allocated()).sum()
+    }
+
+    /// Live access to a metrics counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter(name)
+    }
+
+    /// BECN transit time from `from` to `to`: one propagation delay plus
+    /// one flit serialization per hop (CNPs are single-flit priority
+    /// packets riding the NFQ path; see DESIGN.md §3).
+    fn becn_delay(&mut self, from: NodeId, to: NodeId) -> Cycle {
+        if let Some(&d) = self.becn_delay_cache.get(&(from.0, to.0)) {
+            return d;
+        }
+        let hops = self
+            .routing
+            .trace(&self.topo, from, to)
+            .map(|p| p.len())
+            .unwrap_or(1) as Cycle;
+        let d = hops * 2 + 1;
+        self.becn_delay_cache.insert((from.0, to.0), d);
+        d
+    }
+
+    /// Advance one cycle through the deterministic phase order.
+    pub fn tick(&mut self) {
+        let now = self.now;
+
+        // Phase 1: scheduled RAM releases + credit returns.
+        while let Some(&Reverse((at, _, rel))) = self.release_q.peek() {
+            if at > now {
+                break;
+            }
+            self.release_q.pop();
+            match rel {
+                Release::SwitchPort { sw, port, flits, dst } => {
+                    let sw_idx = sw as usize;
+                    let port_idx = port as usize;
+                    self.switches[sw_idx].release_ram(port_idx, flits);
+                    if let Some(link) = self.switches[sw_idx].inputs[port_idx].in_link {
+                        self.links[link.index()].return_credits(now, flits);
+                        if let Some(vn) = self.voqnet.as_mut() {
+                            if let Some(c) = vn.get_mut(&(link.0, dst)) {
+                                *c += flits;
+                            }
+                        }
+                    }
+                }
+                Release::Node { node, flits } => {
+                    self.adapters[node as usize].release_ram(flits);
+                }
+            }
+        }
+
+        // Phase 2: senders absorb returned credits.
+        for l in &mut self.links {
+            l.poll_credits(now);
+        }
+
+        // Phase 3: link deliveries.
+        for li in 0..self.links.len() {
+            let deliveries = self.links[li].deliver(now);
+            if deliveries.is_empty() {
+                continue;
+            }
+            match self.link_dst[li] {
+                LinkDst::SwitchIn(s, p) => {
+                    for d in deliveries {
+                        if let Some(tr) = &mut self.trace {
+                            if d.packet.is_data() && tr.wants(d.packet.id) {
+                                tr.switch_hop(d.packet.id, s, d.visible_at);
+                            }
+                        }
+                        self.switches[s.index()].accept_delivery(p.index(), d, &self.routing);
+                    }
+                }
+                LinkDst::NodeRecv(n) => {
+                    for d in deliveries {
+                        self.deliver_to_node(n, li, d);
+                    }
+                }
+            }
+        }
+
+        // Phase 4: congestion-information control traffic.
+        for sw in &mut self.switches {
+            sw.poll_output_ctrl(now, &mut self.links, &mut self.metrics);
+        }
+        for a in &mut self.adapters {
+            a.poll_ctrl(now, &mut self.links, &mut self.metrics);
+        }
+
+        // Phase 5: post-processing (detection, isolation, Stop/Go,
+        // deallocation) and congestion-state update.
+        for sw in &mut self.switches {
+            sw.isolation_tick(now, &self.routing, &mut self.links, &mut self.metrics);
+            sw.congestion_state_tick(now, &self.links);
+        }
+
+        // Phase 6: crossbar scheduling and transmission.
+        for si in 0..self.switches.len() {
+            let releases = self.switches[si].arbitrate_and_transmit(
+                now,
+                &self.routing,
+                &mut self.links,
+                self.voqnet.as_mut(),
+                &mut self.metrics,
+            );
+            for r in releases {
+                self.seq += 1;
+                self.release_q.push(Reverse((
+                    r.at,
+                    self.seq,
+                    Release::SwitchPort {
+                        sw: si as u32,
+                        port: r.port as u16,
+                        flits: r.flits,
+                        dst: r.dst.0,
+                    },
+                )));
+            }
+        }
+
+        // Phase 7: BECN arrivals throttle their sources.
+        while let Some(&Reverse((at, _, congested_dst, node))) = self.becn_q.peek() {
+            if at > now {
+                break;
+            }
+            self.becn_q.pop();
+            self.adapters[node as usize].on_becn(
+                now,
+                NodeId(congested_dst),
+                &mut self.metrics,
+            );
+        }
+
+        // Phase 8: traffic generation and adapter work.
+        for n in 0..self.adapters.len() {
+            let adapter = &mut self.adapters[n];
+            let next_packet_id = &mut self.next_packet_id;
+            let injected = &mut self.injected;
+            let trace = &mut self.trace;
+            let mut sink = |gp: GenPacket| {
+                let id = PacketId(*next_packet_id);
+                if adapter.try_inject(now, gp, id) {
+                    *next_packet_id += 1;
+                    *injected += 1;
+                    if let Some(tr) = trace {
+                        if tr.wants(id) {
+                            tr.injected(id, gp.flow, adapter.node(), gp.dst, now);
+                        }
+                    }
+                    true
+                } else {
+                    false
+                }
+            };
+            self.gens[n].tick(now, &mut sink);
+            if let Some(rel) = self.adapters[n].tick(
+                now,
+                &mut self.links,
+                self.voqnet.as_mut(),
+                &mut self.metrics,
+            ) {
+                self.seq += 1;
+                self.release_q.push(Reverse((
+                    rel.at,
+                    self.seq,
+                    Release::Node { node: n as u32, flits: rel.flits },
+                )));
+            }
+        }
+
+        // Gauge sampling: congestion-tree size over time.
+        if now.is_multiple_of(self.gauge_every) {
+            let at_ns = self.cfg.units.cycles_to_ns(now);
+            let buffered: u32 = self
+                .switches
+                .iter()
+                .flat_map(|sw| sw.inputs.iter().map(|i| i.ram.used()))
+                .sum();
+            self.metrics.gauge("network_buffered_flits", at_ns, buffered as f64);
+            self.metrics
+                .gauge("cfqs_allocated", at_ns, self.cfqs_allocated() as f64);
+        }
+
+        self.now += 1;
+    }
+
+    fn deliver_to_node(&mut self, node: NodeId, link_idx: usize, d: ccfit_engine::link::Delivery) {
+        // Ideal sink: space is freed the moment the tail lands.
+        self.links[link_idx].return_credits(d.ready_at, d.packet.size_flits);
+        if d.packet.is_becn() {
+            // An in-band BECN reached the source it throttles.
+            self.adapters[node.index()].on_becn(d.ready_at, d.packet.src, &mut self.metrics);
+            return;
+        }
+        self.metrics.record_delivery(d.ready_at, &d.packet);
+        if d.packet.is_data() {
+            self.delivered += 1;
+            if let Some(tr) = &mut self.trace {
+                if tr.wants(d.packet.id) {
+                    tr.delivered(d.packet.id, d.ready_at, d.packet.fecn);
+                }
+            }
+        }
+        // FECN → BECN (§III-B): the destination returns a congestion
+        // notification to the packet's source.
+        if d.packet.fecn && self.mech.throttle().is_some() {
+            self.metrics.count("becn_generated", 1);
+            match self.cfg.becn_transport {
+                BecnTransport::InBand => {
+                    let id = PacketId(self.next_packet_id);
+                    self.next_packet_id += 1;
+                    self.adapters[node.index()]
+                        .queue_becn(Packet::becn(id, node, d.packet.src, d.ready_at));
+                }
+                BecnTransport::OutOfBand => {
+                    let delay = self.becn_delay(node, d.packet.src);
+                    self.seq += 1;
+                    self.becn_q.push(Reverse((
+                        d.ready_at + delay,
+                        self.seq,
+                        node.0,          // the congested destination
+                        d.packet.src.0,  // the source to throttle
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> SimReport {
+        while self.now < self.end {
+            self.tick();
+        }
+        self.finish()
+    }
+
+    /// Run `cycles` more cycles (tests drive the simulator piecewise).
+    pub fn run_cycles(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Freeze into a report without necessarily having reached the end.
+    pub fn finish(self) -> SimReport {
+        let labels: BTreeMap<FlowId, String> = self
+            .pattern
+            .flows
+            .iter()
+            .map(|f| (f.id, f.label.clone()))
+            .collect();
+        // Reception capacity: Σ node-link bandwidths, in bytes/ns.
+        let capacity: f64 = self
+            .topo
+            .node_ids()
+            .map(|n| {
+                let (_, _, p) = self.topo.node_attachment(n);
+                self.cfg.units.flits_per_cycle_to_bandwidth(p.bw_flits_per_cycle) / 1e9
+            })
+            .sum();
+        let simulated_ns = self.cfg.units.cycles_to_ns(self.now);
+        let mut m = self.metrics;
+        m.count("injected_packets", self.injected);
+        m.count("delivered_packets_total", self.delivered);
+        m.finish(
+            format!("{}/{}", self.mech.name(), self.pattern.name),
+            simulated_ns,
+            capacity,
+            &labels,
+        )
+    }
+
+    /// Immutable access to an adapter (tests).
+    pub fn adapter(&self, n: NodeId) -> &Adapter {
+        &self.adapters[n.index()]
+    }
+
+    /// Immutable access to a switch (tests).
+    pub fn switch(&self, s: SwitchId) -> &Switch {
+        &self.switches[s.index()]
+    }
+
+    /// The packet traces collected so far (empty unless
+    /// [`SimConfig::trace_sample_every`] was set).
+    pub fn traces(&self) -> Vec<&crate::trace::PacketTrace> {
+        self.trace.as_ref().map(|t| t.traces()).unwrap_or_default()
+    }
+
+    /// Debug dump of every switch's port state.
+    pub fn debug_state(&self) -> String {
+        self.switches
+            .iter()
+            .map(|s| s.debug_state(&self.links))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfit_topology::config1_topology;
+    use ccfit_traffic::{FlowSpec, TrafficPattern};
+
+    fn tiny_pattern() -> TrafficPattern {
+        TrafficPattern::new(
+            "tiny",
+            vec![FlowSpec::hotspot(0, NodeId(0), NodeId(3), 0.0, None)],
+        )
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let sim = SimBuilder::new(config1_topology())
+            .traffic(tiny_pattern())
+            .duration_ns(51_200.0)
+            .seed(9)
+            .build();
+        assert_eq!(sim.mechanism().name(), "CCFIT", "CCFIT is the default");
+        assert_eq!(sim.end_cycle(), 2000, "51.2 us at 25.6 ns/cycle");
+        assert_eq!(sim.now(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "traffic pattern is required")]
+    fn builder_requires_traffic() {
+        let _ = SimBuilder::new(config1_topology()).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "mechanism parameters are invalid")]
+    fn builder_validates_mechanism() {
+        let mut iso = crate::params::IsolationParams::default();
+        iso.num_cfqs = 0;
+        let _ = SimBuilder::new(config1_topology())
+            .mechanism(Mechanism::Fbicm(iso))
+            .traffic(tiny_pattern())
+            .build();
+    }
+
+    #[test]
+    fn run_cycles_then_finish_matches_run() {
+        let build = || {
+            SimBuilder::new(config1_topology())
+                .traffic(tiny_pattern())
+                .duration_ns(100_000.0)
+                .seed(4)
+                .build()
+        };
+        let a = build().run();
+        let mut sim = build();
+        sim.run_cycles(sim.end_cycle());
+        let b = sim.finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_start_clean_and_accumulate() {
+        let mut sim = SimBuilder::new(config1_topology())
+            .traffic(tiny_pattern())
+            .duration_ns(200_000.0)
+            .seed(5)
+            .build();
+        assert_eq!(sim.injected(), 0);
+        assert_eq!(sim.delivered(), 0);
+        assert_eq!(sim.resident_packets(), 0);
+        sim.run_cycles(sim.end_cycle());
+        assert!(sim.injected() > 100);
+        assert!(sim.delivered() > 100);
+    }
+
+    #[test]
+    fn debug_state_mentions_every_switch() {
+        let sim = SimBuilder::new(config1_topology())
+            .traffic(tiny_pattern())
+            .duration_ns(10_000.0)
+            .build();
+        let dump = sim.debug_state();
+        assert!(dump.contains("SwitchId0"));
+        assert!(dump.contains("SwitchId1"));
+    }
+
+    #[test]
+    fn report_name_combines_mechanism_and_pattern() {
+        let report = SimBuilder::new(config1_topology())
+            .mechanism(Mechanism::fbicm())
+            .traffic(tiny_pattern())
+            .duration_ns(50_000.0)
+            .build()
+            .run();
+        assert_eq!(report.name, "FBICM/tiny");
+        // Capacity: 7 nodes at 2.5 GB/s = 17.5 bytes/ns.
+        assert!((report.reception_capacity_bytes_per_ns - 17.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! Indices into the simulator's flat arrays are wrapped in newtypes so that
+//! a switch index can never be confused with a node or port index. All ids
+//! are small (`u32`/`u16`) to keep hot structures compact (packets carry
+//! several of them).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $repr:ty) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw index as a `usize`, for array indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v as $repr)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An end node (processing node / NIC). Nodes both inject and consume
+    /// traffic.
+    NodeId,
+    u32
+);
+id_type!(
+    /// A switch.
+    SwitchId,
+    u32
+);
+id_type!(
+    /// A port local to one switch. Ports are bidirectional attachment
+    /// points; each connected port has one outgoing and one incoming
+    /// directed link.
+    PortId,
+    u16
+);
+id_type!(
+    /// A directed link (one direction of a cable).
+    LinkId,
+    u32
+);
+id_type!(
+    /// A traffic flow, as declared by the workload. Used for per-flow
+    /// bandwidth accounting (Figs. 9 and 10 of the paper).
+    FlowId,
+    u32
+);
+id_type!(
+    /// A unique packet identifier, for tracing and conservation checks.
+    PacketId,
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let n = NodeId::from(17usize);
+        assert_eq!(n.index(), 17);
+        let s = SwitchId::from(3u32);
+        assert_eq!(s.index(), 3);
+        let p = PortId::from(5usize);
+        assert_eq!(p.index(), 5);
+    }
+
+    #[test]
+    fn ids_display_with_type_name() {
+        assert_eq!(NodeId(4).to_string(), "NodeId4");
+        assert_eq!(PortId(2).to_string(), "PortId2");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(FlowId(1));
+        set.insert(FlowId(1));
+        set.insert(FlowId(2));
+        assert_eq!(set.len(), 2);
+        assert!(FlowId(1) < FlowId(2));
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // Compile-time property: NodeId(1) == SwitchId(1) must not compile.
+        // We assert the runtime equivalents work per-type.
+        assert_eq!(NodeId(1), NodeId(1));
+        assert_ne!(SwitchId(1), SwitchId(2));
+    }
+}

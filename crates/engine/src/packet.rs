@@ -1,0 +1,157 @@
+//! Packets and their congestion-control header bits.
+//!
+//! Packets model virtual cut-through units: routing and buffering happen at
+//! packet granularity, while buffer occupancy and link bandwidth are
+//! accounted in flits. The header carries the two explicit congestion
+//! notification bits of the InfiniBand CC architecture that CCFIT builds
+//! on: **FECN** (set by a switch whose output port is in the congestion
+//! state) and **BECN** (set on the notification packet a destination
+//! returns to the source of a FECN-marked packet).
+
+use crate::ids::{FlowId, NodeId, PacketId};
+use crate::units::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// What a packet is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Ordinary payload traffic.
+    Data,
+    /// A congestion notification packet (CNP) carrying the BECN bit back
+    /// to a source. BECNs travel with priority, only ever use normal flow
+    /// queues, and are never themselves FECN-marked or isolated.
+    Becn,
+}
+
+/// A packet in flight or buffered somewhere in the network.
+///
+/// `size_flits` includes the header; an MTU data packet is 32 flits under
+/// the default [`crate::units::UnitModel`], a BECN is a single flit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique identifier (dense, assigned at injection).
+    pub id: PacketId,
+    /// Kind of packet.
+    pub kind: PacketKind,
+    /// Source end node.
+    pub src: NodeId,
+    /// Destination end node. Routing is destination-based (distributed
+    /// deterministic routing), so this is the only routing information a
+    /// packet needs to carry.
+    pub dst: NodeId,
+    /// Size in flits (header included).
+    pub size_flits: u32,
+    /// Size in payload bytes (for `Packet_Size`-conditioned FECN marking
+    /// and byte-level throughput accounting).
+    pub size_bytes: u32,
+    /// Flow this packet belongs to, for per-flow metrics.
+    pub flow: FlowId,
+    /// Cycle at which the packet was handed to the source input adapter.
+    pub injected_at: Cycle,
+    /// Forward Explicit Congestion Notification: set when the packet
+    /// crosses an output port in the congestion state.
+    pub fecn: bool,
+}
+
+impl Packet {
+    /// Create a data packet.
+    pub fn data(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        size_flits: u32,
+        size_bytes: u32,
+        flow: FlowId,
+        injected_at: Cycle,
+    ) -> Self {
+        debug_assert!(size_flits > 0, "packets occupy at least one flit");
+        Self {
+            id,
+            kind: PacketKind::Data,
+            src,
+            dst,
+            size_flits,
+            size_bytes,
+            flow,
+            injected_at,
+            fecn: false,
+        }
+    }
+
+    /// Create a BECN congestion-notification packet. `src` is the node
+    /// returning the notification (the destination of the congested flow);
+    /// `dst` is the source that must throttle. On reception the throttling
+    /// source uses `src` to identify which per-destination admittance
+    /// queue (AdVOQ) to slow down.
+    pub fn becn(id: PacketId, src: NodeId, dst: NodeId, injected_at: Cycle) -> Self {
+        Self {
+            id,
+            kind: PacketKind::Becn,
+            src,
+            dst,
+            size_flits: 1,
+            size_bytes: 0,
+            flow: FlowId(u32::MAX),
+            injected_at,
+            fecn: false,
+        }
+    }
+
+    /// True for payload traffic (counted in throughput metrics).
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        self.kind == PacketKind::Data
+    }
+
+    /// True for congestion notification packets.
+    #[inline]
+    pub fn is_becn(&self) -> bool {
+        self.kind == PacketKind::Becn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Packet {
+        Packet::data(PacketId(7), NodeId(1), NodeId(2), 32, 2048, FlowId(3), 100)
+    }
+
+    #[test]
+    fn data_packet_fields() {
+        let p = sample_data();
+        assert!(p.is_data());
+        assert!(!p.is_becn());
+        assert!(!p.fecn);
+        assert_eq!(p.size_flits, 32);
+        assert_eq!(p.size_bytes, 2048);
+        assert_eq!(p.flow, FlowId(3));
+    }
+
+    #[test]
+    fn becn_packet_is_one_flit_and_carries_no_payload() {
+        let b = Packet::becn(PacketId(1), NodeId(4), NodeId(1), 50);
+        assert!(b.is_becn());
+        assert_eq!(b.size_flits, 1);
+        assert_eq!(b.size_bytes, 0);
+        // BECN src is the congested destination that generated it.
+        assert_eq!(b.src, NodeId(4));
+        assert_eq!(b.dst, NodeId(1));
+    }
+
+    #[test]
+    fn fecn_bit_is_settable() {
+        let mut p = sample_data();
+        p.fecn = true;
+        assert!(p.fecn);
+    }
+
+    #[test]
+    fn packets_serialize_round_trip() {
+        let p = sample_data();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Packet = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

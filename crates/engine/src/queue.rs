@@ -1,0 +1,201 @@
+//! Flit-accounted packet queues.
+//!
+//! A [`PacketQueue`] stores whole packets (virtual cut-through buffering)
+//! but tracks its occupancy in flits, because detection, High/Low and
+//! Stop/Go thresholds in the paper are all expressed as buffer fill levels
+//! (in MTUs). Queues do not own their capacity — in the dynamically
+//! managed input-port organisation of FBICM/CCFIT all queues at a port
+//! (the NFQ and the CFQs) share one RAM, modelled by
+//! [`crate::ram::PortRam`].
+//!
+//! A packet may be *enqueued before its tail has arrived* (cut-through):
+//! `ready_at` records the cycle its last flit lands, and the head is only
+//! *forwardable* once the header is present (`visible_at`). The
+//! arbitration layer uses [`PacketQueue::head_visible`].
+
+use crate::packet::Packet;
+use crate::units::Cycle;
+use std::collections::VecDeque;
+
+/// An entry in a queue: the packet plus its cut-through timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedPacket {
+    /// The buffered packet.
+    pub packet: Packet,
+    /// Cycle at which the packet's header is present and the packet may be
+    /// considered by arbitration (VCT forwarding eligibility).
+    pub visible_at: Cycle,
+    /// Cycle at which the packet's tail has fully arrived.
+    pub ready_at: Cycle,
+}
+
+/// A FIFO of packets with flit-level occupancy accounting.
+#[derive(Debug, Clone, Default)]
+pub struct PacketQueue {
+    entries: VecDeque<QueuedPacket>,
+    occupancy_flits: u32,
+}
+
+impl PacketQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a packet whose header becomes visible at `visible_at` and
+    /// whose tail arrives at `ready_at`.
+    pub fn push(&mut self, packet: Packet, visible_at: Cycle, ready_at: Cycle) {
+        debug_assert!(visible_at <= ready_at);
+        self.occupancy_flits += packet.size_flits;
+        self.entries.push_back(QueuedPacket { packet, visible_at, ready_at });
+    }
+
+    /// Re-enqueue a packet at the *front* (used when a post-processing
+    /// move has to be undone; not part of the normal data path).
+    pub fn push_front(&mut self, entry: QueuedPacket) {
+        self.occupancy_flits += entry.packet.size_flits;
+        self.entries.push_front(entry);
+    }
+
+    /// Remove and return the head packet.
+    pub fn pop(&mut self) -> Option<QueuedPacket> {
+        let e = self.entries.pop_front()?;
+        debug_assert!(self.occupancy_flits >= e.packet.size_flits);
+        self.occupancy_flits -= e.packet.size_flits;
+        Some(e)
+    }
+
+    /// Peek at the head packet without removing it.
+    pub fn head(&self) -> Option<&QueuedPacket> {
+        self.entries.front()
+    }
+
+    /// Mutable access to the head packet (used to set the FECN bit while
+    /// the packet crosses a congested output port).
+    pub fn head_mut(&mut self) -> Option<&mut QueuedPacket> {
+        self.entries.front_mut()
+    }
+
+    /// The head packet, if its header has arrived by `now` (virtual
+    /// cut-through forwarding eligibility).
+    pub fn head_visible(&self, now: Cycle) -> Option<&QueuedPacket> {
+        self.entries.front().filter(|e| e.visible_at <= now)
+    }
+
+    /// Number of buffered packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no packets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Occupancy in flits (includes flits still in flight for cut-through
+    /// packets — buffer space is reserved for the whole packet when the
+    /// header is accepted, exactly like credit-based flow control
+    /// reserves it).
+    pub fn occupancy_flits(&self) -> u32 {
+        self.occupancy_flits
+    }
+
+    /// Occupancy in whole MTUs, rounding down, for threshold comparisons
+    /// expressed in packets/MTUs ("High/Low thresholds set to 4 and 2
+    /// packets").
+    pub fn occupancy_mtus(&self, mtu_flits: u32) -> u32 {
+        debug_assert!(mtu_flits > 0);
+        self.occupancy_flits / mtu_flits
+    }
+
+    /// Iterate over the queued packets from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedPacket> {
+        self.entries.iter()
+    }
+
+    /// Remove all packets, returning them (used only by teardown and
+    /// tests; live simulation never drops packets — the network is
+    /// lossless).
+    pub fn drain_all(&mut self) -> Vec<QueuedPacket> {
+        self.occupancy_flits = 0;
+        self.entries.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, NodeId, PacketId};
+
+    fn pkt(id: u64, flits: u32) -> Packet {
+        Packet::data(PacketId(id), NodeId(0), NodeId(1), flits, flits * 64, FlowId(0), 0)
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = PacketQueue::new();
+        q.push(pkt(1, 4), 0, 3);
+        q.push(pkt(2, 4), 1, 4);
+        q.push(pkt(3, 4), 2, 5);
+        assert_eq!(q.pop().unwrap().packet.id, PacketId(1));
+        assert_eq!(q.pop().unwrap().packet.id, PacketId(2));
+        assert_eq!(q.pop().unwrap().packet.id, PacketId(3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn occupancy_tracks_pushes_and_pops() {
+        let mut q = PacketQueue::new();
+        assert_eq!(q.occupancy_flits(), 0);
+        q.push(pkt(1, 32), 0, 31);
+        q.push(pkt(2, 1), 0, 0);
+        assert_eq!(q.occupancy_flits(), 33);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.occupancy_flits(), 1);
+        q.pop();
+        assert_eq!(q.occupancy_flits(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn occupancy_in_mtus_rounds_down() {
+        let mut q = PacketQueue::new();
+        q.push(pkt(1, 32), 0, 0);
+        q.push(pkt(2, 31), 0, 0);
+        assert_eq!(q.occupancy_mtus(32), 1); // 63 flits = 1 full MTU
+        q.push(pkt(3, 1), 0, 0);
+        assert_eq!(q.occupancy_mtus(32), 2);
+    }
+
+    #[test]
+    fn head_visible_respects_cut_through_timing() {
+        let mut q = PacketQueue::new();
+        q.push(pkt(1, 32), 10, 41);
+        assert!(q.head_visible(9).is_none(), "header not arrived yet");
+        assert!(q.head_visible(10).is_some(), "header arrived");
+        assert_eq!(q.head().unwrap().ready_at, 41);
+    }
+
+    #[test]
+    fn push_front_restores_occupancy() {
+        let mut q = PacketQueue::new();
+        q.push(pkt(1, 8), 0, 7);
+        let e = q.pop().unwrap();
+        assert_eq!(q.occupancy_flits(), 0);
+        q.push_front(e);
+        assert_eq!(q.occupancy_flits(), 8);
+        assert_eq!(q.head().unwrap().packet.id, PacketId(1));
+    }
+
+    #[test]
+    fn drain_all_empties_and_zeroes() {
+        let mut q = PacketQueue::new();
+        q.push(pkt(1, 8), 0, 7);
+        q.push(pkt(2, 8), 0, 7);
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.occupancy_flits(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared input-port RAM with dynamic queue allocation.
+//!
+//! The paper's switches are input-queued with one RAM per input port
+//! (64 KB in Table I), *dynamically organised into queues*: one normal
+//! flow queue (NFQ) plus a small number of congested flow queues (CFQs).
+//! Credit-based link-level flow control advertises the free space of this
+//! RAM as a whole, which is what makes the network lossless regardless of
+//! how the RAM is partitioned at any instant.
+//!
+//! [`PortRam`] is a plain reservation counter: space is reserved when the
+//! upstream sender commits a packet to the link (credits consumed at the
+//! sender mirror this) and released when the packet's tail leaves the
+//! port. Queues draw from it implicitly — the accounting is per-port, not
+//! per-queue, exactly like shared dynamically-allocated buffers.
+
+use crate::error::EngineError;
+
+/// Reservation-counter model of a shared, dynamically-partitioned port
+/// memory.
+#[derive(Debug, Clone)]
+pub struct PortRam {
+    capacity_flits: u32,
+    used_flits: u32,
+}
+
+impl PortRam {
+    /// Create a RAM with the given capacity in flits.
+    pub fn new(capacity_flits: u32) -> Self {
+        Self { capacity_flits, used_flits: 0 }
+    }
+
+    /// Total capacity in flits.
+    pub fn capacity(&self) -> u32 {
+        self.capacity_flits
+    }
+
+    /// Flits currently reserved.
+    pub fn used(&self) -> u32 {
+        self.used_flits
+    }
+
+    /// Flits currently free.
+    pub fn free(&self) -> u32 {
+        self.capacity_flits - self.used_flits
+    }
+
+    /// Whether `flits` can be reserved right now.
+    pub fn can_reserve(&self, flits: u32) -> bool {
+        flits <= self.free()
+    }
+
+    /// Reserve `flits`, failing if the RAM lacks space. In a correctly
+    /// functioning credit-flow-controlled network this never fails: the
+    /// sender only transmits when it holds enough credits. A failure
+    /// indicates a flow-control bug, so callers treat it as fatal.
+    pub fn reserve(&mut self, flits: u32) -> Result<(), EngineError> {
+        if !self.can_reserve(flits) {
+            return Err(EngineError::RamExhausted { requested: flits, free: self.free() });
+        }
+        self.used_flits += flits;
+        Ok(())
+    }
+
+    /// Release `flits` previously reserved.
+    ///
+    /// # Panics
+    /// Panics if more flits are released than are reserved — that is
+    /// always an accounting bug.
+    pub fn release(&mut self, flits: u32) {
+        assert!(
+            flits <= self.used_flits,
+            "releasing {} flits but only {} reserved",
+            flits,
+            self.used_flits
+        );
+        self.used_flits -= flits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ram_is_empty() {
+        let ram = PortRam::new(1024);
+        assert_eq!(ram.capacity(), 1024);
+        assert_eq!(ram.used(), 0);
+        assert_eq!(ram.free(), 1024);
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut ram = PortRam::new(100);
+        ram.reserve(60).unwrap();
+        assert_eq!(ram.free(), 40);
+        ram.reserve(40).unwrap();
+        assert_eq!(ram.free(), 0);
+        ram.release(100);
+        assert_eq!(ram.free(), 100);
+    }
+
+    #[test]
+    fn over_reservation_fails_without_state_change() {
+        let mut ram = PortRam::new(32);
+        ram.reserve(30).unwrap();
+        let err = ram.reserve(3).unwrap_err();
+        assert_eq!(err, EngineError::RamExhausted { requested: 3, free: 2 });
+        assert_eq!(ram.used(), 30, "failed reserve must not change state");
+    }
+
+    #[test]
+    fn can_reserve_matches_reserve() {
+        let mut ram = PortRam::new(10);
+        assert!(ram.can_reserve(10));
+        assert!(!ram.can_reserve(11));
+        ram.reserve(10).unwrap();
+        assert!(ram.can_reserve(0));
+        assert!(!ram.can_reserve(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut ram = PortRam::new(10);
+        ram.reserve(5).unwrap();
+        ram.release(6);
+    }
+}

@@ -1,0 +1,232 @@
+//! The live metrics collector driven by the simulator.
+
+use crate::histogram::LatencyHistogram;
+use crate::report::{FlowReport, SimReport};
+use crate::series::TimeSeries;
+use ccfit_engine::ids::FlowId;
+use ccfit_engine::packet::Packet;
+use ccfit_engine::units::{Cycle, UnitModel};
+use std::collections::BTreeMap;
+
+/// Collects per-flow and aggregate delivery statistics plus named event
+/// counters during a run.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    units: UnitModel,
+    bin_ns: f64,
+    per_flow_bytes: BTreeMap<FlowId, TimeSeries>,
+    total_bytes: TimeSeries,
+    latency_sum_ns: TimeSeries,
+    latency_count: TimeSeries,
+    latency_hist: LatencyHistogram,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, TimeSeries>,
+    delivered_packets: u64,
+    delivered_bytes: u64,
+}
+
+impl MetricsCollector {
+    /// Create a collector sampling with the given bin width.
+    pub fn new(units: UnitModel, bin_ns: f64) -> Self {
+        Self {
+            units,
+            bin_ns,
+            per_flow_bytes: BTreeMap::new(),
+            total_bytes: TimeSeries::new(bin_ns),
+            latency_sum_ns: TimeSeries::new(bin_ns),
+            latency_count: TimeSeries::new(bin_ns),
+            latency_hist: LatencyHistogram::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            delivered_packets: 0,
+            delivered_bytes: 0,
+        }
+    }
+
+    /// Record a data packet delivered to its destination at cycle `now`.
+    /// BECNs and control traffic are not counted as throughput.
+    pub fn record_delivery(&mut self, now: Cycle, pkt: &Packet) {
+        if !pkt.is_data() {
+            return;
+        }
+        let ns = self.units.cycles_to_ns(now);
+        let bytes = pkt.size_bytes as f64;
+        self.per_flow_bytes
+            .entry(pkt.flow)
+            .or_insert_with(|| TimeSeries::new(self.bin_ns))
+            .add(ns, bytes);
+        self.total_bytes.add(ns, bytes);
+        let latency_ns = self.units.cycles_to_ns(now.saturating_sub(pkt.injected_at));
+        self.latency_sum_ns.add(ns, latency_ns);
+        self.latency_count.add(ns, 1.0);
+        self.latency_hist.record(latency_ns);
+        self.delivered_packets += 1;
+        self.delivered_bytes += pkt.size_bytes as u64;
+    }
+
+    /// Increment a named event counter (CFQ allocations, FECN marks,
+    /// BECNs received, …).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record an instantaneous gauge sample (e.g. buffered flits
+    /// network-wide, CFQs allocated). Samples landing in the same bin
+    /// accumulate; pair each gauge with a `<name>_samples` gauge if a
+    /// per-bin mean is needed — [`SimReport::gauge_mean_per_bin`] does
+    /// this automatically.
+    pub fn gauge(&mut self, name: &str, at_ns: f64, value: f64) {
+        self.gauges
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(self.bin_ns))
+            .add(at_ns, value);
+        self.gauges
+            .entry(format!("{name}_samples"))
+            .or_insert_with(|| TimeSeries::new(self.bin_ns))
+            .add(at_ns, 1.0);
+    }
+
+    /// Total delivered data packets so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Total delivered payload bytes so far.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Freeze into a report.
+    ///
+    /// * `name` — run label,
+    /// * `duration_ns` — simulated time (every series is padded to it),
+    /// * `reception_capacity_bytes_per_ns` — aggregate rate at which the
+    ///   end nodes could absorb traffic (Σ node-link bandwidths); the
+    ///   normalization denominator for "network throughput",
+    /// * `labels` — flow id → display label.
+    pub fn finish(
+        mut self,
+        name: impl Into<String>,
+        duration_ns: f64,
+        reception_capacity_bytes_per_ns: f64,
+        labels: &BTreeMap<FlowId, String>,
+    ) -> SimReport {
+        self.total_bytes.extend_to(duration_ns);
+        self.latency_sum_ns.extend_to(duration_ns);
+        self.latency_count.extend_to(duration_ns);
+        let flows = self
+            .per_flow_bytes
+            .into_iter()
+            .map(|(id, mut series)| {
+                series.extend_to(duration_ns);
+                FlowReport {
+                    id,
+                    label: labels.get(&id).cloned().unwrap_or_else(|| format!("flow{}", id.0)),
+                    bytes: series,
+                }
+            })
+            .collect();
+        SimReport {
+            name: name.into(),
+            duration_ns,
+            bin_ns: self.bin_ns,
+            flows,
+            total_bytes: self.total_bytes,
+            latency_sum_ns: self.latency_sum_ns,
+            latency_count: self.latency_count,
+            latency_hist: self.latency_hist,
+            gauges: self.gauges,
+            reception_capacity_bytes_per_ns,
+            counters: self.counters,
+            delivered_packets: self.delivered_packets,
+            delivered_bytes: self.delivered_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfit_engine::ids::{NodeId, PacketId};
+
+    fn pkt(flow: u32, bytes: u32, injected: Cycle) -> Packet {
+        Packet::data(
+            PacketId(0),
+            NodeId(0),
+            NodeId(1),
+            bytes.div_ceil(64),
+            bytes,
+            FlowId(flow),
+            injected,
+        )
+    }
+
+    #[test]
+    fn deliveries_accumulate_per_flow_and_total() {
+        let mut c = MetricsCollector::new(UnitModel::default(), 1000.0);
+        c.record_delivery(10, &pkt(0, 2048, 0));
+        c.record_delivery(20, &pkt(1, 2048, 0));
+        c.record_delivery(30, &pkt(0, 1024, 0));
+        assert_eq!(c.delivered_packets(), 3);
+        assert_eq!(c.delivered_bytes(), 2048 + 2048 + 1024);
+        let r = c.finish("t", 2000.0, 1.0, &BTreeMap::new());
+        assert_eq!(r.flows.len(), 2);
+        let f0 = r.flows.iter().find(|f| f.id == FlowId(0)).unwrap();
+        assert_eq!(f0.bytes.total(), 3072.0);
+    }
+
+    #[test]
+    fn becns_are_not_throughput() {
+        let mut c = MetricsCollector::new(UnitModel::default(), 1000.0);
+        let b = Packet::becn(PacketId(1), NodeId(1), NodeId(0), 0);
+        c.record_delivery(10, &b);
+        assert_eq!(c.delivered_packets(), 0);
+        assert_eq!(c.delivered_bytes(), 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = MetricsCollector::new(UnitModel::default(), 1000.0);
+        c.count("fecn_marked", 3);
+        c.count("fecn_marked", 2);
+        assert_eq!(c.counter("fecn_marked"), 5);
+        assert_eq!(c.counter("missing"), 0);
+    }
+
+    #[test]
+    fn latency_is_binned_by_delivery_time() {
+        let u = UnitModel::default();
+        let mut c = MetricsCollector::new(u, 10_000.0);
+        // Injected at cycle 0, delivered at cycle 100 -> latency 100
+        // cycles = 2560 ns.
+        c.record_delivery(100, &pkt(0, 2048, 0));
+        let r = c.finish("t", 20_000.0, 1.0, &BTreeMap::new());
+        let lat = r.mean_latency_ns_per_bin();
+        assert!((lat[0] - 2560.0).abs() < 1.0);
+        assert_eq!(lat[1], 0.0);
+    }
+
+    #[test]
+    fn finish_pads_all_series_to_duration() {
+        let mut c = MetricsCollector::new(UnitModel::default(), 1000.0);
+        c.record_delivery(1, &pkt(0, 64, 0));
+        let r = c.finish("t", 10_000.0, 1.0, &BTreeMap::new());
+        assert_eq!(r.total_bytes.len(), 10);
+        assert_eq!(r.flows[0].bytes.len(), 10);
+    }
+
+    #[test]
+    fn labels_are_applied() {
+        let mut c = MetricsCollector::new(UnitModel::default(), 1000.0);
+        c.record_delivery(1, &pkt(5, 64, 0));
+        let mut labels = BTreeMap::new();
+        labels.insert(FlowId(5), "F5".to_string());
+        let r = c.finish("t", 1000.0, 1.0, &labels);
+        assert_eq!(r.flows[0].label, "F5");
+    }
+}

@@ -1,0 +1,64 @@
+//! Fairness indices for the fairness study (§IV-C).
+
+/// Jain's fairness index: `(Σxᵢ)² / (n · Σxᵢ²)`.
+///
+/// Ranges from `1/n` (one flow takes everything — the worst parking-lot
+/// outcome) to `1.0` (perfectly equal shares). The paper argues CCFIT's
+/// per-flow throttling solves the parking-lot problem; the reproduction
+/// asserts that via this index over the contributor flows' bandwidths.
+///
+/// Returns 1.0 for an empty slice (no flows = trivially fair) and for
+/// all-zero allocations.
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    debug_assert!(allocations.iter().all(|&x| x >= 0.0), "allocations must be non-negative");
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (allocations.len() as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        assert!((jain_index(&[2.0, 2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_gives_one_over_n() {
+        let j = jain_index(&[8.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parking_lot_shares_are_quantified() {
+        // Config #1 parking lot without CC: F5, F6 get 1/3 each, F1, F2
+        // get 1/6 each.
+        let j = jain_index(&[1.0 / 6.0, 1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0]);
+        assert!(j < 0.95, "parking lot is measurably unfair: {j}");
+        assert!(j > 0.5);
+        // Fair quarter shares beat it.
+        assert!(jain_index(&[0.25; 4]) > j);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[5.0]), 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Log-bucketed latency histograms.
+//!
+//! Packet latency under congestion is heavy-tailed — means hide the HoL
+//! victims. A [`LatencyHistogram`] buckets samples geometrically (each
+//! bucket 25 % wider than the previous) so percentile queries stay
+//! accurate from sub-microsecond cut-through latencies to the
+//! multi-millisecond queueing delays of a saturated 1Q network, in a few
+//! hundred bytes of state.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric growth factor between bucket boundaries.
+const GROWTH: f64 = 1.25;
+/// Lower bound of the first bucket (ns).
+const FIRST_BOUND_NS: f64 = 25.0;
+/// Number of buckets: covers up to `25 × 1.25^63` ns ≈ 30 s.
+const BUCKETS: usize = 64;
+
+/// A fixed-size, log-bucketed histogram of latencies in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: f64,
+    max_ns: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS], total: 0, sum_ns: 0.0, max_ns: 0.0 }
+    }
+
+    fn bucket_of(ns: f64) -> usize {
+        if ns <= FIRST_BOUND_NS {
+            return 0;
+        }
+        let b = ((ns / FIRST_BOUND_NS).ln() / GROWTH.ln()).ceil() as usize;
+        b.min(BUCKETS - 1)
+    }
+
+    /// Upper bound (ns) of bucket `b`.
+    fn bucket_bound(b: usize) -> f64 {
+        FIRST_BOUND_NS * GROWTH.powi(b as i32)
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, ns: f64) {
+        debug_assert!(ns >= 0.0);
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns;
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> f64 {
+        self.max_ns
+    }
+
+    /// Latency at quantile `q ∈ [0, 1]`, as the upper bound of the bucket
+    /// containing that quantile (a ≤ 25 % overestimate by construction).
+    /// Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_bound(b).min(self.max_ns.max(FIRST_BOUND_NS));
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency.
+    pub fn p50_ns(&self) -> f64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95_ns(&self) -> f64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.p50_ns(), 0.0);
+        assert_eq!(h.p99_ns(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_ns(), 1000.0);
+        assert_eq!(h.max_ns(), 1000.0);
+        // Bucketed: within 25% above the sample, capped by max.
+        assert!(h.p50_ns() >= 1000.0 * 0.8 && h.p50_ns() <= 1000.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 100.0); // 100 ns .. 100 us
+        }
+        let (p50, p95, p99) = (h.p50_ns(), h.p95_ns(), h.p99_ns());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max_ns());
+        // p50 of uniform 100..100_000 should be near 50_000 (within a
+        // bucket's 25%).
+        assert!(p50 > 40_000.0 && p50 < 65_000.0, "p50 = {p50}");
+        assert!(p99 > 90_000.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn heavy_tail_shows_in_p99_not_p50() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..980 {
+            h.record(800.0);
+        }
+        for _ in 0..20 {
+            h.record(500_000.0);
+        }
+        assert!(h.p50_ns() < 1100.0);
+        assert!(h.p99_ns() > 300_000.0, "p99 = {}", h.p99_ns());
+        assert!(h.mean_ns() > 5000.0, "mean dragged up by the tail");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100.0);
+        b.record(10_000.0);
+        b.record(10_000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.max_ns() == 10_000.0);
+        assert!((a.mean_ns() - 6700.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn extreme_values_saturate_the_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(1e12); // 1000 s, beyond the bucket range
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_ns(), 1e12);
+        assert!(h.p99_ns() > 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = LatencyHistogram::new();
+        h.record(512.0);
+        h.record(2048.0);
+        let j = serde_json::to_string(&h).unwrap();
+        let g: LatencyHistogram = serde_json::from_str(&j).unwrap();
+        assert_eq!(h, g);
+    }
+}

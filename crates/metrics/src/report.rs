@@ -1,0 +1,279 @@
+//! Frozen simulation reports.
+
+use crate::fairness::jain_index;
+use crate::histogram::LatencyHistogram;
+use crate::series::TimeSeries;
+use ccfit_engine::ids::FlowId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-flow delivered-bytes series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Flow id.
+    pub id: FlowId,
+    /// Display label from the traffic pattern (e.g. `"F0 (victim)"`).
+    pub label: String,
+    /// Delivered payload bytes per bin.
+    pub bytes: TimeSeries,
+}
+
+/// The result of one simulation run: everything the figure harness and
+/// the tests need, serializable for archiving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Run label (mechanism + scenario).
+    pub name: String,
+    /// Simulated duration in nanoseconds.
+    pub duration_ns: f64,
+    /// Sampling bin width in nanoseconds.
+    pub bin_ns: f64,
+    /// Per-flow series.
+    pub flows: Vec<FlowReport>,
+    /// Aggregate delivered payload bytes per bin.
+    pub total_bytes: TimeSeries,
+    /// Sum of packet latencies (ns) per bin.
+    pub latency_sum_ns: TimeSeries,
+    /// Packets delivered per bin.
+    pub latency_count: TimeSeries,
+    /// Whole-run latency distribution (log-bucketed).
+    pub latency_hist: LatencyHistogram,
+    /// Sampled gauge series (sum per bin; `<name>_samples` counts the
+    /// samples per bin).
+    pub gauges: BTreeMap<String, TimeSeries>,
+    /// Aggregate reception capacity in bytes per nanosecond (Σ node-link
+    /// bandwidths); normalization denominator for network throughput.
+    pub reception_capacity_bytes_per_ns: f64,
+    /// Named event counters from the congestion-control machinery.
+    pub counters: BTreeMap<String, u64>,
+    /// Total data packets delivered.
+    pub delivered_packets: u64,
+    /// Total payload bytes delivered.
+    pub delivered_bytes: u64,
+}
+
+impl SimReport {
+    /// Per-bin bandwidth of one flow in GB/s (`1 GB/s = 1 byte/ns`).
+    pub fn flow_bandwidth_gbps(&self, id: FlowId) -> Option<Vec<f64>> {
+        self.flows
+            .iter()
+            .find(|f| f.id == id)
+            .map(|f| f.bytes.scaled(1.0 / self.bin_ns))
+    }
+
+    /// Mean bandwidth of one flow (GB/s) over a time window in ns.
+    pub fn flow_mean_bandwidth_gbps(&self, id: FlowId, from_ns: f64, to_ns: f64) -> f64 {
+        let Some(f) = self.flows.iter().find(|f| f.id == id) else {
+            return 0.0;
+        };
+        let from = f.bytes.bin_of(from_ns);
+        let to = f.bytes.bin_of(to_ns);
+        f.bytes.mean_over(from, to) / self.bin_ns
+    }
+
+    /// Per-bin network throughput, normalized to the reception capacity
+    /// (1.0 = every end node receiving at line rate). This is the y-axis
+    /// of Figs. 7 and 8.
+    pub fn network_throughput_normalized(&self) -> Vec<f64> {
+        self.total_bytes
+            .scaled(1.0 / (self.bin_ns * self.reception_capacity_bytes_per_ns))
+    }
+
+    /// Per-bin aggregate throughput in GB/s.
+    pub fn network_throughput_gbps(&self) -> Vec<f64> {
+        self.total_bytes.scaled(1.0 / self.bin_ns)
+    }
+
+    /// Mean normalized network throughput over a time window in ns.
+    pub fn mean_normalized_throughput(&self, from_ns: f64, to_ns: f64) -> f64 {
+        let from = self.total_bytes.bin_of(from_ns);
+        let to = self.total_bytes.bin_of(to_ns);
+        self.total_bytes.mean_over(from, to)
+            / (self.bin_ns * self.reception_capacity_bytes_per_ns)
+    }
+
+    /// Mean packet latency per bin in ns (0 where nothing was delivered).
+    pub fn mean_latency_ns_per_bin(&self) -> Vec<f64> {
+        self.latency_sum_ns
+            .bins
+            .iter()
+            .zip(&self.latency_count.bins)
+            .map(|(&s, &c)| if c > 0.0 { s / c } else { 0.0 })
+            .collect()
+    }
+
+    /// Per-bin mean of a sampled gauge (None if never sampled).
+    pub fn gauge_mean_per_bin(&self, name: &str) -> Option<Vec<f64>> {
+        let sums = self.gauges.get(name)?;
+        let counts = self.gauges.get(&format!("{name}_samples"))?;
+        Some(
+            sums.bins
+                .iter()
+                .zip(&counts.bins)
+                .map(|(&s, &c)| if c > 0.0 { s / c } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    /// Latency percentile summary `(p50, p95, p99)` in ns.
+    pub fn latency_percentiles_ns(&self) -> (f64, f64, f64) {
+        (
+            self.latency_hist.p50_ns(),
+            self.latency_hist.p95_ns(),
+            self.latency_hist.p99_ns(),
+        )
+    }
+
+    /// Jain fairness index over the mean bandwidths of `flows` in the
+    /// window `[from_ns, to_ns)` — the §IV-C fairness measure.
+    pub fn jain_over(&self, flows: &[FlowId], from_ns: f64, to_ns: f64) -> f64 {
+        let bws: Vec<f64> = flows
+            .iter()
+            .map(|&id| self.flow_mean_bandwidth_gbps(id, from_ns, to_ns))
+            .collect();
+        jain_index(&bws)
+    }
+
+    /// All flow ids present in the report.
+    pub fn flow_ids(&self) -> Vec<FlowId> {
+        self.flows.iter().map(|f| f.id).collect()
+    }
+
+    /// Serialize to pretty JSON (for archiving runs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialize")
+    }
+
+    /// Emit a CSV of the normalized-throughput series:
+    /// `time_ms,throughput`.
+    pub fn throughput_csv(&self) -> String {
+        let mut out = String::from("time_ms,normalized_throughput\n");
+        for (i, v) in self.network_throughput_normalized().iter().enumerate() {
+            out.push_str(&format!(
+                "{:.4},{:.6}\n",
+                self.total_bytes.bin_center_ns(i) / 1e6,
+                v
+            ));
+        }
+        out
+    }
+
+    /// Emit a CSV of per-flow bandwidths: `time_ms,<label>…` one column
+    /// per flow.
+    pub fn flow_bandwidth_csv(&self) -> String {
+        let mut out = String::from("time_ms");
+        for f in &self.flows {
+            out.push(',');
+            out.push_str(&f.label.replace(',', ";"));
+        }
+        out.push('\n');
+        let n = self.total_bytes.len();
+        for i in 0..n {
+            out.push_str(&format!("{:.4}", self.total_bytes.bin_center_ns(i) / 1e6));
+            for f in &self.flows {
+                let v = f.bytes.bins.get(i).copied().unwrap_or(0.0) / self.bin_ns;
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SimReport {
+        let bin = 1000.0;
+        let mut f0 = TimeSeries::new(bin);
+        let mut f1 = TimeSeries::new(bin);
+        let mut total = TimeSeries::new(bin);
+        // Flow 0: 2500 B/bin (2.5 GB/s); flow 1: 1250 B/bin.
+        for i in 0..10 {
+            let t = i as f64 * bin;
+            f0.add(t, 2500.0);
+            f1.add(t, 1250.0);
+            total.add(t, 3750.0);
+        }
+        SimReport {
+            name: "sample".into(),
+            duration_ns: 10_000.0,
+            bin_ns: bin,
+            flows: vec![
+                FlowReport { id: FlowId(0), label: "F0".into(), bytes: f0 },
+                FlowReport { id: FlowId(1), label: "F1".into(), bytes: f1 },
+            ],
+            total_bytes: total,
+            latency_sum_ns: TimeSeries::new(bin),
+            latency_count: TimeSeries::new(bin),
+            latency_hist: LatencyHistogram::new(),
+            gauges: BTreeMap::new(),
+            reception_capacity_bytes_per_ns: 5.0, // two 2.5 GB/s sinks
+            counters: BTreeMap::new(),
+            delivered_packets: 20,
+            delivered_bytes: 37_500,
+        }
+    }
+
+    #[test]
+    fn flow_bandwidth_is_bytes_over_bin() {
+        let r = sample_report();
+        let bw = r.flow_bandwidth_gbps(FlowId(0)).unwrap();
+        assert!((bw[0] - 2.5).abs() < 1e-9);
+        assert!(r.flow_bandwidth_gbps(FlowId(9)).is_none());
+    }
+
+    #[test]
+    fn normalized_throughput_uses_reception_capacity() {
+        let r = sample_report();
+        let nt = r.network_throughput_normalized();
+        // 3.75 GB/s of 5 GB/s capacity.
+        assert!((nt[0] - 0.75).abs() < 1e-9);
+        let g = r.network_throughput_gbps();
+        assert!((g[0] - 3.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_bandwidth_over_window() {
+        let r = sample_report();
+        let m = r.flow_mean_bandwidth_gbps(FlowId(1), 2000.0, 8000.0);
+        assert!((m - 1.25).abs() < 1e-9);
+        assert_eq!(r.flow_mean_bandwidth_gbps(FlowId(7), 0.0, 1e4), 0.0);
+    }
+
+    #[test]
+    fn jain_reflects_unequal_flows() {
+        let r = sample_report();
+        let j = r.jain_over(&[FlowId(0), FlowId(1)], 0.0, 10_000.0);
+        // shares 2:1 -> J = 9/(2*5) = 0.9
+        assert!((j - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_emission_has_header_and_rows() {
+        let r = sample_report();
+        let csv = r.throughput_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_ms,normalized_throughput");
+        assert_eq!(lines.len(), 11);
+        let fcsv = r.flow_bandwidth_csv();
+        assert!(fcsv.starts_with("time_ms,F0,F1\n"));
+        assert_eq!(fcsv.lines().count(), 11);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample_report();
+        let j = r.to_json();
+        let r2: SimReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn mean_normalized_throughput_window() {
+        let r = sample_report();
+        let m = r.mean_normalized_throughput(0.0, 10_000.0);
+        assert!((m - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the metrics crate.
+
+use ccfit_metrics::{jain_index, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    /// Jain's index is always in [1/n, 1] and is scale-invariant.
+    #[test]
+    fn jain_bounds_and_scale_invariance(
+        xs in prop::collection::vec(0.0f64..1e6, 1..32),
+        scale in 0.001f64..1e3,
+    ) {
+        let j = jain_index(&xs);
+        let n = xs.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-9, "J = {}", j);
+        if xs.iter().any(|&x| x > 0.0) {
+            prop_assert!(j >= 1.0 / n - 1e-9, "J = {} below 1/n", j);
+        }
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        prop_assert!((jain_index(&scaled) - j).abs() < 1e-6);
+    }
+
+    /// Equalizing any two allocations never decreases Jain's index
+    /// (Pigou-Dalton-style transfer principle).
+    #[test]
+    fn jain_rewards_equalization(
+        mut xs in prop::collection::vec(0.1f64..100.0, 2..16),
+        i in 0usize..16,
+        j in 0usize..16,
+    ) {
+        let n = xs.len();
+        let (i, j) = (i % n, j % n);
+        prop_assume!(i != j);
+        let before = jain_index(&xs);
+        let mean = (xs[i] + xs[j]) / 2.0;
+        xs[i] = mean;
+        xs[j] = mean;
+        prop_assert!(jain_index(&xs) >= before - 1e-9);
+    }
+
+    /// TimeSeries: sum of bins always equals the sum of added values,
+    /// wherever they land.
+    #[test]
+    fn series_total_is_conserved(
+        adds in prop::collection::vec((0.0f64..1e6, 0.0f64..1e4), 1..100),
+    ) {
+        let mut s = TimeSeries::new(250.0);
+        let mut expect = 0.0;
+        for (t, v) in adds {
+            s.add(t, v);
+            expect += v;
+        }
+        prop_assert!((s.total() - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    /// extend_to never changes the total and makes the length cover the
+    /// requested horizon.
+    #[test]
+    fn extend_preserves_total(t_end in 1.0f64..1e6) {
+        let mut s = TimeSeries::new(100.0);
+        s.add(42.0, 7.0);
+        let before = s.total();
+        s.extend_to(t_end);
+        prop_assert_eq!(s.total(), before);
+        prop_assert!(s.len() as f64 * 100.0 >= t_end.min(1e6) - 100.0);
+    }
+}

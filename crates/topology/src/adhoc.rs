@@ -1,0 +1,126 @@
+//! The paper's ad-hoc Config #1 network (Fig. 5).
+//!
+//! Two switches, seven nodes. The published figure is not reproducible
+//! from the text alone, so the topology is **reconstructed** from every
+//! property the prose asserts (see DESIGN.md §3):
+//!
+//! * flows `F1` (node 1) and `F2` (node 2) reach the hot node 4 through
+//!   the inter-switch trunk and therefore **share one input queue** at
+//!   switch 1,
+//! * flows `F5` (node 5) and `F6` (node 6) reach node 4 on their own
+//!   switch-1 input ports — the *sole users* of their queues, the classic
+//!   parking-lot setup,
+//! * the victim `F0` (node 0 → node 3) shares only the trunk with the
+//!   congested flows; its own destination link is idle,
+//! * the congestion point is the link from switch 1 to end node 4.
+//!
+//! Layout:
+//!
+//! ```text
+//!  node0 ─┐                       ┌─ node3   (victim destination)
+//!  node1 ─┤ switch0 ═══ trunk ═══ switch1 ├─ node4   (hot destination)
+//!  node2 ─┘      (5 GB/s)             ├─ node5
+//!                                     └─ node6
+//! ```
+//!
+//! Node links run at 2.5 GB/s; the trunk at 5 GB/s (Table I lists both
+//! rates for Config #1), so the victim is starved only by HoL-blocking,
+//! never by raw trunk capacity.
+
+use crate::builder::TopologyBuilder;
+use crate::graph::{LinkParams, Topology};
+use ccfit_engine::ids::{NodeId, PortId, SwitchId};
+
+/// Port on switch 0 that carries the trunk.
+pub const CONFIG1_TRUNK_PORT_SW0: PortId = PortId(3);
+/// Port on switch 1 that carries the trunk.
+pub const CONFIG1_TRUNK_PORT_SW1: PortId = PortId(4);
+/// The hot destination node of the Case #1 traffic pattern.
+pub const CONFIG1_HOT_NODE: NodeId = NodeId(4);
+/// The victim flow's destination.
+pub const CONFIG1_VICTIM_DST: NodeId = NodeId(3);
+
+/// Build Config #1. `node_link` is applied to every node cable;
+/// `trunk_link` to the inter-switch cable.
+pub fn config1_topology_with(node_link: LinkParams, trunk_link: LinkParams) -> Topology {
+    let mut b = TopologyBuilder::new("config1-adhoc");
+    b.default_link(node_link);
+    let s0 = b.add_switch(4); // ports 0..3: node0..2, trunk
+    let s1 = b.add_switch(5); // ports 0..4: node3..6, trunk
+    for _ in 0..7 {
+        b.add_node();
+    }
+    for i in 0..3usize {
+        b.attach(NodeId::from(i), s0, PortId(i as u16)).expect("sw0 attach");
+    }
+    for i in 3..7usize {
+        b.attach(NodeId::from(i), s1, PortId((i - 3) as u16)).expect("sw1 attach");
+    }
+    b.connect_with(s0, CONFIG1_TRUNK_PORT_SW0, s1, CONFIG1_TRUNK_PORT_SW1, trunk_link)
+        .expect("trunk");
+    b.build().expect("config1 is always valid")
+}
+
+/// Build Config #1 with the paper's rates: 2.5 GB/s node links
+/// (1 flit/cycle) and a 5 GB/s trunk (2 flits/cycle).
+pub fn config1_topology() -> Topology {
+    config1_topology_with(
+        LinkParams { bw_flits_per_cycle: 1, delay_cycles: 1 },
+        LinkParams { bw_flits_per_cycle: 2, delay_cycles: 1 },
+    )
+}
+
+/// Switch 0 of Config #1 (hosts the sources of the victim and the two
+/// trunk-sharing congested flows).
+pub const CONFIG1_SW0: SwitchId = SwitchId(0);
+/// Switch 1 of Config #1 (hosts the congestion point).
+pub const CONFIG1_SW1: SwitchId = SwitchId(1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Endpoint;
+    use crate::routing::RoutingTable;
+
+    #[test]
+    fn dimensions_match_table_one() {
+        let t = config1_topology();
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.num_switches(), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn trunk_runs_at_double_rate() {
+        let t = config1_topology();
+        let (ep, params) = t.peer(CONFIG1_SW0, CONFIG1_TRUNK_PORT_SW0).unwrap();
+        assert_eq!(ep, Endpoint::Switch(CONFIG1_SW1, CONFIG1_TRUNK_PORT_SW1));
+        assert_eq!(params.bw_flits_per_cycle, 2);
+        let (_, _, node_params) = t.node_attachment(NodeId(0));
+        assert_eq!(node_params.bw_flits_per_cycle, 1);
+    }
+
+    #[test]
+    fn routing_delivers_all_pairs() {
+        let t = config1_topology();
+        let r = RoutingTable::shortest_path(&t);
+        r.verify_delivers_all(&t).unwrap();
+    }
+
+    #[test]
+    fn congested_flows_share_the_trunk_input() {
+        // F1 (1->4) and F2 (2->4) both leave switch 0 on the trunk port:
+        // at switch 1 they arrive on the same input port, sharing a queue
+        // -- the parking-lot precondition.
+        let t = config1_topology();
+        let r = RoutingTable::shortest_path(&t);
+        assert_eq!(r.route(CONFIG1_SW0, CONFIG1_HOT_NODE), CONFIG1_TRUNK_PORT_SW0);
+        assert_eq!(r.route(CONFIG1_SW0, CONFIG1_VICTIM_DST), CONFIG1_TRUNK_PORT_SW0);
+        // F5 (5->4) and F6 (6->4) are switch-local: single hop at switch 1.
+        assert_eq!(r.hops(&t, NodeId(5), CONFIG1_HOT_NODE), 1);
+        assert_eq!(r.hops(&t, NodeId(6), CONFIG1_HOT_NODE), 1);
+        // Victim shares the trunk but not the hot output port.
+        assert_eq!(r.route(CONFIG1_SW1, CONFIG1_VICTIM_DST), PortId(0));
+        assert_eq!(r.route(CONFIG1_SW1, CONFIG1_HOT_NODE), PortId(1));
+    }
+}

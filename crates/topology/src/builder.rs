@@ -1,0 +1,220 @@
+//! Incremental topology construction.
+
+use crate::graph::{Endpoint, LinkParams, SwitchPorts, Topology, TopologyError};
+use ccfit_engine::ids::{NodeId, PortId, SwitchId};
+
+/// Builds a [`Topology`] switch by switch, cable by cable.
+///
+/// ```
+/// use ccfit_topology::TopologyBuilder;
+/// use ccfit_engine::ids::PortId;
+///
+/// let mut b = TopologyBuilder::new("dumbbell");
+/// let s0 = b.add_switch(3);
+/// let s1 = b.add_switch(3);
+/// let n0 = b.add_node();
+/// let n1 = b.add_node();
+/// b.attach(n0, s0, PortId(0)).unwrap();
+/// b.attach(n1, s1, PortId(0)).unwrap();
+/// b.connect(s0, PortId(2), s1, PortId(2)).unwrap();
+/// let topo = b.build().unwrap();
+/// assert_eq!(topo.num_cables(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    name: String,
+    default_link: LinkParams,
+    switches: Vec<SwitchPorts>,
+    nodes: Vec<Option<(SwitchId, PortId, LinkParams)>>,
+}
+
+impl TopologyBuilder {
+    /// Start an empty topology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            default_link: LinkParams::default(),
+            switches: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Set the cable parameters used by subsequent `attach`/`connect`
+    /// calls (the `_with` variants override per cable).
+    pub fn default_link(&mut self, params: LinkParams) -> &mut Self {
+        self.default_link = params;
+        self
+    }
+
+    /// Add a switch with `num_ports` ports; returns its id.
+    pub fn add_switch(&mut self, num_ports: usize) -> SwitchId {
+        self.switches.push(SwitchPorts { ports: vec![None; num_ports] });
+        SwitchId::from(self.switches.len() - 1)
+    }
+
+    /// Add an end node; returns its id. The node must later be attached.
+    pub fn add_node(&mut self) -> NodeId {
+        self.nodes.push(None);
+        NodeId::from(self.nodes.len() - 1)
+    }
+
+    fn check_port(&self, s: SwitchId, p: PortId) -> Result<(), TopologyError> {
+        let sw = self
+            .switches
+            .get(s.index())
+            .ok_or_else(|| TopologyError::UnknownId(s.to_string()))?;
+        if p.index() >= sw.num_ports() {
+            return Err(TopologyError::PortOutOfRange { switch: s, port: p });
+        }
+        if sw.ports[p.index()].is_some() {
+            return Err(TopologyError::PortInUse { switch: s, port: p });
+        }
+        Ok(())
+    }
+
+    /// Attach node `n` to switch `s` port `p` with the default cable.
+    pub fn attach(&mut self, n: NodeId, s: SwitchId, p: PortId) -> Result<(), TopologyError> {
+        self.attach_with(n, s, p, self.default_link)
+    }
+
+    /// Attach with explicit cable parameters.
+    pub fn attach_with(
+        &mut self,
+        n: NodeId,
+        s: SwitchId,
+        p: PortId,
+        params: LinkParams,
+    ) -> Result<(), TopologyError> {
+        let slot = self
+            .nodes
+            .get(n.index())
+            .ok_or_else(|| TopologyError::UnknownId(n.to_string()))?;
+        if slot.is_some() {
+            return Err(TopologyError::NodeAlreadyAttached(n));
+        }
+        self.check_port(s, p)?;
+        self.switches[s.index()].ports[p.index()] = Some((Endpoint::Node(n), params));
+        self.nodes[n.index()] = Some((s, p, params));
+        Ok(())
+    }
+
+    /// Cable two switch ports together with the default parameters.
+    pub fn connect(
+        &mut self,
+        a: SwitchId,
+        ap: PortId,
+        b: SwitchId,
+        bp: PortId,
+    ) -> Result<(), TopologyError> {
+        self.connect_with(a, ap, b, bp, self.default_link)
+    }
+
+    /// Cable two switch ports with explicit parameters.
+    pub fn connect_with(
+        &mut self,
+        a: SwitchId,
+        ap: PortId,
+        b: SwitchId,
+        bp: PortId,
+        params: LinkParams,
+    ) -> Result<(), TopologyError> {
+        self.check_port(a, ap)?;
+        self.check_port(b, bp)?;
+        self.switches[a.index()].ports[ap.index()] = Some((Endpoint::Switch(b, bp), params));
+        self.switches[b.index()].ports[bp.index()] = Some((Endpoint::Switch(a, ap), params));
+        Ok(())
+    }
+
+    /// Finish: every node must be attached; the result is validated.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.into_iter().enumerate() {
+            nodes.push(n.ok_or(TopologyError::NodeUnattached(NodeId::from(i)))?);
+        }
+        let topo = Topology { switches: self.switches, nodes, name: self.name };
+        topo.validate()?;
+        Ok(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_double_attach() {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.add_switch(2);
+        let n = b.add_node();
+        b.attach(n, s, PortId(0)).unwrap();
+        assert_eq!(
+            b.attach(n, s, PortId(1)),
+            Err(TopologyError::NodeAlreadyAttached(n))
+        );
+    }
+
+    #[test]
+    fn rejects_port_reuse() {
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.add_switch(1);
+        let s1 = b.add_switch(2);
+        b.connect(s0, PortId(0), s1, PortId(0)).unwrap();
+        assert_eq!(
+            b.connect(s0, PortId(0), s1, PortId(1)),
+            Err(TopologyError::PortInUse { switch: s0, port: PortId(0) })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_port() {
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.add_switch(1);
+        let s1 = b.add_switch(1);
+        assert_eq!(
+            b.connect(s0, PortId(5), s1, PortId(0)),
+            Err(TopologyError::PortOutOfRange { switch: s0, port: PortId(5) })
+        );
+    }
+
+    #[test]
+    fn rejects_unattached_node_at_build() {
+        let mut b = TopologyBuilder::new("t");
+        b.add_switch(1);
+        let n = b.add_node();
+        assert_eq!(b.build().unwrap_err(), TopologyError::NodeUnattached(n));
+    }
+
+    #[test]
+    fn per_cable_params_override_default() {
+        let mut b = TopologyBuilder::new("t");
+        b.default_link(LinkParams { bw_flits_per_cycle: 1, delay_cycles: 1 });
+        let s0 = b.add_switch(2);
+        let s1 = b.add_switch(1);
+        let n = b.add_node();
+        b.attach(n, s0, PortId(0)).unwrap();
+        b.connect_with(
+            s0,
+            PortId(1),
+            s1,
+            PortId(0),
+            LinkParams { bw_flits_per_cycle: 2, delay_cycles: 3 },
+        )
+        .unwrap();
+        let t = b.build().unwrap();
+        let (_, params) = t.peer(s0, PortId(1)).unwrap();
+        assert_eq!(params.bw_flits_per_cycle, 2);
+        assert_eq!(params.delay_cycles, 3);
+        let (_, _, nparams) = t.node_attachment(n);
+        assert_eq!(nparams.bw_flits_per_cycle, 1);
+    }
+
+    #[test]
+    fn unknown_switch_is_reported() {
+        let mut b = TopologyBuilder::new("t");
+        let s0 = b.add_switch(1);
+        assert!(matches!(
+            b.connect(s0, PortId(0), SwitchId(9), PortId(0)),
+            Err(TopologyError::UnknownId(_))
+        ));
+    }
+}

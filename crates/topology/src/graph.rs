@@ -1,0 +1,373 @@
+//! The topology graph: switches, end nodes and the cables between them.
+//!
+//! A [`Topology`] is a validated, immutable description of the physical
+//! network. Every cable is bidirectional; the simulator later instantiates
+//! two directed [`ccfit_engine::link::Link`]s per cable. Ports are local
+//! to their switch; end nodes have exactly one attachment point (their
+//! NIC plugs into one switch port).
+
+use ccfit_engine::ids::{NodeId, PortId, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical parameters of one cable (both directions are symmetric).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Bandwidth in flits per cycle (1 = 2.5 GB/s under the default unit
+    /// model).
+    pub bw_flits_per_cycle: u32,
+    /// Propagation delay in cycles.
+    pub delay_cycles: u64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        Self { bw_flits_per_cycle: 1, delay_cycles: 1 }
+    }
+}
+
+/// What a switch port is cabled to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// An end node's NIC.
+    Node(NodeId),
+    /// Another switch's port.
+    Switch(SwitchId, PortId),
+}
+
+/// One switch's port map: `ports[p]` is the peer cabled to port `p`, with
+/// the cable's parameters, or `None` for an unused port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchPorts {
+    /// Peer and cable parameters per port.
+    pub ports: Vec<Option<(Endpoint, LinkParams)>>,
+}
+
+impl SwitchPorts {
+    /// Number of ports (connected or not).
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Indices of connected ports.
+    pub fn connected(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| PortId(i as u16)))
+    }
+}
+
+/// Errors produced while building or validating a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A port index was out of range for its switch.
+    PortOutOfRange {
+        /// The switch.
+        switch: SwitchId,
+        /// The offending port.
+        port: PortId,
+    },
+    /// A port was connected twice.
+    PortInUse {
+        /// The switch.
+        switch: SwitchId,
+        /// The port already cabled.
+        port: PortId,
+    },
+    /// A node was attached twice.
+    NodeAlreadyAttached(NodeId),
+    /// A node was never attached to any switch.
+    NodeUnattached(NodeId),
+    /// Port peers disagree (A says it connects to B, B disagrees).
+    InconsistentCabling {
+        /// The switch whose port map is inconsistent.
+        switch: SwitchId,
+        /// The inconsistent port.
+        port: PortId,
+    },
+    /// Referenced an id that does not exist.
+    UnknownId(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::PortOutOfRange { switch, port } => {
+                write!(f, "{switch} has no {port}")
+            }
+            TopologyError::PortInUse { switch, port } => {
+                write!(f, "{switch} {port} is already cabled")
+            }
+            TopologyError::NodeAlreadyAttached(n) => write!(f, "{n} already attached"),
+            TopologyError::NodeUnattached(n) => write!(f, "{n} is not attached to any switch"),
+            TopologyError::InconsistentCabling { switch, port } => {
+                write!(f, "inconsistent cabling at {switch} {port}")
+            }
+            TopologyError::UnknownId(s) => write!(f, "unknown id: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated, immutable network description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    pub(crate) switches: Vec<SwitchPorts>,
+    /// `nodes[n]` = the switch port node `n` plugs into, with its cable
+    /// parameters.
+    pub(crate) nodes: Vec<(SwitchId, PortId, LinkParams)>,
+    /// Human-readable name (e.g. "2-ary 3-tree").
+    pub(crate) name: String,
+}
+
+impl Topology {
+    /// Number of end nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Port map of one switch.
+    pub fn switch(&self, s: SwitchId) -> &SwitchPorts {
+        &self.switches[s.index()]
+    }
+
+    /// Attachment point of an end node.
+    pub fn node_attachment(&self, n: NodeId) -> (SwitchId, PortId, LinkParams) {
+        self.nodes[n.index()]
+    }
+
+    /// Peer of a switch port, if cabled.
+    pub fn peer(&self, s: SwitchId, p: PortId) -> Option<(Endpoint, LinkParams)> {
+        self.switches[s.index()].ports.get(p.index()).and_then(|x| *x)
+    }
+
+    /// Total number of cables (each counted once).
+    pub fn num_cables(&self) -> usize {
+        let switch_side: usize = self
+            .switches
+            .iter()
+            .map(|s| s.ports.iter().filter(|p| p.is_some()).count())
+            .sum();
+        // Every cable has either two switch endpoints (counted twice) or
+        // one switch endpoint plus one node (counted once).
+        let node_cables = self.nodes.len();
+        (switch_side - node_cables) / 2 + node_cables
+    }
+
+    /// Iterate over all switches.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> {
+        (0..self.switches.len()).map(SwitchId::from)
+    }
+
+    /// Iterate over all nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::from)
+    }
+
+    /// A copy of this topology with the cable at `(s, p)` removed — the
+    /// fault-injection primitive. Re-deriving routing afterwards (e.g.
+    /// [`crate::RoutingTable::shortest_path`]) models the re-routing
+    /// around faulty regions that the paper lists among the causes of
+    /// congestion. Only switch-to-switch cables can fail (removing a node
+    /// cable would strand the node).
+    pub fn without_cable(&self, s: SwitchId, p: PortId) -> Result<Topology, TopologyError> {
+        let (peer, _) = self
+            .peer(s, p)
+            .ok_or(TopologyError::PortOutOfRange { switch: s, port: p })?;
+        let (os, op) = match peer {
+            Endpoint::Switch(os, op) => (os, op),
+            Endpoint::Node(n) => return Err(TopologyError::NodeAlreadyAttached(n)),
+        };
+        let mut t = self.clone();
+        t.switches[s.index()].ports[p.index()] = None;
+        t.switches[os.index()].ports[op.index()] = None;
+        t.name = format!("{} (cable {s}:{p} failed)", self.name);
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Check internal consistency (peer symmetry, attachment sanity).
+    /// Topologies produced by [`crate::TopologyBuilder`] and the generators
+    /// are always valid; this is exposed for deserialized or hand-built
+    /// instances.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        for (si, sw) in self.switches.iter().enumerate() {
+            let s = SwitchId::from(si);
+            for (pi, port) in sw.ports.iter().enumerate() {
+                let p = PortId(pi as u16);
+                match port {
+                    None => {}
+                    Some((Endpoint::Switch(os, op), params)) => {
+                        let back = self
+                            .switches
+                            .get(os.index())
+                            .and_then(|o| o.ports.get(op.index()))
+                            .and_then(|x| x.as_ref());
+                        match back {
+                            Some((Endpoint::Switch(bs, bp), bparams))
+                                if *bs == s && *bp == p && bparams == params => {}
+                            _ => {
+                                return Err(TopologyError::InconsistentCabling { switch: s, port: p })
+                            }
+                        }
+                    }
+                    Some((Endpoint::Node(n), params)) => {
+                        let att = self
+                            .nodes
+                            .get(n.index())
+                            .ok_or_else(|| TopologyError::UnknownId(n.to_string()))?;
+                        if att.0 != s || att.1 != p || &att.2 != params {
+                            return Err(TopologyError::InconsistentCabling { switch: s, port: p });
+                        }
+                    }
+                }
+            }
+        }
+        for (ni, &(s, p, params)) in self.nodes.iter().enumerate() {
+            let n = NodeId::from(ni);
+            match self.peer(s, p) {
+                Some((Endpoint::Node(m), mp)) if m == n && mp == params => {}
+                _ => return Err(TopologyError::InconsistentCabling { switch: s, port: p }),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+
+    fn tiny() -> Topology {
+        // node0 - sw0 - sw1 - node1
+        let mut b = TopologyBuilder::new("tiny");
+        let s0 = b.add_switch(2);
+        let s1 = b.add_switch(2);
+        let n0 = b.add_node();
+        let n1 = b.add_node();
+        b.attach(n0, s0, PortId(0)).unwrap();
+        b.attach(n1, s1, PortId(0)).unwrap();
+        b.connect(s0, PortId(1), s1, PortId(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let t = tiny();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.num_switches(), 2);
+        assert_eq!(t.num_cables(), 3);
+        assert_eq!(t.name(), "tiny");
+        let (s, p, _) = t.node_attachment(NodeId(0));
+        assert_eq!((s, p), (SwitchId(0), PortId(0)));
+        assert_eq!(
+            t.peer(SwitchId(0), PortId(1)).unwrap().0,
+            Endpoint::Switch(SwitchId(1), PortId(1))
+        );
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_tampered_peer() {
+        let mut t = tiny();
+        // Corrupt: switch 0 port 1 now claims to reach node 0.
+        t.switches[0].ports[1] = Some((Endpoint::Node(NodeId(0)), LinkParams::default()));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::InconsistentCabling { switch: SwitchId(0), port: PortId(1) })
+        ));
+    }
+
+    #[test]
+    fn connected_ports_iterator() {
+        let t = tiny();
+        let ports: Vec<PortId> = t.switch(SwitchId(0)).connected().collect();
+        assert_eq!(ports, vec![PortId(0), PortId(1)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = tiny();
+        let json = serde_json::to_string(&t).unwrap();
+        let u: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, u);
+        u.validate().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fattree::KAryNTree;
+    use crate::routing::RoutingTable;
+    use ccfit_engine::ids::{NodeId, PortId, SwitchId};
+
+    #[test]
+    fn removing_a_trunk_reroutes_around_it() {
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        // Fail one leaf up-link.
+        let faulty = topo.without_cable(SwitchId(0), PortId(2)).unwrap();
+        assert_eq!(faulty.num_cables(), topo.num_cables() - 1);
+        assert!(faulty.peer(SwitchId(0), PortId(2)).is_none());
+        faulty.validate().unwrap();
+        // Shortest-path routing still delivers every pair.
+        RoutingTable::shortest_path(&faulty)
+            .verify_delivers_all(&faulty)
+            .unwrap();
+    }
+
+    #[test]
+    fn node_cables_cannot_fail() {
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        let (s, p, _) = topo.node_attachment(NodeId(0));
+        assert!(topo.without_cable(s, p).is_err());
+    }
+
+    #[test]
+    fn unconnected_port_is_an_error() {
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        // Top-stage up ports are unconnected.
+        let top = tree.switch_id(2, 0);
+        assert!(topo.without_cable(top, PortId(5)).is_err());
+    }
+
+    #[test]
+    fn rerouted_paths_are_longer_or_equal() {
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        let healthy = RoutingTable::shortest_path(&topo);
+        let faulty_topo = topo.without_cable(SwitchId(0), PortId(2)).unwrap();
+        let faulty = RoutingTable::shortest_path(&faulty_topo);
+        for s in topo.node_ids() {
+            for d in topo.node_ids() {
+                if s == d {
+                    continue;
+                }
+                assert!(
+                    faulty.hops(&faulty_topo, s, d) >= healthy.hops(&topo, s, d),
+                    "{s}->{d}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! 2D meshes with XY dimension-order routing.
+//!
+//! The paper's mechanisms target any lossless network with *distributed
+//! deterministic routing*; multistage fat trees are its evaluation
+//! vehicle, but direct networks qualify just as well. This module adds a
+//! 2D mesh with one node per switch and XY (dimension-order) routing —
+//! deterministic, destination-based and deadlock-free — so the congestion
+//! mechanisms can be studied on a direct topology too (see the
+//! `mesh_hotspot` ablation and tests).
+//!
+//! ## Port convention
+//!
+//! | Port | Meaning |
+//! |------|---------|
+//! | 0    | local node |
+//! | 1    | −X (west)  |
+//! | 2    | +X (east)  |
+//! | 3    | −Y (south) |
+//! | 4    | +Y (north) |
+
+use crate::builder::TopologyBuilder;
+use crate::graph::{LinkParams, Topology};
+use crate::routing::RoutingTable;
+use ccfit_engine::ids::{PortId, SwitchId};
+use serde::{Deserialize, Serialize};
+
+/// Local-node port.
+pub const MESH_PORT_NODE: PortId = PortId(0);
+/// West port (−X).
+pub const MESH_PORT_WEST: PortId = PortId(1);
+/// East port (+X).
+pub const MESH_PORT_EAST: PortId = PortId(2);
+/// South port (−Y).
+pub const MESH_PORT_SOUTH: PortId = PortId(3);
+/// North port (+Y).
+pub const MESH_PORT_NORTH: PortId = PortId(4);
+
+/// A `width × height` 2D mesh, one processing node per switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh2D {
+    /// Switches along X.
+    pub width: usize,
+    /// Switches along Y.
+    pub height: usize,
+}
+
+impl Mesh2D {
+    /// Create a mesh description; both dimensions must be ≥ 1 and the
+    /// mesh must contain at least two switches.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 1 && height >= 1, "dimensions must be positive");
+        assert!(width * height >= 2, "a mesh needs at least two switches");
+        Self { width, height }
+    }
+
+    /// Number of nodes (= number of switches).
+    pub fn num_nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Switch id at coordinates `(x, y)`.
+    pub fn switch_at(&self, x: usize, y: usize) -> SwitchId {
+        debug_assert!(x < self.width && y < self.height);
+        SwitchId::from(y * self.width + x)
+    }
+
+    /// Coordinates of a switch.
+    pub fn coords(&self, s: SwitchId) -> (usize, usize) {
+        (s.index() % self.width, s.index() / self.width)
+    }
+
+    /// Build the physical topology with uniform cable parameters.
+    pub fn build(&self, link: LinkParams) -> Topology {
+        let mut b = TopologyBuilder::new(format!("{}x{} mesh", self.width, self.height));
+        b.default_link(link);
+        for _ in 0..self.num_nodes() {
+            b.add_switch(5);
+        }
+        for n in 0..self.num_nodes() {
+            let node = b.add_node();
+            b.attach(node, SwitchId::from(n), MESH_PORT_NODE)
+                .expect("node attachment");
+        }
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let here = self.switch_at(x, y);
+                if x + 1 < self.width {
+                    b.connect(here, MESH_PORT_EAST, self.switch_at(x + 1, y), MESH_PORT_WEST)
+                        .expect("x cable");
+                }
+                if y + 1 < self.height {
+                    b.connect(here, MESH_PORT_NORTH, self.switch_at(x, y + 1), MESH_PORT_SOUTH)
+                        .expect("y cable");
+                }
+            }
+        }
+        b.build().expect("mesh construction is always valid")
+    }
+
+    /// XY dimension-order routing: correct X first, then Y. Deterministic,
+    /// destination-based and deadlock-free (dimension order admits no
+    /// cyclic channel dependencies).
+    pub fn xy_routing(&self) -> RoutingTable {
+        let n = self.num_nodes();
+        let tables = (0..n)
+            .map(|s| {
+                let (sx, sy) = self.coords(SwitchId::from(s));
+                (0..n)
+                    .map(|d| {
+                        let (dx, dy) = self.coords(SwitchId::from(d));
+                        if dx > sx {
+                            MESH_PORT_EAST
+                        } else if dx < sx {
+                            MESH_PORT_WEST
+                        } else if dy > sy {
+                            MESH_PORT_NORTH
+                        } else if dy < sy {
+                            MESH_PORT_SOUTH
+                        } else {
+                            MESH_PORT_NODE
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        RoutingTable::from_tables(tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfit_engine::ids::NodeId;
+
+    #[test]
+    fn dimensions_and_counts() {
+        let m = Mesh2D::new(4, 3);
+        assert_eq!(m.num_nodes(), 12);
+        let t = m.build(LinkParams::default());
+        t.validate().unwrap();
+        assert_eq!(t.num_switches(), 12);
+        assert_eq!(t.num_nodes(), 12);
+        // Cables: 12 node links + 3·3 X-cables per row × 3 rows... :
+        // X: (4-1)*3 = 9, Y: 4*(3-1) = 8 -> 12 + 17 = 29.
+        assert_eq!(t.num_cables(), 29);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = Mesh2D::new(5, 4);
+        for y in 0..4 {
+            for x in 0..5 {
+                assert_eq!(m.coords(m.switch_at(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_routing_delivers_every_pair() {
+        for (w, h) in [(2usize, 2usize), (4, 3), (1, 5), (6, 1)] {
+            let m = Mesh2D::new(w, h);
+            let t = m.build(LinkParams::default());
+            m.xy_routing().verify_delivers_all(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn xy_paths_correct_x_before_y() {
+        let m = Mesh2D::new(4, 4);
+        let t = m.build(LinkParams::default());
+        let r = m.xy_routing();
+        // From (0,0) to (3,2): expect 3 east hops then 2 north hops.
+        let path = r.trace(&t, NodeId(0), NodeId(2 * 4 + 3)).unwrap();
+        let ports: Vec<PortId> = path.iter().map(|&(_, p)| p).collect();
+        assert_eq!(
+            ports,
+            vec![
+                MESH_PORT_EAST,
+                MESH_PORT_EAST,
+                MESH_PORT_EAST,
+                MESH_PORT_NORTH,
+                MESH_PORT_NORTH,
+                MESH_PORT_NODE
+            ]
+        );
+    }
+
+    #[test]
+    fn path_lengths_are_manhattan_distance() {
+        let m = Mesh2D::new(4, 4);
+        let t = m.build(LinkParams::default());
+        let r = m.xy_routing();
+        for s in 0..16usize {
+            for d in 0..16usize {
+                if s == d {
+                    continue;
+                }
+                let (sx, sy) = m.coords(SwitchId::from(s));
+                let (dx, dy) = m.coords(SwitchId::from(d));
+                let manhattan = sx.abs_diff(dx) + sy.abs_diff(dy);
+                assert_eq!(
+                    r.hops(&t, NodeId::from(s), NodeId::from(d)),
+                    manhattan + 1,
+                    "{s}->{d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn border_switches_have_unconnected_ports() {
+        let m = Mesh2D::new(3, 3);
+        let t = m.build(LinkParams::default());
+        // Corner (0,0): west and south unconnected.
+        let c = m.switch_at(0, 0);
+        assert!(t.peer(c, MESH_PORT_WEST).is_none());
+        assert!(t.peer(c, MESH_PORT_SOUTH).is_none());
+        assert!(t.peer(c, MESH_PORT_EAST).is_some());
+        assert!(t.peer(c, MESH_PORT_NORTH).is_some());
+        // Centre (1,1): everything connected.
+        let mid = m.switch_at(1, 1);
+        for p in 1..=4 {
+            assert!(t.peer(mid, PortId(p)).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two switches")]
+    fn one_by_one_rejected() {
+        Mesh2D::new(1, 1);
+    }
+}

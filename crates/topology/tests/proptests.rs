@@ -1,0 +1,72 @@
+//! Property-based tests over topology generation and routing.
+
+use ccfit_engine::ids::NodeId;
+use ccfit_topology::graph::LinkParams;
+use ccfit_topology::{KAryNTree, RoutingTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every k-ary n-tree we can build validates and has the closed-form
+    /// node/switch/cable counts.
+    #[test]
+    fn fat_tree_counts(k in 2u32..5, n in 1u32..4) {
+        let t = KAryNTree::new(k, n);
+        let topo = t.build(LinkParams::default());
+        topo.validate().unwrap();
+        prop_assert_eq!(topo.num_nodes(), (k as usize).pow(n));
+        prop_assert_eq!(topo.num_switches(), n as usize * (k as usize).pow(n - 1));
+        prop_assert_eq!(topo.num_cables(), n as usize * (k as usize).pow(n));
+    }
+
+    /// DET routing delivers every pair in every tree, and shortest-path
+    /// routing does too.
+    #[test]
+    fn routing_always_delivers(k in 2u32..4, n in 1u32..4) {
+        let t = KAryNTree::new(k, n);
+        let topo = t.build(LinkParams::default());
+        t.det_routing().verify_delivers_all(&topo).unwrap();
+        RoutingTable::shortest_path(&topo).verify_delivers_all(&topo).unwrap();
+    }
+
+    /// DET path lengths: same-leaf pairs take 1 hop; everything is at
+    /// most 2n-1 switch hops.
+    #[test]
+    fn det_path_lengths(k in 2u32..4, n in 2u32..4, src_raw in 0usize..64, dst_raw in 0usize..64) {
+        let t = KAryNTree::new(k, n);
+        let topo = t.build(LinkParams::default());
+        let nn = topo.num_nodes();
+        let src = NodeId::from(src_raw % nn);
+        let dst = NodeId::from(dst_raw % nn);
+        prop_assume!(src != dst);
+        let routing = t.det_routing();
+        let hops = routing.hops(&topo, src, dst);
+        prop_assert!(hops <= 2 * n as usize - 1);
+        if src.index() / k as usize == dst.index() / k as usize {
+            prop_assert_eq!(hops, 1, "same leaf switch");
+        }
+    }
+
+    /// DET routing is destination-based: paths from any two sources to
+    /// the same destination share their suffix after the first common
+    /// switch.
+    #[test]
+    fn det_paths_merge(k in 2u32..4, seed in 0usize..1000) {
+        let t = KAryNTree::new(k, 3);
+        let topo = t.build(LinkParams::default());
+        let routing = t.det_routing();
+        let nn = topo.num_nodes();
+        let dst = NodeId::from(seed % nn);
+        let s1 = NodeId::from((seed / 7) % nn);
+        let s2 = NodeId::from((seed / 13) % nn);
+        prop_assume!(s1 != dst && s2 != dst);
+        let p1 = routing.trace(&topo, s1, dst).unwrap();
+        let p2 = routing.trace(&topo, s2, dst).unwrap();
+        // Find a common switch; from there both walks must be identical.
+        if let Some(pos1) = p1.iter().position(|h| p2.contains(h)) {
+            let pos2 = p2.iter().position(|h| h == &p1[pos1]).unwrap();
+            prop_assert_eq!(&p1[pos1..], &p2[pos2..]);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The paper's traffic cases (§IV-A), as preset [`TrafficPattern`]s.
+
+use crate::flow::FlowSpec;
+use crate::pattern::TrafficPattern;
+use ccfit_engine::ids::NodeId;
+
+const MS: f64 = 1e6; // nanoseconds per millisecond
+
+/// **Case #1** (Config #1, Fig. 5). Five full-rate flows:
+///
+/// * `F0` — node 0 → node 3, the **victim**, active the whole run,
+/// * `F1` — node 1 → node 4, active [2 ms, `end_ms`],
+/// * `F2` — node 2 → node 4, active [4 ms, `end_ms`],
+/// * `F5` — node 5 → node 4, active [6 ms, `end_ms`],
+/// * `F6` — node 6 → node 4, active [6 ms, `end_ms`].
+///
+/// The hotspot is the link from switch 1 to end node 4. The paper runs to
+/// 10 ms; pass a smaller `end_ms` for quick tests.
+pub fn case1(end_ms: f64) -> TrafficPattern {
+    let end = Some(end_ms * MS);
+    let mut flows = vec![
+        FlowSpec::hotspot(0, NodeId(0), NodeId(3), 0.0, None),
+        FlowSpec::hotspot(1, NodeId(1), NodeId(4), 2.0 * MS, end),
+        FlowSpec::hotspot(2, NodeId(2), NodeId(4), 4.0 * MS, end),
+        FlowSpec::hotspot(5, NodeId(5), NodeId(4), 6.0 * MS, end),
+        FlowSpec::hotspot(6, NodeId(6), NodeId(4), 6.0 * MS, end),
+    ];
+    flows[0].label = "F0 (victim)".into();
+    TrafficPattern::new("case1", flows)
+}
+
+/// **Case #2** (Config #2, 2-ary 3-tree). Five full-rate flows converging
+/// on node 7 (reconstruction; see DESIGN.md §3):
+///
+/// * `F1` — node 1 → node 7, active the whole run,
+/// * `F0` — node 0 → node 7, active [2 ms, `end_ms`],
+/// * `F4` — node 4 → node 7, active [4 ms, `end_ms`],
+/// * `F2` — node 2 → node 7, active [6 ms, `end_ms`],
+/// * `F3` — node 3 → node 7, active [6 ms, `end_ms`].
+///
+/// Under DET routing F0/F1 and F2/F3 merge pairwise at their leaf
+/// switches, all four merge again one stage up, and F4 joins at the root
+/// — several congestion points dividing the bandwidth, with the
+/// parking-lot preconditions at the two merge switches.
+pub fn case2(end_ms: f64) -> TrafficPattern {
+    let end = Some(end_ms * MS);
+    let flows = vec![
+        FlowSpec::hotspot(1, NodeId(1), NodeId(7), 0.0, None),
+        FlowSpec::hotspot(0, NodeId(0), NodeId(7), 2.0 * MS, end),
+        FlowSpec::hotspot(4, NodeId(4), NodeId(7), 4.0 * MS, end),
+        FlowSpec::hotspot(2, NodeId(2), NodeId(7), 6.0 * MS, end),
+        FlowSpec::hotspot(3, NodeId(3), NodeId(7), 6.0 * MS, end),
+    ];
+    TrafficPattern::new("case2", flows)
+}
+
+/// **Case #3** (Config #2). Case #2 plus three uniform-traffic sources at
+/// nodes 5, 6 and 7, full rate, active the whole run. The uniform traffic
+/// adds short-lived congestion spots that appear and vanish quickly,
+/// stressing reaction time.
+pub fn case3(end_ms: f64) -> TrafficPattern {
+    let mut flows = case2(end_ms).flows;
+    flows.push(FlowSpec::uniform(100, NodeId(5), 0.0, None));
+    flows.push(FlowSpec::uniform(101, NodeId(6), 0.0, None));
+    flows.push(FlowSpec::uniform(102, NodeId(7), 0.0, None));
+    TrafficPattern::new("case3", flows)
+}
+
+/// **Case #4** (Config #3, 4-ary 3-tree). 75 % of the sources inject
+/// uniform traffic at 100 % for the whole run; the remaining 25 % burst
+/// into `hotspots` congestion trees during [1 ms, 2 ms] and then stop.
+///
+/// Hot sources are the nodes with `index % 4 == 3` (one per leaf-switch
+/// group, spreading the burst across the machine); they are split
+/// round-robin over `hotspots` hot destinations drawn from the uniform
+/// population at regular strides. With 2 CFQs per port, `hotspots = 1`
+/// stays within FBICM's isolation resources while 4 and 6 exhaust them —
+/// the regime where CCFIT's throttling pays off (Fig. 8).
+pub fn case4(num_nodes: usize, hotspots: usize) -> TrafficPattern {
+    assert!(hotspots >= 1, "need at least one hotspot");
+    assert!(num_nodes >= 8, "case 4 needs a non-trivial machine");
+    let mut flows = Vec::new();
+    // Hot destinations: spread over the uniform population.
+    let stride = num_nodes / hotspots;
+    let hot_dsts: Vec<NodeId> = (0..hotspots)
+        .map(|j| {
+            let mut d = j * stride + 1;
+            if d % 4 == 3 {
+                d += 1; // never target a hot source
+            }
+            NodeId::from(d % num_nodes)
+        })
+        .collect();
+    let mut hot_rank = 0usize;
+    for (id, n) in (0..num_nodes).enumerate() {
+        let node = NodeId::from(n);
+        if n % 4 == 3 {
+            // Hot source: burst [1 ms, 2 ms] toward its assigned hotspot.
+            let dst = hot_dsts[hot_rank % hotspots];
+            hot_rank += 1;
+            let mut f = FlowSpec::hotspot(id as u32, node, dst, 1.0 * MS, Some(2.0 * MS));
+            f.label = format!("H{}->{}", n, dst.0);
+            flows.push(f);
+        } else {
+            flows.push(FlowSpec::uniform(id as u32, node, 0.0, None));
+        }
+    }
+    TrafficPattern::new(format!("case4-h{hotspots}"), flows)
+}
+
+/// Uniform random traffic from every node at the given rate — the
+/// standard background workload for sanity and saturation studies.
+pub fn uniform_all(num_nodes: usize, rate: f64) -> TrafficPattern {
+    let flows = (0..num_nodes)
+        .map(|n| {
+            let mut f = FlowSpec::uniform(n as u32, NodeId::from(n), 0.0, None);
+            f.rate = rate;
+            f
+        })
+        .collect();
+    TrafficPattern::new(format!("uniform-{rate}"), flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Destination;
+
+    #[test]
+    fn case1_matches_the_paper_schedule() {
+        let p = case1(10.0);
+        assert_eq!(p.flows.len(), 5);
+        let f0 = &p.flows[0];
+        assert_eq!(f0.src, NodeId(0));
+        assert_eq!(f0.dst, Destination::Fixed(NodeId(3)));
+        assert_eq!(f0.end_ns, None, "victim active for the whole run");
+        let f5 = p.flows.iter().find(|f| f.src == NodeId(5)).unwrap();
+        assert_eq!(f5.start_ns, 6.0 * MS);
+        assert_eq!(f5.end_ns, Some(10.0 * MS));
+        // All contributors hit node 4.
+        assert!(p
+            .flows
+            .iter()
+            .skip(1)
+            .all(|f| f.dst == Destination::Fixed(NodeId(4))));
+    }
+
+    #[test]
+    fn case2_converges_on_node7_with_f1_always_on() {
+        let p = case2(10.0);
+        assert_eq!(p.flows.len(), 5);
+        assert!(p.flows.iter().all(|f| f.dst == Destination::Fixed(NodeId(7))));
+        let f1 = p.flows.iter().find(|f| f.src == NodeId(1)).unwrap();
+        assert_eq!(f1.start_ns, 0.0);
+        assert_eq!(f1.end_ns, None);
+        let sources: Vec<u32> = p.flows.iter().map(|f| f.src.0).collect();
+        assert_eq!(sources.len(), 5);
+        assert!(sources.contains(&4));
+    }
+
+    #[test]
+    fn case3_adds_three_uniform_sources() {
+        let p = case3(10.0);
+        assert_eq!(p.flows.len(), 8);
+        let uniform: Vec<u32> = p
+            .flows
+            .iter()
+            .filter(|f| f.dst == Destination::Uniform)
+            .map(|f| f.src.0)
+            .collect();
+        assert_eq!(uniform, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn case4_splits_sources_75_25() {
+        let p = case4(64, 4);
+        assert_eq!(p.flows.len(), 64);
+        let hot: Vec<&FlowSpec> = p
+            .flows
+            .iter()
+            .filter(|f| matches!(f.dst, Destination::Fixed(_)))
+            .collect();
+        assert_eq!(hot.len(), 16, "25% of 64 sources are hot");
+        // Hot flows burst exactly [1ms, 2ms].
+        assert!(hot.iter().all(|f| f.start_ns == 1.0 * MS && f.end_ns == Some(2.0 * MS)));
+        // Exactly 4 distinct hot destinations.
+        let mut dsts: Vec<u32> = hot
+            .iter()
+            .map(|f| match f.dst {
+                Destination::Fixed(d) => d.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        dsts.sort();
+        dsts.dedup();
+        assert_eq!(dsts.len(), 4);
+        // Hot destinations are uniform-population nodes, never hot sources.
+        assert!(dsts.iter().all(|d| d % 4 != 3));
+    }
+
+    #[test]
+    fn case4_hotspot_counts() {
+        for h in [1usize, 4, 6] {
+            let p = case4(64, h);
+            let mut dsts: Vec<u32> = p
+                .flows
+                .iter()
+                .filter_map(|f| match f.dst {
+                    Destination::Fixed(d) => Some(d.0),
+                    _ => None,
+                })
+                .collect();
+            dsts.sort();
+            dsts.dedup();
+            assert_eq!(dsts.len(), h, "exactly {h} congestion trees");
+        }
+    }
+
+    #[test]
+    fn uniform_all_has_one_flow_per_node() {
+        let p = uniform_all(16, 0.8);
+        assert_eq!(p.flows.len(), 16);
+        assert!(p.flows.iter().all(|f| f.rate == 0.8));
+        assert!(p.flows.iter().all(|f| f.dst == Destination::Uniform));
+    }
+}

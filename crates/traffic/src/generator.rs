@@ -1,0 +1,441 @@
+//! Per-node packet generation: token buckets over saturated sources.
+//!
+//! Each node runs one [`NodeGenerator`] holding the flows sourced there.
+//! A flow accrues `rate × link_bandwidth` flits of budget per cycle while
+//! active; whenever a full packet's worth is available, the generator
+//! offers a packet to the injection sink (the input adapter's admittance
+//! queues). If the sink refuses — the AdVOQ for that destination is full,
+//! i.e. the NIC is backpressured — the budget is retained but capped at a
+//! small burst allowance, modelling a *saturated source*: an application
+//! that always has data ready but cannot buffer unboundedly inside the
+//! NIC.
+
+use crate::flow::{Burstiness, Destination, FlowSpec};
+use ccfit_engine::ids::{FlowId, NodeId};
+use ccfit_engine::rng::SeedSplitter;
+use ccfit_engine::units::{Cycle, UnitModel};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A packet offered by a generator to the injection path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenPacket {
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Chosen destination.
+    pub dst: NodeId,
+    /// Size in flits.
+    pub size_flits: u32,
+    /// Payload size in bytes.
+    pub size_bytes: u32,
+}
+
+/// Where generated packets are offered. Implemented by the input adapter.
+pub trait InjectSink {
+    /// Try to accept the packet; `false` = backpressure (the generator
+    /// retains its budget and retries next cycle).
+    fn try_inject(&mut self, pkt: GenPacket) -> bool;
+}
+
+impl<F: FnMut(GenPacket) -> bool> InjectSink for F {
+    fn try_inject(&mut self, pkt: GenPacket) -> bool {
+        self(pkt)
+    }
+}
+
+/// Maximum retained budget, in packets, while backpressured.
+const BURST_CAP_PACKETS: f64 = 2.0;
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    id: FlowId,
+    dst: Destination,
+    start: Cycle,
+    end: Option<Cycle>,
+    flits_per_cycle: f64,
+    packet_flits: u32,
+    packet_bytes: u32,
+    tokens: f64,
+    rng: SmallRng,
+    /// ON/OFF process: `None` for smooth flows; otherwise the phase
+    /// boundary and mean phase lengths in cycles.
+    onoff: Option<OnOffState>,
+    link_bw: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OnOffState {
+    on: bool,
+    phase_ends: Cycle,
+    mean_on_cycles: f64,
+    mean_off_cycles: f64,
+}
+
+/// Token-bucket generator for all flows sourced at one node.
+#[derive(Debug, Clone)]
+pub struct NodeGenerator {
+    node: NodeId,
+    num_nodes: usize,
+    flows: Vec<FlowState>,
+}
+
+impl NodeGenerator {
+    /// Build the generator for `node` from the flows sourced there.
+    ///
+    /// `link_bw_flits_per_cycle` is the node's injection-link bandwidth
+    /// (rate 1.0 saturates it); `num_nodes` bounds uniform destination
+    /// selection; seeds are derived per flow for reproducibility.
+    pub fn new(
+        node: NodeId,
+        flows: &[FlowSpec],
+        units: &UnitModel,
+        link_bw_flits_per_cycle: u32,
+        num_nodes: usize,
+        seeds: &SeedSplitter,
+    ) -> Self {
+        let flows = flows
+            .iter()
+            .filter(|f| f.src == node)
+            .map(|f| {
+                let onoff = match f.burstiness {
+                    Burstiness::Smooth => None,
+                    Burstiness::OnOff { mean_on_ns } => {
+                        let mean_on = units.ns_to_cycles(mean_on_ns).max(1) as f64;
+                        // Duty cycle = rate: mean_off = mean_on (1-r)/r.
+                        let r = f.rate.clamp(0.01, 1.0);
+                        Some(OnOffState {
+                            on: false,
+                            phase_ends: 0,
+                            mean_on_cycles: mean_on,
+                            mean_off_cycles: mean_on * (1.0 - r) / r,
+                        })
+                    }
+                };
+                FlowState {
+                    id: f.id,
+                    dst: f.dst,
+                    start: units.ns_to_cycles(f.start_ns),
+                    end: f.end_ns.map(|e| units.ns_to_cycles(e)),
+                    flits_per_cycle: f.rate * link_bw_flits_per_cycle as f64,
+                    packet_flits: units.bytes_to_flits(f.packet_bytes),
+                    packet_bytes: f.packet_bytes,
+                    tokens: 0.0,
+                    rng: seeds.rng("traffic-flow", f.id.0 as u64),
+                    onoff,
+                    link_bw: link_bw_flits_per_cycle as f64,
+                }
+            })
+            .collect();
+        Self { node, num_nodes, flows }
+    }
+
+    /// The node this generator belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of flows sourced at this node.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if any flow is active at `now`.
+    pub fn any_active(&self, now: Cycle) -> bool {
+        self.flows
+            .iter()
+            .any(|f| now >= f.start && f.end.is_none_or(|e| now < e))
+    }
+
+    /// Advance one cycle: accrue budget and offer ready packets to the
+    /// sink. Offers at most one packet per flow per cycle (a node cannot
+    /// source faster than its flows' combined budget anyway; the cap
+    /// bounds worst-case work per cycle).
+    pub fn tick(&mut self, now: Cycle, sink: &mut impl InjectSink) {
+        for f in &mut self.flows {
+            let active = now >= f.start && f.end.is_none_or(|e| now < e);
+            if !active {
+                // Budget does not accumulate while inactive; leftover
+                // tokens are discarded so a reactivated flow starts
+                // cleanly.
+                f.tokens = 0.0;
+                continue;
+            }
+            // ON/OFF flows accrue at line rate during ON phases and not
+            // at all during OFF phases; smooth flows accrue steadily.
+            let accrual = match &mut f.onoff {
+                None => f.flits_per_cycle,
+                Some(st) => {
+                    if now >= st.phase_ends {
+                        // Draw the next phase length from an exponential
+                        // distribution (inverse-CDF on a uniform sample).
+                        st.on = !st.on;
+                        let mean = if st.on { st.mean_on_cycles } else { st.mean_off_cycles };
+                        let u: f64 = f.rng.random::<f64>().max(1e-12);
+                        let len = (-u.ln() * mean).ceil().max(1.0) as Cycle;
+                        st.phase_ends = now + len;
+                    }
+                    if st.on {
+                        f.link_bw
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            f.tokens = (f.tokens + accrual)
+                .min(BURST_CAP_PACKETS * f.packet_flits as f64);
+            if f.tokens >= f.packet_flits as f64 {
+                let dst = match f.dst {
+                    Destination::Fixed(d) => d,
+                    Destination::Uniform => {
+                        // Uniform over all nodes except the source.
+                        let r = f.rng.random_range(0..self.num_nodes - 1);
+                        let d = if r >= self.node.index() { r + 1 } else { r };
+                        NodeId::from(d)
+                    }
+                };
+                let accepted = sink.try_inject(GenPacket {
+                    flow: f.id,
+                    dst,
+                    size_flits: f.packet_flits,
+                    size_bytes: f.packet_bytes,
+                });
+                if accepted {
+                    f.tokens -= f.packet_flits as f64;
+                }
+                // On refusal the tokens stay (capped), modelling a
+                // saturated source that retries immediately.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+
+    fn units() -> UnitModel {
+        UnitModel::default()
+    }
+
+    fn gen_for(specs: &[FlowSpec], node: u32) -> NodeGenerator {
+        NodeGenerator::new(
+            NodeId(node),
+            specs,
+            &units(),
+            1,
+            8,
+            &SeedSplitter::new(42),
+        )
+    }
+
+    /// Run `cycles` cycles with an always-accepting sink; count packets.
+    fn run_accepting(g: &mut NodeGenerator, cycles: u64) -> Vec<GenPacket> {
+        let mut got = Vec::new();
+        let mut sink = |p: GenPacket| {
+            got.push(p);
+            true
+        };
+        for now in 0..cycles {
+            g.tick(now, &mut sink);
+        }
+        got
+    }
+
+    #[test]
+    fn full_rate_flow_saturates_the_link() {
+        let specs = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(4), 0.0, None)];
+        let mut g = gen_for(&specs, 0);
+        let got = run_accepting(&mut g, 3200);
+        // 3200 cycles at 1 flit/cycle = 100 MTU packets of 32 flits.
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().all(|p| p.dst == NodeId(4) && p.size_flits == 32));
+    }
+
+    #[test]
+    fn half_rate_flow_generates_half_the_packets() {
+        let mut spec = FlowSpec::hotspot(0, NodeId(0), NodeId(4), 0.0, None);
+        spec.rate = 0.5;
+        let mut g = gen_for(&[spec], 0);
+        let got = run_accepting(&mut g, 6400);
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn flow_respects_activation_window() {
+        let u = units();
+        let start_ns = 1000.0 * u.cycle_ns;
+        let end_ns = 2000.0 * u.cycle_ns;
+        let specs = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(4), start_ns, Some(end_ns))];
+        let mut g = gen_for(&specs, 0);
+        let mut times = Vec::new();
+        let mut count = 0usize;
+        for now in 0..3000u64 {
+            let mut sink = |_: GenPacket| {
+                times.push(now);
+                count += 1;
+                true
+            };
+            g.tick(now, &mut sink);
+        }
+        assert!(!times.is_empty());
+        assert!(*times.first().unwrap() >= 1000);
+        assert!(*times.last().unwrap() < 2000 + 32, "stops at deactivation");
+        // Roughly 1000 cycles of activity = ~31 packets.
+        assert!((28..=33).contains(&count), "got {count}");
+    }
+
+    #[test]
+    fn backpressure_retains_budget_up_to_burst_cap() {
+        let specs = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(4), 0.0, None)];
+        let mut g = gen_for(&specs, 0);
+        // Refuse everything for 1000 cycles.
+        let mut refuse = |_: GenPacket| false;
+        for now in 0..1000u64 {
+            g.tick(now, &mut refuse);
+        }
+        // Then accept: only the burst cap (2 packets) plus steady-state
+        // generation may appear in a short window.
+        let mut got = 0usize;
+        let mut accept = |_: GenPacket| {
+            got += 1;
+            true
+        };
+        for now in 1000..1002u64 {
+            g.tick(now, &mut accept);
+        }
+        assert!(got <= 2, "burst after stall is capped, got {got}");
+    }
+
+    #[test]
+    fn uniform_flow_never_picks_its_own_node() {
+        let specs = vec![FlowSpec::uniform(0, NodeId(3), 0.0, None)];
+        let mut g = gen_for(&specs, 3);
+        let got = run_accepting(&mut g, 32 * 200);
+        assert_eq!(got.len(), 200);
+        assert!(got.iter().all(|p| p.dst != NodeId(3)));
+    }
+
+    #[test]
+    fn uniform_flow_covers_all_other_destinations() {
+        let specs = vec![FlowSpec::uniform(0, NodeId(0), 0.0, None)];
+        let mut g = gen_for(&specs, 0);
+        let got = run_accepting(&mut g, 32 * 700);
+        let mut seen = [false; 8];
+        for p in &got {
+            seen[p.dst.index()] = true;
+        }
+        assert!(!seen[0]);
+        assert!(seen[1..].iter().all(|&s| s), "all 7 other nodes hit: {seen:?}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let specs = vec![FlowSpec::uniform(0, NodeId(0), 0.0, None)];
+        let mut a = gen_for(&specs, 0);
+        let mut b = gen_for(&specs, 0);
+        let ga = run_accepting(&mut a, 3200);
+        let gb = run_accepting(&mut b, 3200);
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
+    fn only_own_flows_are_instantiated() {
+        let specs = vec![
+            FlowSpec::hotspot(0, NodeId(0), NodeId(4), 0.0, None),
+            FlowSpec::hotspot(1, NodeId(1), NodeId(4), 0.0, None),
+        ];
+        let g = gen_for(&specs, 0);
+        assert_eq!(g.num_flows(), 1);
+    }
+
+    #[test]
+    fn inactive_generator_reports_idle() {
+        let specs = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(4), 1e6, None)];
+        let g = gen_for(&specs, 0);
+        assert!(!g.any_active(0));
+        assert!(g.any_active(units().ns_to_cycles(1e6)));
+    }
+}
+
+#[cfg(test)]
+mod onoff_tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+
+    fn run_count(spec: FlowSpec, cycles: u64, seed: u64) -> usize {
+        let mut g = NodeGenerator::new(
+            NodeId(0),
+            &[spec],
+            &UnitModel::default(),
+            1,
+            8,
+            &SeedSplitter::new(seed),
+        );
+        let mut got = 0usize;
+        let mut sink = |_: GenPacket| {
+            got += 1;
+            true
+        };
+        for now in 0..cycles {
+            g.tick(now, &mut sink);
+        }
+        got
+    }
+
+    #[test]
+    fn onoff_long_run_average_matches_rate() {
+        // 0.5 rate with 10 us mean bursts over 40 ms: expect ~half of
+        // line rate within 10%.
+        let spec = FlowSpec::bursty_uniform(0, NodeId(0), 0.5, 10_000.0);
+        let cycles = 1_600_000u64;
+        let got = run_count(spec, cycles, 7) as f64;
+        let expected = 0.5 * cycles as f64 / 32.0;
+        assert!(
+            (got - expected).abs() < 0.1 * expected,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn onoff_is_burstier_than_smooth() {
+        // Compare inter-packet gap variance at the same average rate.
+        let gaps = |spec: FlowSpec| {
+            let mut g = NodeGenerator::new(
+                NodeId(0),
+                &[spec],
+                &UnitModel::default(),
+                1,
+                8,
+                &SeedSplitter::new(3),
+            );
+            let mut times = Vec::new();
+            for now in 0..400_000u64 {
+                let mut sink = |_: GenPacket| {
+                    times.push(now);
+                    true
+                };
+                g.tick(now, &mut sink);
+            }
+            let deltas: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+            let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+                / deltas.len() as f64;
+            (mean, var)
+        };
+        let mut smooth = FlowSpec::uniform(0, NodeId(0), 0.0, None);
+        smooth.rate = 0.3;
+        let bursty = FlowSpec::bursty_uniform(1, NodeId(0), 0.3, 20_000.0);
+        let (m_s, v_s) = gaps(smooth);
+        let (m_b, v_b) = gaps(bursty);
+        assert!((m_s - m_b).abs() < 0.3 * m_s, "same average spacing: {m_s} vs {m_b}");
+        assert!(v_b > 5.0 * v_s, "bursty variance {v_b} >> smooth {v_s}");
+    }
+
+    #[test]
+    fn onoff_full_rate_degenerates_to_continuous() {
+        let spec = FlowSpec::bursty_uniform(0, NodeId(0), 1.0, 5_000.0);
+        let got = run_count(spec, 32_000, 9);
+        assert!(got >= 990 && got <= 1000, "full duty cycle ~ line rate: {got}");
+    }
+}

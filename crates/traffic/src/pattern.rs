@@ -1,0 +1,152 @@
+//! Traffic patterns: named collections of flows.
+
+use crate::flow::FlowSpec;
+use crate::generator::NodeGenerator;
+use ccfit_engine::ids::{FlowId, NodeId};
+use ccfit_engine::rng::SeedSplitter;
+use ccfit_engine::units::UnitModel;
+use serde::{Deserialize, Serialize};
+
+/// A named workload: the list of flows offered to the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficPattern {
+    /// Pattern name (e.g. `"case1"`).
+    pub name: String,
+    /// The flows.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl TrafficPattern {
+    /// Create a pattern from parts.
+    pub fn new(name: impl Into<String>, flows: Vec<FlowSpec>) -> Self {
+        let p = Self { name: name.into(), flows };
+        p.validate();
+        p
+    }
+
+    fn validate(&self) {
+        let mut ids: Vec<FlowId> = self.flows.iter().map(|f| f.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), self.flows.len(), "duplicate flow ids in pattern");
+        for f in &self.flows {
+            assert!(f.rate > 0.0 && f.rate <= 1.0, "flow rate must be in (0, 1]");
+            if let Some(e) = f.end_ns {
+                assert!(e > f.start_ns, "flow ends before it starts");
+            }
+        }
+    }
+
+    /// All flow ids, in declaration order.
+    pub fn flow_ids(&self) -> Vec<FlowId> {
+        self.flows.iter().map(|f| f.id).collect()
+    }
+
+    /// Label for a flow id, if declared.
+    pub fn label(&self, id: FlowId) -> Option<&str> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.label.as_str())
+    }
+
+    /// Largest node index referenced (source or fixed destination);
+    /// patterns must fit within the topology they run on.
+    pub fn max_node_index(&self) -> usize {
+        self.flows
+            .iter()
+            .flat_map(|f| {
+                let d = match f.dst {
+                    crate::flow::Destination::Fixed(d) => d.index(),
+                    crate::flow::Destination::Uniform => 0,
+                };
+                [f.src.index(), d]
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Instantiate one generator per node. `link_bw` gives each node's
+    /// injection-link bandwidth in flits/cycle.
+    pub fn build_generators(
+        &self,
+        num_nodes: usize,
+        units: &UnitModel,
+        link_bw: impl Fn(NodeId) -> u32,
+        seeds: &SeedSplitter,
+    ) -> Vec<NodeGenerator> {
+        assert!(
+            self.max_node_index() < num_nodes,
+            "pattern references node {} but the network has {} nodes",
+            self.max_node_index(),
+            num_nodes
+        );
+        (0..num_nodes)
+            .map(|n| {
+                let node = NodeId::from(n);
+                NodeGenerator::new(node, &self.flows, units, link_bw(node), num_nodes, seeds)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+
+    #[test]
+    fn pattern_collects_ids_and_labels() {
+        let p = TrafficPattern::new(
+            "t",
+            vec![
+                FlowSpec::hotspot(0, NodeId(0), NodeId(4), 0.0, None),
+                FlowSpec::hotspot(5, NodeId(5), NodeId(4), 0.0, None),
+            ],
+        );
+        assert_eq!(p.flow_ids(), vec![FlowId(0), FlowId(5)]);
+        assert_eq!(p.label(FlowId(5)), Some("F5"));
+        assert_eq!(p.label(FlowId(9)), None);
+        assert_eq!(p.max_node_index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow ids")]
+    fn duplicate_ids_rejected() {
+        TrafficPattern::new(
+            "t",
+            vec![
+                FlowSpec::hotspot(0, NodeId(0), NodeId(4), 0.0, None),
+                FlowSpec::hotspot(0, NodeId(1), NodeId(4), 0.0, None),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_window_rejected() {
+        TrafficPattern::new(
+            "t",
+            vec![FlowSpec::hotspot(0, NodeId(0), NodeId(4), 5e6, Some(2e6))],
+        );
+    }
+
+    #[test]
+    fn generators_cover_every_node() {
+        let p = TrafficPattern::new(
+            "t",
+            vec![FlowSpec::hotspot(0, NodeId(2), NodeId(4), 0.0, None)],
+        );
+        let gens = p.build_generators(8, &UnitModel::default(), |_| 1, &SeedSplitter::new(1));
+        assert_eq!(gens.len(), 8);
+        assert_eq!(gens[2].num_flows(), 1);
+        assert_eq!(gens[0].num_flows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "references node")]
+    fn oversized_pattern_rejected_at_build() {
+        let p = TrafficPattern::new(
+            "t",
+            vec![FlowSpec::hotspot(0, NodeId(9), NodeId(4), 0.0, None)],
+        );
+        p.build_generators(8, &UnitModel::default(), |_| 1, &SeedSplitter::new(1));
+    }
+}

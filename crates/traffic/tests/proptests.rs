@@ -1,0 +1,138 @@
+//! Property-based tests for workload generation.
+
+use ccfit_engine::ids::NodeId;
+use ccfit_engine::rng::SeedSplitter;
+use ccfit_engine::units::UnitModel;
+use ccfit_traffic::{case4, FlowSpec, GenPacket, NodeGenerator, TrafficPattern};
+use proptest::prelude::*;
+
+proptest! {
+    /// Token bucket accuracy: over a long window, an unobstructed flow
+    /// generates rate × time of traffic (within one packet).
+    #[test]
+    fn generated_rate_matches_configured_rate(rate in 0.05f64..=1.0, seed in 0u64..500) {
+        let mut spec = FlowSpec::hotspot(0, NodeId(0), NodeId(1), 0.0, None);
+        spec.rate = rate;
+        let mut g = NodeGenerator::new(
+            NodeId(0),
+            &[spec],
+            &UnitModel::default(),
+            1,
+            4,
+            &SeedSplitter::new(seed),
+        );
+        let cycles = 32_000u64;
+        let mut flits = 0u64;
+        let mut sink = |p: GenPacket| {
+            flits += p.size_flits as u64;
+            true
+        };
+        for now in 0..cycles {
+            g.tick(now, &mut sink);
+        }
+        let expected = rate * cycles as f64;
+        prop_assert!(
+            (flits as f64 - expected).abs() <= 32.0 + expected * 0.01,
+            "rate {}: got {} flits, expected ~{}", rate, flits, expected
+        );
+    }
+
+    /// Backpressure never loses budget beyond the burst cap: refusing the
+    /// sink for a while then accepting yields at most cap + rate×time.
+    #[test]
+    fn backpressure_caps_bursts(stall in 100u64..3000, seed in 0u64..100) {
+        let spec = FlowSpec::hotspot(0, NodeId(0), NodeId(1), 0.0, None);
+        let mut g = NodeGenerator::new(
+            NodeId(0), &[spec], &UnitModel::default(), 1, 4, &SeedSplitter::new(seed),
+        );
+        let mut refuse = |_: GenPacket| false;
+        for now in 0..stall {
+            g.tick(now, &mut refuse);
+        }
+        let mut got = 0u64;
+        let mut accept = |_: GenPacket| { got += 1; true };
+        for now in stall..stall + 64 {
+            g.tick(now, &mut accept);
+        }
+        // 64 cycles at line rate = 2 packets, plus at most 2 of burst cap.
+        prop_assert!(got <= 4, "burst after {}-cycle stall: {} packets", stall, got);
+    }
+
+    /// Case #4 structure: for any machine size (multiple of 4) and tree
+    /// count, hot sources are exactly 25%, hot destinations are never
+    /// hot sources, and uniform flows cover the rest.
+    #[test]
+    fn case4_structure(nodes_div4 in 3usize..32, h in 1usize..8) {
+        let nodes = nodes_div4 * 4;
+        prop_assume!(h <= nodes / 4);
+        let p = case4(nodes, h);
+        prop_assert_eq!(p.flows.len(), nodes);
+        let hot: Vec<&FlowSpec> = p
+            .flows
+            .iter()
+            .filter(|f| matches!(f.dst, ccfit_traffic::Destination::Fixed(_)))
+            .collect();
+        prop_assert_eq!(hot.len(), nodes / 4);
+        let mut dsts: Vec<u32> = hot
+            .iter()
+            .filter_map(|f| match f.dst {
+                ccfit_traffic::Destination::Fixed(d) => Some(d.0),
+                _ => None,
+            })
+            .collect();
+        dsts.sort();
+        dsts.dedup();
+        prop_assert_eq!(dsts.len(), h, "exactly h distinct hotspots");
+        for d in dsts {
+            prop_assert!(d % 4 != 3, "hot destination {} is a hot source", d);
+        }
+    }
+
+    /// Uniform destination choice is actually uniform-ish: over many
+    /// packets every destination appears, and no destination exceeds
+    /// three times the mean.
+    #[test]
+    fn uniform_destinations_are_spread(seed in 0u64..200) {
+        let spec = FlowSpec::uniform(0, NodeId(0), 0.0, None);
+        let mut g = NodeGenerator::new(
+            NodeId(0), &[spec], &UnitModel::default(), 1, 8, &SeedSplitter::new(seed),
+        );
+        let mut counts = [0u32; 8];
+        let mut sink = |p: GenPacket| {
+            counts[p.dst.index()] += 1;
+            true
+        };
+        for now in 0..32 * 700u64 {
+            g.tick(now, &mut sink);
+        }
+        prop_assert_eq!(counts[0], 0, "never self");
+        let total: u32 = counts.iter().sum();
+        let mean = total as f64 / 7.0;
+        for (d, &c) in counts.iter().enumerate().skip(1) {
+            prop_assert!(c > 0, "destination {} never chosen", d);
+            prop_assert!((c as f64) < 3.0 * mean, "destination {} over-chosen", d);
+        }
+    }
+
+    /// Pattern serde round-trips for arbitrary flow sets.
+    #[test]
+    fn pattern_serde_round_trip(n in 1usize..10, seed in 0u64..100) {
+        let flows: Vec<FlowSpec> = (0..n)
+            .map(|i| {
+                let mut f = FlowSpec::hotspot(
+                    i as u32,
+                    NodeId(((seed as usize + i) % 8) as u32),
+                    NodeId(((seed as usize + i + 1) % 8) as u32),
+                    (i as f64) * 1000.0,
+                    Some((i as f64) * 1000.0 + 50_000.0),
+                );
+                f.rate = 0.25 + (i as f64 % 4.0) * 0.2;
+                f
+            })
+            .collect();
+        let p = TrafficPattern::new("rt", flows);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: TrafficPattern = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(p, q);
+    }
+}

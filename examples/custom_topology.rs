@@ -1,0 +1,68 @@
+//! Building your own topology and traffic pattern with the public API.
+//!
+//! ```sh
+//! cargo run --release --example custom_topology
+//! ```
+//!
+//! Constructs a 3-switch ring-of-trees ("dragonfly-lite") topology with
+//! the [`TopologyBuilder`], derives deterministic shortest-path routing,
+//! declares a mixed workload, and compares CCFIT against the 1Q baseline.
+
+use ccfit::{Mechanism, SimBuilder};
+use ccfit_engine::ids::{FlowId, NodeId, PortId};
+use ccfit_topology::{LinkParams, TopologyBuilder};
+use ccfit_traffic::{FlowSpec, TrafficPattern};
+
+fn main() {
+    // Three switches in a triangle, three nodes each.
+    let mut b = TopologyBuilder::new("triangle");
+    b.default_link(LinkParams { bw_flits_per_cycle: 1, delay_cycles: 2 });
+    let switches: Vec<_> = (0..3).map(|_| b.add_switch(5)).collect();
+    let mut nodes = Vec::new();
+    for (si, &sw) in switches.iter().enumerate() {
+        for p in 0..3 {
+            let n = b.add_node();
+            b.attach(n, sw, PortId(p)).unwrap();
+            nodes.push((si, n));
+        }
+    }
+    // Triangle trunks on ports 3 and 4.
+    b.connect(switches[0], PortId(3), switches[1], PortId(4)).unwrap();
+    b.connect(switches[1], PortId(3), switches[2], PortId(4)).unwrap();
+    b.connect(switches[2], PortId(3), switches[0], PortId(4)).unwrap();
+    let topo = b.build().expect("valid topology");
+    println!(
+        "built '{}': {} nodes, {} switches, {} cables",
+        topo.name(),
+        topo.num_nodes(),
+        topo.num_switches(),
+        topo.num_cables()
+    );
+
+    // Workload: everyone on switch 0 and 1 sends to node 6 (on switch
+    // 2), plus one victim flow node0 -> node8.
+    let mut flows = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(8), 0.0, None)];
+    flows[0].label = "victim".into();
+    for (i, src) in [1u32, 2, 3, 4, 5].iter().enumerate() {
+        flows.push(FlowSpec::hotspot(i as u32 + 1, NodeId(*src), NodeId(6), 0.0, None));
+    }
+    let pattern = TrafficPattern::new("triangle-hotspot", flows);
+
+    for mech in [Mechanism::OneQ, Mechanism::ccfit()] {
+        let name = mech.name();
+        let report = SimBuilder::new(topo.clone())
+            .mechanism(mech) // shortest-path routing is derived automatically
+            .traffic(pattern.clone())
+            .duration_ns(1_500_000.0)
+            .metrics_bin_ns(100_000.0)
+            .seed(3)
+            .build()
+            .run();
+        println!(
+            "{name:>6}: victim {:.2} GB/s, network {:.3} normalized, {} packets delivered",
+            report.flow_mean_bandwidth_gbps(FlowId(0), 0.5e6, 1.5e6),
+            report.mean_normalized_throughput(0.5e6, 1.5e6),
+            report.delivered_packets
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Congestion caused by re-routing around a faulty link — one of the
+//! congestion causes the paper's introduction lists ("re-routing around
+//! faulty regions ... can all lead to congestion").
+//!
+//! ```sh
+//! cargo run --release --example fault_rerouting
+//! ```
+//!
+//! A 2-ary 3-tree runs comfortable uniform traffic (60 % load). Then one
+//! leaf up-link fails; shortest-path re-routing funnels the displaced
+//! traffic onto the surviving up-link of that leaf switch, which becomes
+//! a persistent congestion point. The example compares how the baseline
+//! and CCFIT cope on the degraded network.
+
+use ccfit::{Mechanism, SimBuilder, SimConfig};
+use ccfit_engine::ids::{PortId, SwitchId};
+use ccfit_topology::{KAryNTree, LinkParams, RoutingTable};
+use ccfit_traffic::uniform_all;
+
+fn main() {
+    let tree = KAryNTree::new(2, 3);
+    let healthy = tree.build(LinkParams::default());
+    // Fail one of leaf switch 0's two up-links.
+    let degraded = healthy.without_cable(SwitchId(0), PortId(2)).expect("trunk cable");
+    println!(
+        "healthy: {} cables; degraded: {} cables ({})",
+        healthy.num_cables(),
+        degraded.num_cables(),
+        degraded.name()
+    );
+
+    let cfg = SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() };
+    println!("\nuniform 60% load, 1 ms                 throughput   mean latency");
+    for (label, topo, routing) in [
+        ("healthy / 1Q", healthy.clone(), tree.det_routing()),
+        ("degraded / 1Q", degraded.clone(), RoutingTable::shortest_path(&degraded)),
+        ("degraded / FBICM", degraded.clone(), RoutingTable::shortest_path(&degraded)),
+        ("degraded / CCFIT", degraded.clone(), RoutingTable::shortest_path(&degraded)),
+    ] {
+        let mech = match label {
+            l if l.ends_with("CCFIT") => Mechanism::ccfit(),
+            l if l.ends_with("FBICM") => Mechanism::fbicm(),
+            _ => Mechanism::OneQ,
+        };
+        let report = SimBuilder::new(topo)
+            .routing(routing)
+            .mechanism(mech)
+            .traffic(uniform_all(8, 0.6))
+            .duration_ns(1_000_000.0)
+            .config(cfg.clone())
+            .seed(0xFA)
+            .build()
+            .run();
+        let nt = report.mean_normalized_throughput(300_000.0, 1_000_000.0);
+        let lat = report.mean_latency_ns_per_bin();
+        let tail: Vec<f64> = lat.iter().skip(3).copied().filter(|&v| v > 0.0).collect();
+        let mean_lat = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+        println!("{label:<22} {nt:>10.3} {mean_lat:>12.0} ns");
+    }
+    println!(
+        "\nThe failed up-link halves leaf 0's uplink capacity, so 60% uniform\n\
+         load now oversubscribes the survivor: a congestion tree forms and\n\
+         HoL-blocking spills onto flows that never touch the faulty region.\n\
+         Isolation + throttling (CCFIT) contains the damage."
+    );
+}

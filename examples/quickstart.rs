@@ -1,0 +1,70 @@
+//! Quickstart: build a network, pick a congestion-control mechanism, run
+//! a workload, read the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Recreates the paper's motivating situation on its ad-hoc Config #1
+//! network: three aggressors saturate one end node while a victim flow
+//! shares the inter-switch trunk with two of them. Without congestion
+//! control the victim is head-of-line blocked to a fraction of its line
+//! rate; congested-flow isolation (FBICM) rescues it instantly; adding
+//! injection throttling (CCFIT) also makes the aggressors share fairly.
+
+use ccfit::{Mechanism, SimBuilder};
+use ccfit_engine::ids::{FlowId, NodeId};
+use ccfit_topology::config1_topology;
+use ccfit_traffic::{FlowSpec, TrafficPattern};
+
+fn main() {
+    // The paper's Fig. 5 network: 7 nodes, 2 switches, a 5 GB/s trunk.
+    let topo = config1_topology();
+
+    // Aggressors 1, 2 (via the trunk) and 5 (switch-local) saturate
+    // node 4. The victim (node 0 -> node 3) shares only the trunk.
+    let pattern = TrafficPattern::new(
+        "quickstart",
+        vec![
+            FlowSpec::hotspot(0, NodeId(0), NodeId(3), 0.0, None), // victim
+            FlowSpec::hotspot(1, NodeId(1), NodeId(4), 0.0, None),
+            FlowSpec::hotspot(2, NodeId(2), NodeId(4), 0.0, None),
+            FlowSpec::hotspot(5, NodeId(5), NodeId(4), 0.0, None),
+        ],
+    );
+    let aggressors = [FlowId(1), FlowId(2), FlowId(5)];
+
+    println!("victim = node0 -> node3 (via trunk); aggressors = 1,2,5 -> node 4 (hot)\n");
+    println!(
+        "{:<8} {:>12} {:>15} {:>16}",
+        "scheme", "victim GB/s", "hot-link GB/s", "aggressor Jain"
+    );
+    for mech in [Mechanism::OneQ, Mechanism::fbicm(), Mechanism::ith(), Mechanism::ccfit()] {
+        let name = mech.name();
+        let report = SimBuilder::new(topo.clone())
+            .mechanism(mech)
+            .crossbar_bw(2) // Config #1's 5 GB/s crossbar (Table I)
+            .traffic(pattern.clone())
+            .duration_ns(3_000_000.0) // 3 ms
+            .metrics_bin_ns(100_000.0)
+            .seed(42)
+            .build()
+            .run();
+
+        // Steady-state window (skip the 1 ms ramp/reaction).
+        let victim = report.flow_mean_bandwidth_gbps(FlowId(0), 1.0e6, 3.0e6);
+        let hot: f64 = aggressors
+            .iter()
+            .map(|&f| report.flow_mean_bandwidth_gbps(f, 1.0e6, 3.0e6))
+            .sum();
+        let jain = report.jain_over(&aggressors, 1.0e6, 3.0e6);
+        println!("{name:<8} {victim:>12.2} {hot:>15.2} {jain:>16.3}");
+    }
+    println!(
+        "\nThe victim's line rate is 2.5 GB/s. Under 1Q it is head-of-line\n\
+         blocked behind the aggressors' backlog; FBICM isolates the congested\n\
+         flows into CFQs so it recovers instantly; CCFIT additionally\n\
+         FECN-marks the congested flows so their sources throttle, which\n\
+         equalises the aggressors (Jain -> 1)."
+    );
+}

@@ -1,0 +1,151 @@
+//! Property-based end-to-end tests: the simulator's global invariants
+//! hold for randomly drawn workloads, mechanisms, topologies and seeds.
+
+use ccfit::{Mechanism, SimBuilder, SimConfig};
+use ccfit_engine::ids::NodeId;
+use ccfit_topology::{config1_topology, KAryNTree, LinkParams, Topology, RoutingTable};
+use ccfit_traffic::{Destination, FlowSpec, TrafficPattern};
+use proptest::prelude::*;
+
+fn mechanism_strategy() -> impl Strategy<Value = Mechanism> {
+    prop_oneof![
+        Just(Mechanism::OneQ),
+        Just(Mechanism::VoqSw),
+        Just(Mechanism::voqnet()),
+        Just(Mechanism::dbbm()),
+        Just(Mechanism::fbicm()),
+        Just(Mechanism::ith()),
+        Just(Mechanism::ccfit()),
+    ]
+}
+
+/// Random flows on the 2-ary 3-tree (8 nodes).
+fn pattern_strategy(num_nodes: u32) -> impl Strategy<Value = TrafficPattern> {
+    prop::collection::vec(
+        (
+            0..num_nodes,             // src
+            0..num_nodes + 1,         // dst; == num_nodes means Uniform
+            0.1f64..=1.0,             // rate
+            0u64..300,                // start (us)
+            0u64..2,                  // open-ended?
+        ),
+        1..6,
+    )
+    .prop_map(move |flows| {
+        let specs = flows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (src, dst, rate, start_us, open))| FlowSpec {
+                id: ccfit_engine::ids::FlowId(i as u32),
+                label: format!("F{i}"),
+                src: NodeId(src),
+                dst: if dst == num_nodes {
+                    Destination::Uniform
+                } else if dst == src {
+                    Destination::Fixed(NodeId((dst + 1) % num_nodes))
+                } else {
+                    Destination::Fixed(NodeId(dst))
+                },
+                start_ns: start_us as f64 * 1000.0,
+                end_ns: (open == 0).then_some(400_000.0),
+                rate,
+                packet_bytes: 2048,
+                burstiness: ccfit_traffic::Burstiness::Smooth,
+            })
+            .collect();
+        TrafficPattern::new("random", specs)
+    })
+}
+
+fn build(topo: Topology, routing: Option<RoutingTable>, mech: Mechanism, pattern: TrafficPattern, seed: u64, xbar: u32) -> ccfit::Simulator {
+    let mut b = SimBuilder::new(topo)
+        .mechanism(mech)
+        .crossbar_bw(xbar)
+        .traffic(pattern)
+        .duration_ns(500_000.0)
+        .config(SimConfig { metrics_bin_ns: 50_000.0, ..SimConfig::default() })
+        .seed(seed);
+    if let Some(r) = routing {
+        b = b.routing(r);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Packet conservation holds mid-run for any workload/mechanism/seed
+    /// on the fat tree.
+    #[test]
+    fn conservation_holds_for_random_workloads(
+        mech in mechanism_strategy(),
+        pattern in pattern_strategy(8),
+        seed in 0u64..1000,
+    ) {
+        let tree = KAryNTree::new(2, 3);
+        let mut sim = build(tree.build(LinkParams::default()), Some(tree.det_routing()), mech, pattern, seed, 1);
+        // Check at several points mid-flight, not only at the end.
+        for _ in 0..5 {
+            sim.run_cycles(sim.end_cycle() / 5);
+            prop_assert_eq!(
+                sim.injected(),
+                sim.delivered() + sim.resident_packets() as u64
+            );
+        }
+    }
+
+    /// Determinism: identical configuration twice gives identical
+    /// reports, for any mechanism and workload.
+    #[test]
+    fn determinism_for_random_workloads(
+        mech in mechanism_strategy(),
+        pattern in pattern_strategy(7),
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            build(config1_topology(), None, mech.clone(), pattern.clone(), seed, 2).run()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Flows that end leave a drainable network: after enough silence,
+    /// injected == delivered and no CFQ stays allocated.
+    #[test]
+    fn random_bursts_always_drain(
+        mech in mechanism_strategy(),
+        pattern in pattern_strategy(8),
+        seed in 0u64..1000,
+    ) {
+        // Close every flow at 300 us, then give 700 us of silence.
+        let mut pattern = pattern;
+        for f in &mut pattern.flows {
+            f.end_ns = Some(f.end_ns.map_or(300_000.0, |e| e.min(300_000.0)).max(f.start_ns + 1.0));
+        }
+        let tree = KAryNTree::new(2, 3);
+        let mut sim = build(tree.build(LinkParams::default()), Some(tree.det_routing()), mech, pattern, seed, 1);
+        sim.run_cycles(ccfit_engine::units::UnitModel::default().ns_to_cycles(1_000_000.0));
+        prop_assert_eq!(sim.resident_packets(), 0);
+        prop_assert_eq!(sim.injected(), sim.delivered());
+        prop_assert_eq!(sim.cfqs_allocated(), 0);
+    }
+
+    /// Throughput never exceeds physical capacity: each flow is bounded
+    /// by its injection link, the network by its reception capacity.
+    #[test]
+    fn throughput_respects_capacity(
+        mech in mechanism_strategy(),
+        pattern in pattern_strategy(8),
+        seed in 0u64..1000,
+    ) {
+        let tree = KAryNTree::new(2, 3);
+        let report = build(tree.build(LinkParams::default()), Some(tree.det_routing()), mech, pattern, seed, 1).run();
+        for nt in report.network_throughput_normalized() {
+            prop_assert!(nt <= 1.0 + 1e-9, "normalized throughput {nt} > 1");
+        }
+        for f in &report.flows {
+            for bw in f.bytes.scaled(1.0 / report.bin_ns) {
+                prop_assert!(bw <= 2.5 * 1.05, "flow above line rate: {bw}");
+            }
+        }
+    }
+}
