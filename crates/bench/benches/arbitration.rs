@@ -9,17 +9,28 @@ fn bench_islip(c: &mut Criterion) {
     let mut group = c.benchmark_group("islip_schedule");
     for &ports in &[5usize, 8, 16] {
         // Full contention: every input wants every output.
-        group.bench_with_input(BenchmarkId::new("full_contention", ports), &ports, |b, &p| {
-            let mut islip = Islip::new(p, 2);
-            let requests: Vec<Vec<usize>> = (0..p).map(|_| (0..p).collect()).collect();
-            let free = vec![true; p];
-            b.iter(|| black_box(islip.schedule(&requests, &free, &free)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_contention", ports),
+            &ports,
+            |b, &p| {
+                let mut islip = Islip::new(p, 2);
+                let requests: Vec<Vec<usize>> = (0..p).map(|_| (0..p).collect()).collect();
+                let free = vec![true; p];
+                b.iter(|| black_box(islip.schedule(&requests, &free, &free)));
+            },
+        );
         // Sparse requests: the common case mid-simulation.
         group.bench_with_input(BenchmarkId::new("sparse", ports), &ports, |b, &p| {
             let mut islip = Islip::new(p, 2);
-            let requests: Vec<Vec<usize>> =
-                (0..p).map(|i| if i % 3 == 0 { vec![(i + 1) % p] } else { vec![] }).collect();
+            let requests: Vec<Vec<usize>> = (0..p)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        vec![(i + 1) % p]
+                    } else {
+                        vec![]
+                    }
+                })
+                .collect();
             let free = vec![true; p];
             b.iter(|| black_box(islip.schedule(&requests, &free, &free)));
         });

@@ -1,6 +1,7 @@
 //! Microbenchmarks for the engine substrate: the per-cycle hot-path
 //! operations (queue handling, CAM lookups, link transfers).
 
+use ccfit::{Mechanism, SimBuilder, SimConfig, Simulator};
 use ccfit_engine::cam::Cam;
 use ccfit_engine::ids::{FlowId, NodeId, PacketId};
 use ccfit_engine::link::{Link, LinkConfig};
@@ -8,6 +9,8 @@ use ccfit_engine::packet::Packet;
 use ccfit_engine::queue::PacketQueue;
 use ccfit_engine::ram::PortRam;
 use ccfit_engine::units::UnitModel;
+use ccfit_topology::config1_topology;
+use ccfit_traffic::{FlowSpec, TrafficPattern};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -87,5 +90,63 @@ fn bench_ram_and_units(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_queue, bench_cam, bench_link, bench_ram_and_units);
+/// A full config-1 simulator in a steady state: `flows` empty gives a
+/// permanently idle network; never-ending hotspot flows give permanent
+/// congestion. The duration is irrelevant — the bench ticks the live
+/// simulator directly.
+fn steady_sim(flows: Vec<FlowSpec>, force_slow_path: bool) -> Simulator {
+    let cfg = SimConfig {
+        force_slow_path,
+        ..SimConfig::default()
+    };
+    let mut sim = SimBuilder::new(config1_topology())
+        .mechanism(Mechanism::ccfit())
+        .traffic(TrafficPattern::new("steady", flows))
+        .duration_ns(1e6)
+        .config(cfg)
+        .seed(1)
+        .build();
+    sim.run_cycles(20_000); // settle into the steady state
+    sim
+}
+
+fn congested_flows() -> Vec<FlowSpec> {
+    vec![
+        FlowSpec::hotspot(0, NodeId(0), NodeId(3), 0.0, None),
+        FlowSpec::hotspot(1, NodeId(1), NodeId(4), 0.0, None),
+        FlowSpec::hotspot(2, NodeId(2), NodeId(4), 0.0, None),
+    ]
+}
+
+/// Whole-engine tick cost: an idle network (where the active-set
+/// scheduler skips everything and the fast-forward jumps the clock) and
+/// a congested one (where the win is allocation-free hot paths), each
+/// against the exhaustive `force_slow_path` baseline.
+fn bench_engine_tick(c: &mut Criterion) {
+    c.bench_function("engine_tick_idle_fast", |b| {
+        let mut sim = steady_sim(vec![], false);
+        b.iter(|| sim.tick());
+    });
+    c.bench_function("engine_tick_idle_slow", |b| {
+        let mut sim = steady_sim(vec![], true);
+        b.iter(|| sim.tick());
+    });
+    c.bench_function("engine_tick_congested_fast", |b| {
+        let mut sim = steady_sim(congested_flows(), false);
+        b.iter(|| sim.tick());
+    });
+    c.bench_function("engine_tick_congested_slow", |b| {
+        let mut sim = steady_sim(congested_flows(), true);
+        b.iter(|| sim.tick());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_queue,
+    bench_cam,
+    bench_link,
+    bench_ram_and_units,
+    bench_engine_tick
+);
 criterion_main!(benches);

@@ -3,15 +3,16 @@
 //! (the full-length regenerations live in the `table1`/`fig7`/`fig8`/
 //! `fig9`/`fig10` binaries).
 
-use ccfit::experiment::{
-    config1_case1_scaled, config2_case2_scaled, config2_case3, config3_case4,
-};
+use ccfit::experiment::{config1_case1_scaled, config2_case2_scaled, config2_case3, config3_case4};
 use ccfit::{Mechanism, SimConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn cfg() -> SimConfig {
-    SimConfig { metrics_bin_ns: 50_000.0, ..SimConfig::default() }
+    SimConfig {
+        metrics_bin_ns: 50_000.0,
+        ..SimConfig::default()
+    }
 }
 
 fn bench_fig7(c: &mut Criterion) {

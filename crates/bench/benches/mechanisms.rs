@@ -30,7 +30,10 @@ fn bench_mechanisms(c: &mut Criterion) {
                         .mechanism(mech.clone())
                         .traffic(uniform_all(8, 0.8))
                         .duration_ns(100_000.0)
-                        .config(SimConfig { metrics_bin_ns: 50_000.0, ..SimConfig::default() })
+                        .config(SimConfig {
+                            metrics_bin_ns: 50_000.0,
+                            ..SimConfig::default()
+                        })
                         .seed(1)
                         .build()
                         .run();

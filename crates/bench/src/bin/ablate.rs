@@ -20,7 +20,10 @@ use ccfit::{Mechanism, SimConfig};
 use ccfit_engine::ids::FlowId;
 
 fn cfg() -> SimConfig {
-    SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() }
+    SimConfig {
+        metrics_bin_ns: 100_000.0,
+        ..SimConfig::default()
+    }
 }
 
 fn sweep_cfqs() {
@@ -28,7 +31,11 @@ fn sweep_cfqs() {
     println!("cfqs  FBICM  CCFIT   (normalized throughput during [1,2] ms)");
     let spec = config3_case4(4, 3.0);
     for n in [1usize, 2, 4, 8] {
-        let iso = IsolationParams { num_cfqs: n, out_cam_lines: 2 * n, ..IsolationParams::default() };
+        let iso = IsolationParams {
+            num_cfqs: n,
+            out_cam_lines: 2 * n,
+            ..IsolationParams::default()
+        };
         let f = spec.run_with(Mechanism::Fbicm(iso), 1, cfg());
         let c = spec.run_with(Mechanism::Ccfit(iso, ThrottleParams::default()), 1, cfg());
         println!(
@@ -46,7 +53,10 @@ fn sweep_marking() {
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
     let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
     for rate in [0.1f64, 0.25, 0.5, 0.85, 1.0] {
-        let thr = ThrottleParams { marking_rate: rate, ..ThrottleParams::default() };
+        let thr = ThrottleParams {
+            marking_rate: rate,
+            ..ThrottleParams::default()
+        };
         let i = spec.run_with(Mechanism::Ith(thr.clone()), 1, cfg());
         let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
         println!(
@@ -66,7 +76,10 @@ fn sweep_timer() {
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
     let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
     for timer in [2000.0f64, 4000.0, 8000.0, 16000.0, 32000.0] {
-        let thr = ThrottleParams { ccti_timer_ns: timer, ..ThrottleParams::default() };
+        let thr = ThrottleParams {
+            ccti_timer_ns: timer,
+            ..ThrottleParams::default()
+        };
         let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
         let total: f64 = contributors
             .iter()
@@ -88,7 +101,11 @@ fn sweep_stopgo() {
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
     let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
     for (stop, go) in [(6u32, 2u32), (10, 4), (10, 8), (16, 4), (24, 8)] {
-        let iso = IsolationParams { stop_mtus: stop, go_mtus: go, ..IsolationParams::default() };
+        let iso = IsolationParams {
+            stop_mtus: stop,
+            go_mtus: go,
+            ..IsolationParams::default()
+        };
         let f = spec.run_with(Mechanism::Fbicm(iso), 1, cfg());
         let total: f64 = contributors
             .iter()
@@ -107,7 +124,10 @@ fn sweep_detect() {
     println!("detect_mtus  burst_nt  cfq_allocated");
     let spec = config3_case4(4, 3.0);
     for detect in [2u32, 4, 8, 16, 24] {
-        let iso = IsolationParams { detect_threshold_mtus: detect, ..IsolationParams::default() };
+        let iso = IsolationParams {
+            detect_threshold_mtus: detect,
+            ..IsolationParams::default()
+        };
         let c = spec.run_with(Mechanism::Ccfit(iso, ThrottleParams::default()), 1, cfg());
         println!(
             "{detect:>11}  {:>8.3}  {:>13}",
@@ -130,7 +150,10 @@ fn sweep_cct() {
         ("exp/16", CctProfile::Exponential { period: 16 }),
     ];
     for (name, profile) in profiles {
-        let thr = ThrottleParams { cct_profile: profile, ..ThrottleParams::default() };
+        let thr = ThrottleParams {
+            cct_profile: profile,
+            ..ThrottleParams::default()
+        };
         let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
         let total: f64 = contributors
             .iter()

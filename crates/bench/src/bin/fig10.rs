@@ -16,7 +16,10 @@ use ccfit_engine::ids::FlowId;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = csv_dir_from_args(&args);
-    let cfg = SimConfig { metrics_bin_ns: 250_000.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        metrics_bin_ns: 250_000.0,
+        ..SimConfig::default()
+    };
     let spec = config2_case2(10.0);
     let flows = [FlowId(0), FlowId(1), FlowId(2), FlowId(3), FlowId(4)];
 

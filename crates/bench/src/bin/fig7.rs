@@ -20,7 +20,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let csv = csv_dir_from_args(&args);
-    let cfg = SimConfig { metrics_bin_ns: 250_000.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        metrics_bin_ns: 250_000.0,
+        ..SimConfig::default()
+    };
 
     let panels: Vec<(&str, ccfit::experiment::ExperimentSpec)> = match which {
         "a" => vec![("fig7a", config1_case1(10.0))],
@@ -34,7 +37,10 @@ fn main() {
     };
 
     for (name, spec) in panels {
-        println!("=== {name}: {} (normalized network throughput vs time) ===", spec.name);
+        println!(
+            "=== {name}: {} (normalized network throughput vs time) ===",
+            spec.name
+        );
         let runs = run_all(&spec, &paper_mechanisms(), 0xF17, &cfg);
         print!("{}", series_table(&runs));
         println!("-- steady congested window [6.5, 10] ms --");

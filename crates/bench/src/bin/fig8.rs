@@ -23,7 +23,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let csv = csv_dir_from_args(&args);
-    let cfg = SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        metrics_bin_ns: 100_000.0,
+        ..SimConfig::default()
+    };
     let mut mechanisms = paper_mechanisms();
     mechanisms.push(Mechanism::voqnet());
 

@@ -23,7 +23,10 @@ use ccfit_engine::ids::FlowId;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = csv_dir_from_args(&args);
-    let cfg = SimConfig { metrics_bin_ns: 250_000.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        metrics_bin_ns: 250_000.0,
+        ..SimConfig::default()
+    };
     let spec = config1_case1(10.0);
     let flows = [FlowId(0), FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];

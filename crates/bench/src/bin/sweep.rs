@@ -17,7 +17,7 @@ use ccfit_bench::harness::csv_dir_from_args;
 use ccfit_metrics::SimReport;
 use ccfit_topology::{KAryNTree, LinkParams, Mesh2D, RoutingTable, Topology};
 use ccfit_traffic::uniform_all;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 const LOADS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0];
 
@@ -33,18 +33,16 @@ fn mechanisms() -> Vec<Mechanism> {
     ]
 }
 
-fn run_point(
-    topo: &Topology,
-    routing: &RoutingTable,
-    mech: &Mechanism,
-    load: f64,
-) -> SimReport {
+fn run_point(topo: &Topology, routing: &RoutingTable, mech: &Mechanism, load: f64) -> SimReport {
     SimBuilder::new(topo.clone())
         .routing(routing.clone())
         .mechanism(mech.clone())
         .traffic(uniform_all(topo.num_nodes(), load))
         .duration_ns(600_000.0)
-        .config(SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() })
+        .config(SimConfig {
+            metrics_bin_ns: 100_000.0,
+            ..SimConfig::default()
+        })
         .seed(0x5EE9)
         .build()
         .run()
@@ -77,25 +75,24 @@ fn main() {
     );
 
     let mechs = mechanisms();
-    // One thread per (mechanism, load) point, capped by what crossbeam
-    // scope spawns; points are independent simulations.
+    // One thread per (mechanism, load) point; points are independent
+    // simulations.
     let results: Mutex<Vec<Vec<Option<SimReport>>>> =
         Mutex::new(vec![vec![None; LOADS.len()]; mechs.len()]);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (mi, mech) in mechs.iter().enumerate() {
             for (li, &load) in LOADS.iter().enumerate() {
                 let topo = &topo;
                 let routing = &routing;
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let r = run_point(topo, routing, mech, load);
-                    results.lock()[mi][li] = Some(r);
+                    results.lock().unwrap()[mi][li] = Some(r);
                 });
             }
         }
-    })
-    .expect("sweep threads");
-    let results = results.into_inner();
+    });
+    let results = results.into_inner().unwrap();
 
     print!("{:<8}", "load");
     for m in &mechs {
@@ -106,7 +103,10 @@ fn main() {
         print!("{load:<8.2}");
         for row in &results {
             let r = row[li].as_ref().unwrap();
-            print!(" {:>8.3}", r.mean_normalized_throughput(200_000.0, 600_000.0));
+            print!(
+                " {:>8.3}",
+                r.mean_normalized_throughput(200_000.0, 600_000.0)
+            );
         }
         println!();
     }
@@ -122,7 +122,11 @@ fn main() {
             let r = row[li].as_ref().unwrap();
             let lat = r.mean_latency_ns_per_bin();
             let tail: Vec<f64> = lat.iter().skip(2).copied().filter(|&v| v > 0.0).collect();
-            let mean = if tail.is_empty() { 0.0 } else { tail.iter().sum::<f64>() / tail.len() as f64 };
+            let mean = if tail.is_empty() {
+                0.0
+            } else {
+                tail.iter().sum::<f64>() / tail.len() as f64
+            };
             print!(" {:>8.0}", mean);
         }
         println!();
@@ -136,7 +140,11 @@ fn main() {
                 let r = results[mi][li].as_ref().unwrap();
                 let lat = r.mean_latency_ns_per_bin();
                 let tail: Vec<f64> = lat.iter().skip(2).copied().filter(|&v| v > 0.0).collect();
-                let mean = if tail.is_empty() { 0.0 } else { tail.iter().sum::<f64>() / tail.len() as f64 };
+                let mean = if tail.is_empty() {
+                    0.0
+                } else {
+                    tail.iter().sum::<f64>() / tail.len() as f64
+                };
                 out.push_str(&format!(
                     "{load},{},{:.4},{:.0}\n",
                     m.name(),

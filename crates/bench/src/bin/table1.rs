@@ -7,9 +7,16 @@ use ccfit::experiment::{config1_case1, config2_case2, config3_case4};
 
 fn main() {
     println!("Table I — evaluated interconnection network configurations\n");
-    let specs = [config1_case1(10.0), config2_case2(10.0), config3_case4(4, 4.0)];
+    let specs = [
+        config1_case1(10.0),
+        config2_case2(10.0),
+        config3_case4(4, 4.0),
+    ];
     let row = |label: &str, vals: [String; 3]| {
-        println!("{label:<18} | {:<22} | {:<22} | {:<22}", vals[0], vals[1], vals[2]);
+        println!(
+            "{label:<18} | {:<22} | {:<22} | {:<22}",
+            vals[0], vals[1], vals[2]
+        );
     };
     row(
         "",
@@ -67,8 +74,10 @@ fn main() {
         "Routing",
         ["Deterministic (table)", "DET", "DET"].map(String::from),
     );
-    println!("\nTraffic cases: #1 = {} flows, #2 = {} flows, #4 (H=4) = {} flows",
+    println!(
+        "\nTraffic cases: #1 = {} flows, #2 = {} flows, #4 (H=4) = {} flows",
         specs[0].pattern.flows.len(),
         specs[1].pattern.flows.len(),
-        specs[2].pattern.flows.len());
+        specs[2].pattern.flows.len()
+    );
 }

@@ -102,13 +102,18 @@ pub fn latency_line(run: &RunOutput) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::harness::run_all;
     use ccfit::experiment::config1_case1_scaled;
     use ccfit::{Mechanism, SimConfig};
-    use crate::harness::run_all;
 
     fn sample_runs() -> Vec<RunOutput> {
         let spec = config1_case1_scaled(0.02);
-        run_all(&spec, &[Mechanism::OneQ, Mechanism::ccfit()], 3, &SimConfig::default())
+        run_all(
+            &spec,
+            &[Mechanism::OneQ, Mechanism::ccfit()],
+            3,
+            &SimConfig::default(),
+        )
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use ccfit::experiment::ExperimentSpec;
 use ccfit::{Mechanism, SimConfig};
 use ccfit_metrics::SimReport;
-use parking_lot::Mutex;
 use std::path::Path;
+use std::sync::Mutex;
 
 /// One mechanism's result within a figure.
 #[derive(Debug, Clone)]
@@ -15,6 +15,22 @@ pub struct RunOutput {
     pub report: SimReport,
     /// Wall-clock seconds the simulation took.
     pub wall_s: f64,
+    /// Engine throughput: simulated cycles per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+}
+
+impl RunOutput {
+    /// Package a finished run, deriving the cycles/sec figure from the
+    /// report's simulated-cycle count and the measured wall time.
+    pub fn new(mechanism: String, report: SimReport, wall_s: f64) -> Self {
+        let sim_cycles_per_sec = report.simulated_cycles as f64 / wall_s.max(1e-12);
+        RunOutput {
+            mechanism,
+            report,
+            wall_s,
+            sim_cycles_per_sec,
+        }
+    }
 }
 
 /// Run `spec` under every mechanism in parallel (one OS thread per
@@ -29,26 +45,23 @@ pub fn run_all(
 ) -> Vec<RunOutput> {
     let results: Mutex<Vec<Option<RunOutput>>> =
         Mutex::new((0..mechanisms.len()).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, mech) in mechanisms.iter().enumerate() {
             let results = &results;
             let spec = &spec;
             let cfg = cfg.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let t0 = std::time::Instant::now();
                 let report = spec.run_with(mech.clone(), seed, cfg);
-                let out = RunOutput {
-                    mechanism: mech.name().to_string(),
-                    report,
-                    wall_s: t0.elapsed().as_secs_f64(),
-                };
-                results.lock()[i] = Some(out);
+                let out =
+                    RunOutput::new(mech.name().to_string(), report, t0.elapsed().as_secs_f64());
+                results.lock().unwrap()[i] = Some(out);
             });
         }
-    })
-    .expect("simulation threads never panic");
+    });
     results
         .into_inner()
+        .unwrap()
         .into_iter()
         .map(|r| r.expect("every mechanism produced a report"))
         .collect()
@@ -74,7 +87,10 @@ pub fn archive(dir: &str, figure: &str, runs: &[RunOutput]) -> std::io::Result<(
             Path::new(dir).join(format!("{base}-flows.csv")),
             run.report.flow_bandwidth_csv(),
         )?;
-        std::fs::write(Path::new(dir).join(format!("{base}.json")), run.report.to_json())?;
+        std::fs::write(
+            Path::new(dir).join(format!("{base}.json")),
+            run.report.to_json(),
+        )?;
     }
     Ok(())
 }
@@ -102,13 +118,21 @@ mod tests {
         let par = run_all(&spec, &mechs, 7, &SimConfig::default());
         for (mech, out) in mechs.iter().zip(&par) {
             let seq = spec.run_with(mech.clone(), 7, SimConfig::default());
-            assert_eq!(seq, out.report, "{} diverged under parallel execution", mech.name());
+            assert_eq!(
+                seq,
+                out.report,
+                "{} diverged under parallel execution",
+                mech.name()
+            );
         }
     }
 
     #[test]
     fn csv_dir_parsing() {
-        let args: Vec<String> = ["x", "--csv", "/tmp/out"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["x", "--csv", "/tmp/out"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(csv_dir_from_args(&args).as_deref(), Some("/tmp/out"));
         let none: Vec<String> = vec!["x".into()];
         assert_eq!(csv_dir_from_args(&none), None);

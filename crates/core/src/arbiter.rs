@@ -18,6 +18,11 @@ pub struct Islip {
     grant_ptr: Vec<usize>,
     accept_ptr: Vec<usize>,
     iterations: usize,
+    // Per-call scratch, kept across calls so the per-cycle hot path does
+    // not allocate. Holds no state between calls (reset on entry).
+    in_matched: Vec<bool>,
+    out_matched: Vec<bool>,
+    grants: Vec<Option<usize>>,
 }
 
 impl Islip {
@@ -30,6 +35,9 @@ impl Islip {
             grant_ptr: vec![0; ports],
             accept_ptr: vec![0; ports],
             iterations,
+            in_matched: vec![false; ports],
+            out_matched: vec![false; ports],
+            grants: vec![None; ports],
         }
     }
 
@@ -55,24 +63,37 @@ impl Islip {
         in_free: &[bool],
         out_free: &[bool],
     ) -> Vec<(usize, usize)> {
+        let mut matches = Vec::new();
+        self.schedule_into(requests, in_free, out_free, &mut matches);
+        matches
+    }
+
+    /// Allocation-free `schedule`: append the `(input, output)` pairs to
+    /// `matches`, reusing scratch kept inside the scheduler.
+    pub fn schedule_into(
+        &mut self,
+        requests: &[Vec<usize>],
+        in_free: &[bool],
+        out_free: &[bool],
+        matches: &mut Vec<(usize, usize)>,
+    ) {
         let n = self.ports();
         debug_assert_eq!(requests.len(), n);
-        let mut in_matched = vec![false; n];
-        let mut out_matched = vec![false; n];
-        let mut matches = Vec::new();
+        self.in_matched.iter_mut().for_each(|m| *m = false);
+        self.out_matched.iter_mut().for_each(|m| *m = false);
 
         for iter in 0..self.iterations {
             // Grant phase: per output, collect requesting inputs and
             // grant the one closest to the grant pointer.
-            let mut grants: Vec<Option<usize>> = vec![None; n]; // per input: granted output
-            for out in 0..n {
-                if !out_free[out] || out_matched[out] {
+            self.grants.iter_mut().for_each(|g| *g = None); // per input: granted output
+            for (out, &ofree) in out_free.iter().enumerate() {
+                if !ofree || self.out_matched[out] {
                     continue;
                 }
                 let mut chosen: Option<usize> = None;
                 let mut best_rank = usize::MAX;
                 for (inp, reqs) in requests.iter().enumerate() {
-                    if !in_free[inp] || in_matched[inp] {
+                    if !in_free[inp] || self.in_matched[inp] {
                         continue;
                     }
                     if !reqs.contains(&out) {
@@ -90,7 +111,7 @@ impl Islip {
                     // grants per input.
                     // (We keep only the best per accept pointer below, so
                     // collect into a per-input list.)
-                    grants[inp] = match grants[inp] {
+                    self.grants[inp] = match self.grants[inp] {
                         None => Some(out),
                         Some(prev) => {
                             let rp = (prev + n - self.accept_ptr[inp]) % n;
@@ -104,9 +125,9 @@ impl Islip {
             // accept pointer (already reduced above).
             let mut any = false;
             for inp in 0..n {
-                if let Some(out) = grants[inp] {
-                    in_matched[inp] = true;
-                    out_matched[out] = true;
+                if let Some(out) = self.grants[inp] {
+                    self.in_matched[inp] = true;
+                    self.out_matched[out] = true;
                     matches.push((inp, out));
                     any = true;
                     if iter == 0 {
@@ -119,7 +140,6 @@ impl Islip {
                 break;
             }
         }
-        matches
     }
 }
 
@@ -210,7 +230,11 @@ mod tests {
         let mut s = Islip::new(5, 1);
         let reqs: Vec<Vec<usize>> = (0..5).map(|i| vec![(i + 2) % 5]).collect();
         let m = s.schedule(&reqs, &free(5), &free(5));
-        assert_eq!(m.len(), 5, "non-conflicting requests all granted in one iteration");
+        assert_eq!(
+            m.len(),
+            5,
+            "non-conflicting requests all granted in one iteration"
+        );
     }
 
     #[test]

@@ -115,6 +115,16 @@ pub struct Adapter {
     timer_deadline: Vec<Cycle>,
     /// Earliest next injection per destination: LTI + packet time + IRD.
     next_allowed: Vec<Cycle>,
+    // ---- active-set bookkeeping (incremental mirrors) ----
+    /// Packets buffered in AdVOQs + NFQ + CFQs (`resident_packets()`).
+    resident: usize,
+    /// Destinations whose CCTI recovery timer is armed
+    /// (`timer_deadline[d] != Cycle::MAX`).
+    armed_timers: usize,
+    /// CFQ slots currently allocated.
+    cfq_count: usize,
+    /// Per-call control-event scratch.
+    ctrl_scratch: Vec<CtrlEvent>,
 }
 
 /// A completed injection: the simulator releases `flits` of the output
@@ -153,6 +163,10 @@ impl Adapter {
             ccti: vec![0; num_nodes],
             timer_deadline: vec![Cycle::MAX; num_nodes],
             next_allowed: vec![0; num_nodes],
+            resident: 0,
+            armed_timers: 0,
+            cfq_count: 0,
+            ctrl_scratch: Vec::new(),
         }
     }
 
@@ -168,24 +182,41 @@ impl Adapter {
         if q.occupancy_flits() + gp.size_flits > self.cfg.advoq_cap_flits {
             return false;
         }
-        let pkt = Packet::data(id, self.node, gp.dst, gp.size_flits, gp.size_bytes, gp.flow, now);
+        let pkt = Packet::data(
+            id,
+            self.node,
+            gp.dst,
+            gp.size_flits,
+            gp.size_bytes,
+            gp.flow,
+            now,
+        );
         q.push(pkt, now, now);
+        self.resident += 1;
         true
     }
 
     /// Drain the congestion information the attached switch sent up the
     /// injection link (Stop/Go + CFQ allocation/deallocation hints).
     pub fn poll_ctrl(&mut self, now: Cycle, links: &mut [Link], metrics: &mut MetricsCollector) {
-        if self.cfg.iso.is_none() {
-            // Non-isolating adapters ignore (and never receive) these.
-            let _ = links[self.inject_link.index()].poll_ctrl(now);
+        if !links[self.inject_link.index()].has_ctrl(now) {
             return;
         }
-        for ev in links[self.inject_link.index()].poll_ctrl(now) {
+        self.ctrl_scratch.clear();
+        links[self.inject_link.index()].poll_ctrl_into(now, &mut self.ctrl_scratch);
+        if self.cfg.iso.is_none() {
+            // Non-isolating adapters ignore (and never receive) these.
+            return;
+        }
+        let scratch = std::mem::take(&mut self.ctrl_scratch);
+        for &ev in scratch.iter() {
             match ev {
                 CtrlEvent::CfqAlloc { dst } => {
                     if self.cam.lookup(dst).is_none()
-                        && self.cam.allocate(dst, OutCamState { stopped: false }).is_err()
+                        && self
+                            .cam
+                            .allocate(dst, OutCamState { stopped: false })
+                            .is_err()
                     {
                         metrics.count("ia_cam_exhausted", 1);
                     }
@@ -198,7 +229,11 @@ impl Adapter {
                 CtrlEvent::Stop { dst } => {
                     if let Some(i) = self.cam.lookup(dst) {
                         self.cam.get_mut(i).unwrap().value.stopped = true;
-                    } else if self.cam.allocate(dst, OutCamState { stopped: true }).is_err() {
+                    } else if self
+                        .cam
+                        .allocate(dst, OutCamState { stopped: true })
+                        .is_err()
+                    {
                         metrics.count("ia_cam_exhausted", 1);
                     }
                 }
@@ -209,6 +244,7 @@ impl Adapter {
                 }
             }
         }
+        self.ctrl_scratch = scratch;
     }
 
     /// Queue an outgoing congestion notification packet (generated by
@@ -231,6 +267,9 @@ impl Adapter {
         let d = dst.index();
         let max = (thr.cct.len() - 1) as u16;
         self.ccti[d] = (self.ccti[d] + thr.ccti_increase).min(max);
+        if self.timer_deadline[d] == Cycle::MAX {
+            self.armed_timers += 1;
+        }
         self.timer_deadline[d] = now + thr.ccti_timer_cycles;
         metrics.count("becn_received", 1);
     }
@@ -289,9 +328,7 @@ impl Adapter {
             {
                 let b = self.becn_out.pop_front().expect("front exists");
                 if let Some(vn) = voqnet.as_deref_mut() {
-                    if let Some(cr) = vn.get_mut(&(self.inject_link.0, b.dst.0)) {
-                        *cr -= b.size_flits;
-                    }
+                    vn.sub(self.inject_link.0, b.dst.0, b.size_flits);
                 }
                 links[self.inject_link.index()].send(now, b);
                 return;
@@ -300,7 +337,9 @@ impl Adapter {
         let n = self.advoqs.len();
         for step in 0..n {
             let d = (self.rr + step) % n;
-            let Some(head) = self.advoqs[d].head_visible(now) else { continue };
+            let Some(head) = self.advoqs[d].head_visible(now) else {
+                continue;
+            };
             let size = head.packet.size_flits;
             if now < self.next_allowed[d]
                 || !link.can_send(now, size)
@@ -309,10 +348,9 @@ impl Adapter {
                 continue;
             }
             let entry = self.advoqs[d].pop().expect("head exists");
+            self.resident -= 1;
             if let Some(vn) = voqnet.as_deref_mut() {
-                if let Some(cr) = vn.get_mut(&(self.inject_link.0, entry.packet.dst.0)) {
-                    *cr -= size;
-                }
+                vn.sub(self.inject_link.0, entry.packet.dst.0, size);
             }
             let packet_time = size.div_ceil(self.inject_bw).max(1) as Cycle;
             self.next_allowed[d] = now + packet_time;
@@ -326,6 +364,9 @@ impl Adapter {
     /// nonzero.
     fn expire_timers(&mut self, now: Cycle) {
         let Some(thr) = &self.cfg.thr else { return };
+        if self.armed_timers == 0 {
+            return; // every deadline is Cycle::MAX
+        }
         for d in 0..self.ccti.len() {
             if now >= self.timer_deadline[d] {
                 if self.ccti[d] > 0 {
@@ -334,6 +375,7 @@ impl Adapter {
                 self.timer_deadline[d] = if self.ccti[d] > 0 {
                     now + thr.ccti_timer_cycles
                 } else {
+                    self.armed_timers -= 1;
                     Cycle::MAX
                 };
             }
@@ -348,7 +390,9 @@ impl Adapter {
         let stop_flits = iso.map_or(0, |i| i.stop_mtus * self.cfg.mtu_flits);
         for step in 0..n {
             let d = (self.rr + step) % n;
-            let Some(head) = self.advoqs[d].head_visible(now) else { continue };
+            let Some(head) = self.advoqs[d].head_visible(now) else {
+                continue;
+            };
             if now < self.next_allowed[d] {
                 continue; // IRD throttling gates this destination.
             }
@@ -374,8 +418,8 @@ impl Adapter {
                         let free = self.cfqs.iter().position(|c| c.state.is_none());
                         match free {
                             Some(c) => {
-                                self.cfqs[c].state =
-                                    Some(CfqState::new(head.packet.dst, 0, false));
+                                self.cfqs[c].state = Some(CfqState::new(head.packet.dst, 0, false));
+                                self.cfq_count += 1;
                                 metrics.count("ia_cfq_allocated", 1);
                                 Some(Target::Cfq(c))
                             }
@@ -394,8 +438,7 @@ impl Adapter {
             };
             let target = match target {
                 Some(Target::Nfq)
-                    if self.nfq.occupancy_flits() + size
-                        > self.cfg.nfq_gate_flits.max(size) =>
+                    if self.nfq.occupancy_flits() + size > self.cfg.nfq_gate_flits.max(size) =>
                 {
                     continue; // NFQ gate: keep backlog in the AdVOQs.
                 }
@@ -429,7 +472,9 @@ impl Adapter {
         if let Some(iso) = iso {
             let calm_flits = iso.propagate_threshold_mtus * self.cfg.mtu_flits;
             for c in 0..self.cfqs.len() {
-                let Some(mut st) = self.cfqs[c].state else { continue };
+                let Some(mut st) = self.cfqs[c].state else {
+                    continue;
+                };
                 let occ = self.cfqs[c].queue.occupancy_flits();
                 if occ < calm_flits {
                     if st.calm_since.is_none() {
@@ -440,6 +485,7 @@ impl Adapter {
                         .is_some_and(|s| now.saturating_sub(s) >= iso.dealloc_linger_cycles);
                     if occ == 0 && lingered && self.cam.lookup(st.dst).is_none() {
                         self.cfqs[c].state = None;
+                        self.cfq_count -= 1;
                         metrics.count("ia_cfq_deallocated", 1);
                         continue;
                     }
@@ -469,51 +515,64 @@ impl Adapter {
             {
                 let b = self.becn_out.pop_front().expect("front exists");
                 if let Some(vn) = voqnet {
-                    if let Some(cr) = vn.get_mut(&(self.inject_link.0, b.dst.0)) {
-                        *cr -= b.size_flits;
-                    }
+                    vn.sub(self.inject_link.0, b.dst.0, b.size_flits);
                 }
                 links[self.inject_link.index()].send(now, b);
                 return None; // BECNs bypass the output RAM entirely
             }
         }
-        // Candidates: NFQ plus every allocated, unstopped CFQ.
-        let mut cands: Vec<Option<usize>> = Vec::new(); // None = NFQ
-        if let Some(h) = self.nfq.head_visible(now) {
-            if link.can_send(now, h.packet.size_flits)
+        // Candidates: the NFQ plus every allocated, unstopped CFQ, in
+        // slot order. Count-then-select keeps the hot path allocation
+        // free; the candidate list used to be materialized as a Vec.
+        let nfq_ok = self.nfq.head_visible(now).is_some_and(|h| {
+            link.can_send(now, h.packet.size_flits)
                 && Self::voqnet_ok(&voqnet, self.inject_link, h.packet.dst, h.packet.size_flits)
-            {
-                cands.push(None);
-            }
-        }
-        for (c, slot) in self.cfqs.iter().enumerate() {
-            let Some(st) = slot.state else { continue };
+        });
+        let cfq_ok = |slot: &CfqSlot| {
+            let Some(st) = slot.state else { return false };
             if self.stopped(st.dst) {
-                continue;
+                return false;
             }
-            if let Some(h) = slot.queue.head_visible(now) {
-                if link.can_send(now, h.packet.size_flits)
+            slot.queue.head_visible(now).is_some_and(|h| {
+                link.can_send(now, h.packet.size_flits)
                     && Self::voqnet_ok(&voqnet, self.inject_link, h.packet.dst, h.packet.size_flits)
-                {
-                    cands.push(Some(c));
-                }
-            }
-        }
-        if cands.is_empty() {
+            })
+        };
+        let count = nfq_ok as usize + self.cfqs.iter().filter(|s| cfq_ok(s)).count();
+        if count == 0 {
             return None;
         }
-        let pick = cands[self.rr % cands.len()];
+        let k = self.rr % count;
+        let pick: Option<usize> = if nfq_ok && k == 0 {
+            None // NFQ
+        } else {
+            let c = self
+                .cfqs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| cfq_ok(s))
+                .nth(k - nfq_ok as usize)
+                .map(|(c, _)| c)
+                .expect("k indexes an eligible candidate");
+            Some(c)
+        };
         let entry = match pick {
             None => self.nfq.pop().expect("candidate head"),
             Some(c) => self.cfqs[c].queue.pop().expect("candidate head"),
         };
+        self.resident -= 1;
         if let Some(vn) = voqnet {
-            if let Some(cr) = vn.get_mut(&(self.inject_link.0, entry.packet.dst.0)) {
-                *cr -= entry.packet.size_flits;
-            }
+            vn.sub(
+                self.inject_link.0,
+                entry.packet.dst.0,
+                entry.packet.size_flits,
+            );
         }
         let done = links[self.inject_link.index()].send(now, entry.packet);
-        Some(AdapterRelease { at: done, flits: entry.packet.size_flits })
+        Some(AdapterRelease {
+            at: done,
+            flits: entry.packet.size_flits,
+        })
     }
 
     fn voqnet_ok(
@@ -523,10 +582,7 @@ impl Adapter {
         size: u32,
     ) -> bool {
         match voqnet {
-            Some(vn) => vn
-                .get(&(link.0, dst.0))
-                .map(|&c| c >= size)
-                .unwrap_or(true),
+            Some(vn) => vn.has(link.0, dst.0, size),
             None => true,
         }
     }
@@ -535,6 +591,39 @@ impl Adapter {
     /// (scheduled by the simulator at the completion cycle).
     pub fn release_ram(&mut self, flits: u32) {
         self.out_ram.release(flits);
+    }
+
+    /// O(1) idleness check for the active-set scheduler: no packet
+    /// buffered anywhere, no outgoing BECN, and no allocated CFQ (an
+    /// allocated-but-empty CFQ still needs per-cycle linger/dealloc
+    /// bookkeeping). Armed CCTI timers do *not* block quietness — expiry
+    /// is deadline-driven, so ticking at `next_timer_deadline()` is
+    /// equivalent to ticking every cycle.
+    pub fn is_quiet(&self) -> bool {
+        debug_assert_eq!(self.resident, self.resident_packets());
+        debug_assert_eq!(
+            self.cfq_count,
+            self.cfqs.iter().filter(|c| c.state.is_some()).count()
+        );
+        self.resident == 0 && self.becn_out.is_empty() && self.cfq_count == 0
+    }
+
+    /// Number of destinations with an armed CCTI recovery timer.
+    pub fn armed_timer_count(&self) -> usize {
+        self.armed_timers
+    }
+
+    /// Earliest armed CCTI timer deadline, or `Cycle::MAX` when none is
+    /// armed (bounds the quiet-cycle fast-forward).
+    pub fn next_timer_deadline(&self) -> Cycle {
+        if self.armed_timers == 0 {
+            return Cycle::MAX;
+        }
+        self.timer_deadline
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Cycle::MAX)
     }
 
     /// Packets currently buffered in the adapter (AdVOQs + output
@@ -572,11 +661,19 @@ mod tests {
 
     fn adapter(thr: bool, iso: bool) -> (Adapter, Vec<Link>) {
         let links = vec![Link::new(LinkConfig::default(), 1024)];
-        (Adapter::new(NodeId(0), cfg(thr, iso), LinkId(0), 1, 8), links)
+        (
+            Adapter::new(NodeId(0), cfg(thr, iso), LinkId(0), 1, 8),
+            links,
+        )
     }
 
     fn gp(dst: u32) -> GenPacket {
-        GenPacket { flow: ccfit_engine::ids::FlowId(0), dst: NodeId(dst), size_flits: 32, size_bytes: 2048 }
+        GenPacket {
+            flow: ccfit_engine::ids::FlowId(0),
+            dst: NodeId(dst),
+            size_flits: 32,
+            size_bytes: 2048,
+        }
     }
 
     #[test]
@@ -600,8 +697,14 @@ mod tests {
         for i in 0..8 {
             assert!(a.try_inject(0, gp(3), PacketId(i)), "packet {i}");
         }
-        assert!(!a.try_inject(0, gp(3), PacketId(99)), "ninth packet refused");
-        assert!(a.try_inject(0, gp(4), PacketId(100)), "other AdVOQ unaffected");
+        assert!(
+            !a.try_inject(0, gp(3), PacketId(99)),
+            "ninth packet refused"
+        );
+        assert!(
+            a.try_inject(0, gp(4), PacketId(100)),
+            "other AdVOQ unaffected"
+        );
     }
 
     #[test]
@@ -688,7 +791,11 @@ mod tests {
         for d in links[0].deliver(1000) {
             injected_dsts.push(d.packet.dst);
         }
-        assert_eq!(injected_dsts, vec![NodeId(3)], "only the uncongested flow moves");
+        assert_eq!(
+            injected_dsts,
+            vec![NodeId(3)],
+            "only the uncongested flow moves"
+        );
         // Go resumes.
         links[0].send_ctrl(200, CtrlEvent::Go { dst: NodeId(4) });
         a.poll_ctrl(210, &mut links, &mut m);
@@ -723,7 +830,11 @@ mod tests {
                 got.push(d.packet.dst);
             }
         }
-        assert_eq!(got, vec![NodeId(3)], "victim bypasses the stopped congested flow");
+        assert_eq!(
+            got,
+            vec![NodeId(3)],
+            "victim bypasses the stopped congested flow"
+        );
     }
 
     #[test]
@@ -741,7 +852,10 @@ mod tests {
         for _ in 0..1000 {
             a.on_becn(0, NodeId(2), &mut m);
         }
-        assert_eq!(a.ccti(NodeId(2)) as usize, ThrottleParams::default().cct_len - 1);
+        assert_eq!(
+            a.ccti(NodeId(2)) as usize,
+            ThrottleParams::default().cct_len - 1
+        );
     }
 }
 
@@ -750,7 +864,6 @@ mod voqnet_tests {
     use super::*;
     use ccfit_engine::link::LinkConfig;
     use ccfit_engine::units::UnitModel;
-    use std::collections::HashMap;
 
     fn direct_adapter() -> (Adapter, Vec<Link>) {
         let cfg = AdapterCfg {
@@ -793,9 +906,9 @@ mod voqnet_tests {
         let (mut a, mut links) = direct_adapter();
         let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
         // Per-destination credits: dst 4 has none, dst 3 plenty.
-        let mut vn: HashMap<(u32, u32), u32> = HashMap::new();
-        vn.insert((0, 4), 0);
-        vn.insert((0, 3), 256);
+        let mut vn = VoqNetCredits::new(1, 8);
+        vn.set(0, 4, 0);
+        vn.set(0, 3, 256);
         assert!(a.try_inject(0, gp(4), PacketId(0)));
         assert!(a.try_inject(0, gp(3), PacketId(1)));
         let mut dsts = Vec::new();
@@ -808,9 +921,21 @@ mod voqnet_tests {
                 dsts.push(d.packet.dst);
             }
         }
-        assert_eq!(dsts, vec![NodeId(3)], "hot destination held back, other flows");
-        assert_eq!(vn[&(0, 3)], 256 - 32, "credits debited for the sent packet");
-        assert_eq!(a.advoq_occupancy(NodeId(4)), 32, "blocked packet waits in its AdVOQ");
+        assert_eq!(
+            dsts,
+            vec![NodeId(3)],
+            "hot destination held back, other flows"
+        );
+        assert_eq!(
+            vn.get(0, 3),
+            Some(256 - 32),
+            "credits debited for the sent packet"
+        );
+        assert_eq!(
+            a.advoq_occupancy(NodeId(4)),
+            32,
+            "blocked packet waits in its AdVOQ"
+        );
     }
 
     #[test]

@@ -162,14 +162,24 @@ pub fn table1() -> String {
     let rows = [
         ("", "Config #1", "Config #2", "Config #3"),
         ("# Nodes", "7", "8", "64"),
-        ("Topology", "Ad-hoc (Fig. 5)", "2-ary 3-tree", "4-ary 3-tree"),
+        (
+            "Topology",
+            "Ad-hoc (Fig. 5)",
+            "2-ary 3-tree",
+            "4-ary 3-tree",
+        ),
         ("# Switches", "2", "12", "48"),
         ("Switching", "Virtual Cut-Through", "VCT", "VCT"),
         ("Scheduling", "iSLIP", "iSLIP", "iSLIP"),
         ("Packet MTU", "2048 B", "2048 B", "2048 B"),
         ("Memory size", "64 KB/port", "64 KB/port", "64 KB/port"),
         ("Link BW", "2.5 / 5 GB/s", "2.5 GB/s", "2.5 GB/s"),
-        ("Flow control", "credit-based", "credit-based", "credit-based"),
+        (
+            "Flow control",
+            "credit-based",
+            "credit-based",
+            "credit-based",
+        ),
         ("Routing", "DET (table-based)", "DET", "DET"),
     ];
     let mut out = String::new();

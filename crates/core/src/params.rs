@@ -208,7 +208,9 @@ impl Mechanism {
 
     /// Default-parameter VOQnet (4 KB per destination queue).
     pub fn voqnet() -> Self {
-        Mechanism::VoqNet { per_queue_flits: 64 }
+        Mechanism::VoqNet {
+            per_queue_flits: 64,
+        }
     }
 
     /// Default-parameter DBBM (4 queues per port, as in ref. \[24\]'s

@@ -139,8 +139,7 @@ impl InputQueues {
                 qs.iter().map(|q| q.occupancy_flits()).sum()
             }
             InputQueues::Isolating { nfq, cfqs } => {
-                nfq.occupancy_flits()
-                    + cfqs.iter().map(|c| c.queue.occupancy_flits()).sum::<u32>()
+                nfq.occupancy_flits() + cfqs.iter().map(|c| c.queue.occupancy_flits()).sum::<u32>()
             }
         }
     }
@@ -187,9 +186,7 @@ impl InputQueues {
     /// Index of a free CFQ slot, if any.
     pub fn cfq_free_slot(&self) -> Option<usize> {
         match self {
-            InputQueues::Isolating { cfqs, .. } => {
-                cfqs.iter().position(|c| c.state.is_none())
-            }
+            InputQueues::Isolating { cfqs, .. } => cfqs.iter().position(|c| c.state.is_none()),
             _ => None,
         }
     }
@@ -213,7 +210,15 @@ mod tests {
     use ccfit_engine::packet::Packet;
 
     fn pkt(flits: u32) -> Packet {
-        Packet::data(PacketId(0), NodeId(0), NodeId(1), flits, flits * 64, FlowId(0), 0)
+        Packet::data(
+            PacketId(0),
+            NodeId(0),
+            NodeId(1),
+            flits,
+            flits * 64,
+            FlowId(0),
+            0,
+        )
     }
 
     #[test]

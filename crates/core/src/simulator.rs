@@ -14,7 +14,7 @@ use ccfit_metrics::{MetricsCollector, SimReport};
 use ccfit_topology::{Endpoint, RoutingTable, Topology};
 use ccfit_traffic::{GenPacket, NodeGenerator, TrafficPattern};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// How congestion notification packets travel back to the sources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +61,11 @@ pub struct SimConfig {
     pub becn_transport: BecnTransport,
     /// Trace every Nth injected data packet (None = tracing off).
     pub trace_sample_every: Option<u64>,
+    /// Disable the active-set scheduler and the quiet-cycle fast-forward,
+    /// forcing the original exhaustive per-cycle iteration. Results are
+    /// bit-identical either way (the determinism test enforces it); this
+    /// exists as the baseline for the perf harness and as an escape hatch.
+    pub force_slow_path: bool,
 }
 
 impl Default for SimConfig {
@@ -79,6 +84,7 @@ impl Default for SimConfig {
             crossbar_bw_flits_per_cycle: 1,
             becn_transport: BecnTransport::InBand,
             trace_sample_every: None,
+            force_slow_path: false,
         }
     }
 }
@@ -94,7 +100,12 @@ enum LinkDst {
 enum Release {
     /// Free `flits` of switch `sw` input `port` RAM and return credits on
     /// its in-link (plus VOQnet per-destination credits for `dst`).
-    SwitchPort { sw: u32, port: u16, flits: u32, dst: u32 },
+    SwitchPort {
+        sw: u32,
+        port: u16,
+        flits: u32,
+        dst: u32,
+    },
     /// Free `flits` of node `node`'s adapter output RAM.
     Node { node: u32, flits: u32 },
 }
@@ -179,7 +190,9 @@ impl SimBuilder {
     /// or a pattern referencing nodes outside the topology.
     pub fn build(self) -> Simulator {
         let pattern = self.pattern.expect("a traffic pattern is required");
-        self.mech.validate().expect("mechanism parameters are invalid");
+        self.mech
+            .validate()
+            .expect("mechanism parameters are invalid");
         let routing = self
             .routing
             .unwrap_or_else(|| RoutingTable::shortest_path(&self.topo));
@@ -203,7 +216,13 @@ pub struct Simulator {
     metrics: MetricsCollector,
     release_q: BinaryHeap<Reverse<(Cycle, u64, Release)>>,
     becn_q: BinaryHeap<Reverse<(Cycle, u64, u32, u32)>>, // (at, seq, congested_dst, throttle_node)
-    becn_delay_cache: HashMap<(u32, u32), Cycle>,
+    /// Flat `from × to` BECN-delay memo (`Cycle::MAX` = not yet traced).
+    becn_delay_cache: Vec<Cycle>,
+    num_nodes: usize,
+    /// Per-tick delivery scratch (no state across ticks).
+    delivery_scratch: Vec<ccfit_engine::link::Delivery>,
+    /// Per-tick release scratch (no state across ticks).
+    release_scratch: Vec<crate::switch::PendingRelease>,
     seq: u64,
     now: Cycle,
     end: Cycle,
@@ -284,23 +303,22 @@ impl Simulator {
         let mut recv_link: Vec<Option<LinkId>> = vec![None; num_nodes];
         let node_sink_credits = 4 * switch_ram_flits.max(1024);
 
-        let push_link =
-            |links: &mut Vec<Link>,
-             link_dst: &mut Vec<LinkDst>,
-             params: ccfit_topology::LinkParams,
-             dst: LinkDst,
-             credits: u32| {
-                let id = LinkId(links.len() as u32);
-                links.push(Link::new(
-                    LinkConfig {
-                        bw_flits_per_cycle: params.bw_flits_per_cycle,
-                        delay_cycles: params.delay_cycles,
-                    },
-                    credits,
-                ));
-                link_dst.push(dst);
-                id
-            };
+        let push_link = |links: &mut Vec<Link>,
+                         link_dst: &mut Vec<LinkDst>,
+                         params: ccfit_topology::LinkParams,
+                         dst: LinkDst,
+                         credits: u32| {
+            let id = LinkId(links.len() as u32);
+            links.push(Link::new(
+                LinkConfig {
+                    bw_flits_per_cycle: params.bw_flits_per_cycle,
+                    delay_cycles: params.delay_cycles,
+                },
+                credits,
+            ));
+            link_dst.push(dst);
+            id
+        };
 
         for s in topo.switch_ids() {
             for p in topo.switch(s).connected() {
@@ -346,11 +364,11 @@ impl Simulator {
         // ---- VOQnet per-destination reserved credits ----
         let voqnet = match mech.queueing() {
             QueueingScheme::PerDest => {
-                let mut vn: VoqNetCredits = HashMap::new();
+                let mut vn = VoqNetCredits::new(links.len(), num_nodes);
                 for (li, dst) in link_dst.iter().enumerate() {
                     if matches!(dst, LinkDst::SwitchIn(..)) {
                         for d in 0..num_nodes {
-                            vn.insert((li as u32, d as u32), per_dest_queue_flits);
+                            vn.set(li as u32, d as u32, per_dest_queue_flits);
                         }
                     }
                 }
@@ -433,7 +451,10 @@ impl Simulator {
             metrics,
             release_q: BinaryHeap::new(),
             becn_q: BinaryHeap::new(),
-            becn_delay_cache: HashMap::new(),
+            becn_delay_cache: vec![Cycle::MAX; num_nodes * num_nodes],
+            num_nodes,
+            delivery_scratch: Vec::new(),
+            release_scratch: Vec::new(),
             seq: 0,
             now: 0,
             end,
@@ -475,9 +496,20 @@ impl Simulator {
     /// `injected() - delivered()`. In-band BECNs are excluded (they are
     /// control traffic, not workload).
     pub fn resident_packets(&self) -> usize {
-        self.adapters.iter().map(|a| a.resident_packets()).sum::<usize>()
-            + self.switches.iter().map(|s| s.resident_data_packets()).sum::<usize>()
-            + self.links.iter().map(|l| l.in_flight_data_count()).sum::<usize>()
+        self.adapters
+            .iter()
+            .map(|a| a.resident_packets())
+            .sum::<usize>()
+            + self
+                .switches
+                .iter()
+                .map(|s| s.resident_data_packets())
+                .sum::<usize>()
+            + self
+                .links
+                .iter()
+                .map(|l| l.in_flight_data_count())
+                .sum::<usize>()
     }
 
     /// CFQs currently allocated network-wide (scalability introspection).
@@ -494,8 +526,10 @@ impl Simulator {
     /// one flit serialization per hop (CNPs are single-flit priority
     /// packets riding the NFQ path; see DESIGN.md §3).
     fn becn_delay(&mut self, from: NodeId, to: NodeId) -> Cycle {
-        if let Some(&d) = self.becn_delay_cache.get(&(from.0, to.0)) {
-            return d;
+        let idx = from.index() * self.num_nodes + to.index();
+        let cached = self.becn_delay_cache[idx];
+        if cached != Cycle::MAX {
+            return cached;
         }
         let hops = self
             .routing
@@ -503,13 +537,14 @@ impl Simulator {
             .map(|p| p.len())
             .unwrap_or(1) as Cycle;
         let d = hops * 2 + 1;
-        self.becn_delay_cache.insert((from.0, to.0), d);
+        self.becn_delay_cache[idx] = d;
         d
     }
 
     /// Advance one cycle through the deterministic phase order.
     pub fn tick(&mut self) {
         let now = self.now;
+        let fast = !self.cfg.force_slow_path;
 
         // Phase 1: scheduled RAM releases + credit returns.
         while let Some(&Reverse((at, _, rel))) = self.release_q.peek() {
@@ -518,16 +553,19 @@ impl Simulator {
             }
             self.release_q.pop();
             match rel {
-                Release::SwitchPort { sw, port, flits, dst } => {
+                Release::SwitchPort {
+                    sw,
+                    port,
+                    flits,
+                    dst,
+                } => {
                     let sw_idx = sw as usize;
                     let port_idx = port as usize;
                     self.switches[sw_idx].release_ram(port_idx, flits);
                     if let Some(link) = self.switches[sw_idx].inputs[port_idx].in_link {
                         self.links[link.index()].return_credits(now, flits);
                         if let Some(vn) = self.voqnet.as_mut() {
-                            if let Some(c) = vn.get_mut(&(link.0, dst)) {
-                                *c += flits;
-                            }
+                            vn.add(link.0, dst, flits);
                         }
                     }
                 }
@@ -542,15 +580,18 @@ impl Simulator {
             l.poll_credits(now);
         }
 
-        // Phase 3: link deliveries.
+        // Phase 3: link deliveries (drained into a persistent scratch
+        // buffer so the hot path never allocates).
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
         for li in 0..self.links.len() {
-            let deliveries = self.links[li].deliver(now);
-            if deliveries.is_empty() {
+            if !self.links[li].has_delivery(now) {
                 continue;
             }
+            deliveries.clear();
+            self.links[li].deliver_into(now, &mut deliveries);
             match self.link_dst[li] {
                 LinkDst::SwitchIn(s, p) => {
-                    for d in deliveries {
+                    for d in deliveries.drain(..) {
                         if let Some(tr) = &mut self.trace {
                             if d.packet.is_data() && tr.wants(d.packet.id) {
                                 tr.switch_hop(d.packet.id, s, d.visible_at);
@@ -560,12 +601,13 @@ impl Simulator {
                     }
                 }
                 LinkDst::NodeRecv(n) => {
-                    for d in deliveries {
+                    for d in deliveries.drain(..) {
                         self.deliver_to_node(n, li, d);
                     }
                 }
             }
         }
+        self.delivery_scratch = deliveries;
 
         // Phase 4: congestion-information control traffic.
         for sw in &mut self.switches {
@@ -576,22 +618,33 @@ impl Simulator {
         }
 
         // Phase 5: post-processing (detection, isolation, Stop/Go,
-        // deallocation) and congestion-state update.
+        // deallocation) and congestion-state update. Quiescent switches
+        // provably do nothing here (see `Switch::is_quiescent`).
         for sw in &mut self.switches {
+            if fast && sw.is_quiescent() {
+                continue;
+            }
             sw.isolation_tick(now, &self.routing, &mut self.links, &mut self.metrics);
             sw.congestion_state_tick(now, &self.links);
         }
 
-        // Phase 6: crossbar scheduling and transmission.
+        // Phase 6: crossbar scheduling and transmission. Switches with
+        // nothing buffered cannot match or transmit anything.
+        let mut releases = std::mem::take(&mut self.release_scratch);
         for si in 0..self.switches.len() {
-            let releases = self.switches[si].arbitrate_and_transmit(
+            if fast && !self.switches[si].has_buffered() {
+                continue;
+            }
+            releases.clear();
+            self.switches[si].arbitrate_and_transmit_into(
                 now,
                 &self.routing,
                 &mut self.links,
                 self.voqnet.as_mut(),
                 &mut self.metrics,
+                &mut releases,
             );
-            for r in releases {
+            for r in releases.drain(..) {
                 self.seq += 1;
                 self.release_q.push(Reverse((
                     r.at,
@@ -605,6 +658,7 @@ impl Simulator {
                 )));
             }
         }
+        self.release_scratch = releases;
 
         // Phase 7: BECN arrivals throttle their sources.
         while let Some(&Reverse((at, _, congested_dst, node))) = self.becn_q.peek() {
@@ -612,35 +666,39 @@ impl Simulator {
                 break;
             }
             self.becn_q.pop();
-            self.adapters[node as usize].on_becn(
-                now,
-                NodeId(congested_dst),
-                &mut self.metrics,
-            );
+            self.adapters[node as usize].on_becn(now, NodeId(congested_dst), &mut self.metrics);
         }
 
-        // Phase 8: traffic generation and adapter work.
+        // Phase 8: traffic generation and adapter work. A generator with
+        // no flow in its active window injects nothing and draws no
+        // randomness; an adapter that is quiet with no armed timer has
+        // provably nothing to do (see `Adapter::is_quiet`).
         for n in 0..self.adapters.len() {
-            let adapter = &mut self.adapters[n];
-            let next_packet_id = &mut self.next_packet_id;
-            let injected = &mut self.injected;
-            let trace = &mut self.trace;
-            let mut sink = |gp: GenPacket| {
-                let id = PacketId(*next_packet_id);
-                if adapter.try_inject(now, gp, id) {
-                    *next_packet_id += 1;
-                    *injected += 1;
-                    if let Some(tr) = trace {
-                        if tr.wants(id) {
-                            tr.injected(id, gp.flow, adapter.node(), gp.dst, now);
+            if !fast || self.gens[n].any_active(now) {
+                let adapter = &mut self.adapters[n];
+                let next_packet_id = &mut self.next_packet_id;
+                let injected = &mut self.injected;
+                let trace = &mut self.trace;
+                let mut sink = |gp: GenPacket| {
+                    let id = PacketId(*next_packet_id);
+                    if adapter.try_inject(now, gp, id) {
+                        *next_packet_id += 1;
+                        *injected += 1;
+                        if let Some(tr) = trace {
+                            if tr.wants(id) {
+                                tr.injected(id, gp.flow, adapter.node(), gp.dst, now);
+                            }
                         }
+                        true
+                    } else {
+                        false
                     }
-                    true
-                } else {
-                    false
-                }
-            };
-            self.gens[n].tick(now, &mut sink);
+                };
+                self.gens[n].tick(now, &mut sink);
+            }
+            if fast && self.adapters[n].is_quiet() && self.adapters[n].armed_timer_count() == 0 {
+                continue;
+            }
             if let Some(rel) = self.adapters[n].tick(
                 now,
                 &mut self.links,
@@ -651,7 +709,10 @@ impl Simulator {
                 self.release_q.push(Reverse((
                     rel.at,
                     self.seq,
-                    Release::Node { node: n as u32, flits: rel.flits },
+                    Release::Node {
+                        node: n as u32,
+                        flits: rel.flits,
+                    },
                 )));
             }
         }
@@ -664,12 +725,58 @@ impl Simulator {
                 .iter()
                 .flat_map(|sw| sw.inputs.iter().map(|i| i.ram.used()))
                 .sum();
-            self.metrics.gauge("network_buffered_flits", at_ns, buffered as f64);
+            self.metrics
+                .gauge("network_buffered_flits", at_ns, buffered as f64);
             self.metrics
                 .gauge("cfqs_allocated", at_ns, self.cfqs_allocated() as f64);
         }
 
-        self.now += 1;
+        self.now = if fast {
+            self.quiet_jump_target(now)
+        } else {
+            now + 1
+        };
+    }
+
+    /// Where the clock may jump to after this cycle. When any component
+    /// is active this is `now + 1` (normal single-step). When the whole
+    /// network is provably quiet, nothing observable can happen before
+    /// the earliest pending event, so the clock jumps straight to it:
+    /// the next gauge-sampling boundary (samples must land on every
+    /// multiple of `gauge_every`), the next scheduled RAM release or
+    /// out-of-band BECN, the next in-flight link event, the next armed
+    /// CCTI timer deadline, or the next flow activation. The jump is
+    /// clamped to `end` so runs terminate on the exact same cycle as the
+    /// slow path.
+    fn quiet_jump_target(&self, now: Cycle) -> Cycle {
+        let step = now + 1;
+        let quiet = self.switches.iter().all(|s| s.is_quiescent())
+            && self.adapters.iter().all(|a| a.is_quiet())
+            && self.gens.iter().all(|g| !g.any_active(now));
+        if !quiet {
+            return step;
+        }
+        let mut target = (now / self.gauge_every + 1) * self.gauge_every;
+        if let Some(&Reverse((at, _, _))) = self.release_q.peek() {
+            target = target.min(at);
+        }
+        if let Some(&Reverse((at, _, _, _))) = self.becn_q.peek() {
+            target = target.min(at);
+        }
+        for l in &self.links {
+            if let Some(at) = l.next_event_at() {
+                target = target.min(at);
+            }
+        }
+        for a in &self.adapters {
+            target = target.min(a.next_timer_deadline());
+        }
+        for g in &self.gens {
+            if let Some(at) = g.next_activation(now) {
+                target = target.min(at);
+            }
+        }
+        target.min(self.end).max(step)
     }
 
     fn deliver_to_node(&mut self, node: NodeId, link_idx: usize, d: ccfit_engine::link::Delivery) {
@@ -697,8 +804,12 @@ impl Simulator {
                 BecnTransport::InBand => {
                     let id = PacketId(self.next_packet_id);
                     self.next_packet_id += 1;
-                    self.adapters[node.index()]
-                        .queue_becn(Packet::becn(id, node, d.packet.src, d.ready_at));
+                    self.adapters[node.index()].queue_becn(Packet::becn(
+                        id,
+                        node,
+                        d.packet.src,
+                        d.ready_at,
+                    ));
                 }
                 BecnTransport::OutOfBand => {
                     let delay = self.becn_delay(node, d.packet.src);
@@ -706,8 +817,8 @@ impl Simulator {
                     self.becn_q.push(Reverse((
                         d.ready_at + delay,
                         self.seq,
-                        node.0,          // the congested destination
-                        d.packet.src.0,  // the source to throttle
+                        node.0,         // the congested destination
+                        d.packet.src.0, // the source to throttle
                     )));
                 }
             }
@@ -723,10 +834,17 @@ impl Simulator {
     }
 
     /// Run `cycles` more cycles (tests drive the simulator piecewise).
+    /// The clock lands exactly on `now + cycles` regardless of any
+    /// quiet-cycle fast-forward: the jump horizon is temporarily capped
+    /// so a jump can never overshoot the caller's target.
     pub fn run_cycles(&mut self, cycles: Cycle) {
-        for _ in 0..cycles {
+        let target = self.now.saturating_add(cycles);
+        let saved_end = self.end;
+        self.end = self.end.min(target);
+        while self.now < target {
             self.tick();
         }
+        self.end = saved_end;
     }
 
     /// Freeze into a report without necessarily having reached the end.
@@ -743,7 +861,10 @@ impl Simulator {
             .node_ids()
             .map(|n| {
                 let (_, _, p) = self.topo.node_attachment(n);
-                self.cfg.units.flits_per_cycle_to_bandwidth(p.bw_flits_per_cycle) / 1e9
+                self.cfg
+                    .units
+                    .flits_per_cycle_to_bandwidth(p.bw_flits_per_cycle)
+                    / 1e9
             })
             .sum();
         let simulated_ns = self.cfg.units.cycles_to_ns(self.now);

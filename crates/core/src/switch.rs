@@ -169,7 +169,74 @@ pub struct PendingRelease {
 
 /// Per-link, per-destination reserved-buffer credits (VOQnet only; see
 /// DESIGN.md §3).
-pub type VoqNetCredits = std::collections::HashMap<(u32, u32), u32>;
+///
+/// A flat dense table indexed by `(link, dst)` — the hot paths (candidate
+/// gathering, per-send debits, per-release credits) touch it every cycle,
+/// so it must not hash. Entries default to *untracked* (the sentinel
+/// `u32::MAX`): links whose receiver is not a switch input have no
+/// per-destination reservation and always pass the credit check, matching
+/// the old `HashMap`'s missing-key behaviour.
+#[derive(Debug, Clone)]
+pub struct VoqNetCredits {
+    num_dests: usize,
+    table: Vec<u32>,
+}
+
+impl VoqNetCredits {
+    /// Sentinel for an untracked `(link, dst)` pair.
+    const UNTRACKED: u32 = u32::MAX;
+
+    /// Build a table covering `num_links × num_dests`, all untracked.
+    pub fn new(num_links: usize, num_dests: usize) -> Self {
+        Self {
+            num_dests,
+            table: vec![Self::UNTRACKED; num_links * num_dests],
+        }
+    }
+
+    fn idx(&self, link: u32, dst: u32) -> usize {
+        link as usize * self.num_dests + dst as usize
+    }
+
+    /// Start tracking `(link, dst)` with `credits` flits of reserved space.
+    pub fn set(&mut self, link: u32, dst: u32, credits: u32) {
+        debug_assert_ne!(credits, Self::UNTRACKED);
+        let i = self.idx(link, dst);
+        self.table[i] = credits;
+    }
+
+    /// Current credits, or `None` if the pair is untracked.
+    pub fn get(&self, link: u32, dst: u32) -> Option<u32> {
+        match self.table[self.idx(link, dst)] {
+            Self::UNTRACKED => None,
+            c => Some(c),
+        }
+    }
+
+    /// Whether a packet of `flits` may be sent (untracked pairs always
+    /// pass).
+    pub fn has(&self, link: u32, dst: u32, flits: u32) -> bool {
+        let c = self.table[self.idx(link, dst)];
+        c == Self::UNTRACKED || c >= flits
+    }
+
+    /// Return `flits` credits (no-op when untracked).
+    pub fn add(&mut self, link: u32, dst: u32, flits: u32) {
+        let i = self.idx(link, dst);
+        if self.table[i] != Self::UNTRACKED {
+            self.table[i] += flits;
+            debug_assert_ne!(self.table[i], Self::UNTRACKED);
+        }
+    }
+
+    /// Debit `flits` credits (no-op when untracked).
+    pub fn sub(&mut self, link: u32, dst: u32, flits: u32) {
+        let i = self.idx(link, dst);
+        if self.table[i] != Self::UNTRACKED {
+            self.table[i] -= flits;
+        }
+    }
+}
 
 /// The switch.
 #[derive(Debug, Clone)]
@@ -186,6 +253,31 @@ pub struct Switch {
     queue_rr: Vec<usize>,
     marking_rng: SmallRng,
     num_dests: usize,
+    /// Packets buffered across all input queues (mirror of
+    /// `resident_packets()`, maintained incrementally for the active-set
+    /// scheduler).
+    buffered: usize,
+    /// CFQs allocated across all input ports (mirror of
+    /// `cfqs_allocated()`).
+    cfq_count: usize,
+    /// Output ports currently in the congestion state.
+    congested_count: usize,
+    /// Per-call arbitration scratch (no state between calls).
+    arb: ArbScratch,
+    /// Per-call control-event scratch.
+    ctrl_scratch: Vec<CtrlEvent>,
+}
+
+/// Reusable buffers for `arbitrate_and_transmit` so the per-cycle hot
+/// path does not allocate. Taken out of the switch with `mem::take` for
+/// the duration of a call (borrow-splitting) and put back after.
+#[derive(Debug, Clone, Default)]
+struct ArbScratch {
+    all_candidates: Vec<Vec<Candidate>>,
+    requests: Vec<Vec<usize>>,
+    in_free: Vec<bool>,
+    out_free: Vec<bool>,
+    matches: Vec<(usize, usize)>,
 }
 
 impl Switch {
@@ -238,6 +330,17 @@ impl Switch {
             queue_rr: vec![0; num_ports],
             marking_rng,
             num_dests,
+            buffered: 0,
+            cfq_count: 0,
+            congested_count: 0,
+            arb: ArbScratch {
+                all_candidates: vec![Vec::new(); num_ports],
+                requests: vec![Vec::new(); num_ports],
+                in_free: vec![false; num_ports],
+                out_free: vec![false; num_ports],
+                matches: Vec::new(),
+            },
+            ctrl_scratch: Vec::new(),
         }
     }
 
@@ -255,6 +358,7 @@ impl Switch {
     /// packets travel the normal data path but only ever use the NFQ
     /// (§III-B).
     pub fn accept_delivery(&mut self, port: usize, d: Delivery, routing: &RoutingTable) {
+        self.buffered += 1;
         let input = &mut self.inputs[port];
         input
             .ram
@@ -285,13 +389,22 @@ impl Switch {
         links: &mut [Link],
         metrics: &mut MetricsCollector,
     ) {
+        let scratch = &mut self.ctrl_scratch;
         for out in &mut self.outputs {
             let Some(link) = out.out_link else { continue };
-            for ev in links[link.index()].poll_ctrl(now) {
+            if !links[link.index()].has_ctrl(now) {
+                continue;
+            }
+            scratch.clear();
+            links[link.index()].poll_ctrl_into(now, scratch);
+            for &ev in scratch.iter() {
                 match ev {
                     CtrlEvent::CfqAlloc { dst } => {
                         if out.cam.lookup(dst).is_none()
-                            && out.cam.allocate(dst, OutCamState { stopped: false }).is_err()
+                            && out
+                                .cam
+                                .allocate(dst, OutCamState { stopped: false })
+                                .is_err()
                         {
                             metrics.count("out_cam_exhausted", 1);
                         }
@@ -304,7 +417,11 @@ impl Switch {
                     CtrlEvent::Stop { dst } => {
                         if let Some(idx) = out.cam.lookup(dst) {
                             out.cam.get_mut(idx).unwrap().value.stopped = true;
-                        } else if out.cam.allocate(dst, OutCamState { stopped: true }).is_err() {
+                        } else if out
+                            .cam
+                            .allocate(dst, OutCamState { stopped: true })
+                            .is_err()
+                        {
                             metrics.count("out_cam_exhausted", 1);
                         }
                         metrics.count("stops_received", 1);
@@ -408,19 +525,25 @@ impl Switch {
                     let out = routing.route(self.id, dst).index();
                     match self.inputs[port].queues.cfq_free_slot() {
                         Some(free) => {
-                            let InputQueues::Isolating { cfqs, .. } =
-                                &mut self.inputs[port].queues
+                            let InputQueues::Isolating { cfqs, .. } = &mut self.inputs[port].queues
                             else {
                                 unreachable!()
                             };
                             // Locally detected => this switch is 1 hop from
                             // the congestion point: a root CFQ.
                             cfqs[free].state = Some(CfqState::new(dst, out, true));
+                            self.cfq_count += 1;
                             metrics.count("cfq_allocated", 1);
                             metrics.count("congestion_detected", 1);
-                            metrics.count(&format!("detected_sw{}_in{}_dst{}", self.id.0, port, dst.0), 1);
+                            metrics.count(
+                                &format!("detected_sw{}_in{}_dst{}", self.id.0, port, dst.0),
+                                1,
+                            );
                             if std::env::var_os("CCFIT_TRACE_DETECT").is_some() {
-                                eprintln!("[{} cyc] detect sw{} in{} dst{} unmatched={} nfq_occ={}", now, self.id.0, port, dst.0, unmatched_total, nfq_occ);
+                                eprintln!(
+                                    "[{} cyc] detect sw{} in{} dst{} unmatched={} nfq_occ={}",
+                                    now, self.id.0, port, dst.0, unmatched_total, nfq_occ
+                                );
                             }
                         }
                         None => {
@@ -439,7 +562,9 @@ impl Switch {
                     let InputQueues::Isolating { nfq, .. } = &self.inputs[port].queues else {
                         unreachable!()
                     };
-                    let Some(head) = nfq.head_visible(now) else { break };
+                    let Some(head) = nfq.head_visible(now) else {
+                        break;
+                    };
                     if !head.packet.is_data() {
                         break; // BECNs only use NFQs (§III-B), never CFQs
                     }
@@ -461,6 +586,7 @@ impl Switch {
                                     unreachable!()
                                 };
                                 cfqs[free].state = Some(CfqState::new(dst, out, false));
+                                self.cfq_count += 1;
                                 metrics.count("cfq_allocated", 1);
                                 Some(free)
                             }
@@ -479,7 +605,9 @@ impl Switch {
                             unreachable!()
                         };
                         let entry = nfq.pop().expect("head exists");
-                        cfqs[s].queue.push(entry.packet, entry.visible_at, entry.ready_at);
+                        cfqs[s]
+                            .queue
+                            .push(entry.packet, entry.visible_at, entry.ready_at);
                         metrics.count("packets_isolated", 1);
                     }
                     None => break, // head is non-congested (or unisolatable)
@@ -507,8 +635,7 @@ impl Switch {
                     }
                     if !st.stop_sent && occ >= stop_flits {
                         if !st.alloc_sent {
-                            links[link.index()]
-                                .send_ctrl(now, CtrlEvent::CfqAlloc { dst: st.dst });
+                            links[link.index()].send_ctrl(now, CtrlEvent::CfqAlloc { dst: st.dst });
                             st.alloc_sent = true;
                         }
                         links[link.index()].send_ctrl(now, CtrlEvent::Stop { dst: st.dst });
@@ -536,8 +663,7 @@ impl Switch {
                                 .out_link
                                 .map(|l| links[l.index()].config().bw_flits_per_cycle)
                                 .unwrap_or(1);
-                            let capacity =
-                                (now - st.window_start) as f64 * out_bw as f64;
+                            let capacity = (now - st.window_start) as f64 * out_bw as f64;
                             st.starved = (st.granted_window as f64) < 0.9 * capacity;
                             st.granted_window = 0;
                             st.window_start = now;
@@ -587,6 +713,7 @@ impl Switch {
                             unreachable!()
                         };
                         cfqs[c].state = None;
+                        self.cfq_count -= 1;
                         metrics.count("cfq_deallocated", 1);
                         continue;
                     }
@@ -609,7 +736,15 @@ impl Switch {
         match thr.source {
             MarkingSource::RootCfq => {
                 for out in &mut self.outputs {
-                    out.congested = out.over_high_count > 0;
+                    let congested = out.over_high_count > 0;
+                    if congested != out.congested {
+                        out.congested = congested;
+                        if congested {
+                            self.congested_count += 1;
+                        } else {
+                            self.congested_count -= 1;
+                        }
+                    }
                 }
             }
             MarkingSource::VoqOccupancy => {
@@ -635,58 +770,67 @@ impl Switch {
                             .is_some_and(|l| links[l.index()].credits() >= self.cfg.mtu_flits);
                         if occ >= thr.high_flits && has_credits {
                             out.congested = true;
+                            self.congested_count += 1;
                         }
                     } else if occ <= thr.low_flits {
                         out.congested = false;
+                        self.congested_count -= 1;
                     }
                 }
             }
         }
     }
 
-    /// Gather eligible queue heads at one input port.
-    fn candidates(
+    /// Gather eligible queue heads at one input port into `out`.
+    fn candidates_into(
         &self,
         port: usize,
         now: Cycle,
         routing: &RoutingTable,
         links: &[Link],
         voqnet: Option<&VoqNetCredits>,
-    ) -> Vec<Candidate> {
-        let mut out = Vec::new();
+        out: &mut Vec<Candidate>,
+    ) {
         let input = &self.inputs[port];
         if input.busy_until > now {
-            return out;
+            return;
         }
-        let consider = |queue: QueueKey, head: &QueuedPacket, out_port: usize, acc: &mut Vec<Candidate>| {
-            let output = &self.outputs[out_port];
-            let Some(link) = output.out_link else { return };
-            let link = &links[link.index()];
-            if !link.can_send(now, head.packet.size_flits) {
-                return;
-            }
-            if let Some(vn) = voqnet {
-                // Per-destination reserved space downstream (switch hops
-                // only; node sinks consume at line rate).
-                if let Some(&credits) = vn.get(&(output.out_link.unwrap().0, head.packet.dst.0)) {
-                    if credits < head.packet.size_flits {
+        let consider =
+            |queue: QueueKey, head: &QueuedPacket, out_port: usize, acc: &mut Vec<Candidate>| {
+                let output = &self.outputs[out_port];
+                let Some(link) = output.out_link else { return };
+                let link = &links[link.index()];
+                if !link.can_send(now, head.packet.size_flits) {
+                    return;
+                }
+                if let Some(vn) = voqnet {
+                    // Per-destination reserved space downstream (switch hops
+                    // only; node sinks consume at line rate).
+                    if !vn.has(
+                        output.out_link.unwrap().0,
+                        head.packet.dst.0,
+                        head.packet.size_flits,
+                    ) {
                         return;
                     }
                 }
-            }
-            acc.push(Candidate { queue, out: out_port, becn: head.packet.is_becn() });
-        };
+                acc.push(Candidate {
+                    queue,
+                    out: out_port,
+                    becn: head.packet.is_becn(),
+                });
+            };
         match &input.queues {
             InputQueues::Single(q) => {
                 if let Some(h) = q.head_visible(now) {
                     let o = routing.route(self.id, h.packet.dst).index();
-                    consider(QueueKey::Single, h, o, &mut out);
+                    consider(QueueKey::Single, h, o, out);
                 }
             }
             InputQueues::PerOutput(qs) => {
                 for (o, q) in qs.iter().enumerate() {
                     if let Some(h) = q.head_visible(now) {
-                        consider(QueueKey::PerOutput(o), h, o, &mut out);
+                        consider(QueueKey::PerOutput(o), h, o, out);
                     }
                 }
             }
@@ -694,7 +838,7 @@ impl Switch {
                 for (d, q) in qs.iter().enumerate() {
                     if let Some(h) = q.head_visible(now) {
                         let o = routing.route(self.id, NodeId::from(d)).index();
-                        consider(QueueKey::PerDest(d), h, o, &mut out);
+                        consider(QueueKey::PerDest(d), h, o, out);
                     }
                 }
             }
@@ -702,7 +846,7 @@ impl Switch {
                 for (qi, q) in qs.iter().enumerate() {
                     if let Some(h) = q.head_visible(now) {
                         let o = routing.route(self.id, h.packet.dst).index();
-                        consider(QueueKey::PerDest(qi), h, o, &mut out);
+                        consider(QueueKey::PerDest(qi), h, o, out);
                     }
                 }
             }
@@ -722,7 +866,7 @@ impl Switch {
                             .any(|c| matches!(c.state, Some(s) if s.dst == h.packet.dst));
                     if !awaiting_move {
                         let o = routing.route(self.id, h.packet.dst).index();
-                        consider(QueueKey::Nfq, h, o, &mut out);
+                        consider(QueueKey::Nfq, h, o, out);
                     }
                 }
                 for (c, slot) in cfqs.iter().enumerate() {
@@ -731,16 +875,16 @@ impl Switch {
                         continue; // Stop/Go flow control pauses this CFQ.
                     }
                     if let Some(h) = slot.queue.head_visible(now) {
-                        consider(QueueKey::Cfq(c), h, st.out_port, &mut out);
+                        consider(QueueKey::Cfq(c), h, st.out_port, out);
                     }
                 }
             }
         }
-        out
     }
 
     /// Pop the head of a queue.
     fn pop_queue(&mut self, port: usize, key: QueueKey) -> QueuedPacket {
+        self.buffered -= 1;
         let input = &mut self.inputs[port];
         let entry = match (&mut input.queues, key) {
             (InputQueues::Single(q), QueueKey::Single) => q.pop(),
@@ -765,48 +909,83 @@ impl Switch {
         voqnet: Option<&mut VoqNetCredits>,
         metrics: &mut MetricsCollector,
     ) -> Vec<PendingRelease> {
+        let mut releases = Vec::new();
+        self.arbitrate_and_transmit_into(now, routing, links, voqnet, metrics, &mut releases);
+        releases
+    }
+
+    /// Allocation-free `arbitrate_and_transmit`: append the RAM releases
+    /// to `releases`, reusing scratch kept inside the switch.
+    pub fn arbitrate_and_transmit_into(
+        &mut self,
+        now: Cycle,
+        routing: &RoutingTable,
+        links: &mut [Link],
+        voqnet: Option<&mut VoqNetCredits>,
+        metrics: &mut MetricsCollector,
+        releases: &mut Vec<PendingRelease>,
+    ) {
+        if self.buffered == 0 {
+            // No packet anywhere: no candidates, no requests, and iSLIP
+            // with an empty request set makes no matches and moves no
+            // pointers, so skipping it outright is behavior-identical.
+            debug_assert_eq!(self.resident_packets(), 0);
+            return;
+        }
         let num_ports = self.inputs.len();
-        let mut all_candidates: Vec<Vec<Candidate>> = Vec::with_capacity(num_ports);
-        let mut requests: Vec<Vec<usize>> = Vec::with_capacity(num_ports);
+        // Borrow-split: take the scratch out of `self` so `self` stays
+        // free for `candidates_into` / `islip` below; put it back at the
+        // end.
+        let mut arb = std::mem::take(&mut self.arb);
         let voqnet_ref = voqnet.as_deref();
         for port in 0..num_ports {
-            let cands = self.candidates(port, now, routing, links, voqnet_ref);
-            let mut req: Vec<usize> = cands.iter().map(|c| c.out).collect();
+            let cands = &mut arb.all_candidates[port];
+            cands.clear();
+            self.candidates_into(port, now, routing, links, voqnet_ref, cands);
+            let req = &mut arb.requests[port];
+            req.clear();
+            req.extend(cands.iter().map(|c| c.out));
             req.sort_unstable();
             req.dedup();
-            requests.push(req);
-            all_candidates.push(cands);
         }
-        let in_free: Vec<bool> = (0..num_ports)
-            .map(|p| self.inputs[p].busy_until <= now && !all_candidates[p].is_empty())
-            .collect();
-        let out_free: Vec<bool> = (0..num_ports)
-            .map(|o| {
-                self.outputs[o]
-                    .out_link
-                    .is_some_and(|l| links[l.index()].tx_idle(now))
-            })
-            .collect();
-        let matches = self.islip.schedule(&requests, &in_free, &out_free);
+        arb.in_free.clear();
+        arb.in_free.extend(
+            (0..num_ports)
+                .map(|p| self.inputs[p].busy_until <= now && !arb.all_candidates[p].is_empty()),
+        );
+        arb.out_free.clear();
+        arb.out_free.extend((0..num_ports).map(|o| {
+            self.outputs[o]
+                .out_link
+                .is_some_and(|l| links[l.index()].tx_idle(now))
+        }));
+        arb.matches.clear();
+        self.islip
+            .schedule_into(&arb.requests, &arb.in_free, &arb.out_free, &mut arb.matches);
 
-        let mut releases = Vec::with_capacity(matches.len());
         let mut voqnet = voqnet;
-        for (port, out) in matches {
+        for &(port, out) in &arb.matches {
             // Choose which of the port's queues serves this output:
             // round-robin over the queue list for intra-port fairness.
-            let cands: Vec<Candidate> = all_candidates[port]
+            // BECNs have transmission priority (§III-B); otherwise round
+            // robin over the port's queues. Two passes over the (tiny)
+            // candidate list avoid collecting the matching subset.
+            let port_cands = &arb.all_candidates[port];
+            let count = port_cands.iter().filter(|c| c.out == out).count();
+            debug_assert!(count > 0);
+            let pick = port_cands
                 .iter()
                 .filter(|c| c.out == out)
-                .copied()
-                .collect();
-            debug_assert!(!cands.is_empty());
-            // BECNs have transmission priority (§III-B); otherwise round
-            // robin over the port's queues.
-            let pick = cands
-                .iter()
                 .find(|c| c.becn)
                 .copied()
-                .unwrap_or(cands[self.queue_rr[port] % cands.len()]);
+                .unwrap_or_else(|| {
+                    port_cands
+                        .iter()
+                        .filter(|c| c.out == out)
+                        .nth(self.queue_rr[port] % count)
+                        .copied()
+                        .expect("count > 0")
+                });
             self.queue_rr[port] = self.queue_rr[port].wrapping_add(1);
 
             let mut entry = self.pop_queue(port, pick.queue);
@@ -826,10 +1005,18 @@ impl Switch {
                 {
                     entry.packet.fecn = true;
                     metrics.count("fecn_marked", 1);
-                    metrics.count(&format!("fecn_marked_sw{}_out{}_dst{}", self.id.0, out, entry.packet.dst.0), 1);
+                    metrics.count(
+                        &format!(
+                            "fecn_marked_sw{}_out{}_dst{}",
+                            self.id.0, out, entry.packet.dst.0
+                        ),
+                        1,
+                    );
                 }
             }
-            let link_id = self.outputs[out].out_link.expect("matched output is cabled");
+            let link_id = self.outputs[out]
+                .out_link
+                .expect("matched output is cabled");
             let wire_done = links[link_id.index()].send(now, entry.packet);
             // The input port is occupied for the crossbar-transfer time
             // (shorter than wire serialization when the crossbar has
@@ -842,9 +1029,7 @@ impl Switch {
             let _ = wire_done; // the output link tracks its own busy time
             self.inputs[port].busy_until = input_done;
             if let Some(vn) = voqnet.as_deref_mut() {
-                if let Some(c) = vn.get_mut(&(link_id.0, entry.packet.dst.0)) {
-                    *c -= entry.packet.size_flits;
-                }
+                vn.sub(link_id.0, entry.packet.dst.0, entry.packet.size_flits);
             }
             releases.push(PendingRelease {
                 at: input_done,
@@ -853,7 +1038,7 @@ impl Switch {
                 dst: entry.packet.dst,
             });
         }
-        releases
+        self.arb = arb;
     }
 
     /// Release RAM for a departed packet (called by the simulator at the
@@ -863,6 +1048,34 @@ impl Switch {
         self.inputs[port].ram.release(flits);
     }
 
+    /// Whether any packet is buffered in this switch (O(1); incremental
+    /// mirror of `resident_packets()`). Gates the arbitration phase in
+    /// the active-set scheduler.
+    pub fn has_buffered(&self) -> bool {
+        debug_assert_eq!(self.buffered, self.resident_packets());
+        self.buffered > 0
+    }
+
+    /// Whether the switch's congestion machinery provably does nothing
+    /// this cycle: no buffered packets (so no detection, no moves, no
+    /// arbitration), no allocated CFQs (so no propagation, Stop/Go,
+    /// High/Low bookkeeping, or deallocation), and no output in the
+    /// congestion state (so no exit transition is pending). A degenerate
+    /// `High = 0` threshold could enter the congestion state with zero
+    /// occupancy, so such a switch never counts as quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        debug_assert_eq!(self.buffered, self.resident_packets());
+        debug_assert_eq!(self.cfq_count, self.cfqs_allocated());
+        debug_assert_eq!(
+            self.congested_count,
+            self.outputs.iter().filter(|o| o.congested).count()
+        );
+        self.buffered == 0
+            && self.cfq_count == 0
+            && self.congested_count == 0
+            && self.cfg.thr.is_none_or(|t| t.high_flits > 0)
+    }
+
     /// Buffered packets across all input ports.
     pub fn resident_packets(&self) -> usize {
         self.inputs.iter().map(|i| i.queues.total_packets()).sum()
@@ -870,7 +1083,10 @@ impl Switch {
 
     /// Buffered *data* packets (conservation checks).
     pub fn resident_data_packets(&self) -> usize {
-        self.inputs.iter().map(|i| i.queues.total_data_packets()).sum()
+        self.inputs
+            .iter()
+            .map(|i| i.queues.total_data_packets())
+            .sum()
     }
 
     /// Number of CFQs currently allocated across all input ports.
@@ -894,18 +1110,40 @@ impl Switch {
             }
             match &inp.queues {
                 InputQueues::Isolating { nfq, cfqs } => {
-                    write!(out, "  in{p}: ram={}/{} nfq={}f", inp.ram.used(), inp.ram.capacity(), nfq.occupancy_flits()).unwrap();
+                    write!(
+                        out,
+                        "  in{p}: ram={}/{} nfq={}f",
+                        inp.ram.used(),
+                        inp.ram.capacity(),
+                        nfq.occupancy_flits()
+                    )
+                    .unwrap();
                     for (c, slot) in cfqs.iter().enumerate() {
                         if let Some(st) = slot.state {
-                            write!(out, " cfq{c}[dst={} occ={}f root={} stop_sent={} down_stopped={}]",
-                                st.dst.0, slot.queue.occupancy_flits(), st.root, st.stop_sent,
-                                self.downstream_stopped(st.out_port, st.dst)).unwrap();
+                            write!(
+                                out,
+                                " cfq{c}[dst={} occ={}f root={} stop_sent={} down_stopped={}]",
+                                st.dst.0,
+                                slot.queue.occupancy_flits(),
+                                st.root,
+                                st.stop_sent,
+                                self.downstream_stopped(st.out_port, st.dst)
+                            )
+                            .unwrap();
                         }
                     }
                     writeln!(out).unwrap();
                 }
                 q => {
-                    writeln!(out, "  in{p}: ram={}/{} occ={}f pkts={}", inp.ram.used(), inp.ram.capacity(), q.total_occupancy_flits(), q.total_packets()).unwrap();
+                    writeln!(
+                        out,
+                        "  in{p}: ram={}/{} occ={}f pkts={}",
+                        inp.ram.used(),
+                        inp.ram.capacity(),
+                        q.total_occupancy_flits(),
+                        q.total_packets()
+                    )
+                    .unwrap();
                 }
             }
         }
@@ -914,9 +1152,19 @@ impl Switch {
                 continue;
             }
             let credits = o.out_link.map(|l| links[l.index()].credits()).unwrap_or(0);
-            write!(out, "  out{p}: congested={} over_high={} credits={}", o.congested, o.over_high_count, credits).unwrap();
+            write!(
+                out,
+                "  out{p}: congested={} over_high={} credits={}",
+                o.congested, o.over_high_count, credits
+            )
+            .unwrap();
             for (_, line) in o.cam.iter() {
-                write!(out, " cam[dst={} stopped={}]", line.key.0, line.value.stopped).unwrap();
+                write!(
+                    out,
+                    " cam[dst={} stopped={}]",
+                    line.key.0, line.value.stopped
+                )
+                .unwrap();
             }
             writeln!(out).unwrap();
         }
@@ -932,8 +1180,8 @@ mod tests {
     use ccfit_engine::link::LinkConfig;
     use ccfit_engine::packet::Packet;
     use ccfit_engine::rng::SeedSplitter;
-    use ccfit_metrics::MetricsCollector;
     use ccfit_engine::units::UnitModel;
+    use ccfit_metrics::MetricsCollector;
 
     const MTU: u32 = 32;
 
@@ -947,7 +1195,11 @@ mod tests {
         metrics: MetricsCollector,
     }
 
-    fn fixture(scheme: QueueingScheme, iso: Option<IsolationParams>, thr: Option<SwitchThrottle>) -> Fixture {
+    fn fixture(
+        scheme: QueueingScheme,
+        iso: Option<IsolationParams>,
+        thr: Option<SwitchThrottle>,
+    ) -> Fixture {
         let cfg = SwitchCfg {
             scheme,
             iso,
@@ -961,11 +1213,17 @@ mod tests {
             crossbar_bw_flits_per_cycle: 1,
         };
         let wiring = vec![
-            (Some(LinkId(0)), None),           // port 0: input only
-            (None, Some(LinkId(1))),           // port 1: output only
-            (None, Some(LinkId(2))),           // port 2: output only
+            (Some(LinkId(0)), None), // port 0: input only
+            (None, Some(LinkId(1))), // port 1: output only
+            (None, Some(LinkId(2))), // port 2: output only
         ];
-        let sw = Switch::new(SwitchId(0), cfg, &wiring, 8, SeedSplitter::new(1).rng("m", 0));
+        let sw = Switch::new(
+            SwitchId(0),
+            cfg,
+            &wiring,
+            8,
+            SeedSplitter::new(1).rng("m", 0),
+        );
         let links = (0..3)
             .map(|_| Link::new(LinkConfig::default(), 1024))
             .collect();
@@ -973,17 +1231,34 @@ mod tests {
             .map(|d| if d < 4 { PortId(1) } else { PortId(2) })
             .collect()]);
         let metrics = MetricsCollector::new(UnitModel::default(), 100_000.0);
-        Fixture { sw, links, routing, metrics }
+        Fixture {
+            sw,
+            links,
+            routing,
+            metrics,
+        }
     }
 
     fn pkt(id: u64, dst: u32) -> Packet {
-        Packet::data(PacketId(id), NodeId(0), NodeId(dst), MTU, 2048, FlowId(0), 0)
+        Packet::data(
+            PacketId(id),
+            NodeId(0),
+            NodeId(dst),
+            MTU,
+            2048,
+            FlowId(0),
+            0,
+        )
     }
 
     fn deliver(fx: &mut Fixture, now: Cycle, p: Packet) {
         fx.sw.accept_delivery(
             0,
-            Delivery { packet: p, visible_at: now, ready_at: now },
+            Delivery {
+                packet: p,
+                visible_at: now,
+                ready_at: now,
+            },
             &fx.routing,
         );
     }
@@ -1021,12 +1296,16 @@ mod tests {
         let mut fx = fixture(QueueingScheme::PerOutput, None, None);
         deliver(&mut fx, 0, pkt(1, 2)); // -> output 1
         deliver(&mut fx, 0, pkt(2, 6)); // -> output 2
-        let rel = fx.sw.arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         // Only one transfer can start per input per cycle.
         assert_eq!(rel.len(), 1);
         // After the input frees up, the second follows.
         let done = rel[0].at;
-        let rel2 = fx.sw.arbitrate_and_transmit(done, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel2 =
+            fx.sw
+                .arbitrate_and_transmit(done, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         assert_eq!(rel2.len(), 1);
         let d1 = fx.links[1].deliver(1000);
         let d2 = fx.links[2].deliver(1000);
@@ -1042,12 +1321,23 @@ mod tests {
         fx.sw.cfg.crossbar_bw_flits_per_cycle = 2;
         deliver(&mut fx, 0, pkt(1, 2));
         deliver(&mut fx, 0, pkt(2, 6));
-        let rel = fx.sw.arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         assert_eq!(rel.len(), 1);
-        assert_eq!(rel[0].at, 16, "32 flits at 2 flits/cycle across the crossbar");
+        assert_eq!(
+            rel[0].at, 16,
+            "32 flits at 2 flits/cycle across the crossbar"
+        );
         // Input free at 16 even though the wire serializes for 32 cycles.
-        let rel2 = fx.sw.arbitrate_and_transmit(16, &fx.routing, &mut fx.links, None, &mut fx.metrics);
-        assert_eq!(rel2.len(), 1, "second output served while the first wire is busy");
+        let rel2 =
+            fx.sw
+                .arbitrate_and_transmit(16, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        assert_eq!(
+            rel2.len(),
+            1,
+            "second output served while the first wire is busy"
+        );
     }
 
     #[test]
@@ -1057,21 +1347,32 @@ mod tests {
         fx.links[1] = Link::new(LinkConfig::default(), 0);
         deliver(&mut fx, 0, pkt(1, 2)); // head, blocked (-> output 1)
         deliver(&mut fx, 0, pkt(2, 6)); // victim behind it (-> output 2)
-        let rel = fx.sw.arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
-        assert!(rel.is_empty(), "single queue: blocked head blocks the victim");
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        assert!(
+            rel.is_empty(),
+            "single queue: blocked head blocks the victim"
+        );
         // Per-output queueing would have let the victim through.
         let mut fx2 = fixture(QueueingScheme::PerOutput, None, None);
         fx2.links[1] = Link::new(LinkConfig::default(), 0);
         deliver(&mut fx2, 0, pkt(1, 2));
         deliver(&mut fx2, 0, pkt(2, 6));
-        let rel2 = fx2.sw.arbitrate_and_transmit(0, &fx2.routing, &mut fx2.links, None, &mut fx2.metrics);
+        let rel2 =
+            fx2.sw
+                .arbitrate_and_transmit(0, &fx2.routing, &mut fx2.links, None, &mut fx2.metrics);
         assert_eq!(rel2.len(), 1, "VOQsw: victim bypasses the blocked flow");
         assert_eq!(rel2[0].dst, NodeId(6));
     }
 
     #[test]
     fn detection_allocates_a_root_cfq_for_the_dominant_destination() {
-        let mut fx = fixture(QueueingScheme::Isolating, Some(IsolationParams::default()), None);
+        let mut fx = fixture(
+            QueueingScheme::Isolating,
+            Some(IsolationParams::default()),
+            None,
+        );
         // Fill the NFQ past 8 MTUs: 6 packets to dst 6 (hot), 3 to dst 2.
         let mut id = 0;
         for _ in 0..6 {
@@ -1082,7 +1383,8 @@ mod tests {
             deliver(&mut fx, 0, pkt(id, 2));
             id += 1;
         }
-        fx.sw.isolation_tick(0, &fx.routing, &mut fx.links, &mut fx.metrics);
+        fx.sw
+            .isolation_tick(0, &fx.routing, &mut fx.links, &mut fx.metrics);
         let q = &fx.sw.inputs[0].queues;
         let cfq = q.cfq_lookup(NodeId(6)).expect("hot destination isolated");
         if let InputQueues::Isolating { cfqs, .. } = q {
@@ -1090,24 +1392,35 @@ mod tests {
             assert!(st.root, "locally detected => root");
             assert_eq!(st.out_port, 2);
         }
-        assert_eq!(q.cfq_lookup(NodeId(2)), None, "minority destination not isolated");
+        assert_eq!(
+            q.cfq_lookup(NodeId(2)),
+            None,
+            "minority destination not isolated"
+        );
         assert_eq!(fx.metrics.counter("congestion_detected"), 1);
     }
 
     #[test]
     fn post_processing_moves_matching_heads_only() {
-        let mut fx = fixture(QueueingScheme::Isolating, Some(IsolationParams::default()), None);
+        let mut fx = fixture(
+            QueueingScheme::Isolating,
+            Some(IsolationParams::default()),
+            None,
+        );
         let mut id = 0;
         for _ in 0..9 {
             deliver(&mut fx, 0, pkt(id, 6));
             id += 1;
         }
         deliver(&mut fx, 0, pkt(id, 2));
-        fx.sw.isolation_tick(0, &fx.routing, &mut fx.links, &mut fx.metrics);
+        fx.sw
+            .isolation_tick(0, &fx.routing, &mut fx.links, &mut fx.metrics);
         // move_budget = 4: four hot packets moved this cycle.
         assert_eq!(fx.metrics.counter("packets_isolated"), 4);
-        fx.sw.isolation_tick(1, &fx.routing, &mut fx.links, &mut fx.metrics);
-        fx.sw.isolation_tick(2, &fx.routing, &mut fx.links, &mut fx.metrics);
+        fx.sw
+            .isolation_tick(1, &fx.routing, &mut fx.links, &mut fx.metrics);
+        fx.sw
+            .isolation_tick(2, &fx.routing, &mut fx.links, &mut fx.metrics);
         // All nine hot packets isolated; the dst-2 packet stays in the NFQ.
         assert_eq!(fx.metrics.counter("packets_isolated"), 9);
         if let InputQueues::Isolating { nfq, .. } = &fx.sw.inputs[0].queues {
@@ -1118,13 +1431,18 @@ mod tests {
 
     #[test]
     fn stop_is_sent_upstream_and_matched_by_go() {
-        let mut fx = fixture(QueueingScheme::Isolating, Some(IsolationParams::default()), None);
+        let mut fx = fixture(
+            QueueingScheme::Isolating,
+            Some(IsolationParams::default()),
+            None,
+        );
         // Saturate: 11 MTUs to dst 6 (stop threshold is 10).
         for id in 0..11 {
             deliver(&mut fx, 0, pkt(id, 6));
         }
         for now in 0..4 {
-            fx.sw.isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
+            fx.sw
+                .isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
         }
         assert_eq!(fx.metrics.counter("stops_sent"), 1);
         // The upstream side of link 0 sees CfqAlloc then Stop.
@@ -1134,12 +1452,19 @@ mod tests {
         // Drain the CFQ via arbitration; Go must follow.
         let mut now = 100;
         for _ in 0..11 {
-            let rel = fx.sw.arbitrate_and_transmit(now, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+            let rel = fx.sw.arbitrate_and_transmit(
+                now,
+                &fx.routing,
+                &mut fx.links,
+                None,
+                &mut fx.metrics,
+            );
             now = rel.first().map(|r| r.at).unwrap_or(now + 32);
             for r in rel {
                 fx.sw.release_ram(r.port, r.flits);
             }
-            fx.sw.isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
+            fx.sw
+                .isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
         }
         assert_eq!(fx.metrics.counter("gos_sent"), 1);
         let evs = fx.links[0].poll_ctrl(10_000);
@@ -1148,48 +1473,64 @@ mod tests {
 
     #[test]
     fn output_cam_stop_pauses_the_cfq() {
-        let mut fx = fixture(QueueingScheme::Isolating, Some(IsolationParams::default()), None);
+        let mut fx = fixture(
+            QueueingScheme::Isolating,
+            Some(IsolationParams::default()),
+            None,
+        );
         // Downstream announces a congestion tree for dst 6 and stops it.
         fx.links[2].send_ctrl(0, CtrlEvent::CfqAlloc { dst: NodeId(6) });
         fx.links[2].send_ctrl(0, CtrlEvent::Stop { dst: NodeId(6) });
         fx.sw.poll_output_ctrl(10, &mut fx.links, &mut fx.metrics);
         deliver(&mut fx, 10, pkt(1, 6));
         deliver(&mut fx, 10, pkt(2, 2));
-        fx.sw.isolation_tick(10, &fx.routing, &mut fx.links, &mut fx.metrics);
+        fx.sw
+            .isolation_tick(10, &fx.routing, &mut fx.links, &mut fx.metrics);
         // The hot packet was isolated (out-CAM hit) into a *non-root* CFQ.
         let q = &fx.sw.inputs[0].queues;
-        let c = q.cfq_lookup(NodeId(6)).expect("isolated via propagated info");
+        let c = q
+            .cfq_lookup(NodeId(6))
+            .expect("isolated via propagated info");
         if let InputQueues::Isolating { cfqs, .. } = q {
             assert!(!cfqs[c].state.unwrap().root);
         }
         // Arbitration: only the dst-2 packet may go (dst 6 is stopped).
-        let rel = fx.sw.arbitrate_and_transmit(10, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(10, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         assert_eq!(rel.len(), 1);
         assert_eq!(rel[0].dst, NodeId(2));
         // Go resumes the flow.
         fx.links[2].send_ctrl(50, CtrlEvent::Go { dst: NodeId(6) });
         fx.sw.poll_output_ctrl(60, &mut fx.links, &mut fx.metrics);
-        let rel = fx.sw.arbitrate_and_transmit(60, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(60, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         assert_eq!(rel.len(), 1);
         assert_eq!(rel[0].dst, NodeId(6));
     }
 
     #[test]
     fn cfq_exhaustion_leaves_the_head_blocked() {
-        let iso = IsolationParams { num_cfqs: 1, ..IsolationParams::default() };
+        let iso = IsolationParams {
+            num_cfqs: 1,
+            ..IsolationParams::default()
+        };
         let mut fx = fixture(QueueingScheme::Isolating, Some(iso), None);
         // First tree (dst 6) takes the only CFQ.
         for id in 0..9 {
             deliver(&mut fx, 0, pkt(id, 6));
         }
-        fx.sw.isolation_tick(0, &fx.routing, &mut fx.links, &mut fx.metrics);
+        fx.sw
+            .isolation_tick(0, &fx.routing, &mut fx.links, &mut fx.metrics);
         assert_eq!(fx.sw.cfqs_allocated(), 1);
         // Second tree (dst 2) cannot be isolated.
         for id in 10..19 {
             deliver(&mut fx, 0, pkt(id, 2));
         }
         for now in 1..6 {
-            fx.sw.isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
+            fx.sw
+                .isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
         }
         assert!(fx.metrics.counter("cfq_exhausted") > 0);
         assert_eq!(fx.sw.cfqs_allocated(), 1, "no second CFQ materialised");
@@ -1204,18 +1545,30 @@ mod tests {
             deliver(&mut fx, 0, pkt(id, 6));
         }
         fx.sw.congestion_state_tick(0, &fx.links);
-        assert!(fx.sw.outputs[2].congested, "above High with credits => congested");
+        assert!(
+            fx.sw.outputs[2].congested,
+            "above High with credits => congested"
+        );
         assert!(!fx.sw.outputs[1].congested);
         // Drain below Low (2 MTUs): three departures.
         let mut now = 0;
         for _ in 0..3 {
-            let rel = fx.sw.arbitrate_and_transmit(now, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+            let rel = fx.sw.arbitrate_and_transmit(
+                now,
+                &fx.routing,
+                &mut fx.links,
+                None,
+                &mut fx.metrics,
+            );
             assert_eq!(rel.len(), 1);
             now = rel[0].at;
             fx.sw.release_ram(rel[0].port, rel[0].flits);
         }
         fx.sw.congestion_state_tick(now, &fx.links);
-        assert!(!fx.sw.outputs[2].congested, "below Low => out of congestion state");
+        assert!(
+            !fx.sw.outputs[2].congested,
+            "below Low => out of congestion state"
+        );
     }
 
     #[test]
@@ -1226,14 +1579,18 @@ mod tests {
             deliver(&mut fx, 0, pkt(id, 6));
         }
         // Not congested yet: first departure unmarked.
-        let rel = fx.sw.arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         fx.sw.release_ram(rel[0].port, rel[0].flits);
         assert_eq!(fx.metrics.counter("fecn_marked"), 0);
         // Enter congestion state; with marking_rate = 1 every departure
         // through output 2 is marked.
         fx.sw.congestion_state_tick(32, &fx.links);
         assert!(fx.sw.outputs[2].congested);
-        let rel = fx.sw.arbitrate_and_transmit(32, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(32, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         assert_eq!(rel.len(), 1);
         assert_eq!(fx.metrics.counter("fecn_marked"), 1);
         let delivered = fx.links[2].deliver(10_000);
@@ -1255,7 +1612,8 @@ mod tests {
         // Block output 2 so the CFQ is starved (no grants at all).
         fx.links[2] = Link::new(LinkConfig::default(), 0);
         for now in 0..200 {
-            fx.sw.isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
+            fx.sw
+                .isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
             fx.sw.congestion_state_tick(now, &fx.links);
         }
         assert!(
@@ -1276,10 +1634,17 @@ mod tests {
         let mut now = 0u64;
         let mut next_id = 100u64;
         for _ in 0..20 {
-            fx2.sw.isolation_tick(now, &fx2.routing, &mut fx2.links, &mut fx2.metrics);
+            fx2.sw
+                .isolation_tick(now, &fx2.routing, &mut fx2.links, &mut fx2.metrics);
             fx2.sw.congestion_state_tick(now, &fx2.links);
             assert!(!fx2.sw.outputs[2].congested, "full-rate CFQ never congests");
-            let rel = fx2.sw.arbitrate_and_transmit(now, &fx2.routing, &mut fx2.links, None, &mut fx2.metrics);
+            let rel = fx2.sw.arbitrate_and_transmit(
+                now,
+                &fx2.routing,
+                &mut fx2.links,
+                None,
+                &mut fx2.metrics,
+            );
             for r in &rel {
                 fx2.sw.release_ram(r.port, r.flits);
             }
@@ -1296,27 +1661,39 @@ mod tests {
 
     #[test]
     fn cfq_deallocates_after_calm_and_notifies_upstream() {
-        let iso = IsolationParams { dealloc_linger_cycles: 16, ..IsolationParams::default() };
+        let iso = IsolationParams {
+            dealloc_linger_cycles: 16,
+            ..IsolationParams::default()
+        };
         let mut fx = fixture(QueueingScheme::Isolating, Some(iso), None);
         for id in 0..9 {
             deliver(&mut fx, 0, pkt(id, 6));
         }
         let mut now = 0u64;
-        fx.sw.isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
+        fx.sw
+            .isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
         assert_eq!(fx.sw.cfqs_allocated(), 1);
         // Drain completely.
         for _ in 0..9 {
-            let rel = fx.sw.arbitrate_and_transmit(now, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+            let rel = fx.sw.arbitrate_and_transmit(
+                now,
+                &fx.routing,
+                &mut fx.links,
+                None,
+                &mut fx.metrics,
+            );
             now = rel.first().map(|r| r.at).unwrap_or(now + 32);
             for r in rel {
                 fx.sw.release_ram(r.port, r.flits);
             }
-            fx.sw.isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
+            fx.sw
+                .isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
             fx.links[2].poll_credits(now);
         }
         // Linger, then deallocate.
         for t in 0..40 {
-            fx.sw.isolation_tick(now + t, &fx.routing, &mut fx.links, &mut fx.metrics);
+            fx.sw
+                .isolation_tick(now + t, &fx.routing, &mut fx.links, &mut fx.metrics);
         }
         assert_eq!(fx.sw.cfqs_allocated(), 0);
         assert_eq!(fx.metrics.counter("cfq_deallocated"), 1);
@@ -1327,7 +1704,10 @@ mod tests {
 
     #[test]
     fn out_cam_exhaustion_is_counted() {
-        let iso = IsolationParams { out_cam_lines: 1, ..IsolationParams::default() };
+        let iso = IsolationParams {
+            out_cam_lines: 1,
+            ..IsolationParams::default()
+        };
         let mut fx = fixture(QueueingScheme::Isolating, Some(iso), None);
         fx.links[2].send_ctrl(0, CtrlEvent::CfqAlloc { dst: NodeId(6) });
         fx.links[2].send_ctrl(0, CtrlEvent::CfqAlloc { dst: NodeId(7) });
@@ -1337,7 +1717,11 @@ mod tests {
         fx.links[2].send_ctrl(20, CtrlEvent::CfqDealloc { dst: NodeId(6) });
         fx.links[2].send_ctrl(21, CtrlEvent::CfqAlloc { dst: NodeId(7) });
         fx.sw.poll_output_ctrl(30, &mut fx.links, &mut fx.metrics);
-        assert_eq!(fx.metrics.counter("out_cam_exhausted"), 1, "no new exhaustion");
+        assert_eq!(
+            fx.metrics.counter("out_cam_exhausted"),
+            1,
+            "no new exhaustion"
+        );
         assert!(fx.sw.outputs[2].cam.lookup(NodeId(7)).is_some());
     }
 }
@@ -1372,11 +1756,23 @@ mod dbbm_tests {
         deliver_pkt(&mut fx, 0, 1, 2); // class 0 head, blocked (output 1)
         deliver_pkt(&mut fx, 0, 2, 6); // class 0, victim of in-class HoL
         deliver_pkt(&mut fx, 0, 3, 5); // class 1, escapes via output 2
-        let rel = fx.sw.arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         assert_eq!(rel.len(), 1);
-        assert_eq!(rel[0].dst, ccfit_engine::ids::NodeId(5), "cross-class victim escapes");
+        assert_eq!(
+            rel[0].dst,
+            ccfit_engine::ids::NodeId(5),
+            "cross-class victim escapes"
+        );
         // dst 6 stays stuck behind dst 2 within class 0.
-        let rel = fx.sw.arbitrate_and_transmit(rel[0].at, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        let rel = fx.sw.arbitrate_and_transmit(
+            rel[0].at,
+            &fx.routing,
+            &mut fx.links,
+            None,
+            &mut fx.metrics,
+        );
         assert!(rel.is_empty(), "in-class HoL remains: {rel:?}");
     }
 }
@@ -1417,19 +1813,44 @@ pub(crate) mod tests_support {
             (None, Some(LinkId(1))),
             (None, Some(LinkId(2))),
         ];
-        let sw = Switch::new(SwitchId(0), cfg, &wiring, 8, SeedSplitter::new(1).rng("m", 0));
-        let links = (0..3).map(|_| Link::new(LinkConfig::default(), 1024)).collect();
+        let sw = Switch::new(
+            SwitchId(0),
+            cfg,
+            &wiring,
+            8,
+            SeedSplitter::new(1).rng("m", 0),
+        );
+        let links = (0..3)
+            .map(|_| Link::new(LinkConfig::default(), 1024))
+            .collect();
         let routing = RoutingTable::from_tables(vec![(0..8)
             .map(|d| if d < 4 { PortId(1) } else { PortId(2) })
             .collect()]);
-        DbbmFixture { sw, links, routing, metrics: MetricsCollector::new(UnitModel::default(), 100_000.0) }
+        DbbmFixture {
+            sw,
+            links,
+            routing,
+            metrics: MetricsCollector::new(UnitModel::default(), 100_000.0),
+        }
     }
 
     pub fn deliver_pkt(fx: &mut DbbmFixture, now: Cycle, id: u64, dst: u32) {
-        let p = Packet::data(PacketId(id), NodeId(0), NodeId(dst), 32, 2048, FlowId(0), now);
+        let p = Packet::data(
+            PacketId(id),
+            NodeId(0),
+            NodeId(dst),
+            32,
+            2048,
+            FlowId(0),
+            now,
+        );
         fx.sw.accept_delivery(
             0,
-            Delivery { packet: p, visible_at: now, ready_at: now },
+            Delivery {
+                packet: p,
+                visible_at: now,
+                ready_at: now,
+            },
             &fx.routing,
         );
     }

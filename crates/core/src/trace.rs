@@ -35,7 +35,8 @@ pub struct PacketTrace {
 impl PacketTrace {
     /// End-to-end latency in cycles, if delivered.
     pub fn latency_cycles(&self) -> Option<Cycle> {
-        self.delivered_at.map(|d| d.saturating_sub(self.injected_at))
+        self.delivered_at
+            .map(|d| d.saturating_sub(self.injected_at))
     }
 
     /// The switch path (without timestamps).
@@ -55,7 +56,10 @@ impl TraceLog {
     /// Trace every `sample_every`-th injected data packet (1 = all).
     pub fn new(sample_every: u64) -> Self {
         assert!(sample_every >= 1);
-        Self { sample_every, traces: HashMap::new() }
+        Self {
+            sample_every,
+            traces: HashMap::new(),
+        }
     }
 
     /// Should the packet with this id be traced?
@@ -65,14 +69,7 @@ impl TraceLog {
     }
 
     /// Record an injection (called only for sampled ids).
-    pub fn injected(
-        &mut self,
-        id: PacketId,
-        flow: FlowId,
-        src: NodeId,
-        dst: NodeId,
-        now: Cycle,
-    ) {
+    pub fn injected(&mut self, id: PacketId, flow: FlowId, src: NodeId, dst: NodeId, now: Cycle) {
         self.traces.insert(
             id,
             PacketTrace {

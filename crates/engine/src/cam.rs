@@ -33,7 +33,9 @@ pub struct Cam<K, V> {
 impl<K: Eq + Copy, V> Cam<K, V> {
     /// Create a CAM with `lines` lines, all free.
     pub fn new(lines: usize) -> Self {
-        Self { lines: (0..lines).map(|_| None).collect() }
+        Self {
+            lines: (0..lines).map(|_| None).collect(),
+        }
     }
 
     /// Total number of lines.
@@ -73,7 +75,9 @@ impl<K: Eq + Copy, V> Cam<K, V> {
                 self.lines[idx] = Some(CamLine { key, value });
                 Ok(idx)
             }
-            None => Err(EngineError::CamFull { capacity: self.capacity() }),
+            None => Err(EngineError::CamFull {
+                capacity: self.capacity(),
+            }),
         }
     }
 
@@ -82,7 +86,9 @@ impl<K: Eq + Copy, V> Cam<K, V> {
     /// # Panics
     /// Panics if the line is already free.
     pub fn free(&mut self, idx: usize) -> CamLine<K, V> {
-        self.lines[idx].take().expect("freeing an already-free CAM line")
+        self.lines[idx]
+            .take()
+            .expect("freeing an already-free CAM line")
     }
 
     /// Borrow the line at `idx`, if occupied.
@@ -139,7 +145,10 @@ mod tests {
         cam.allocate(1, ()).unwrap();
         cam.allocate(2, ()).unwrap();
         assert!(cam.is_full());
-        assert_eq!(cam.allocate(3, ()), Err(EngineError::CamFull { capacity: 2 }));
+        assert_eq!(
+            cam.allocate(3, ()),
+            Err(EngineError::CamFull { capacity: 2 })
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = EngineError::RamExhausted { requested: 32, free: 4 };
+        let e = EngineError::RamExhausted {
+            requested: 32,
+            free: 4,
+        };
         assert!(e.to_string().contains("32"));
         assert!(e.to_string().contains("4"));
         let e = EngineError::CamFull { capacity: 2 };

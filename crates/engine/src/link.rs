@@ -39,7 +39,10 @@ pub struct LinkConfig {
 
 impl Default for LinkConfig {
     fn default() -> Self {
-        Self { bw_flits_per_cycle: 1, delay_cycles: 1 }
+        Self {
+            bw_flits_per_cycle: 1,
+            delay_cycles: 1,
+        }
     }
 }
 
@@ -115,7 +118,10 @@ impl Link {
     /// Create a link whose sender initially holds `initial_credits` flits
     /// of the receiver's RAM.
     pub fn new(cfg: LinkConfig, initial_credits: u32) -> Self {
-        assert!(cfg.bw_flits_per_cycle > 0, "link bandwidth must be positive");
+        assert!(
+            cfg.bw_flits_per_cycle > 0,
+            "link bandwidth must be positive"
+        );
         Self {
             cfg,
             credits: initial_credits,
@@ -173,35 +179,59 @@ impl Link {
         self.tx_free_at = now + ser;
         let header_at = now + self.cfg.delay_cycles + 1;
         let tail_at = now + self.cfg.delay_cycles + ser;
-        self.in_flight.push_back(InFlight { packet, header_at, tail_at });
+        self.in_flight.push_back(InFlight {
+            packet,
+            header_at,
+            tail_at,
+        });
         self.tx_free_at
+    }
+
+    /// Whether `deliver` would pop anything at `now` — lets the hot loop
+    /// skip the scratch-buffer dance for the (common) idle link.
+    pub fn has_delivery(&self, now: Cycle) -> bool {
+        self.in_flight.front().is_some_and(|f| f.header_at <= now)
     }
 
     /// Pop every packet whose header has arrived by `now`. In-order
     /// delivery is guaranteed because sends are serialized.
     pub fn deliver(&mut self, now: Cycle) -> Vec<Delivery> {
         let mut out = Vec::new();
+        self.deliver_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free `deliver`: append arrived packets to `out` instead
+    /// of returning a fresh `Vec`.
+    pub fn deliver_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
         while let Some(front) = self.in_flight.front() {
             if front.header_at <= now {
                 let f = self.in_flight.pop_front().expect("front exists");
-                out.push(Delivery { packet: f.packet, visible_at: f.header_at, ready_at: f.tail_at });
+                out.push(Delivery {
+                    packet: f.packet,
+                    visible_at: f.header_at,
+                    ready_at: f.tail_at,
+                });
             } else {
                 break;
             }
         }
-        out
     }
 
     /// Receiver-side: return `flits` credits to the sender; they arrive
     /// after the propagation delay.
     pub fn return_credits(&mut self, now: Cycle, flits: u32) {
         if flits > 0 {
-            self.credit_returns.push_back((now + self.cfg.delay_cycles, flits));
+            self.credit_returns
+                .push_back((now + self.cfg.delay_cycles, flits));
         }
     }
 
     /// Sender-side: absorb credit returns that have arrived by `now`.
     pub fn poll_credits(&mut self, now: Cycle) {
+        if self.credit_returns.is_empty() {
+            return;
+        }
         while let Some(&(at, flits)) = self.credit_returns.front() {
             if at <= now {
                 self.credit_returns.pop_front();
@@ -214,12 +244,28 @@ impl Link {
 
     /// Receiver-side: send a congestion-information event upstream.
     pub fn send_ctrl(&mut self, now: Cycle, ev: CtrlEvent) {
-        self.ctrl_in_flight.push_back((now + self.cfg.delay_cycles, ev));
+        self.ctrl_in_flight
+            .push_back((now + self.cfg.delay_cycles, ev));
     }
 
     /// Sender-side: pop control events that have arrived by `now`.
     pub fn poll_ctrl(&mut self, now: Cycle) -> Vec<CtrlEvent> {
         let mut out = Vec::new();
+        self.poll_ctrl_into(now, &mut out);
+        out
+    }
+
+    /// Whether a control event has arrived by `now` (events are
+    /// time-ordered, so the front suffices). Lets pollers skip the
+    /// drain entirely on the common no-event cycle.
+    pub fn has_ctrl(&self, now: Cycle) -> bool {
+        self.ctrl_in_flight
+            .front()
+            .is_some_and(|&(at, _)| at <= now)
+    }
+
+    /// Allocation-free `poll_ctrl`: append arrived events to `out`.
+    pub fn poll_ctrl_into(&mut self, now: Cycle, out: &mut Vec<CtrlEvent>) {
         while let Some(&(at, ev)) = self.ctrl_in_flight.front() {
             if at <= now {
                 self.ctrl_in_flight.pop_front();
@@ -228,7 +274,30 @@ impl Link {
                 break;
             }
         }
-        out
+    }
+
+    /// Whether nothing at all is travelling on this link (no data, no
+    /// credit returns, no control events). `tx_free_at` is irrelevant: a
+    /// busy transmitter with nothing queued cannot produce future events
+    /// on its own.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+            && self.credit_returns.is_empty()
+            && self.ctrl_in_flight.is_empty()
+    }
+
+    /// Earliest cycle at which something on this link arrives (header,
+    /// credit return, or control event), or `None` if the link is idle.
+    /// Each queue is ordered by arrival time, so the fronts suffice.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        let mut next: Option<Cycle> = self.in_flight.front().map(|f| f.header_at);
+        if let Some(&(at, _)) = self.credit_returns.front() {
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        if let Some(&(at, _)) = self.ctrl_in_flight.front() {
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next
     }
 
     /// Number of packets currently on the wire (for conservation checks).
@@ -255,11 +324,25 @@ mod tests {
     use crate::ids::{FlowId, PacketId};
 
     fn pkt(id: u64, flits: u32) -> Packet {
-        Packet::data(PacketId(id), NodeId(0), NodeId(1), flits, flits * 64, FlowId(0), 0)
+        Packet::data(
+            PacketId(id),
+            NodeId(0),
+            NodeId(1),
+            flits,
+            flits * 64,
+            FlowId(0),
+            0,
+        )
     }
 
     fn link(bw: u32, delay: Cycle, credits: u32) -> Link {
-        Link::new(LinkConfig { bw_flits_per_cycle: bw, delay_cycles: delay }, credits)
+        Link::new(
+            LinkConfig {
+                bw_flits_per_cycle: bw,
+                delay_cycles: delay,
+            },
+            credits,
+        )
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl PacketQueue {
     pub fn push(&mut self, packet: Packet, visible_at: Cycle, ready_at: Cycle) {
         debug_assert!(visible_at <= ready_at);
         self.occupancy_flits += packet.size_flits;
-        self.entries.push_back(QueuedPacket { packet, visible_at, ready_at });
+        self.entries.push_back(QueuedPacket {
+            packet,
+            visible_at,
+            ready_at,
+        });
     }
 
     /// Re-enqueue a packet at the *front* (used when a post-processing
@@ -117,8 +121,15 @@ impl PacketQueue {
     /// tests; live simulation never drops packets — the network is
     /// lossless).
     pub fn drain_all(&mut self) -> Vec<QueuedPacket> {
+        let mut out = Vec::new();
+        self.drain_all_into(&mut out);
+        out
+    }
+
+    /// Allocation-free `drain_all`: append the drained packets to `out`.
+    pub fn drain_all_into(&mut self, out: &mut Vec<QueuedPacket>) {
         self.occupancy_flits = 0;
-        self.entries.drain(..).collect()
+        out.extend(self.entries.drain(..));
     }
 }
 
@@ -128,7 +139,15 @@ mod tests {
     use crate::ids::{FlowId, NodeId, PacketId};
 
     fn pkt(id: u64, flits: u32) -> Packet {
-        Packet::data(PacketId(id), NodeId(0), NodeId(1), flits, flits * 64, FlowId(0), 0)
+        Packet::data(
+            PacketId(id),
+            NodeId(0),
+            NodeId(1),
+            flits,
+            flits * 64,
+            FlowId(0),
+            0,
+        )
     }
 
     #[test]

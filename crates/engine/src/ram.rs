@@ -26,7 +26,10 @@ pub struct PortRam {
 impl PortRam {
     /// Create a RAM with the given capacity in flits.
     pub fn new(capacity_flits: u32) -> Self {
-        Self { capacity_flits, used_flits: 0 }
+        Self {
+            capacity_flits,
+            used_flits: 0,
+        }
     }
 
     /// Total capacity in flits.
@@ -55,7 +58,10 @@ impl PortRam {
     /// indicates a flow-control bug, so callers treat it as fatal.
     pub fn reserve(&mut self, flits: u32) -> Result<(), EngineError> {
         if !self.can_reserve(flits) {
-            return Err(EngineError::RamExhausted { requested: flits, free: self.free() });
+            return Err(EngineError::RamExhausted {
+                requested: flits,
+                free: self.free(),
+            });
         }
         self.used_flits += flits;
         Ok(())
@@ -105,7 +111,13 @@ mod tests {
         let mut ram = PortRam::new(32);
         ram.reserve(30).unwrap();
         let err = ram.reserve(3).unwrap_err();
-        assert_eq!(err, EngineError::RamExhausted { requested: 3, free: 2 });
+        assert_eq!(
+            err,
+            EngineError::RamExhausted {
+                requested: 3,
+                free: 2
+            }
+        );
         assert_eq!(ram.used(), 30, "failed reserve must not change state");
     }
 

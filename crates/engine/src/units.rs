@@ -57,7 +57,10 @@ impl UnitModel {
             "reference bandwidth must be positive"
         );
         let cycle_ns = flit_bytes as f64 / ref_bandwidth_bytes_per_s * 1e9;
-        Self { flit_bytes, cycle_ns }
+        Self {
+            flit_bytes,
+            cycle_ns,
+        }
     }
 
     /// Number of flits needed to carry `bytes` of payload (rounds up,
@@ -151,7 +154,11 @@ mod tests {
         assert_eq!(u.bytes_to_flits(1), 1);
         assert_eq!(u.bytes_to_flits(64), 1);
         assert_eq!(u.bytes_to_flits(65), 2);
-        assert_eq!(u.bytes_to_flits(0), 1, "zero-byte packets still occupy a flit");
+        assert_eq!(
+            u.bytes_to_flits(0),
+            1,
+            "zero-byte packets still occupy a flit"
+        );
     }
 
     #[test]

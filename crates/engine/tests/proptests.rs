@@ -10,7 +10,15 @@ use ccfit_engine::units::UnitModel;
 use proptest::prelude::*;
 
 fn pkt(id: u64, flits: u32) -> Packet {
-    Packet::data(PacketId(id), NodeId(0), NodeId(1), flits, flits * 64, FlowId(0), 0)
+    Packet::data(
+        PacketId(id),
+        NodeId(0),
+        NodeId(1),
+        flits,
+        flits * 64,
+        FlowId(0),
+        0,
+    )
 }
 
 proptest! {

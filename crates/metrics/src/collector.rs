@@ -126,7 +126,10 @@ impl MetricsCollector {
                 series.extend_to(duration_ns);
                 FlowReport {
                     id,
-                    label: labels.get(&id).cloned().unwrap_or_else(|| format!("flow{}", id.0)),
+                    label: labels
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| format!("flow{}", id.0)),
                     bytes: series,
                 }
             })
@@ -145,6 +148,7 @@ impl MetricsCollector {
             counters: self.counters,
             delivered_packets: self.delivered_packets,
             delivered_bytes: self.delivered_bytes,
+            simulated_cycles: self.units.ns_to_cycles(duration_ns),
         }
     }
 }

@@ -13,7 +13,10 @@ pub fn jain_index(allocations: &[f64]) -> f64 {
     if allocations.is_empty() {
         return 1.0;
     }
-    debug_assert!(allocations.iter().all(|&x| x >= 0.0), "allocations must be non-negative");
+    debug_assert!(
+        allocations.iter().all(|&x| x >= 0.0),
+        "allocations must be non-negative"
+    );
     let sum: f64 = allocations.iter().sum();
     let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
     if sq_sum == 0.0 {

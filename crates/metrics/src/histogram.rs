@@ -34,7 +34,12 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Self { counts: vec![0; BUCKETS], total: 0, sum_ns: 0.0, max_ns: 0.0 }
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ns: 0.0,
+            max_ns: 0.0,
+        }
     }
 
     fn bucket_of(ns: f64) -> usize {

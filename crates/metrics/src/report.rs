@@ -50,6 +50,11 @@ pub struct SimReport {
     pub delivered_packets: u64,
     /// Total payload bytes delivered.
     pub delivered_bytes: u64,
+    /// Number of simulator cycles the run executed (deterministic — the
+    /// perf harness divides it by measured wall time for cycles/sec;
+    /// wall time itself lives outside the report so identical runs stay
+    /// byte-identical).
+    pub simulated_cycles: u64,
 }
 
 impl SimReport {
@@ -88,8 +93,7 @@ impl SimReport {
     pub fn mean_normalized_throughput(&self, from_ns: f64, to_ns: f64) -> f64 {
         let from = self.total_bytes.bin_of(from_ns);
         let to = self.total_bytes.bin_of(to_ns);
-        self.total_bytes.mean_over(from, to)
-            / (self.bin_ns * self.reception_capacity_bytes_per_ns)
+        self.total_bytes.mean_over(from, to) / (self.bin_ns * self.reception_capacity_bytes_per_ns)
     }
 
     /// Mean packet latency per bin in ns (0 where nothing was delivered).
@@ -201,8 +205,16 @@ mod tests {
             duration_ns: 10_000.0,
             bin_ns: bin,
             flows: vec![
-                FlowReport { id: FlowId(0), label: "F0".into(), bytes: f0 },
-                FlowReport { id: FlowId(1), label: "F1".into(), bytes: f1 },
+                FlowReport {
+                    id: FlowId(0),
+                    label: "F0".into(),
+                    bytes: f0,
+                },
+                FlowReport {
+                    id: FlowId(1),
+                    label: "F1".into(),
+                    bytes: f1,
+                },
             ],
             total_bytes: total,
             latency_sum_ns: TimeSeries::new(bin),
@@ -213,6 +225,7 @@ mod tests {
             counters: BTreeMap::new(),
             delivered_packets: 20,
             delivered_bytes: 37_500,
+            simulated_cycles: 2500,
         }
     }
 

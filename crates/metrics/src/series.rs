@@ -19,7 +19,10 @@ impl TimeSeries {
     /// An empty series with the given bin width.
     pub fn new(bin_ns: f64) -> Self {
         assert!(bin_ns > 0.0, "bin width must be positive");
-        Self { bin_ns, bins: Vec::new() }
+        Self {
+            bin_ns,
+            bins: Vec::new(),
+        }
     }
 
     /// Bin index covering time `ns`.

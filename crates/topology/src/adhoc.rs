@@ -51,13 +51,21 @@ pub fn config1_topology_with(node_link: LinkParams, trunk_link: LinkParams) -> T
         b.add_node();
     }
     for i in 0..3usize {
-        b.attach(NodeId::from(i), s0, PortId(i as u16)).expect("sw0 attach");
+        b.attach(NodeId::from(i), s0, PortId(i as u16))
+            .expect("sw0 attach");
     }
     for i in 3..7usize {
-        b.attach(NodeId::from(i), s1, PortId((i - 3) as u16)).expect("sw1 attach");
+        b.attach(NodeId::from(i), s1, PortId((i - 3) as u16))
+            .expect("sw1 attach");
     }
-    b.connect_with(s0, CONFIG1_TRUNK_PORT_SW0, s1, CONFIG1_TRUNK_PORT_SW1, trunk_link)
-        .expect("trunk");
+    b.connect_with(
+        s0,
+        CONFIG1_TRUNK_PORT_SW0,
+        s1,
+        CONFIG1_TRUNK_PORT_SW1,
+        trunk_link,
+    )
+    .expect("trunk");
     b.build().expect("config1 is always valid")
 }
 
@@ -65,8 +73,14 @@ pub fn config1_topology_with(node_link: LinkParams, trunk_link: LinkParams) -> T
 /// (1 flit/cycle) and a 5 GB/s trunk (2 flits/cycle).
 pub fn config1_topology() -> Topology {
     config1_topology_with(
-        LinkParams { bw_flits_per_cycle: 1, delay_cycles: 1 },
-        LinkParams { bw_flits_per_cycle: 2, delay_cycles: 1 },
+        LinkParams {
+            bw_flits_per_cycle: 1,
+            delay_cycles: 1,
+        },
+        LinkParams {
+            bw_flits_per_cycle: 2,
+            delay_cycles: 1,
+        },
     )
 }
 
@@ -114,8 +128,14 @@ mod tests {
         // -- the parking-lot precondition.
         let t = config1_topology();
         let r = RoutingTable::shortest_path(&t);
-        assert_eq!(r.route(CONFIG1_SW0, CONFIG1_HOT_NODE), CONFIG1_TRUNK_PORT_SW0);
-        assert_eq!(r.route(CONFIG1_SW0, CONFIG1_VICTIM_DST), CONFIG1_TRUNK_PORT_SW0);
+        assert_eq!(
+            r.route(CONFIG1_SW0, CONFIG1_HOT_NODE),
+            CONFIG1_TRUNK_PORT_SW0
+        );
+        assert_eq!(
+            r.route(CONFIG1_SW0, CONFIG1_VICTIM_DST),
+            CONFIG1_TRUNK_PORT_SW0
+        );
         // F5 (5->4) and F6 (6->4) are switch-local: single hop at switch 1.
         assert_eq!(r.hops(&t, NodeId(5), CONFIG1_HOT_NODE), 1);
         assert_eq!(r.hops(&t, NodeId(6), CONFIG1_HOT_NODE), 1);

@@ -48,7 +48,9 @@ impl TopologyBuilder {
 
     /// Add a switch with `num_ports` ports; returns its id.
     pub fn add_switch(&mut self, num_ports: usize) -> SwitchId {
-        self.switches.push(SwitchPorts { ports: vec![None; num_ports] });
+        self.switches.push(SwitchPorts {
+            ports: vec![None; num_ports],
+        });
         SwitchId::from(self.switches.len() - 1)
     }
 
@@ -131,7 +133,11 @@ impl TopologyBuilder {
         for (i, n) in self.nodes.into_iter().enumerate() {
             nodes.push(n.ok_or(TopologyError::NodeUnattached(NodeId::from(i)))?);
         }
-        let topo = Topology { switches: self.switches, nodes, name: self.name };
+        let topo = Topology {
+            switches: self.switches,
+            nodes,
+            name: self.name,
+        };
         topo.validate()?;
         Ok(topo)
     }
@@ -161,7 +167,10 @@ mod tests {
         b.connect(s0, PortId(0), s1, PortId(0)).unwrap();
         assert_eq!(
             b.connect(s0, PortId(0), s1, PortId(1)),
-            Err(TopologyError::PortInUse { switch: s0, port: PortId(0) })
+            Err(TopologyError::PortInUse {
+                switch: s0,
+                port: PortId(0)
+            })
         );
     }
 
@@ -172,7 +181,10 @@ mod tests {
         let s1 = b.add_switch(1);
         assert_eq!(
             b.connect(s0, PortId(5), s1, PortId(0)),
-            Err(TopologyError::PortOutOfRange { switch: s0, port: PortId(5) })
+            Err(TopologyError::PortOutOfRange {
+                switch: s0,
+                port: PortId(5)
+            })
         );
     }
 
@@ -187,7 +199,10 @@ mod tests {
     #[test]
     fn per_cable_params_override_default() {
         let mut b = TopologyBuilder::new("t");
-        b.default_link(LinkParams { bw_flits_per_cycle: 1, delay_cycles: 1 });
+        b.default_link(LinkParams {
+            bw_flits_per_cycle: 1,
+            delay_cycles: 1,
+        });
         let s0 = b.add_switch(2);
         let s1 = b.add_switch(1);
         let n = b.add_node();
@@ -197,7 +212,10 @@ mod tests {
             PortId(1),
             s1,
             PortId(0),
-            LinkParams { bw_flits_per_cycle: 2, delay_cycles: 3 },
+            LinkParams {
+                bw_flits_per_cycle: 2,
+                delay_cycles: 3,
+            },
         )
         .unwrap();
         let t = b.build().unwrap();

@@ -164,7 +164,8 @@ impl KAryNTree {
                 }
             }
         }
-        b.build().expect("k-ary n-tree construction is always valid")
+        b.build()
+            .expect("k-ary n-tree construction is always valid")
     }
 
     /// DET deterministic routing table for this tree.
@@ -280,7 +281,9 @@ mod tests {
                 if s == d {
                     continue;
                 }
-                let path = routing.trace(&topo, NodeId::from(s), NodeId::from(d)).unwrap();
+                let path = routing
+                    .trace(&topo, NodeId::from(s), NodeId::from(d))
+                    .unwrap();
                 // Port indices: down < k <= up. Once we go down we must
                 // never go up again.
                 let mut descending = false;
@@ -310,8 +313,14 @@ mod tests {
         // (1,1,1) vs (1,0,1)).
         let path7 = routing.trace(&topo, NodeId(0), NodeId(7)).unwrap();
         let path5 = routing.trace(&topo, NodeId(0), NodeId(5)).unwrap();
-        let top7 = path7.iter().map(|&(s, _)| s).find(|s| t.switch_coords(*s).0 == 2);
-        let top5 = path5.iter().map(|&(s, _)| s).find(|s| t.switch_coords(*s).0 == 2);
+        let top7 = path7
+            .iter()
+            .map(|&(s, _)| s)
+            .find(|s| t.switch_coords(*s).0 == 2);
+        let top5 = path5
+            .iter()
+            .map(|&(s, _)| s)
+            .find(|s| t.switch_coords(*s).0 == 2);
         assert_ne!(top7, top5);
     }
 

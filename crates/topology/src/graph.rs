@@ -22,7 +22,10 @@ pub struct LinkParams {
 
 impl Default for LinkParams {
     fn default() -> Self {
-        Self { bw_flits_per_cycle: 1, delay_cycles: 1 }
+        Self {
+            bw_flits_per_cycle: 1,
+            delay_cycles: 1,
+        }
     }
 }
 
@@ -150,7 +153,10 @@ impl Topology {
 
     /// Peer of a switch port, if cabled.
     pub fn peer(&self, s: SwitchId, p: PortId) -> Option<(Endpoint, LinkParams)> {
-        self.switches[s.index()].ports.get(p.index()).and_then(|x| *x)
+        self.switches[s.index()]
+            .ports
+            .get(p.index())
+            .and_then(|x| *x)
     }
 
     /// Total number of cables (each counted once).
@@ -219,7 +225,10 @@ impl Topology {
                             Some((Endpoint::Switch(bs, bp), bparams))
                                 if *bs == s && *bp == p && bparams == params => {}
                             _ => {
-                                return Err(TopologyError::InconsistentCabling { switch: s, port: p })
+                                return Err(TopologyError::InconsistentCabling {
+                                    switch: s,
+                                    port: p,
+                                })
                             }
                         }
                     }
@@ -291,7 +300,10 @@ mod tests {
         t.switches[0].ports[1] = Some((Endpoint::Node(NodeId(0)), LinkParams::default()));
         assert!(matches!(
             t.validate(),
-            Err(TopologyError::InconsistentCabling { switch: SwitchId(0), port: PortId(1) })
+            Err(TopologyError::InconsistentCabling {
+                switch: SwitchId(0),
+                port: PortId(1)
+            })
         ));
     }
 

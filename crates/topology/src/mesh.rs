@@ -85,12 +85,22 @@ impl Mesh2D {
             for x in 0..self.width {
                 let here = self.switch_at(x, y);
                 if x + 1 < self.width {
-                    b.connect(here, MESH_PORT_EAST, self.switch_at(x + 1, y), MESH_PORT_WEST)
-                        .expect("x cable");
+                    b.connect(
+                        here,
+                        MESH_PORT_EAST,
+                        self.switch_at(x + 1, y),
+                        MESH_PORT_WEST,
+                    )
+                    .expect("x cable");
                 }
                 if y + 1 < self.height {
-                    b.connect(here, MESH_PORT_NORTH, self.switch_at(x, y + 1), MESH_PORT_SOUTH)
-                        .expect("y cable");
+                    b.connect(
+                        here,
+                        MESH_PORT_NORTH,
+                        self.switch_at(x, y + 1),
+                        MESH_PORT_SOUTH,
+                    )
+                    .expect("y cable");
                 }
             }
         }

@@ -121,7 +121,9 @@ impl RoutingTable {
                 }
             }
         }
-        Err(TopologyError::UnknownId(format!("route {src}->{dst} loops")))
+        Err(TopologyError::UnknownId(format!(
+            "route {src}->{dst} loops"
+        )))
     }
 
     /// Verify every ordered pair of distinct nodes is delivered.
@@ -138,7 +140,9 @@ impl RoutingTable {
 
     /// Length (in switch hops) of the route from `src` to `dst`.
     pub fn hops(&self, topo: &Topology, src: NodeId, dst: NodeId) -> usize {
-        self.trace(topo, src, dst).map(|p| p.len()).unwrap_or(usize::MAX)
+        self.trace(topo, src, dst)
+            .map(|p| p.len())
+            .unwrap_or(usize::MAX)
     }
 }
 
@@ -155,7 +159,11 @@ mod tests {
         let s1 = b.add_switch(3);
         for i in 0..4 {
             b.add_node();
-            let (s, p) = if i < 2 { (s0, PortId(i as u16)) } else { (s1, PortId((i - 2) as u16)) };
+            let (s, p) = if i < 2 {
+                (s0, PortId(i as u16))
+            } else {
+                (s1, PortId((i - 2) as u16))
+            };
             b.attach(NodeId::from(i as usize), s, p).unwrap();
         }
         b.connect(s0, PortId(2), s1, PortId(2)).unwrap();
@@ -205,11 +213,13 @@ mod tests {
         let s1 = b.add_switch(4);
         for i in 0..2 {
             b.add_node();
-            b.attach(NodeId::from(i as usize), s0, PortId(i as u16)).unwrap();
+            b.attach(NodeId::from(i as usize), s0, PortId(i as u16))
+                .unwrap();
         }
         for i in 2..4 {
             b.add_node();
-            b.attach(NodeId::from(i as usize), s1, PortId((i - 2) as u16)).unwrap();
+            b.attach(NodeId::from(i as usize), s1, PortId((i - 2) as u16))
+                .unwrap();
         }
         b.connect(s0, PortId(2), s1, PortId(2)).unwrap();
         b.connect(s0, PortId(3), s1, PortId(3)).unwrap();

@@ -149,7 +149,10 @@ mod tests {
     fn case2_converges_on_node7_with_f1_always_on() {
         let p = case2(10.0);
         assert_eq!(p.flows.len(), 5);
-        assert!(p.flows.iter().all(|f| f.dst == Destination::Fixed(NodeId(7))));
+        assert!(p
+            .flows
+            .iter()
+            .all(|f| f.dst == Destination::Fixed(NodeId(7))));
         let f1 = p.flows.iter().find(|f| f.src == NodeId(1)).unwrap();
         assert_eq!(f1.start_ns, 0.0);
         assert_eq!(f1.end_ns, None);
@@ -182,7 +185,9 @@ mod tests {
             .collect();
         assert_eq!(hot.len(), 16, "25% of 64 sources are hot");
         // Hot flows burst exactly [1ms, 2ms].
-        assert!(hot.iter().all(|f| f.start_ns == 1.0 * MS && f.end_ns == Some(2.0 * MS)));
+        assert!(hot
+            .iter()
+            .all(|f| f.start_ns == 1.0 * MS && f.end_ns == Some(2.0 * MS)));
         // Exactly 4 distinct hot destinations.
         let mut dsts: Vec<u32> = hot
             .iter()

@@ -126,7 +126,11 @@ impl NodeGenerator {
                 }
             })
             .collect();
-        Self { node, num_nodes, flows }
+        Self {
+            node,
+            num_nodes,
+            flows,
+        }
     }
 
     /// The node this generator belongs to.
@@ -144,6 +148,19 @@ impl NodeGenerator {
         self.flows
             .iter()
             .any(|f| now >= f.start && f.end.is_none_or(|e| now < e))
+    }
+
+    /// Earliest cycle after `now` at which a not-yet-started flow
+    /// activates, or `None` if every flow has already started. Flows are
+    /// active over one contiguous `[start, end)` window, so this is the
+    /// only future cycle at which an inactive generator can come alive —
+    /// the quiet-cycle fast-forward jumps straight to it.
+    pub fn next_activation(&self, now: Cycle) -> Option<Cycle> {
+        self.flows
+            .iter()
+            .filter(|f| f.start > now)
+            .map(|f| f.start)
+            .min()
     }
 
     /// Advance one cycle: accrue budget and offer ready packets to the
@@ -169,7 +186,11 @@ impl NodeGenerator {
                         // Draw the next phase length from an exponential
                         // distribution (inverse-CDF on a uniform sample).
                         st.on = !st.on;
-                        let mean = if st.on { st.mean_on_cycles } else { st.mean_off_cycles };
+                        let mean = if st.on {
+                            st.mean_on_cycles
+                        } else {
+                            st.mean_off_cycles
+                        };
                         let u: f64 = f.rng.random::<f64>().max(1e-12);
                         let len = (-u.ln() * mean).ceil().max(1.0) as Cycle;
                         st.phase_ends = now + len;
@@ -181,8 +202,7 @@ impl NodeGenerator {
                     }
                 }
             };
-            f.tokens = (f.tokens + accrual)
-                .min(BURST_CAP_PACKETS * f.packet_flits as f64);
+            f.tokens = (f.tokens + accrual).min(BURST_CAP_PACKETS * f.packet_flits as f64);
             if f.tokens >= f.packet_flits as f64 {
                 let dst = match f.dst {
                     Destination::Fixed(d) => d,
@@ -219,14 +239,7 @@ mod tests {
     }
 
     fn gen_for(specs: &[FlowSpec], node: u32) -> NodeGenerator {
-        NodeGenerator::new(
-            NodeId(node),
-            specs,
-            &units(),
-            1,
-            8,
-            &SeedSplitter::new(42),
-        )
+        NodeGenerator::new(NodeId(node), specs, &units(), 1, 8, &SeedSplitter::new(42))
     }
 
     /// Run `cycles` cycles with an always-accepting sink; count packets.
@@ -266,7 +279,13 @@ mod tests {
         let u = units();
         let start_ns = 1000.0 * u.cycle_ns;
         let end_ns = 2000.0 * u.cycle_ns;
-        let specs = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(4), start_ns, Some(end_ns))];
+        let specs = vec![FlowSpec::hotspot(
+            0,
+            NodeId(0),
+            NodeId(4),
+            start_ns,
+            Some(end_ns),
+        )];
         let mut g = gen_for(&specs, 0);
         let mut times = Vec::new();
         let mut count = 0usize;
@@ -326,7 +345,10 @@ mod tests {
             seen[p.dst.index()] = true;
         }
         assert!(!seen[0]);
-        assert!(seen[1..].iter().all(|&s| s), "all 7 other nodes hit: {seen:?}");
+        assert!(
+            seen[1..].iter().all(|&s| s),
+            "all 7 other nodes hit: {seen:?}"
+        );
     }
 
     #[test]
@@ -419,8 +441,8 @@ mod onoff_tests {
             }
             let deltas: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
             let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
-            let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
-                / deltas.len() as f64;
+            let var =
+                deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
             (mean, var)
         };
         let mut smooth = FlowSpec::uniform(0, NodeId(0), 0.0, None);
@@ -428,7 +450,10 @@ mod onoff_tests {
         let bursty = FlowSpec::bursty_uniform(1, NodeId(0), 0.3, 20_000.0);
         let (m_s, v_s) = gaps(smooth);
         let (m_b, v_b) = gaps(bursty);
-        assert!((m_s - m_b).abs() < 0.3 * m_s, "same average spacing: {m_s} vs {m_b}");
+        assert!(
+            (m_s - m_b).abs() < 0.3 * m_s,
+            "same average spacing: {m_s} vs {m_b}"
+        );
         assert!(v_b > 5.0 * v_s, "bursty variance {v_b} >> smooth {v_s}");
     }
 
@@ -436,6 +461,9 @@ mod onoff_tests {
     fn onoff_full_rate_degenerates_to_continuous() {
         let spec = FlowSpec::bursty_uniform(0, NodeId(0), 1.0, 5_000.0);
         let got = run_count(spec, 32_000, 9);
-        assert!(got >= 990 && got <= 1000, "full duty cycle ~ line rate: {got}");
+        assert!(
+            got >= 990 && got <= 1000,
+            "full duty cycle ~ line rate: {got}"
+        );
     }
 }

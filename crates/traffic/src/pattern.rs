@@ -19,7 +19,10 @@ pub struct TrafficPattern {
 impl TrafficPattern {
     /// Create a pattern from parts.
     pub fn new(name: impl Into<String>, flows: Vec<FlowSpec>) -> Self {
-        let p = Self { name: name.into(), flows };
+        let p = Self {
+            name: name.into(),
+            flows,
+        };
         p.validate();
         p
     }
@@ -44,7 +47,10 @@ impl TrafficPattern {
 
     /// Label for a flow id, if declared.
     pub fn label(&self, id: FlowId) -> Option<&str> {
-        self.flows.iter().find(|f| f.id == id).map(|f| f.label.as_str())
+        self.flows
+            .iter()
+            .find(|f| f.id == id)
+            .map(|f| f.label.as_str())
     }
 
     /// Largest node index referenced (source or fixed destination);

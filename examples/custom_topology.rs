@@ -16,7 +16,10 @@ use ccfit_traffic::{FlowSpec, TrafficPattern};
 fn main() {
     // Three switches in a triangle, three nodes each.
     let mut b = TopologyBuilder::new("triangle");
-    b.default_link(LinkParams { bw_flits_per_cycle: 1, delay_cycles: 2 });
+    b.default_link(LinkParams {
+        bw_flits_per_cycle: 1,
+        delay_cycles: 2,
+    });
     let switches: Vec<_> = (0..3).map(|_| b.add_switch(5)).collect();
     let mut nodes = Vec::new();
     for (si, &sw) in switches.iter().enumerate() {
@@ -27,9 +30,12 @@ fn main() {
         }
     }
     // Triangle trunks on ports 3 and 4.
-    b.connect(switches[0], PortId(3), switches[1], PortId(4)).unwrap();
-    b.connect(switches[1], PortId(3), switches[2], PortId(4)).unwrap();
-    b.connect(switches[2], PortId(3), switches[0], PortId(4)).unwrap();
+    b.connect(switches[0], PortId(3), switches[1], PortId(4))
+        .unwrap();
+    b.connect(switches[1], PortId(3), switches[2], PortId(4))
+        .unwrap();
+    b.connect(switches[2], PortId(3), switches[0], PortId(4))
+        .unwrap();
     let topo = b.build().expect("valid topology");
     println!(
         "built '{}': {} nodes, {} switches, {} cables",
@@ -44,7 +50,13 @@ fn main() {
     let mut flows = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(8), 0.0, None)];
     flows[0].label = "victim".into();
     for (i, src) in [1u32, 2, 3, 4, 5].iter().enumerate() {
-        flows.push(FlowSpec::hotspot(i as u32 + 1, NodeId(*src), NodeId(6), 0.0, None));
+        flows.push(FlowSpec::hotspot(
+            i as u32 + 1,
+            NodeId(*src),
+            NodeId(6),
+            0.0,
+            None,
+        ));
     }
     let pattern = TrafficPattern::new("triangle-hotspot", flows);
 

@@ -21,7 +21,9 @@ fn main() {
     let tree = KAryNTree::new(2, 3);
     let healthy = tree.build(LinkParams::default());
     // Fail one of leaf switch 0's two up-links.
-    let degraded = healthy.without_cable(SwitchId(0), PortId(2)).expect("trunk cable");
+    let degraded = healthy
+        .without_cable(SwitchId(0), PortId(2))
+        .expect("trunk cable");
     println!(
         "healthy: {} cables; degraded: {} cables ({})",
         healthy.num_cables(),
@@ -29,13 +31,28 @@ fn main() {
         degraded.name()
     );
 
-    let cfg = SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        metrics_bin_ns: 100_000.0,
+        ..SimConfig::default()
+    };
     println!("\nuniform 60% load, 1 ms                 throughput   mean latency");
     for (label, topo, routing) in [
         ("healthy / 1Q", healthy.clone(), tree.det_routing()),
-        ("degraded / 1Q", degraded.clone(), RoutingTable::shortest_path(&degraded)),
-        ("degraded / FBICM", degraded.clone(), RoutingTable::shortest_path(&degraded)),
-        ("degraded / CCFIT", degraded.clone(), RoutingTable::shortest_path(&degraded)),
+        (
+            "degraded / 1Q",
+            degraded.clone(),
+            RoutingTable::shortest_path(&degraded),
+        ),
+        (
+            "degraded / FBICM",
+            degraded.clone(),
+            RoutingTable::shortest_path(&degraded),
+        ),
+        (
+            "degraded / CCFIT",
+            degraded.clone(),
+            RoutingTable::shortest_path(&degraded),
+        ),
     ] {
         let mech = match label {
             l if l.ends_with("CCFIT") => Mechanism::ccfit(),

@@ -28,7 +28,10 @@ fn mechanism_by_name(name: &str) -> Mechanism {
 }
 
 fn main() {
-    let hotspots: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let hotspots: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
     let mech = mechanism_by_name(&std::env::args().nth(2).unwrap_or_else(|| "ccfit".into()));
     let name = mech.name();
 
@@ -42,19 +45,27 @@ fn main() {
     let report = spec.run_with(
         mech,
         7,
-        SimConfig { metrics_bin_ns: 200_000.0, ..SimConfig::default() },
+        SimConfig {
+            metrics_bin_ns: 200_000.0,
+            ..SimConfig::default()
+        },
     );
 
     println!("\ntime_ms  normalized_throughput");
     let nt = report.network_throughput_normalized();
     for (i, v) in nt.iter().enumerate().take(nt.len() - 1) {
         let bar = "#".repeat((v * 60.0) as usize);
-        println!("{:6.1}   {v:.3} {bar}", report.total_bytes.bin_center_ns(i) / 1e6);
+        println!(
+            "{:6.1}   {v:.3} {bar}",
+            report.total_bytes.bin_center_ns(i) / 1e6
+        );
     }
-    println!("\nphase means: pre-burst {:.3}, burst {:.3}, recovery {:.3}",
+    println!(
+        "\nphase means: pre-burst {:.3}, burst {:.3}, recovery {:.3}",
         report.mean_normalized_throughput(0.4e6, 1.0e6),
         report.mean_normalized_throughput(1.1e6, 2.0e6),
-        report.mean_normalized_throughput(2.1e6, 4.0e6));
+        report.mean_normalized_throughput(2.1e6, 4.0e6)
+    );
     println!("\ncongestion-control bookkeeping:");
     for key in [
         "congestion_detected",
@@ -66,6 +77,9 @@ fn main() {
         "becn_received",
         "throttled_injections",
     ] {
-        println!("  {key:<22} {}", report.counters.get(key).copied().unwrap_or(0));
+        println!(
+            "  {key:<22} {}",
+            report.counters.get(key).copied().unwrap_or(0)
+        );
     }
 }

@@ -28,7 +28,14 @@ fn main() {
     );
     for mech in paper_mechanisms() {
         let name = mech.name();
-        let r = spec.run_with(mech, 9, SimConfig { metrics_bin_ns: 250_000.0, ..SimConfig::default() });
+        let r = spec.run_with(
+            mech,
+            9,
+            SimConfig {
+                metrics_bin_ns: 250_000.0,
+                ..SimConfig::default()
+            },
+        );
         let bw: Vec<f64> = contributors
             .iter()
             .map(|&f| r.flow_mean_bandwidth_gbps(f, window.0, window.1))

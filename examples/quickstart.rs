@@ -39,7 +39,12 @@ fn main() {
         "{:<8} {:>12} {:>15} {:>16}",
         "scheme", "victim GB/s", "hot-link GB/s", "aggressor Jain"
     );
-    for mech in [Mechanism::OneQ, Mechanism::fbicm(), Mechanism::ith(), Mechanism::ccfit()] {
+    for mech in [
+        Mechanism::OneQ,
+        Mechanism::fbicm(),
+        Mechanism::ith(),
+        Mechanism::ccfit(),
+    ] {
         let name = mech.name();
         let report = SimBuilder::new(topo.clone())
             .mechanism(mech)

@@ -1,0 +1,46 @@
+//! The bit-identical-results guard for the active-set scheduler and the
+//! quiet-cycle fast-forward (DESIGN.md §6).
+//!
+//! The optimized engine skips provably-inert components and jumps the
+//! clock over provably-quiet stretches. Those skips are only legal if
+//! the simulation output is *byte-identical* to the exhaustive per-cycle
+//! iteration. This test runs real paper scenarios three ways — fast path
+//! twice (run-to-run determinism) and `force_slow_path` once (fast/slow
+//! equivalence) — and compares the full serialized `SimReport`s, which
+//! capture every counter, histogram, gauge series, and per-flow curve.
+
+use ccfit::experiment::config1_case1_scaled;
+use ccfit::{Mechanism, SimConfig};
+
+fn cfg(force_slow_path: bool) -> SimConfig {
+    SimConfig {
+        metrics_bin_ns: 20_000.0,
+        force_slow_path,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn fast_path_is_bit_identical_to_slow_path() {
+    // 0.2 ms of config-1 case-1: hotspot congestion forms, CFQs
+    // allocate and deallocate, throttling engages, and long quiet tails
+    // exercise the fast-forward. Two mechanisms cover both queueing
+    // families (CCFIT: isolation + throttling; 1Q: bare FIFO).
+    let spec = config1_case1_scaled(0.02);
+    for mech in [Mechanism::ccfit(), Mechanism::OneQ] {
+        for seed in [1u64, 2] {
+            let name = mech.name();
+            let fast_a = spec.run_with(mech.clone(), seed, cfg(false)).to_json();
+            let fast_b = spec.run_with(mech.clone(), seed, cfg(false)).to_json();
+            let slow = spec.run_with(mech.clone(), seed, cfg(true)).to_json();
+            assert_eq!(
+                fast_a, fast_b,
+                "{name}/seed {seed}: fast path is not run-to-run deterministic"
+            );
+            assert_eq!(
+                fast_a, slow,
+                "{name}/seed {seed}: fast path diverges from the exhaustive slow path"
+            );
+        }
+    }
+}

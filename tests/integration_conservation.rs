@@ -10,7 +10,10 @@ use ccfit_topology::{KAryNTree, LinkParams};
 use ccfit_traffic::{FlowSpec, TrafficPattern};
 
 fn cfg() -> SimConfig {
-    SimConfig { metrics_bin_ns: 50_000.0, ..SimConfig::default() }
+    SimConfig {
+        metrics_bin_ns: 50_000.0,
+        ..SimConfig::default()
+    }
 }
 
 fn all_mechanisms() -> Vec<Mechanism> {
@@ -76,7 +79,11 @@ fn network_drains_after_traffic_stops() {
             .build();
         sim.run_cycles(sim.end_cycle());
         assert_eq!(sim.resident_packets(), 0, "{name}: network drains");
-        assert_eq!(sim.injected(), sim.delivered(), "{name}: all packets delivered");
+        assert_eq!(
+            sim.injected(),
+            sim.delivered(),
+            "{name}: all packets delivered"
+        );
         assert_eq!(sim.cfqs_allocated(), 0, "{name}: all CFQs freed");
     }
 }
@@ -139,7 +146,10 @@ fn isolation_protocol_balances() {
             .seed(0xE3)
             .build();
         sim.run_cycles(sim.end_cycle());
-        assert!(sim.counter("cfq_allocated") > 0, "{name}: isolation engaged");
+        assert!(
+            sim.counter("cfq_allocated") > 0,
+            "{name}: isolation engaged"
+        );
         assert_eq!(
             sim.counter("cfq_allocated"),
             sim.counter("cfq_deallocated"),
@@ -186,7 +196,11 @@ fn becn_transports_agree_qualitatively() {
     use ccfit::simulator::BecnTransport;
     let spec = config1_case1_scaled(0.2);
     let run = |tr: BecnTransport| {
-        let cfg = SimConfig { becn_transport: tr, metrics_bin_ns: 50_000.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            becn_transport: tr,
+            metrics_bin_ns: 50_000.0,
+            ..SimConfig::default()
+        };
         spec.run_with(Mechanism::ccfit(), 0xAB, cfg)
     };
     let inband = run(BecnTransport::InBand);
@@ -195,7 +209,10 @@ fn becn_transports_agree_qualitatively() {
     let victim_in = inband.flow_mean_bandwidth_gbps(ccfit_engine::ids::FlowId(0), w.0, w.1);
     let victim_oob = oob.flow_mean_bandwidth_gbps(ccfit_engine::ids::FlowId(0), w.0, w.1);
     assert!(victim_in > 2.0, "in-band victim protected: {victim_in}");
-    assert!((victim_in - victim_oob).abs() < 0.5, "{victim_in} vs {victim_oob}");
+    assert!(
+        (victim_in - victim_oob).abs() < 0.5,
+        "{victim_in} vs {victim_oob}"
+    );
     let contributors = [
         ccfit_engine::ids::FlowId(1),
         ccfit_engine::ids::FlowId(2),
@@ -233,5 +250,8 @@ fn inband_becns_are_conserved() {
     // After 0.2 ms of drain, every BECN must have arrived.
     assert_eq!(generated, received, "all BECNs delivered after drain");
     // And data conservation still holds with BECNs in the network.
-    assert_eq!(sim.injected(), sim.delivered() + sim.resident_packets() as u64);
+    assert_eq!(
+        sim.injected(),
+        sim.delivered() + sim.resident_packets() as u64
+    );
 }

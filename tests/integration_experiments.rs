@@ -1,15 +1,16 @@
 //! Shape tests for the paper's figures: the qualitative claims of §IV
 //! checked end-to-end on (where affordable) the paper's own scales.
 
-use ccfit::experiment::{
-    config1_case1, config2_case2_scaled, config3_case4, paper_mechanisms,
-};
+use ccfit::experiment::{config1_case1, config2_case2_scaled, config3_case4, paper_mechanisms};
 use ccfit::params::{IsolationParams, ThrottleParams};
 use ccfit::{Mechanism, SimConfig};
 use ccfit_engine::ids::FlowId;
 
 fn cfg() -> SimConfig {
-    SimConfig { metrics_bin_ns: 100_000.0, ..SimConfig::default() }
+    SimConfig {
+        metrics_bin_ns: 100_000.0,
+        ..SimConfig::default()
+    }
 }
 
 /// Fig. 7a: in Config #1 the three CC techniques keep the network near
@@ -59,12 +60,24 @@ fn fig9_shape() {
 
     let oneq = spec.run_with(Mechanism::OneQ, 0xF19, cfg());
     // Parking lot: F5/F6 roughly double F1/F2 (1/3 vs 1/6 of 2.5 GB/s).
-    assert!((bw(&oneq, 5) - 0.83).abs() < 0.1, "F5 ~1/3 share: {}", bw(&oneq, 5));
-    assert!((bw(&oneq, 1) - 0.42).abs() < 0.1, "F1 ~1/6 share: {}", bw(&oneq, 1));
+    assert!(
+        (bw(&oneq, 5) - 0.83).abs() < 0.1,
+        "F5 ~1/3 share: {}",
+        bw(&oneq, 5)
+    );
+    assert!(
+        (bw(&oneq, 1) - 0.42).abs() < 0.1,
+        "F1 ~1/6 share: {}",
+        bw(&oneq, 1)
+    );
     assert!(bw(&oneq, 0) < 1.0, "victim HoL-blocked: {}", bw(&oneq, 0));
 
     let fbicm = spec.run_with(Mechanism::fbicm(), 0xF19, cfg());
-    assert!(bw(&fbicm, 0) > 2.2, "FBICM victim at line rate: {}", bw(&fbicm, 0));
+    assert!(
+        bw(&fbicm, 0) > 2.2,
+        "FBICM victim at line rate: {}",
+        bw(&fbicm, 0)
+    );
     assert!(
         bw(&fbicm, 5) > 1.6 * bw(&fbicm, 1),
         "FBICM parking lot persists: F5 {} vs F1 {}",
@@ -81,7 +94,11 @@ fn fig9_shape() {
     );
 
     let ccfit = spec.run_with(Mechanism::ccfit(), 0xF19, cfg());
-    assert!(bw(&ccfit, 0) > 2.2, "CCFIT victim at line rate: {}", bw(&ccfit, 0));
+    assert!(
+        bw(&ccfit, 0) > 2.2,
+        "CCFIT victim at line rate: {}",
+        bw(&ccfit, 0)
+    );
     assert!(
         ccfit.jain_over(&contributors, w.0, w.1) > 0.96,
         "CCFIT fair: {}",
@@ -148,9 +165,15 @@ fn fig8b_shape_full_scale() {
     let fbicm = fbicm_r.mean_normalized_throughput(burst.0, burst.1);
     let ccfit = run(Mechanism::ccfit()).mean_normalized_throughput(burst.0, burst.1);
     let voqnet = run(Mechanism::voqnet()).mean_normalized_throughput(burst.0, burst.1);
-    assert!(fbicm_r.counters["cfq_exhausted"] > 0, "FBICM must run out of CFQs");
+    assert!(
+        fbicm_r.counters["cfq_exhausted"] > 0,
+        "FBICM must run out of CFQs"
+    );
     assert!(oneq < fbicm, "1Q worst");
-    assert!(ccfit > fbicm + 0.05, "CCFIT clearly above FBICM: {ccfit} vs {fbicm}");
+    assert!(
+        ccfit > fbicm + 0.05,
+        "CCFIT clearly above FBICM: {ccfit} vs {fbicm}"
+    );
     assert!(voqnet >= ccfit - 0.06, "VOQnet is the ceiling");
 }
 
@@ -180,7 +203,10 @@ fn fig8_essence_small_scale() {
     // FBICM's CFQs mostly suffice and CCFIT pays the in-band BECN
     // feedback cost without a resource win — it must stay in FBICM's
     // neighbourhood and clearly beat 1Q.
-    assert!(ccfit >= fbicm - 0.06, "CCFIT near FBICM: {ccfit} vs {fbicm}");
+    assert!(
+        ccfit >= fbicm - 0.06,
+        "CCFIT near FBICM: {ccfit} vs {fbicm}"
+    );
     assert!(ccfit > oneq + 0.05, "CCFIT clearly beats 1Q");
 }
 
@@ -194,15 +220,17 @@ fn ccfit_is_less_parameter_sensitive_than_ith() {
     let spread = |mk: fn(ThrottleParams) -> Mechanism| {
         let mut vals = Vec::new();
         for rate in [0.25, 0.85] {
-            let thr = ThrottleParams { marking_rate: rate, ..ThrottleParams::default() };
+            let thr = ThrottleParams {
+                marking_rate: rate,
+                ..ThrottleParams::default()
+            };
             let r = spec.run_with(mk(thr), 5, cfg());
             vals.push(r.mean_normalized_throughput(w.0, w.1));
         }
         (vals[0] - vals[1]).abs()
     };
     let ith_spread = spread(Mechanism::Ith);
-    let ccfit_spread =
-        spread(|t| Mechanism::Ccfit(IsolationParams::default(), t));
+    let ccfit_spread = spread(|t| Mechanism::Ccfit(IsolationParams::default(), t));
     // Both should work, but CCFIT's outcome must not vary more than
     // ITh's by a wide margin (isolation keeps the network safe while the
     // throttling parameters are off).

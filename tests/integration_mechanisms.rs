@@ -131,8 +131,14 @@ fn victim_flow_is_protected_by_isolation() {
         oneq < 1.2,
         "1Q victim should be HoL-blocked well below line rate, got {oneq}"
     );
-    assert!(fbicm > 2.0, "FBICM victim should run near line rate, got {fbicm}");
-    assert!(ccfit > 2.0, "CCFIT victim should run near line rate, got {ccfit}");
+    assert!(
+        fbicm > 2.0,
+        "FBICM victim should run near line rate, got {fbicm}"
+    );
+    assert!(
+        ccfit > 2.0,
+        "CCFIT victim should run near line rate, got {ccfit}"
+    );
     assert!(fbicm > 1.5 * oneq, "isolation must clearly beat 1Q");
 }
 
@@ -178,9 +184,15 @@ fn throttling_reacts_to_congestion() {
         .seed(5)
         .build();
     sim.run_cycles(sim.end_cycle());
-    assert!(sim.counter("fecn_marked") > 0, "packets must be FECN-marked");
+    assert!(
+        sim.counter("fecn_marked") > 0,
+        "packets must be FECN-marked"
+    );
     assert!(sim.counter("becn_generated") > 0, "BECNs must be generated");
-    assert!(sim.counter("becn_received") > 0, "BECNs must arrive at sources");
+    assert!(
+        sim.counter("becn_received") > 0,
+        "BECNs must arrive at sources"
+    );
     assert!(sim.counter("throttled_injections") > 0);
 }
 
@@ -205,8 +217,14 @@ fn cfqs_allocate_and_deallocate() {
         .seed(6)
         .build();
     sim.run_cycles(sim.end_cycle());
-    assert!(sim.counter("cfq_allocated") > 0, "congestion must allocate CFQs");
-    assert!(sim.counter("cfq_deallocated") > 0, "drained CFQs must be released");
+    assert!(
+        sim.counter("cfq_allocated") > 0,
+        "congestion must allocate CFQs"
+    );
+    assert!(
+        sim.counter("cfq_deallocated") > 0,
+        "drained CFQs must be released"
+    );
     assert_eq!(
         sim.cfqs_allocated(),
         0,
@@ -249,7 +267,10 @@ fn stop_go_propagates_upstream() {
         .seed(8)
         .build();
     sim.run_cycles(sim.end_cycle());
-    assert!(sim.counter("allocs_propagated") > 0, "congestion info must propagate");
+    assert!(
+        sim.counter("allocs_propagated") > 0,
+        "congestion info must propagate"
+    );
     assert!(sim.counter("stops_sent") > 0, "stops must be sent upstream");
     assert!(sim.counter("gos_sent") > 0, "gos must follow stops");
 }
@@ -300,7 +321,12 @@ fn config2_contributors_share_the_hot_link_under_ccfit() {
 #[test]
 fn non_throttling_mechanisms_do_not_mark() {
     let spec = config1_case1_scaled(0.05);
-    for mech in [Mechanism::OneQ, Mechanism::VoqSw, Mechanism::voqnet(), Mechanism::fbicm()] {
+    for mech in [
+        Mechanism::OneQ,
+        Mechanism::VoqSw,
+        Mechanism::voqnet(),
+        Mechanism::fbicm(),
+    ] {
         let name = mech.name();
         let mut sim = SimBuilder::new(spec.topology.clone())
             .routing(spec.routing.clone())
@@ -391,12 +417,19 @@ fn traced_packets_follow_the_routing_tables() {
         .mechanism(Mechanism::ccfit())
         .traffic(pattern)
         .duration_ns(200_000.0)
-        .config(SimConfig { trace_sample_every: Some(5), ..test_cfg() })
+        .config(SimConfig {
+            trace_sample_every: Some(5),
+            ..test_cfg()
+        })
         .seed(0x7AC)
         .build();
     sim.run_cycles(sim.end_cycle());
     let traces = sim.traces();
-    assert!(traces.len() > 10, "sampling produced traces: {}", traces.len());
+    assert!(
+        traces.len() > 10,
+        "sampling produced traces: {}",
+        traces.len()
+    );
     let mut checked = 0;
     for t in traces {
         let expected: Vec<_> = routing
@@ -405,7 +438,12 @@ fn traced_packets_follow_the_routing_tables() {
             .iter()
             .map(|&(s, _)| s)
             .collect();
-        assert_eq!(t.switch_path(), expected, "packet {} took the table route", t.id);
+        assert_eq!(
+            t.switch_path(),
+            expected,
+            "packet {} took the table route",
+            t.id
+        );
         if let Some(lat) = t.latency_cycles() {
             assert!(lat >= t.hops.len() as u64, "latency covers the hops");
             checked += 1;

@@ -3,7 +3,7 @@
 
 use ccfit::{Mechanism, SimBuilder, SimConfig};
 use ccfit_engine::ids::NodeId;
-use ccfit_topology::{config1_topology, KAryNTree, LinkParams, Topology, RoutingTable};
+use ccfit_topology::{config1_topology, KAryNTree, LinkParams, RoutingTable, Topology};
 use ccfit_traffic::{Destination, FlowSpec, TrafficPattern};
 use proptest::prelude::*;
 
@@ -23,11 +23,11 @@ fn mechanism_strategy() -> impl Strategy<Value = Mechanism> {
 fn pattern_strategy(num_nodes: u32) -> impl Strategy<Value = TrafficPattern> {
     prop::collection::vec(
         (
-            0..num_nodes,             // src
-            0..num_nodes + 1,         // dst; == num_nodes means Uniform
-            0.1f64..=1.0,             // rate
-            0u64..300,                // start (us)
-            0u64..2,                  // open-ended?
+            0..num_nodes,     // src
+            0..num_nodes + 1, // dst; == num_nodes means Uniform
+            0.1f64..=1.0,     // rate
+            0u64..300,        // start (us)
+            0u64..2,          // open-ended?
         ),
         1..6,
     )
@@ -57,13 +57,23 @@ fn pattern_strategy(num_nodes: u32) -> impl Strategy<Value = TrafficPattern> {
     })
 }
 
-fn build(topo: Topology, routing: Option<RoutingTable>, mech: Mechanism, pattern: TrafficPattern, seed: u64, xbar: u32) -> ccfit::Simulator {
+fn build(
+    topo: Topology,
+    routing: Option<RoutingTable>,
+    mech: Mechanism,
+    pattern: TrafficPattern,
+    seed: u64,
+    xbar: u32,
+) -> ccfit::Simulator {
     let mut b = SimBuilder::new(topo)
         .mechanism(mech)
         .crossbar_bw(xbar)
         .traffic(pattern)
         .duration_ns(500_000.0)
-        .config(SimConfig { metrics_bin_ns: 50_000.0, ..SimConfig::default() })
+        .config(SimConfig {
+            metrics_bin_ns: 50_000.0,
+            ..SimConfig::default()
+        })
         .seed(seed);
     if let Some(r) = routing {
         b = b.routing(r);

@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's `harness = false` benches
+//! use — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! adaptive wall-clock timer instead of criterion's statistical
+//! machinery: warm up briefly, scale the iteration count to a target
+//! measurement window, report mean ns/iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.target, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            target: self.target,
+            _parent: self,
+        }
+    }
+
+    /// Print the closing line (called by `criterion_main!`).
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    target: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce sampling effort for slow benchmarks (advisory: shrinks the
+    /// measurement window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.target = Duration::from_millis(100);
+        }
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.0), self.target, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.0), self.target, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `"<name>/<parameter>"`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to the closure; call [`Bencher::iter`] with the body to time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `body`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, target: Duration, f: &mut F) {
+    // Warm-up / calibration: double iterations until the body costs at
+    // least ~10 ms, then scale up to the target window.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 2;
+    };
+    let measured_iters = ((target.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 34);
+    let mut b = Bencher {
+        iters: measured_iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let ns = b.elapsed.as_secs_f64() * 1e9 / measured_iters as f64;
+    if ns >= 1e6 {
+        println!(
+            "{name:<50} {:>12.3} ms/iter ({measured_iters} iters)",
+            ns / 1e6
+        );
+    } else if ns >= 1e3 {
+        println!(
+            "{name:<50} {:>12.3} us/iter ({measured_iters} iters)",
+            ns / 1e3
+        );
+    } else {
+        println!("{name:<50} {ns:>12.1} ns/iter ({measured_iters} iters)");
+    }
+}
+
+/// Collect benchmark functions into a runner group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $g(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            target: Duration::from_millis(1),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            target: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("x", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &1u32, |b, &n| {
+            b.iter(|| black_box(n))
+        });
+        group.finish();
+    }
+}

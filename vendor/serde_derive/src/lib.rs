@@ -1,0 +1,393 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace uses — non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple and struct variants) without `#[serde]`
+//! attributes — by walking the raw `proc_macro::TokenStream` (no `syn`
+//! or `quote`, which are unavailable offline). The generated impls build
+//! or consume the `serde::Value` JSON tree following serde's
+//! externally-tagged conventions: a unit variant serializes as its name,
+//! a data variant as a single-key object, a newtype struct as its inner
+//! value.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    gen_serialize(&parse_shape(input)).parse().unwrap()
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    gen_deserialize(&parse_shape(input)).parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Split a brace-group body into top-level comma-separated chunks,
+/// tracking `<`/`>` depth so commas inside generic arguments don't split
+/// (angle brackets are not token-tree delimiters).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// First identifier of a field/variant chunk after attributes and
+/// visibility.
+fn leading_ident(chunk: &[TokenTree]) -> (String, usize) {
+    let mut i = 0;
+    loop {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return (id.to_string(), i),
+            other => panic!("serde derive: unexpected token {other:?}"),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| leading_ident(chunk).0)
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let (name, at) = leading_ident(chunk);
+            let kind = match chunk.get(at + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => VariantKind::Unit,
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", ")),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "Self::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "Self::{vn}(x0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, \"{f}\")?,"))
+                .collect();
+            (
+                name,
+                format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(" ")),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                     ::std::result::Result::Ok(Self({})),\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"expected {arity}-element array for {name}, found {{other:?}}\"))),\n\
+                     }}",
+                    items.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             Self::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok(Self::{vn}({})),\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"bad payload for {name}::{vn}: {{other:?}}\"))),\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(inner, \"{f}\")?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok(\
+                                 Self::{vn} {{ {} }}),",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown unit variant {name}::{{other}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                     let (tag, inner) = &pairs[0];\n\
+                     let _ = inner;\n\
+                     match tag.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant {name}::{{other}}\"))),\n\
+                     }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"expected {name} variant, found {{other:?}}\"))),\n\
+                     }}",
+                    unit_arms.join("\n"),
+                    data_arms.join("\n")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }}\n\
+         }}"
+    )
+}
