@@ -62,10 +62,13 @@ fn bench_link(c: &mut Criterion) {
     c.bench_function("link_send_deliver_credit_cycle", |b| {
         let mut l = Link::new(LinkConfig::default(), 1 << 30);
         let mut now = 0u64;
+        let mut arrived = Vec::new();
         b.iter(|| {
             l.send(now, pkt(now));
             now += 33;
-            for d in l.deliver(now) {
+            arrived.clear();
+            l.deliver_into(now, &mut arrived);
+            for d in &arrived {
                 l.return_credits(now, d.packet.size_flits);
             }
             l.poll_credits(now);

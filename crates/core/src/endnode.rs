@@ -20,12 +20,12 @@
 use crate::params::{IsolationParams, ThrottleParams};
 
 use crate::port::{CfqSlot, CfqState};
-use crate::switch::{OutCamState, VoqNetCredits};
+use crate::switch::{OutCamState, PurgeStats, VoqNetCredits};
 use ccfit_engine::cam::Cam;
 use ccfit_engine::ids::{LinkId, NodeId, PacketId};
 use ccfit_engine::link::{CtrlEvent, Link};
 use ccfit_engine::packet::Packet;
-use ccfit_engine::queue::PacketQueue;
+use ccfit_engine::queue::{PacketQueue, QueuedPacket};
 use ccfit_engine::ram::PortRam;
 use ccfit_engine::units::{Cycle, UnitModel};
 use ccfit_metrics::MetricsCollector;
@@ -638,6 +638,45 @@ impl Adapter {
     pub fn advoq_occupancy(&self, dst: NodeId) -> u32 {
         self.advoqs[dst.index()].occupancy_flits()
     }
+
+    /// Fault subsystem: drop every buffered packet whose destination
+    /// satisfies `unreachable` (live re-route made it undeliverable).
+    /// AdVOQ entries hold no output RAM (it is reserved at the
+    /// AdVOQ→NFQ/CFQ move), NFQ/CFQ entries release theirs; pending
+    /// BECNs to such destinations are dropped as lost control traffic.
+    /// `scratch` is caller-provided to avoid per-call allocation.
+    pub fn purge_unreachable(
+        &mut self,
+        unreachable: &dyn Fn(NodeId) -> bool,
+        scratch: &mut Vec<QueuedPacket>,
+    ) -> PurgeStats {
+        let mut stats = PurgeStats::default();
+        scratch.clear();
+        for d in 0..self.advoqs.len() {
+            if unreachable(NodeId(d as u32)) {
+                self.advoqs[d].drain_all_into(scratch);
+            }
+        }
+        let advoq_purged = scratch.len();
+        self.nfq
+            .drain_where_into(|e| unreachable(e.packet.dst), scratch);
+        for c in &mut self.cfqs {
+            c.queue
+                .drain_where_into(|e| unreachable(e.packet.dst), scratch);
+        }
+        for e in scratch.iter() {
+            stats.note(e.packet.is_data());
+        }
+        for e in scratch.iter().skip(advoq_purged) {
+            self.out_ram.release(e.packet.size_flits);
+        }
+        self.resident -= scratch.len();
+        let becns_before = self.becn_out.len();
+        self.becn_out.retain(|b| !unreachable(b.dst));
+        stats.ctrl_packets += (becns_before - self.becn_out.len()) as u64;
+        scratch.clear();
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -676,6 +715,12 @@ mod tests {
         }
     }
 
+    fn drain(l: &mut Link, now: u64) -> Vec<ccfit_engine::link::Delivery> {
+        let mut v = Vec::new();
+        l.deliver_into(now, &mut v);
+        v
+    }
+
     #[test]
     fn injection_flows_through_to_the_link() {
         let (mut a, mut links) = adapter(false, false);
@@ -684,7 +729,7 @@ mod tests {
         // Single-cycle passthrough: AdVOQ -> NFQ -> link within tick 0.
         let rel = a.tick(0, &mut links, None, &mut m);
         assert!(rel.is_some());
-        let d = links[0].deliver(100);
+        let d = drain(&mut links[0], 100);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].packet.dst, NodeId(3));
         assert_eq!(a.resident_packets(), 0);
@@ -740,7 +785,7 @@ mod tests {
             a.tick(now, &mut links, None, &mut m);
             links[0].poll_credits(now);
         }
-        for d in links[0].deliver(10_000) {
+        for d in drain(&mut links[0], 10_000) {
             let _ = d;
             sent_unthrottled += 1;
         }
@@ -762,7 +807,7 @@ mod tests {
             b.tick(now, &mut links2, None, &mut m);
             links2[0].poll_credits(now);
         }
-        for d in links2[0].deliver(10_000) {
+        for d in drain(&mut links2[0], 10_000) {
             let _ = d;
             sent_throttled += 1;
         }
@@ -788,7 +833,7 @@ mod tests {
             a.tick(now, &mut links, None, &mut m);
             links[0].poll_credits(now);
         }
-        for d in links[0].deliver(1000) {
+        for d in drain(&mut links[0], 1000) {
             injected_dsts.push(d.packet.dst);
         }
         assert_eq!(
@@ -803,7 +848,7 @@ mod tests {
             a.tick(now, &mut links, None, &mut m);
             links[0].poll_credits(now);
         }
-        let d = links[0].deliver(1000);
+        let d = drain(&mut links[0], 1000);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].packet.dst, NodeId(4));
     }
@@ -826,7 +871,7 @@ mod tests {
         for now in 5..400u64 {
             a.tick(now, &mut links, None, &mut m);
             links[0].poll_credits(now);
-            for d in links[0].deliver(now) {
+            for d in drain(&mut links[0], now) {
                 got.push(d.packet.dst);
             }
         }
@@ -888,6 +933,12 @@ mod voqnet_tests {
         }
     }
 
+    fn drain(l: &mut Link, now: u64) -> Vec<ccfit_engine::link::Delivery> {
+        let mut v = Vec::new();
+        l.deliver_into(now, &mut v);
+        v
+    }
+
     #[test]
     fn direct_mode_bypasses_the_nfq() {
         let (mut a, mut links) = direct_adapter();
@@ -895,7 +946,7 @@ mod voqnet_tests {
         assert!(a.try_inject(0, gp(3), PacketId(0)));
         let rel = a.tick(0, &mut links, None, &mut m);
         assert!(rel.is_none(), "direct mode does not use the output RAM");
-        let d = links[0].deliver(100);
+        let d = drain(&mut links[0], 100);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].packet.dst, NodeId(3));
         assert_eq!(a.resident_packets(), 0);
@@ -917,7 +968,7 @@ mod voqnet_tests {
             a.tick(now, &mut links, Some(&mut vn), &mut m);
             links[0].poll_credits(now);
             now += 33;
-            for d in links[0].deliver(now) {
+            for d in drain(&mut links[0], now) {
                 dsts.push(d.packet.dst);
             }
         }
@@ -952,7 +1003,7 @@ mod voqnet_tests {
             a.tick(now, &mut links, None, &mut m);
             links[0].poll_credits(now);
             now += 1;
-            for d in links[0].deliver(now) {
+            for d in drain(&mut links[0], now) {
                 dsts.push(d.packet.dst.0);
             }
             assert!(now < 1000, "all packets must drain");

@@ -48,6 +48,30 @@ impl ExperimentSpec {
             .build()
             .run()
     }
+
+    /// Run with a dynamic network-event schedule on top of the workload
+    /// (mid-run link/switch failures; see `ccfit_faults`).
+    pub fn run_with_faults(
+        &self,
+        mech: Mechanism,
+        seed: u64,
+        mut cfg: SimConfig,
+        schedule: ccfit_faults::FaultSchedule,
+        fault_cfg: ccfit_faults::FaultConfig,
+    ) -> SimReport {
+        cfg.duration_ns = self.duration_ns;
+        cfg.crossbar_bw_flits_per_cycle = self.crossbar_bw_flits_per_cycle;
+        SimBuilder::new(self.topology.clone())
+            .routing(self.routing.clone())
+            .mechanism(mech)
+            .traffic(self.pattern.clone())
+            .config(cfg)
+            .seed(seed)
+            .faults(schedule)
+            .fault_config(fault_cfg)
+            .build()
+            .run()
+    }
 }
 
 /// Config #1 / Case #1: the ad-hoc two-switch network with the victim
@@ -145,6 +169,16 @@ pub fn config3_case4(hotspots: usize, duration_ms: f64) -> ExperimentSpec {
         duration_ns: duration_ms * 1e6,
         crossbar_bw_flits_per_cycle: 1,
     }
+}
+
+/// Config #3 / Case #4 with the schedule compressed by `scale` (the
+/// burst window moves from [1, 2] ms to [`scale`, `2·scale`] ms and the
+/// paper's 4 ms horizon shrinks accordingly) — same shape,
+/// test-friendly runtimes.
+pub fn config3_case4_scaled(hotspots: usize, scale: f64) -> ExperimentSpec {
+    let mut spec = config3_case4(hotspots, 4.0);
+    scale_pattern(&mut spec, scale);
+    spec
 }
 
 /// The mechanisms of the paper's evaluation, in plotting order.

@@ -47,12 +47,16 @@ pub mod simulator;
 pub mod switch;
 pub mod trace;
 
+pub use ccfit_faults::{
+    FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent, RandomFaults, ScheduledEvent,
+};
 pub use params::{IsolationParams, Mechanism, QueueingScheme, ThrottleParams};
 pub use simulator::{SimBuilder, SimConfig, Simulator};
 
 // Re-export the companion crates so downstream users need a single
 // dependency.
 pub use ccfit_engine as engine;
+pub use ccfit_faults as faults;
 pub use ccfit_metrics as metrics;
 pub use ccfit_topology as topology;
 pub use ccfit_traffic as traffic;

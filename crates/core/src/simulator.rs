@@ -4,17 +4,19 @@
 
 use crate::endnode::{Adapter, AdapterCfg, AdapterThrottle};
 use crate::params::{Mechanism, QueueingScheme};
-use crate::switch::{MarkingSource, Switch, SwitchCfg, SwitchThrottle, VoqNetCredits};
+use crate::switch::{MarkingSource, PurgeStats, Switch, SwitchCfg, SwitchThrottle, VoqNetCredits};
 use ccfit_engine::ids::{FlowId, LinkId, NodeId, PacketId, PortId, SwitchId};
-use ccfit_engine::link::{Link, LinkConfig};
+use ccfit_engine::link::{Link, LinkConfig, WireLoss};
 use ccfit_engine::packet::Packet;
+use ccfit_engine::queue::QueuedPacket;
 use ccfit_engine::rng::SeedSplitter;
 use ccfit_engine::units::{Cycle, UnitModel};
-use ccfit_metrics::{MetricsCollector, SimReport};
-use ccfit_topology::{Endpoint, RoutingTable, Topology};
+use ccfit_faults::{FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent};
+use ccfit_metrics::{FaultSummary, MetricsCollector, SimReport};
+use ccfit_topology::{Endpoint, LinkParams, RoutingTable, Topology};
 use ccfit_traffic::{GenPacket, NodeGenerator, TrafficPattern};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// How congestion notification packets travel back to the sources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +112,193 @@ enum Release {
     Node { node: u32, flits: u32 },
 }
 
+/// A trunk cable currently down, recorded from the end the triggering
+/// event named so it can be reinstalled exactly as it was.
+#[derive(Debug, Clone, Copy)]
+struct DownCable {
+    s: SwitchId,
+    p: PortId,
+    os: SwitchId,
+    op: PortId,
+    params: LinkParams,
+    /// Downed as a side effect of a whole-switch failure; such cables
+    /// are restored by `SwitchUp`, while individually failed cables
+    /// need an explicit `LinkUp`.
+    by_switch: bool,
+}
+
+/// Live state of the fault-injection subsystem (DESIGN.md §8): the
+/// schedule cursor, which hardware is currently down, the pending
+/// re-route deadline, the reachability snapshot the *current* routing
+/// tables were computed against, and all loss/availability accounting.
+///
+/// The reachability snapshot (`comp`/`node_comp`) is deliberately only
+/// refreshed when a re-route completes, never at event time: drop and
+/// refusal guards must agree with the routing tables actually in force,
+/// otherwise a packet could be refused for a route that still works or,
+/// worse, forwarded on a stale default route and misdelivered.
+struct FaultRuntime {
+    schedule: FaultSchedule,
+    cfg: FaultConfig,
+    /// Index of the next unapplied schedule entry.
+    next: usize,
+    down_cables: Vec<DownCable>,
+    down_switches: Vec<SwitchId>,
+    /// When the pending routing recomputation takes effect.
+    routing_update_at: Option<Cycle>,
+    /// Start of the current stale-routing window.
+    stale_since: Option<Cycle>,
+    /// Connected component of each switch under the routing in force
+    /// (`u32::MAX` = switch was down at the last recomputation).
+    comp: Vec<u32>,
+    /// Component of each node's attachment switch (`u32::MAX` = the
+    /// node is orphaned: its switch is down).
+    node_comp: Vec<u32>,
+    /// Per-node unreachability window start (`Some` while counted).
+    unreachable_since: Vec<Option<Cycle>>,
+    loss: WireLoss,
+    packets_purged: u64,
+    ctrl_purged: u64,
+    packets_refused: u64,
+    events_applied: u64,
+    events_skipped: u64,
+    reroutes: u64,
+    unreachable_cycles: u64,
+    stale_cycles: u64,
+    first_fault: Option<Cycle>,
+    last_recovery: Cycle,
+    /// Scratch for adapter purges.
+    purge_scratch: Vec<QueuedPacket>,
+    /// Scratch for switch purges.
+    switch_purge_scratch: Vec<(usize, QueuedPacket)>,
+}
+
+impl FaultRuntime {
+    fn new(schedule: FaultSchedule, cfg: FaultConfig, topo: &Topology) -> Self {
+        let (comp, node_comp) = compute_components(topo, &[]);
+        Self {
+            schedule,
+            cfg,
+            next: 0,
+            down_cables: Vec::new(),
+            down_switches: Vec::new(),
+            routing_update_at: None,
+            stale_since: None,
+            comp,
+            node_comp,
+            unreachable_since: vec![None; topo.num_nodes()],
+            loss: WireLoss::default(),
+            packets_purged: 0,
+            ctrl_purged: 0,
+            packets_refused: 0,
+            events_applied: 0,
+            events_skipped: 0,
+            reroutes: 0,
+            unreachable_cycles: 0,
+            stale_cycles: 0,
+            first_fault: None,
+            last_recovery: 0,
+            purge_scratch: Vec::new(),
+            switch_purge_scratch: Vec::new(),
+        }
+    }
+
+    fn is_switch_down(&self, s: SwitchId) -> bool {
+        self.down_switches.contains(&s)
+    }
+
+    /// Mark one event applied.
+    fn applied(&mut self, now: Cycle) {
+        self.events_applied += 1;
+        if self.first_fault.is_none() {
+            self.first_fault = Some(now);
+        }
+    }
+
+    /// Arm (or re-arm) the routing recomputation: every topology change
+    /// restarts the re-routing latency, and the stale window runs from
+    /// the first unabsorbed change.
+    fn schedule_reroute(&mut self, now: Cycle) {
+        self.routing_update_at = Some(now + self.cfg.reroute_latency_cycles);
+        if self.stale_since.is_none() {
+            self.stale_since = Some(now);
+        }
+    }
+
+    /// A packet arriving at switch `sw` cannot be delivered: the switch
+    /// is down, or the destination is not in the switch's component
+    /// under the routing in force (forwarding it would follow a stale
+    /// or default route and could misdeliver).
+    fn arrival_is_undeliverable(&self, sw: SwitchId, dst: NodeId) -> bool {
+        if self.is_switch_down(sw) {
+            return true;
+        }
+        let dc = self.node_comp[dst.index()];
+        dc == u32::MAX || dc != self.comp[sw.index()]
+    }
+
+    /// Injection guard: `src` cannot currently reach `dst` under the
+    /// routing in force.
+    fn pair_unreachable(&self, src: usize, dst: NodeId) -> bool {
+        let sc = self.node_comp[src];
+        let dc = self.node_comp[dst.index()];
+        sc == u32::MAX || dc == u32::MAX || sc != dc
+    }
+
+    fn note_purged(&mut self, data: bool) {
+        if data {
+            self.packets_purged += 1;
+        } else {
+            self.ctrl_purged += 1;
+        }
+    }
+
+    fn absorb_purge(&mut self, stats: PurgeStats) {
+        self.packets_purged += stats.data_packets;
+        self.ctrl_purged += stats.ctrl_packets;
+    }
+}
+
+/// Connected components of the switch graph with `down` switches
+/// removed, plus each node's component (`u32::MAX` for switches/nodes
+/// that are down or attached to a down switch). BFS in switch-index
+/// order, so component numbering is deterministic.
+fn compute_components(topo: &Topology, down: &[SwitchId]) -> (Vec<u32>, Vec<u32>) {
+    let n = topo.num_switches();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut q: VecDeque<SwitchId> = VecDeque::new();
+    for s0 in topo.switch_ids() {
+        if comp[s0.index()] != u32::MAX || down.contains(&s0) {
+            continue;
+        }
+        comp[s0.index()] = next;
+        q.push_back(s0);
+        while let Some(s) = q.pop_front() {
+            let neighbors: Vec<SwitchId> = topo
+                .switch(s)
+                .connected()
+                .filter_map(|p| match topo.peer(s, p) {
+                    Some((Endpoint::Switch(t, _), _)) => Some(t),
+                    _ => None,
+                })
+                .collect();
+            for t in neighbors {
+                if comp[t.index()] == u32::MAX && !down.contains(&t) {
+                    comp[t.index()] = next;
+                    q.push_back(t);
+                }
+            }
+        }
+        next += 1;
+    }
+    let node_comp = topo
+        .node_ids()
+        .map(|nid| comp[topo.node_attachment(nid).0.index()])
+        .collect();
+    (comp, node_comp)
+}
+
 /// Builder for a [`Simulator`].
 #[derive(Debug, Clone)]
 pub struct SimBuilder {
@@ -118,6 +307,8 @@ pub struct SimBuilder {
     mech: Mechanism,
     pattern: Option<TrafficPattern>,
     cfg: SimConfig,
+    faults: Option<FaultSchedule>,
+    fault_cfg: FaultConfig,
 }
 
 impl SimBuilder {
@@ -131,6 +322,8 @@ impl SimBuilder {
             mech: Mechanism::ccfit(),
             pattern: None,
             cfg: SimConfig::default(),
+            faults: None,
+            fault_cfg: FaultConfig::default(),
         }
     }
 
@@ -183,6 +376,20 @@ impl SimBuilder {
         self
     }
 
+    /// Install a dynamic network-event schedule (mid-run link/switch
+    /// failures, recoveries, degradations). An empty schedule is the
+    /// same as not calling this.
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
+    /// Tune the fault subsystem (re-routing latency).
+    pub fn fault_config(mut self, cfg: FaultConfig) -> Self {
+        self.fault_cfg = cfg;
+        self
+    }
+
     /// Assemble the simulator.
     ///
     /// # Panics
@@ -196,7 +403,12 @@ impl SimBuilder {
         let routing = self
             .routing
             .unwrap_or_else(|| RoutingTable::shortest_path(&self.topo));
-        Simulator::assemble(self.topo, routing, self.mech, pattern, self.cfg)
+        let faults = self.faults.filter(|s| !s.is_empty()).map(|s| {
+            s.validate(&self.topo)
+                .expect("fault schedule references hardware the topology does not have");
+            (s, self.fault_cfg)
+        });
+        Simulator::assemble(self.topo, routing, self.mech, pattern, self.cfg, faults)
     }
 }
 
@@ -231,6 +443,15 @@ pub struct Simulator {
     delivered: u64,
     gauge_every: Cycle,
     trace: Option<crate::trace::TraceLog>,
+    /// Injection link of each node (node → switch).
+    inject_link: Vec<LinkId>,
+    /// Reception link of each node (switch → node).
+    recv_link: Vec<LinkId>,
+    /// Credit grant of a node's ideal reception sink.
+    node_sink_credits: u32,
+    /// Fault-injection runtime (`None` for fault-free runs: the hot
+    /// path then pays a single branch per tick).
+    faults: Option<FaultRuntime>,
 }
 
 impl Simulator {
@@ -240,6 +461,7 @@ impl Simulator {
         mech: Mechanism,
         pattern: TrafficPattern,
         cfg: SimConfig,
+        faults: Option<(FaultSchedule, FaultConfig)>,
     ) -> Self {
         let units = cfg.units;
         let mtu_flits = units.bytes_to_flits(cfg.mtu_bytes);
@@ -361,6 +583,15 @@ impl Simulator {
             }
         }
 
+        let inject_link: Vec<LinkId> = inject_link
+            .into_iter()
+            .map(|l| l.expect("every node has an injection link"))
+            .collect();
+        let recv_link: Vec<LinkId> = recv_link
+            .into_iter()
+            .map(|l| l.expect("every node has a reception link"))
+            .collect();
+
         // ---- VOQnet per-destination reserved credits ----
         let voqnet = match mech.queueing() {
             QueueingScheme::PerDest => {
@@ -415,7 +646,7 @@ impl Simulator {
                 Adapter::new(
                     n,
                     acfg,
-                    inject_link[n.index()].expect("every node has an injection link"),
+                    inject_link[n.index()],
                     params.bw_flits_per_cycle,
                     num_nodes,
                 )
@@ -432,10 +663,10 @@ impl Simulator {
 
         let metrics = MetricsCollector::new(units, cfg.metrics_bin_ns);
         let end = units.ns_to_cycles(cfg.duration_ns);
-        debug_assert!(recv_link.iter().all(|l| l.is_some()), "every node receives");
 
         let gauge_every = units.ns_to_cycles(cfg.metrics_bin_ns / 4.0).max(64);
         let trace = cfg.trace_sample_every.map(crate::trace::TraceLog::new);
+        let faults = faults.map(|(schedule, fcfg)| FaultRuntime::new(schedule, fcfg, &topo));
         Simulator {
             cfg,
             topo,
@@ -463,6 +694,10 @@ impl Simulator {
             delivered: 0,
             gauge_every,
             trace,
+            inject_link,
+            recv_link,
+            node_sink_credits,
+            faults,
         }
     }
 
@@ -546,6 +781,12 @@ impl Simulator {
         let now = self.now;
         let fast = !self.cfg.force_slow_path;
 
+        // Phase 0: dynamic network events (fault injection) and pending
+        // routing recomputations.
+        if self.faults.is_some() {
+            self.apply_fault_events(now);
+        }
+
         // Phase 1: scheduled RAM releases + credit returns.
         while let Some(&Reverse((at, _, rel))) = self.release_q.peek() {
             if at > now {
@@ -592,6 +833,21 @@ impl Simulator {
             match self.link_dst[li] {
                 LinkDst::SwitchIn(s, p) => {
                     for d in deliveries.drain(..) {
+                        // Fault guard: a straggler that drained off a
+                        // gracefully closed link may arrive at a dead
+                        // switch or carry a destination the routing in
+                        // force cannot deliver — consume it here rather
+                        // than forward it down a stale route.
+                        if let Some(frt) = self.faults.as_mut() {
+                            if frt.arrival_is_undeliverable(s, d.packet.dst) {
+                                frt.note_purged(d.packet.is_data());
+                                self.links[li].return_credits(d.ready_at, d.packet.size_flits);
+                                if let Some(vn) = self.voqnet.as_mut() {
+                                    vn.add(li as u32, d.packet.dst.0, d.packet.size_flits);
+                                }
+                                continue;
+                            }
+                        }
                         if let Some(tr) = &mut self.trace {
                             if d.packet.is_data() && tr.wants(d.packet.id) {
                                 tr.switch_hop(d.packet.id, s, d.visible_at);
@@ -679,7 +935,17 @@ impl Simulator {
                 let next_packet_id = &mut self.next_packet_id;
                 let injected = &mut self.injected;
                 let trace = &mut self.trace;
+                let faults = &mut self.faults;
                 let mut sink = |gp: GenPacket| {
+                    // Fault guard: a source never stalls on a currently
+                    // unreachable destination — the packet is consumed
+                    // (counted as refused) but not injected.
+                    if let Some(frt) = faults.as_mut() {
+                        if frt.pair_unreachable(n, gp.dst) {
+                            frt.packets_refused += 1;
+                            return true;
+                        }
+                    }
                     let id = PacketId(*next_packet_id);
                     if adapter.try_inject(now, gp, id) {
                         *next_packet_id += 1;
@@ -729,6 +995,11 @@ impl Simulator {
                 .gauge("network_buffered_flits", at_ns, buffered as f64);
             self.metrics
                 .gauge("cfqs_allocated", at_ns, self.cfqs_allocated() as f64);
+            if let Some(frt) = &self.faults {
+                let unreachable = frt.unreachable_since.iter().filter(|s| s.is_some()).count();
+                self.metrics
+                    .gauge("unreachable_nodes", at_ns, unreachable as f64);
+            }
         }
 
         self.now = if fast {
@@ -776,7 +1047,412 @@ impl Simulator {
                 target = target.min(at);
             }
         }
+        if let Some(frt) = &self.faults {
+            if let Some(ev) = frt.schedule.events().get(frt.next) {
+                target = target.min(ev.at);
+            }
+            if let Some(at) = frt.routing_update_at {
+                target = target.min(at);
+            }
+        }
         target.min(self.end).max(step)
+    }
+
+    /// Phase 0: apply every scheduled event due at `now`, then any
+    /// pending routing recomputation. The runtime is temporarily moved
+    /// out of `self` so event application can borrow the rest of the
+    /// simulator freely.
+    fn apply_fault_events(&mut self, now: Cycle) {
+        let mut frt = self.faults.take().expect("caller checked");
+        while let Some(ev) = frt.schedule.events().get(frt.next).copied() {
+            if ev.at > now {
+                break;
+            }
+            frt.next += 1;
+            self.apply_network_event(now, &mut frt, ev.event);
+        }
+        if frt.routing_update_at.is_some_and(|t| t <= now) {
+            frt.routing_update_at = None;
+            self.complete_reroute(now, &mut frt);
+        }
+        self.faults = Some(frt);
+    }
+
+    fn apply_network_event(&mut self, now: Cycle, frt: &mut FaultRuntime, event: NetworkEvent) {
+        match event {
+            NetworkEvent::LinkDown {
+                switch: s,
+                port: p,
+                policy,
+            } => {
+                let Some((Endpoint::Switch(os, op), _)) = self.topo.peer(s, p) else {
+                    // Already down, or a node cable (validation rejects
+                    // the latter up front, but a hand-built schedule
+                    // could still race a switch failure).
+                    frt.events_skipped += 1;
+                    return;
+                };
+                if frt.is_switch_down(s) || frt.is_switch_down(os) {
+                    frt.events_skipped += 1;
+                    return;
+                }
+                let (_, _, params) = self.topo.remove_cable(s, p).expect("peer verified");
+                self.take_cable_down(frt, s, p, os, op, policy);
+                frt.down_cables.push(DownCable {
+                    s,
+                    p,
+                    os,
+                    op,
+                    params,
+                    by_switch: false,
+                });
+                frt.schedule_reroute(now);
+                frt.applied(now);
+            }
+            NetworkEvent::LinkUp { switch: s, port: p } => {
+                let Some(i) = frt
+                    .down_cables
+                    .iter()
+                    .position(|c| (c.s, c.p) == (s, p) || (c.os, c.op) == (s, p))
+                else {
+                    frt.events_skipped += 1;
+                    return;
+                };
+                let c = frt.down_cables[i];
+                if frt.is_switch_down(c.s) || frt.is_switch_down(c.os) {
+                    // The cable comes back with the switch (`SwitchUp`).
+                    frt.events_skipped += 1;
+                    return;
+                }
+                frt.down_cables.remove(i);
+                self.topo
+                    .restore_cable(c.s, c.p, c.os, c.op, c.params)
+                    .expect("recorded from remove_cable");
+                self.restore_cable_links(frt, c);
+                frt.schedule_reroute(now);
+                frt.applied(now);
+            }
+            NetworkEvent::SwitchDown { switch: sw, policy } => {
+                if frt.is_switch_down(sw) {
+                    frt.events_skipped += 1;
+                    return;
+                }
+                let ports: Vec<PortId> = self.topo.switch(sw).connected().collect();
+                for p in ports {
+                    match self.topo.peer(sw, p) {
+                        Some((Endpoint::Switch(os, op), _)) => {
+                            let (_, _, params) =
+                                self.topo.remove_cable(sw, p).expect("peer verified");
+                            self.take_cable_down(frt, sw, p, os, op, policy);
+                            frt.down_cables.push(DownCable {
+                                s: sw,
+                                p,
+                                os,
+                                op,
+                                params,
+                                by_switch: true,
+                            });
+                        }
+                        Some((Endpoint::Node(n), _)) => {
+                            // The node's access links die with the
+                            // switch (the node itself is fine — it is
+                            // orphaned until `SwitchUp`).
+                            let inj = self.inject_link[n.index()].index();
+                            let rcv = self.recv_link[n.index()].index();
+                            match policy {
+                                FaultPolicy::FailStop => {
+                                    frt.loss.absorb(self.links[inj].fail());
+                                    frt.loss.absorb(self.links[rcv].fail());
+                                }
+                                FaultPolicy::Graceful => {
+                                    self.links[inj].close();
+                                    self.links[rcv].close();
+                                }
+                            }
+                            if frt.unreachable_since[n.index()].is_none() {
+                                frt.unreachable_since[n.index()] = Some(now);
+                            }
+                        }
+                        None => {}
+                    }
+                }
+                // The switch's buffers are lost regardless of policy —
+                // a policy only governs what happens on the wires.
+                let stats = self.switches[sw.index()].purge_all();
+                frt.absorb_purge(stats);
+                // Its scheduled RAM releases die with it (the upstream
+                // credits they would have returned are already tallied
+                // as lost by the wire cut or will be re-granted on
+                // restore from ground-truth RAM occupancy).
+                self.release_q.retain(|Reverse((_, _, rel))| {
+                    !matches!(rel, Release::SwitchPort { sw: x, .. } if *x == sw.index() as u32)
+                });
+                frt.down_switches.push(sw);
+                frt.schedule_reroute(now);
+                frt.applied(now);
+            }
+            NetworkEvent::SwitchUp { switch: sw } => {
+                let Some(i) = frt.down_switches.iter().position(|&d| d == sw) else {
+                    frt.events_skipped += 1;
+                    return;
+                };
+                frt.down_switches.remove(i);
+                // Reinstall the cables its failure took down, skipping
+                // those whose far end is still a dead switch (they come
+                // back with *that* switch) and those that had failed
+                // individually before the switch died (they need their
+                // own `LinkUp`).
+                let mut i = 0;
+                while i < frt.down_cables.len() {
+                    let c = frt.down_cables[i];
+                    let other = if c.s == sw {
+                        Some(c.os)
+                    } else if c.os == sw {
+                        Some(c.s)
+                    } else {
+                        None
+                    };
+                    match other {
+                        Some(o) if c.by_switch && !frt.is_switch_down(o) => {
+                            frt.down_cables.remove(i);
+                            self.topo
+                                .restore_cable(c.s, c.p, c.os, c.op, c.params)
+                                .expect("recorded from remove_cable");
+                            self.restore_cable_links(frt, c);
+                        }
+                        _ => i += 1,
+                    }
+                }
+                // Node access links retrain. The switch-side input RAM
+                // was purged with the switch, so the fresh grant is its
+                // full capacity; nodes stay accounted unreachable until
+                // the re-route completes.
+                let ports: Vec<PortId> = self.topo.switch(sw).connected().collect();
+                for p in ports {
+                    if let Some((Endpoint::Node(n), _)) = self.topo.peer(sw, p) {
+                        let inj = self.inject_link[n.index()];
+                        let rcv = self.recv_link[n.index()].index();
+                        let grant = self.switches[sw.index()].inputs[p.index()].ram.free();
+                        frt.loss.absorb(self.links[inj.index()].restore(grant));
+                        frt.loss
+                            .absorb(self.links[rcv].restore(self.node_sink_credits));
+                        self.reset_voqnet_credits(inj, sw, p.index());
+                    }
+                }
+                frt.schedule_reroute(now);
+                frt.applied(now);
+            }
+            NetworkEvent::LinkDegrade {
+                switch: s,
+                port: p,
+                bw_divisor,
+                extra_delay_cycles,
+            } => {
+                let Some((Endpoint::Switch(os, op), _)) = self.topo.peer(s, p) else {
+                    frt.events_skipped += 1;
+                    return;
+                };
+                let fwd = self.switches[s.index()].outputs[p.index()]
+                    .out_link
+                    .expect("cabled");
+                let rev = self.switches[os.index()].outputs[op.index()]
+                    .out_link
+                    .expect("cabled");
+                self.links[fwd.index()].degrade(bw_divisor, extra_delay_cycles);
+                self.links[rev.index()].degrade(bw_divisor, extra_delay_cycles);
+                frt.applied(now);
+            }
+            NetworkEvent::LinkRestoreRate { switch: s, port: p } => {
+                let Some((Endpoint::Switch(os, op), _)) = self.topo.peer(s, p) else {
+                    frt.events_skipped += 1;
+                    return;
+                };
+                let fwd = self.switches[s.index()].outputs[p.index()]
+                    .out_link
+                    .expect("cabled");
+                let rev = self.switches[os.index()].outputs[op.index()]
+                    .out_link
+                    .expect("cabled");
+                self.links[fwd.index()].restore_rate();
+                self.links[rev.index()].restore_rate();
+                frt.applied(now);
+                frt.last_recovery = now;
+            }
+        }
+    }
+
+    /// Cut (fail-stop) or close (graceful) both directed links of a
+    /// trunk cable and, under fail-stop, quiesce the per-cable protocol
+    /// state at both ends: the output CAMs mirroring downstream
+    /// congestion, and the CFQ alloc/Stop flags that claim upstream has
+    /// been notified — all of that state died with the wire and must
+    /// re-propagate after a repair.
+    fn take_cable_down(
+        &mut self,
+        frt: &mut FaultRuntime,
+        s: SwitchId,
+        p: PortId,
+        os: SwitchId,
+        op: PortId,
+        policy: FaultPolicy,
+    ) {
+        let fwd = self.switches[s.index()].outputs[p.index()]
+            .out_link
+            .expect("cabled");
+        let rev = self.switches[os.index()].outputs[op.index()]
+            .out_link
+            .expect("cabled");
+        match policy {
+            FaultPolicy::FailStop => {
+                frt.loss.absorb(self.links[fwd.index()].fail());
+                frt.loss.absorb(self.links[rev.index()].fail());
+                self.switches[s.index()].clear_output_cam(p.index());
+                self.switches[os.index()].clear_output_cam(op.index());
+                self.switches[s.index()].reset_upstream_ctrl_flags(p.index());
+                self.switches[os.index()].reset_upstream_ctrl_flags(op.index());
+            }
+            FaultPolicy::Graceful => {
+                self.links[fwd.index()].close();
+                self.links[rev.index()].close();
+            }
+        }
+    }
+
+    /// Retrain both directed links of a reinstalled trunk cable. The
+    /// fresh credit grant is the receiving input port's *current* free
+    /// RAM — ground truth either way: under fail-stop the credit
+    /// returns of the downtime were destroyed while the RAM kept
+    /// draining, and under graceful `Link::restore` resets the sender
+    /// pool before re-granting.
+    fn restore_cable_links(&mut self, frt: &mut FaultRuntime, c: DownCable) {
+        let fwd = self.switches[c.s.index()].outputs[c.p.index()]
+            .out_link
+            .expect("cabled");
+        let rev = self.switches[c.os.index()].outputs[c.op.index()]
+            .out_link
+            .expect("cabled");
+        let fwd_grant = self.switches[c.os.index()].inputs[c.op.index()].ram.free();
+        let rev_grant = self.switches[c.s.index()].inputs[c.p.index()].ram.free();
+        frt.loss.absorb(self.links[fwd.index()].restore(fwd_grant));
+        frt.loss.absorb(self.links[rev.index()].restore(rev_grant));
+        self.reset_voqnet_credits(fwd, c.os, c.op.index());
+        self.reset_voqnet_credits(rev, c.s, c.p.index());
+    }
+
+    /// VOQnet retrains its per-destination reserved credits alongside
+    /// the link-level grant: each destination's remote credit is its
+    /// queue reservation minus what is still buffered at the receiver.
+    fn reset_voqnet_credits(&mut self, link: LinkId, sw: SwitchId, port: usize) {
+        let Some(vn) = self.voqnet.as_mut() else {
+            return;
+        };
+        let per_q = match self.mech {
+            Mechanism::VoqNet { per_queue_flits } => per_queue_flits,
+            _ => return,
+        };
+        for d in 0..self.num_nodes {
+            let held = self.switches[sw.index()].per_dest_occupancy_flits(port, d);
+            vn.set(link.0, d as u32, per_q.saturating_sub(held));
+        }
+    }
+
+    /// The re-routing latency elapsed: recompute routing tables for the
+    /// surviving topology, refresh the reachability snapshot, purge
+    /// every buffered packet the new tables cannot deliver, and settle
+    /// the availability accounting.
+    fn complete_reroute(&mut self, now: Cycle, frt: &mut FaultRuntime) {
+        self.routing = RoutingTable::shortest_path(&self.topo);
+        // BECN transit times follow the new paths.
+        self.becn_delay_cache.fill(Cycle::MAX);
+        let (comp, node_comp) = compute_components(&self.topo, &frt.down_switches);
+        frt.comp = comp;
+        frt.node_comp = node_comp;
+        for n in 0..self.num_nodes {
+            if frt.node_comp[n] != u32::MAX {
+                if let Some(t0) = frt.unreachable_since[n].take() {
+                    frt.unreachable_cycles += now - t0;
+                }
+            } else if frt.unreachable_since[n].is_none() {
+                frt.unreachable_since[n] = Some(now);
+            }
+        }
+        self.purge_unreachable_everywhere(now, frt);
+        for si in 0..self.switches.len() {
+            if !frt.is_switch_down(SwitchId(si as u32)) {
+                self.switches[si].on_routing_changed(&self.routing);
+            }
+        }
+        if let Some(t0) = frt.stale_since.take() {
+            frt.stale_cycles += now - t0;
+        }
+        frt.reroutes += 1;
+        frt.last_recovery = now;
+    }
+
+    /// Drop every buffered packet (switch queues and adapter queues)
+    /// whose destination the routing now in force cannot deliver,
+    /// freeing RAM and returning upstream credits exactly as a normal
+    /// departure would.
+    fn purge_unreachable_everywhere(&mut self, now: Cycle, frt: &mut FaultRuntime) {
+        let mut purged = std::mem::take(&mut frt.switch_purge_scratch);
+        for si in 0..self.switches.len() {
+            if frt.is_switch_down(SwitchId(si as u32)) {
+                continue;
+            }
+            let swc = frt.comp[si];
+            let node_comp = &frt.node_comp;
+            purged.clear();
+            self.switches[si].purge_unreachable(
+                &|d: NodeId| {
+                    let dc = node_comp[d.index()];
+                    dc == u32::MAX || dc != swc
+                },
+                &mut purged,
+            );
+            for (port, e) in purged.drain(..) {
+                frt.note_purged(e.packet.is_data());
+                if let Some(link) = self.switches[si].inputs[port].in_link {
+                    self.links[link.index()].return_credits(now, e.packet.size_flits);
+                    if let Some(vn) = self.voqnet.as_mut() {
+                        vn.add(link.0, e.packet.dst.0, e.packet.size_flits);
+                    }
+                }
+            }
+        }
+        frt.switch_purge_scratch = purged;
+        let mut scratch = std::mem::take(&mut frt.purge_scratch);
+        for n in 0..self.num_nodes {
+            let sc = frt.node_comp[n];
+            let node_comp = &frt.node_comp;
+            // An orphaned source keeps its buffered packets — they can
+            // flow again once its switch recovers — except those for
+            // destinations that are themselves orphaned.
+            let stats = self.adapters[n].purge_unreachable(
+                &|d: NodeId| {
+                    let dc = node_comp[d.index()];
+                    dc == u32::MAX || (sc != u32::MAX && dc != sc)
+                },
+                &mut scratch,
+            );
+            frt.absorb_purge(stats);
+        }
+        frt.purge_scratch = scratch;
+    }
+
+    /// Nodes the fault runtime currently counts as unreachable (empty
+    /// for fault-free runs).
+    pub fn unreachable_nodes(&self) -> Vec<NodeId> {
+        self.faults
+            .as_ref()
+            .map(|frt| {
+                frt.unreachable_since
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_some())
+                    .map(|(n, _)| NodeId(n as u32))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     fn deliver_to_node(&mut self, node: NodeId, link_idx: usize, d: ccfit_engine::link::Delivery) {
@@ -871,6 +1547,34 @@ impl Simulator {
         let mut m = self.metrics;
         m.count("injected_packets", self.injected);
         m.count("delivered_packets_total", self.delivered);
+        if let Some(mut frt) = self.faults {
+            // Close the availability windows still open at the end of
+            // the run.
+            for s in frt.unreachable_since.iter_mut() {
+                if let Some(t0) = s.take() {
+                    frt.unreachable_cycles += self.now - t0;
+                }
+            }
+            if let Some(t0) = frt.stale_since.take() {
+                frt.stale_cycles += self.now - t0;
+            }
+            let u = &self.cfg.units;
+            m.set_faults(FaultSummary {
+                events_applied: frt.events_applied,
+                events_skipped: frt.events_skipped,
+                packets_lost_wire: frt.loss.data_packets,
+                flits_lost_wire: frt.loss.data_flits,
+                packets_purged: frt.packets_purged,
+                packets_refused: frt.packets_refused,
+                ctrl_lost: frt.loss.ctrl_packets + frt.loss.ctrl_events + frt.ctrl_purged,
+                credits_lost: frt.loss.credit_flits,
+                node_unreachable_ns: u.cycles_to_ns(frt.unreachable_cycles),
+                stale_route_ns: u.cycles_to_ns(frt.stale_cycles),
+                reroutes: frt.reroutes,
+                first_fault_ns: frt.first_fault.map(|c| u.cycles_to_ns(c)).unwrap_or(0.0),
+                last_recovery_ns: u.cycles_to_ns(frt.last_recovery),
+            });
+        }
         m.finish(
             format!("{}/{}", self.mech.name(), self.pattern.name),
             simulated_ns,
@@ -986,6 +1690,171 @@ mod tests {
         let dump = sim.debug_state();
         assert!(dump.contains("SwitchId0"));
         assert!(dump.contains("SwitchId1"));
+    }
+
+    /// First switch-to-switch cable of the topology (fault targets).
+    fn first_trunk_cable(topo: &Topology) -> (SwitchId, PortId) {
+        for s in topo.switch_ids() {
+            for p in topo.switch(s).connected() {
+                if let Some((Endpoint::Switch(..), _)) = topo.peer(s, p) {
+                    return (s, p);
+                }
+            }
+        }
+        panic!("topology has no trunk cable");
+    }
+
+    fn tree_sim(schedule: FaultSchedule, mech: Mechanism, slow: bool) -> Simulator {
+        use ccfit_topology::KAryNTree;
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        let mut cfg = SimConfig {
+            duration_ns: 400_000.0,
+            metrics_bin_ns: 20_000.0,
+            ..SimConfig::default()
+        };
+        cfg.force_slow_path = slow;
+        SimBuilder::new(topo)
+            .routing(tree.det_routing())
+            .mechanism(mech)
+            .traffic(TrafficPattern::new(
+                "faulty",
+                vec![
+                    FlowSpec::hotspot(0, NodeId(0), NodeId(7), 0.0, None),
+                    FlowSpec::hotspot(1, NodeId(3), NodeId(5), 0.0, None),
+                ],
+            ))
+            .config(cfg)
+            .seed(11)
+            .faults(schedule)
+            .build()
+    }
+
+    #[test]
+    fn fail_stop_trunk_failure_reroutes_and_conserves() {
+        use ccfit_topology::KAryNTree;
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        let (s, p) = first_trunk_cable(&topo);
+        let mut sched = FaultSchedule::new();
+        sched.link_down(2000, s, p, FaultPolicy::FailStop);
+        let mut sim = tree_sim(sched, Mechanism::ccfit(), false);
+        sim.run_cycles(5000);
+        let delivered_early = sim.delivered();
+        sim.run_cycles(sim.end_cycle() - sim.now());
+        let injected = sim.injected();
+        let delivered = sim.delivered();
+        let resident = sim.resident_packets() as u64;
+        assert!(
+            delivered > delivered_early,
+            "delivery must continue after the re-route"
+        );
+        let report = sim.finish();
+        let f = report.faults.as_ref().expect("fault summary attached");
+        assert_eq!(f.events_applied, 1);
+        assert_eq!(f.events_skipped, 0);
+        assert_eq!(f.reroutes, 1);
+        assert!(f.stale_route_ns > 0.0, "re-route latency was modelled");
+        assert_eq!(
+            injected,
+            delivered + resident + f.packets_lost(),
+            "every injected packet is delivered, buffered, or accounted lost"
+        );
+    }
+
+    #[test]
+    fn switch_down_orphans_nodes_then_recovers() {
+        use ccfit_topology::KAryNTree;
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        let leaf = topo.node_attachment(NodeId(7)).0;
+        let mut sched = FaultSchedule::new();
+        sched.switch_down(2000, leaf, FaultPolicy::Graceful);
+        sched.switch_up(8000, leaf);
+        let mut sim = tree_sim(sched, Mechanism::ccfit(), false);
+        sim.run_cycles(4000);
+        assert!(
+            sim.unreachable_nodes().contains(&NodeId(7)),
+            "node 7 is orphaned while its switch is down"
+        );
+        sim.run_cycles(sim.end_cycle() - sim.now());
+        assert!(sim.unreachable_nodes().is_empty(), "recovery completed");
+        let injected = sim.injected();
+        let delivered = sim.delivered();
+        let resident = sim.resident_packets() as u64;
+        let report = sim.finish();
+        let f = report.faults.as_ref().expect("fault summary attached");
+        assert_eq!(f.events_applied, 2);
+        assert_eq!(f.reroutes, 2, "one re-route per topology change");
+        assert!(f.node_unreachable_ns > 0.0);
+        assert!(
+            f.packets_refused > 0,
+            "sources refuse injection toward the orphaned node"
+        );
+        assert_eq!(injected, delivered + resident + f.packets_lost());
+        assert!(
+            report.gauges.contains_key("unreachable_nodes"),
+            "availability gauge sampled"
+        );
+    }
+
+    #[test]
+    fn degrade_applies_and_bogus_link_up_is_skipped() {
+        use ccfit_topology::KAryNTree;
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        let (s, p) = first_trunk_cable(&topo);
+        let mut sched = FaultSchedule::new();
+        sched
+            .degrade(500, s, p, 4, 10)
+            .restore_rate(3000, s, p)
+            .link_up(4000, s, p); // never went down -> skipped
+        let report = tree_sim(sched, Mechanism::ccfit(), false).run();
+        let f = report.faults.as_ref().expect("fault summary attached");
+        assert_eq!(f.events_applied, 2);
+        assert_eq!(f.events_skipped, 1);
+        assert_eq!(f.reroutes, 0, "degradation does not change topology");
+        assert_eq!(f.packets_lost(), 0, "degradation loses nothing");
+        assert!(report.delivered_packets > 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_across_fast_and_slow_paths() {
+        use ccfit_topology::KAryNTree;
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        let (s, p) = first_trunk_cable(&topo);
+        let make = || {
+            let mut sched = FaultSchedule::new();
+            sched
+                .link_down(1500, s, p, FaultPolicy::FailStop)
+                .link_up(6000, s, p);
+            sched
+        };
+        let fast = tree_sim(make(), Mechanism::ccfit(), false).run();
+        let slow = tree_sim(make(), Mechanism::ccfit(), true).run();
+        assert_eq!(fast, slow, "fault handling must not break determinism");
+    }
+
+    #[test]
+    fn voqnet_survives_link_failure_and_repair() {
+        use ccfit_topology::KAryNTree;
+        let tree = KAryNTree::new(2, 3);
+        let topo = tree.build(LinkParams::default());
+        let (s, p) = first_trunk_cable(&topo);
+        let mut sched = FaultSchedule::new();
+        sched
+            .link_down(2000, s, p, FaultPolicy::FailStop)
+            .link_up(7000, s, p);
+        let mut sim = tree_sim(sched, Mechanism::voqnet(), false);
+        sim.run_cycles(sim.end_cycle());
+        let injected = sim.injected();
+        let delivered = sim.delivered();
+        let resident = sim.resident_packets() as u64;
+        let report = sim.finish();
+        let f = report.faults.as_ref().expect("fault summary attached");
+        assert_eq!(f.events_applied, 2);
+        assert_eq!(injected, delivered + resident + f.packets_lost());
     }
 
     #[test]

@@ -167,6 +167,26 @@ pub struct PendingRelease {
     pub dst: NodeId,
 }
 
+/// Packets destroyed by a fault purge (see DESIGN.md §8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PurgeStats {
+    /// Data packets destroyed.
+    pub data_packets: u64,
+    /// Control (BECN) packets destroyed.
+    pub ctrl_packets: u64,
+}
+
+impl PurgeStats {
+    /// Tally one purged packet.
+    pub fn note(&mut self, data: bool) {
+        if data {
+            self.data_packets += 1;
+        } else {
+            self.ctrl_packets += 1;
+        }
+    }
+}
+
 /// Per-link, per-destination reserved-buffer credits (VOQnet only; see
 /// DESIGN.md §3).
 ///
@@ -1048,6 +1068,159 @@ impl Switch {
         self.inputs[port].ram.release(flits);
     }
 
+    /// Fault subsystem: the whole switch failed. Wipe every queue, RAM
+    /// and congestion state — its buffers are gone regardless of the
+    /// fault policy (a policy only governs what happens on the wires).
+    /// Returns what was destroyed.
+    pub fn purge_all(&mut self) -> PurgeStats {
+        let mut stats = PurgeStats::default();
+        let mut drained: Vec<QueuedPacket> = Vec::new();
+        for inp in &mut self.inputs {
+            match &mut inp.queues {
+                InputQueues::Single(q) => q.drain_all_into(&mut drained),
+                InputQueues::PerOutput(qs) | InputQueues::PerDest(qs) | InputQueues::DstMod(qs) => {
+                    for q in qs {
+                        q.drain_all_into(&mut drained);
+                    }
+                }
+                InputQueues::Isolating { nfq, cfqs } => {
+                    nfq.drain_all_into(&mut drained);
+                    for c in cfqs {
+                        c.queue.drain_all_into(&mut drained);
+                        c.state = None;
+                    }
+                }
+            }
+            inp.ram = PortRam::new(inp.ram.capacity());
+            inp.busy_until = 0;
+        }
+        for e in &drained {
+            stats.note(e.packet.is_data());
+        }
+        for out in &mut self.outputs {
+            out.cam.clear();
+            out.congested = false;
+            out.over_high_count = 0;
+        }
+        self.buffered = 0;
+        self.cfq_count = 0;
+        self.congested_count = 0;
+        stats
+    }
+
+    /// Fault subsystem: drop every buffered packet whose destination
+    /// satisfies `unreachable`, appending `(input_port, entry)` pairs to
+    /// `out` so the caller can return the upstream credits (the simulator
+    /// owns the links). Port RAM is freed here.
+    pub fn purge_unreachable(
+        &mut self,
+        unreachable: &dyn Fn(NodeId) -> bool,
+        out: &mut Vec<(usize, QueuedPacket)>,
+    ) {
+        let mut scratch: Vec<QueuedPacket> = Vec::new();
+        for port in 0..self.inputs.len() {
+            scratch.clear();
+            {
+                let inp = &mut self.inputs[port];
+                match &mut inp.queues {
+                    InputQueues::Single(q) => {
+                        q.drain_where_into(|e| unreachable(e.packet.dst), &mut scratch)
+                    }
+                    InputQueues::PerOutput(qs)
+                    | InputQueues::PerDest(qs)
+                    | InputQueues::DstMod(qs) => {
+                        for q in qs {
+                            q.drain_where_into(|e| unreachable(e.packet.dst), &mut scratch);
+                        }
+                    }
+                    InputQueues::Isolating { nfq, cfqs } => {
+                        nfq.drain_where_into(|e| unreachable(e.packet.dst), &mut scratch);
+                        for c in cfqs {
+                            c.queue
+                                .drain_where_into(|e| unreachable(e.packet.dst), &mut scratch);
+                        }
+                    }
+                }
+                for e in &scratch {
+                    inp.ram.release(e.packet.size_flits);
+                }
+            }
+            self.buffered -= scratch.len();
+            for e in scratch.drain(..) {
+                out.push((port, e));
+            }
+        }
+    }
+
+    /// Fault subsystem: forget the downstream congestion state mirrored
+    /// at output `port` — it died with the cable (fail-stop quiesce).
+    pub fn clear_output_cam(&mut self, port: usize) {
+        self.outputs[port].cam.clear();
+    }
+
+    /// Fault subsystem: forget that alloc/Stop notifications were sent
+    /// upstream from input `port`'s CFQs — the upstream end of the cable
+    /// lost that state, so the protocol must re-propagate it after a
+    /// repair (fail-stop quiesce).
+    pub fn reset_upstream_ctrl_flags(&mut self, port: usize) {
+        if let InputQueues::Isolating { cfqs, .. } = &mut self.inputs[port].queues {
+            for c in cfqs {
+                if let Some(st) = &mut c.state {
+                    st.alloc_sent = false;
+                    st.stop_sent = false;
+                }
+            }
+        }
+    }
+
+    /// Occupancy (flits) of the VOQnet per-destination queue `dst` at
+    /// input `port` (0 for other queue schemes). Used to re-derive
+    /// remote per-destination credits when a cable is repaired.
+    pub fn per_dest_occupancy_flits(&self, port: usize, dst: usize) -> u32 {
+        match &self.inputs[port].queues {
+            InputQueues::PerDest(qs) => qs[dst].occupancy_flits(),
+            _ => 0,
+        }
+    }
+
+    /// Routing tables changed (live re-route): re-bin VOQsw queues — a
+    /// packet's queue is its *output port*, chosen at acceptance — and
+    /// re-point allocated CFQs at their destination's new output,
+    /// migrating the over-High accounting with them. Queue contents are
+    /// re-binned in input-port, then queue, order, preserving FIFO order
+    /// within each source queue, so the result is deterministic.
+    pub fn on_routing_changed(&mut self, routing: &RoutingTable) {
+        let mut rebin: Vec<QueuedPacket> = Vec::new();
+        for port in 0..self.inputs.len() {
+            match &mut self.inputs[port].queues {
+                InputQueues::PerOutput(qs) => {
+                    rebin.clear();
+                    for q in qs.iter_mut() {
+                        q.drain_all_into(&mut rebin);
+                    }
+                    for e in rebin.drain(..) {
+                        let o = routing.route(self.id, e.packet.dst).index();
+                        qs[o].push(e.packet, e.visible_at, e.ready_at);
+                    }
+                }
+                InputQueues::Isolating { cfqs, .. } => {
+                    for c in cfqs.iter_mut() {
+                        let Some(st) = &mut c.state else { continue };
+                        let new_out = routing.route(self.id, st.dst).index();
+                        if new_out != st.out_port {
+                            if st.over_high {
+                                self.outputs[st.out_port].over_high_count -= 1;
+                                self.outputs[new_out].over_high_count += 1;
+                            }
+                            st.out_port = new_out;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Whether any packet is buffered in this switch (O(1); incremental
     /// mirror of `resident_packets()`). Gates the arbitration phase in
     /// the active-set scheduler.
@@ -1263,6 +1436,18 @@ mod tests {
         );
     }
 
+    fn drain(l: &mut Link, now: Cycle) -> Vec<Delivery> {
+        let mut v = Vec::new();
+        l.deliver_into(now, &mut v);
+        v
+    }
+
+    fn drain_ctrl(l: &mut Link, now: Cycle) -> Vec<CtrlEvent> {
+        let mut v = Vec::new();
+        l.poll_ctrl_into(now, &mut v);
+        v
+    }
+
     fn default_thr(source: MarkingSource) -> SwitchThrottle {
         let t = ThrottleParams::default();
         SwitchThrottle {
@@ -1307,8 +1492,8 @@ mod tests {
             fx.sw
                 .arbitrate_and_transmit(done, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         assert_eq!(rel2.len(), 1);
-        let d1 = fx.links[1].deliver(1000);
-        let d2 = fx.links[2].deliver(1000);
+        let d1 = drain(&mut fx.links[1], 1000);
+        let d2 = drain(&mut fx.links[2], 1000);
         assert_eq!(d1.len(), 1);
         assert_eq!(d2.len(), 1);
         assert_eq!(d1[0].packet.dst, NodeId(2));
@@ -1446,7 +1631,7 @@ mod tests {
         }
         assert_eq!(fx.metrics.counter("stops_sent"), 1);
         // The upstream side of link 0 sees CfqAlloc then Stop.
-        let evs = fx.links[0].poll_ctrl(100);
+        let evs = drain_ctrl(&mut fx.links[0], 100);
         assert!(evs.contains(&CtrlEvent::CfqAlloc { dst: NodeId(6) }));
         assert!(evs.contains(&CtrlEvent::Stop { dst: NodeId(6) }));
         // Drain the CFQ via arbitration; Go must follow.
@@ -1467,7 +1652,7 @@ mod tests {
                 .isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
         }
         assert_eq!(fx.metrics.counter("gos_sent"), 1);
-        let evs = fx.links[0].poll_ctrl(10_000);
+        let evs = drain_ctrl(&mut fx.links[0], 10_000);
         assert!(evs.contains(&CtrlEvent::Go { dst: NodeId(6) }));
     }
 
@@ -1593,7 +1778,7 @@ mod tests {
                 .arbitrate_and_transmit(32, &fx.routing, &mut fx.links, None, &mut fx.metrics);
         assert_eq!(rel.len(), 1);
         assert_eq!(fx.metrics.counter("fecn_marked"), 1);
-        let delivered = fx.links[2].deliver(10_000);
+        let delivered = drain(&mut fx.links[2], 10_000);
         assert!(delivered.last().unwrap().packet.fecn);
     }
 
@@ -1653,7 +1838,7 @@ mod tests {
             deliver(&mut fx2, now, pkt(next_id, 6));
             next_id += 1;
             now += 32;
-            for d in fx2.links[2].deliver(now) {
+            for d in drain(&mut fx2.links[2], now) {
                 fx2.links[2].return_credits(now, d.packet.size_flits);
             }
         }
@@ -1698,7 +1883,7 @@ mod tests {
         assert_eq!(fx.sw.cfqs_allocated(), 0);
         assert_eq!(fx.metrics.counter("cfq_deallocated"), 1);
         // Upstream got the CfqDealloc (after the earlier CfqAlloc).
-        let evs = fx.links[0].poll_ctrl(1 << 30);
+        let evs = drain_ctrl(&mut fx.links[0], 1 << 30);
         assert!(evs.contains(&CtrlEvent::CfqDealloc { dst: NodeId(6) }));
     }
 

@@ -101,6 +101,16 @@ impl<K: Eq + Copy, V> Cam<K, V> {
         self.lines.get_mut(idx).and_then(|l| l.as_mut())
     }
 
+    /// Free every line at once. Used when a fail-stop fault quiesces a
+    /// port: the CAM's lines describe congestion state of a cable that
+    /// no longer exists, so all of it is discarded and rebuilt from
+    /// live traffic after recovery.
+    pub fn clear(&mut self) {
+        for line in &mut self.lines {
+            *line = None;
+        }
+    }
+
     /// Iterate over `(index, line)` pairs for occupied lines.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &CamLine<K, V>)> {
         self.lines
@@ -180,6 +190,18 @@ mod tests {
         let idx = cam.allocate(9, false).unwrap();
         cam.get_mut(idx).unwrap().value = true;
         assert!(cam.get(idx).unwrap().value);
+    }
+
+    #[test]
+    fn clear_frees_every_line() {
+        let mut cam: Cam<u32, u32> = Cam::new(3);
+        cam.allocate(1, 10).unwrap();
+        cam.allocate(2, 20).unwrap();
+        cam.clear();
+        assert_eq!(cam.occupied(), 0);
+        assert_eq!(cam.lookup(1), None);
+        cam.allocate(3, 30).unwrap();
+        assert_eq!(cam.occupied(), 1);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod units;
 pub use cam::{Cam, CamLine};
 pub use error::EngineError;
 pub use ids::{FlowId, LinkId, NodeId, PacketId, PortId, SwitchId};
-pub use link::{CtrlEvent, Link, LinkConfig};
+pub use link::{CtrlEvent, Link, LinkConfig, WireLoss};
 pub use packet::{Packet, PacketKind};
 pub use queue::PacketQueue;
 pub use ram::PortRam;

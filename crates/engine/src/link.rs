@@ -89,18 +89,57 @@ struct InFlight {
 /// One direction of a cable, with its reverse bookkeeping channel.
 #[derive(Debug, Clone)]
 pub struct Link {
+    /// Effective parameters (may differ from `base` while degraded).
     cfg: LinkConfig,
+    /// Nominal parameters the cable was built with.
+    base: LinkConfig,
     /// Credits (in flits) the sender currently holds against the
     /// receiver's input RAM.
     credits: u32,
     /// Cycle at which the transmitter finishes serializing the current
     /// packet and can accept another.
     tx_free_at: Cycle,
+    /// The forward channel accepts new sends. Cleared by both
+    /// [`Link::fail`] and [`Link::close`].
+    up: bool,
+    /// The reverse channel (credit returns + control events) still
+    /// works. Cleared only by fail-stop ([`Link::fail`]); a gracefully
+    /// closed link keeps draining its bookkeeping.
+    reverse_open: bool,
     in_flight: VecDeque<InFlight>,
     /// Reverse channel: credit returns (arrival cycle, flits).
     credit_returns: VecDeque<(Cycle, u32)>,
     /// Reverse channel: congestion-information events.
     ctrl_in_flight: VecDeque<(Cycle, CtrlEvent)>,
+}
+
+/// What a fail-stop ([`Link::fail`]) or a restore ([`Link::restore`])
+/// destroyed: everything that was travelling on the wire at that
+/// instant. The fault-injection subsystem turns this into loss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireLoss {
+    /// Data packets dropped from the forward channel.
+    pub data_packets: u64,
+    /// Flits of those data packets.
+    pub data_flits: u64,
+    /// Non-data (control notification) packets dropped from the forward
+    /// channel.
+    pub ctrl_packets: u64,
+    /// Control events dropped from the reverse channel.
+    pub ctrl_events: u64,
+    /// Credit flits dropped from the reverse channel.
+    pub credit_flits: u64,
+}
+
+impl WireLoss {
+    /// Merge another loss tally into this one.
+    pub fn absorb(&mut self, other: WireLoss) {
+        self.data_packets += other.data_packets;
+        self.data_flits += other.data_flits;
+        self.ctrl_packets += other.ctrl_packets;
+        self.ctrl_events += other.ctrl_events;
+        self.credit_flits += other.credit_flits;
+    }
 }
 
 /// A packet delivered to the receiver, with its cut-through timing.
@@ -124,12 +163,85 @@ impl Link {
         );
         Self {
             cfg,
+            base: cfg,
             credits: initial_credits,
             tx_free_at: 0,
+            up: true,
+            reverse_open: true,
             in_flight: VecDeque::new(),
             credit_returns: VecDeque::new(),
             ctrl_in_flight: VecDeque::new(),
         }
+    }
+
+    /// Whether the forward channel accepts new sends.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Drop everything on the wire, tallying the loss.
+    fn purge(&mut self) -> WireLoss {
+        let mut loss = WireLoss::default();
+        for f in self.in_flight.drain(..) {
+            if f.packet.is_data() {
+                loss.data_packets += 1;
+                loss.data_flits += f.packet.size_flits as u64;
+            } else {
+                loss.ctrl_packets += 1;
+            }
+        }
+        loss.ctrl_events = self.ctrl_in_flight.len() as u64;
+        self.ctrl_in_flight.clear();
+        loss.credit_flits = self.credit_returns.iter().map(|&(_, f)| f as u64).sum();
+        self.credit_returns.clear();
+        loss
+    }
+
+    /// Fail-stop: the cable is cut. Everything in flight — data, credit
+    /// returns, control events — is destroyed and tallied; the sender's
+    /// remaining credits are zeroed (the receiver RAM they referenced is
+    /// on the other side of the cut). Both channels stop working until
+    /// [`Link::restore`].
+    pub fn fail(&mut self) -> WireLoss {
+        self.up = false;
+        self.reverse_open = false;
+        self.credits = 0;
+        self.purge()
+    }
+
+    /// Graceful shutdown: the forward channel stops accepting new sends
+    /// but everything already travelling (data, credits, control) drains
+    /// normally. Use for planned link deactivation.
+    pub fn close(&mut self) {
+        self.up = false;
+    }
+
+    /// Bring a downed link back up with a fresh credit grant (the
+    /// endpoints re-synchronize flow control on link training). Any
+    /// residue still on the wire — possible when a gracefully closed
+    /// link is restored before it finished draining — is destroyed and
+    /// tallied, exactly like a fail-stop would have destroyed it.
+    pub fn restore(&mut self, credits: u32) -> WireLoss {
+        let loss = self.purge();
+        self.up = true;
+        self.reverse_open = true;
+        self.credits = credits;
+        loss
+    }
+
+    /// Degrade the link: divide the bandwidth by `bw_divisor` (floored at
+    /// 1 flit/cycle) and add `extra_delay_cycles` of propagation delay.
+    /// Only affects packets sent from now on.
+    pub fn degrade(&mut self, bw_divisor: u32, extra_delay_cycles: Cycle) {
+        self.cfg = LinkConfig {
+            bw_flits_per_cycle: (self.base.bw_flits_per_cycle / bw_divisor.max(1)).max(1),
+            delay_cycles: self.base.delay_cycles + extra_delay_cycles,
+        };
+    }
+
+    /// Restore the nominal link parameters after a degradation.
+    pub fn restore_rate(&mut self) {
+        self.cfg = self.base;
     }
 
     /// Static parameters.
@@ -153,10 +265,10 @@ impl Link {
     }
 
     /// Whether a packet of `size_flits` can start transmission at `now`
-    /// (transmitter idle *and* enough credits for the whole packet —
-    /// virtual cut-through buffer reservation).
+    /// (link up, transmitter idle *and* enough credits for the whole
+    /// packet — virtual cut-through buffer reservation).
     pub fn can_send(&self, now: Cycle, size_flits: u32) -> bool {
-        self.tx_idle(now) && self.credits >= size_flits
+        self.up && self.tx_idle(now) && self.credits >= size_flits
     }
 
     /// Start transmitting `packet` at `now`. Consumes credits for the
@@ -167,6 +279,7 @@ impl Link {
     /// Panics if called while `can_send` is false — the arbiter must
     /// check eligibility first.
     pub fn send(&mut self, now: Cycle, packet: Packet) -> Cycle {
+        assert!(self.up, "sending on a downed link");
         assert!(self.tx_idle(now), "link transmitter busy");
         assert!(
             self.credits >= packet.size_flits,
@@ -193,16 +306,8 @@ impl Link {
         self.in_flight.front().is_some_and(|f| f.header_at <= now)
     }
 
-    /// Pop every packet whose header has arrived by `now`. In-order
-    /// delivery is guaranteed because sends are serialized.
-    pub fn deliver(&mut self, now: Cycle) -> Vec<Delivery> {
-        let mut out = Vec::new();
-        self.deliver_into(now, &mut out);
-        out
-    }
-
-    /// Allocation-free `deliver`: append arrived packets to `out` instead
-    /// of returning a fresh `Vec`.
+    /// Pop every packet whose header has arrived by `now` into `out`.
+    /// In-order delivery is guaranteed because sends are serialized.
     pub fn deliver_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
         while let Some(front) = self.in_flight.front() {
             if front.header_at <= now {
@@ -219,9 +324,11 @@ impl Link {
     }
 
     /// Receiver-side: return `flits` credits to the sender; they arrive
-    /// after the propagation delay.
+    /// after the propagation delay. Silently discarded while the reverse
+    /// channel is cut by a fail-stop (the sender re-synchronizes its
+    /// credit state on [`Link::restore`]).
     pub fn return_credits(&mut self, now: Cycle, flits: u32) {
-        if flits > 0 {
+        if flits > 0 && self.reverse_open {
             self.credit_returns
                 .push_back((now + self.cfg.delay_cycles, flits));
         }
@@ -243,16 +350,14 @@ impl Link {
     }
 
     /// Receiver-side: send a congestion-information event upstream.
+    /// Silently discarded while the reverse channel is cut by a
+    /// fail-stop (the isolation state on the dead cable is quiesced by
+    /// the fault subsystem instead).
     pub fn send_ctrl(&mut self, now: Cycle, ev: CtrlEvent) {
-        self.ctrl_in_flight
-            .push_back((now + self.cfg.delay_cycles, ev));
-    }
-
-    /// Sender-side: pop control events that have arrived by `now`.
-    pub fn poll_ctrl(&mut self, now: Cycle) -> Vec<CtrlEvent> {
-        let mut out = Vec::new();
-        self.poll_ctrl_into(now, &mut out);
-        out
+        if self.reverse_open {
+            self.ctrl_in_flight
+                .push_back((now + self.cfg.delay_cycles, ev));
+        }
     }
 
     /// Whether a control event has arrived by `now` (events are
@@ -264,7 +369,8 @@ impl Link {
             .is_some_and(|&(at, _)| at <= now)
     }
 
-    /// Allocation-free `poll_ctrl`: append arrived events to `out`.
+    /// Sender-side: pop control events that have arrived by `now` into
+    /// `out`.
     pub fn poll_ctrl_into(&mut self, now: Cycle, out: &mut Vec<CtrlEvent>) {
         while let Some(&(at, ev)) = self.ctrl_in_flight.front() {
             if at <= now {
@@ -345,6 +451,18 @@ mod tests {
         )
     }
 
+    fn deliver(l: &mut Link, now: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        l.deliver_into(now, &mut out);
+        out
+    }
+
+    fn poll_ctrl(l: &mut Link, now: Cycle) -> Vec<CtrlEvent> {
+        let mut out = Vec::new();
+        l.poll_ctrl_into(now, &mut out);
+        out
+    }
+
     #[test]
     fn send_consumes_credits_and_occupies_tx() {
         let mut l = link(1, 2, 64);
@@ -360,8 +478,8 @@ mod tests {
     fn delivery_timing_honors_delay_and_serialization() {
         let mut l = link(1, 3, 64);
         l.send(10, pkt(1, 32));
-        assert!(l.deliver(13).is_empty(), "header arrives at 10+3+1");
-        let d = l.deliver(14);
+        assert!(deliver(&mut l, 13).is_empty(), "header arrives at 10+3+1");
+        let d = deliver(&mut l, 14);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].visible_at, 14);
         assert_eq!(d[0].ready_at, 10 + 3 + 32);
@@ -372,7 +490,7 @@ mod tests {
         let mut l = link(2, 0, 64);
         let free_at = l.send(0, pkt(1, 32));
         assert_eq!(free_at, 16);
-        let d = l.deliver(1);
+        let d = deliver(&mut l, 1);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].ready_at, 16);
     }
@@ -383,7 +501,7 @@ mod tests {
         l.send(0, pkt(1, 4));
         l.poll_credits(4);
         l.send(4, pkt(2, 4));
-        let d = l.deliver(100);
+        let d = deliver(&mut l, 100);
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].packet.id, PacketId(1));
         assert_eq!(d[1].packet.id, PacketId(2));
@@ -420,10 +538,10 @@ mod tests {
         let mut l = link(1, 4, 0);
         l.send_ctrl(0, CtrlEvent::CfqAlloc { dst: NodeId(9) });
         l.send_ctrl(1, CtrlEvent::Stop { dst: NodeId(9) });
-        assert!(l.poll_ctrl(3).is_empty());
-        let evs = l.poll_ctrl(4);
+        assert!(poll_ctrl(&mut l, 3).is_empty());
+        let evs = poll_ctrl(&mut l, 4);
         assert_eq!(evs, vec![CtrlEvent::CfqAlloc { dst: NodeId(9) }]);
-        let evs = l.poll_ctrl(5);
+        let evs = poll_ctrl(&mut l, 5);
         assert_eq!(evs, vec![CtrlEvent::Stop { dst: NodeId(9) }]);
     }
 
@@ -440,6 +558,102 @@ mod tests {
     fn send_without_credits_panics() {
         let mut l = link(1, 1, 8);
         l.send(0, pkt(1, 32));
+    }
+
+    #[test]
+    fn fail_stop_destroys_everything_in_flight() {
+        let mut l = link(1, 2, 64);
+        l.send(0, pkt(1, 32));
+        l.return_credits(1, 8);
+        l.send_ctrl(1, CtrlEvent::Stop { dst: NodeId(3) });
+        let loss = l.fail();
+        assert_eq!(loss.data_packets, 1);
+        assert_eq!(loss.data_flits, 32);
+        assert_eq!(loss.ctrl_events, 1);
+        assert_eq!(loss.credit_flits, 8);
+        assert!(!l.is_up());
+        assert_eq!(l.credits(), 0);
+        assert!(l.is_idle());
+        assert!(!l.can_send(1000, 1));
+        // The reverse channel is cut too: bookkeeping is discarded.
+        l.return_credits(5, 16);
+        l.send_ctrl(5, CtrlEvent::Go { dst: NodeId(3) });
+        assert_eq!(l.credits_in_flight(), 0);
+        assert!(!l.has_ctrl(1000));
+    }
+
+    #[test]
+    fn graceful_close_drains_in_flight_traffic() {
+        let mut l = link(1, 2, 64);
+        l.send(0, pkt(1, 4));
+        l.close();
+        assert!(!l.can_send(100, 1), "no new sends");
+        let d = deliver(&mut l, 100);
+        assert_eq!(d.len(), 1, "in-flight packet still delivers");
+        // Reverse bookkeeping still works while closed.
+        l.return_credits(100, 4);
+        l.poll_credits(103);
+        assert_eq!(l.credits(), 64);
+    }
+
+    #[test]
+    fn restore_resynchronizes_credits() {
+        let mut l = link(1, 2, 64);
+        l.send(0, pkt(1, 32));
+        l.fail();
+        let loss = l.restore(48);
+        assert_eq!(loss, WireLoss::default(), "fail already purged");
+        assert!(l.is_up());
+        assert_eq!(l.credits(), 48);
+        assert!(l.can_send(100, 48));
+    }
+
+    #[test]
+    fn restore_purges_undrained_residue() {
+        let mut l = link(1, 2, 64);
+        l.send(0, pkt(1, 32));
+        l.close();
+        let loss = l.restore(64);
+        assert_eq!(loss.data_packets, 1, "undrained packet is destroyed");
+    }
+
+    #[test]
+    fn degrade_and_restore_rate() {
+        let mut l = link(4, 2, 256);
+        l.degrade(2, 3);
+        assert_eq!(l.config().bw_flits_per_cycle, 2);
+        assert_eq!(l.config().delay_cycles, 5);
+        let free_at = l.send(0, pkt(1, 32));
+        assert_eq!(free_at, 16, "32 flits at 2 flits/cycle");
+        l.restore_rate();
+        assert_eq!(l.config().bw_flits_per_cycle, 4);
+        assert_eq!(l.config().delay_cycles, 2);
+        // Divisor larger than the bandwidth floors at 1 flit/cycle.
+        l.degrade(100, 0);
+        assert_eq!(l.config().bw_flits_per_cycle, 1);
+    }
+
+    #[test]
+    fn wire_loss_absorb_accumulates() {
+        let mut a = WireLoss {
+            data_packets: 1,
+            data_flits: 32,
+            ctrl_packets: 0,
+            ctrl_events: 2,
+            credit_flits: 8,
+        };
+        a.absorb(WireLoss {
+            data_packets: 2,
+            data_flits: 64,
+            ctrl_packets: 1,
+            ctrl_events: 0,
+            credit_flits: 0,
+        });
+        assert_eq!(a.data_packets, 3);
+        assert_eq!(a.data_flits, 96);
+        assert_eq!(a.ctrl_packets, 1);
+        assert_eq!(a.ctrl_events, 2);
+        assert_eq!(a.credit_flits, 8);
     }
 
     #[test]

@@ -131,6 +131,28 @@ impl PacketQueue {
         self.occupancy_flits = 0;
         out.extend(self.entries.drain(..));
     }
+
+    /// Remove every packet matching `pred`, appending the removals to
+    /// `out` in FIFO order and preserving the relative order of the
+    /// survivors. Used by the fault subsystem to purge packets whose
+    /// destination became unreachable; order preservation keeps the
+    /// purge deterministic.
+    pub fn drain_where_into(
+        &mut self,
+        mut pred: impl FnMut(&QueuedPacket) -> bool,
+        out: &mut Vec<QueuedPacket>,
+    ) {
+        let mut kept: VecDeque<QueuedPacket> = VecDeque::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if pred(&e) {
+                self.occupancy_flits -= e.packet.size_flits;
+                out.push(e);
+            } else {
+                kept.push_back(e);
+            }
+        }
+        self.entries = kept;
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +227,24 @@ mod tests {
         q.push_front(e);
         assert_eq!(q.occupancy_flits(), 8);
         assert_eq!(q.head().unwrap().packet.id, PacketId(1));
+    }
+
+    #[test]
+    fn drain_where_keeps_survivor_order_and_occupancy() {
+        let mut q = PacketQueue::new();
+        q.push(pkt(1, 4), 0, 3);
+        q.push(pkt(2, 8), 0, 7);
+        q.push(pkt(3, 4), 0, 3);
+        q.push(pkt(4, 8), 0, 7);
+        let mut purged = Vec::new();
+        q.drain_where_into(|e| e.packet.size_flits == 8, &mut purged);
+        assert_eq!(purged.len(), 2);
+        assert_eq!(purged[0].packet.id, PacketId(2));
+        assert_eq!(purged[1].packet.id, PacketId(4));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.occupancy_flits(), 8);
+        assert_eq!(q.pop().unwrap().packet.id, PacketId(1));
+        assert_eq!(q.pop().unwrap().packet.id, PacketId(3));
     }
 
     #[test]

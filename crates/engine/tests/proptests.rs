@@ -119,7 +119,9 @@ proptest! {
             if l.can_send(now, s) {
                 l.send(now, pkt(i as u64, s));
             }
-            for d in l.deliver(now) {
+            let mut arrived = Vec::new();
+            l.deliver_into(now, &mut arrived);
+            for d in arrived {
                 held_by_receiver += d.packet.size_flits;
                 receiver_backlog.push(d.packet.size_flits);
             }
@@ -143,7 +145,9 @@ proptest! {
         }
         // Drain everything; all credits must come home.
         now += 1000;
-        for d in l.deliver(now) {
+        let mut arrived = Vec::new();
+        l.deliver_into(now, &mut arrived);
+        for d in arrived {
             l.return_credits(now, d.packet.size_flits);
         }
         for f in receiver_backlog {

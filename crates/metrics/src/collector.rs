@@ -1,5 +1,6 @@
 //! The live metrics collector driven by the simulator.
 
+use crate::faults::FaultSummary;
 use crate::histogram::LatencyHistogram;
 use crate::report::{FlowReport, SimReport};
 use crate::series::TimeSeries;
@@ -23,6 +24,7 @@ pub struct MetricsCollector {
     gauges: BTreeMap<String, TimeSeries>,
     delivered_packets: u64,
     delivered_bytes: u64,
+    faults: Option<FaultSummary>,
 }
 
 impl MetricsCollector {
@@ -40,7 +42,15 @@ impl MetricsCollector {
             gauges: BTreeMap::new(),
             delivered_packets: 0,
             delivered_bytes: 0,
+            faults: None,
         }
+    }
+
+    /// Attach fault-injection accounting (set once, at the end of a run
+    /// with a fault schedule). Fault-free runs leave it unset so their
+    /// reports stay byte-identical to pre-fault archives.
+    pub fn set_faults(&mut self, summary: FaultSummary) {
+        self.faults = Some(summary);
     }
 
     /// Record a data packet delivered to its destination at cycle `now`.
@@ -149,6 +159,7 @@ impl MetricsCollector {
             delivered_packets: self.delivered_packets,
             delivered_bytes: self.delivered_bytes,
             simulated_cycles: self.units.ns_to_cycles(duration_ns),
+            faults: self.faults,
         }
     }
 }

@@ -1,0 +1,97 @@
+//! Fault-injection accounting.
+//!
+//! The fault subsystem (crate `ccfit-faults` + the simulator runtime in
+//! `ccfit-core`) reports its damage through a [`FaultSummary`] attached
+//! to the [`crate::SimReport`]. The summary carries raw loss and
+//! availability accounting; derived measures that need the delivery
+//! series — post-fault recovery time in particular — live on
+//! `SimReport` itself so they can be recomputed from archived reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Losses and availability accounting for one run's fault schedule.
+///
+/// All counters are totals over the run; times are in simulated
+/// nanoseconds (`f64`, matching the report's other time axes).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Scheduled events actually applied.
+    pub events_applied: u64,
+    /// Scheduled events skipped as no-ops (e.g. `LinkUp` for a cable
+    /// that was never down, or events targeting a switch that is down).
+    pub events_skipped: u64,
+    /// Data packets destroyed in flight on fail-stop cables.
+    pub packets_lost_wire: u64,
+    /// Data flits those packets carried.
+    pub flits_lost_wire: u64,
+    /// Data packets purged from buffers (failed switch's RAM, or queued
+    /// for a destination that became unreachable).
+    pub packets_purged: u64,
+    /// Data packets refused at injection because the destination was
+    /// unreachable (the source consumed them; generators never stall on
+    /// a dead destination).
+    pub packets_refused: u64,
+    /// Control packets (BECNs) and control events (Stop/Go/alloc)
+    /// destroyed on fail-stop cables or dropped as undeliverable.
+    pub ctrl_lost: u64,
+    /// Credit-return flits destroyed on fail-stop cables.
+    pub credits_lost: u64,
+    /// Σ over end nodes of simulated ns spent unreachable (a node is
+    /// unreachable while its attachment switch is down, plus the
+    /// re-routing latency after recovery).
+    pub node_unreachable_ns: f64,
+    /// Simulated ns during which routing tables were stale (a topology
+    /// change had happened but the recomputed tables were not yet in
+    /// effect), summed over re-route windows.
+    pub stale_route_ns: f64,
+    /// Number of routing recomputations that took effect.
+    pub reroutes: u64,
+    /// Simulated ns of the first applied event (`f64::NAN`-free: 0 when
+    /// no event fired).
+    pub first_fault_ns: f64,
+    /// Simulated ns when the last repair's re-routing completed — the
+    /// instant from which post-fault recovery is measured. Equals the
+    /// last fault's re-route completion when nothing is repaired.
+    pub last_recovery_ns: f64,
+}
+
+impl FaultSummary {
+    /// Total data packets lost to faults, however they were lost.
+    pub fn packets_lost(&self) -> u64 {
+        self.packets_lost_wire + self.packets_purged
+    }
+
+    /// True when any scheduled event was applied.
+    pub fn any_applied(&self) -> bool {
+        self.events_applied > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_lost_sums_loss_modes() {
+        let s = FaultSummary {
+            packets_lost_wire: 3,
+            packets_purged: 5,
+            packets_refused: 7, // refusals are not losses: never injected
+            ..FaultSummary::default()
+        };
+        assert_eq!(s.packets_lost(), 8);
+        assert!(!s.any_applied());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = FaultSummary {
+            events_applied: 2,
+            node_unreachable_ns: 1234.5,
+            ..FaultSummary::default()
+        };
+        let j = serde_json::to_string(&s).unwrap();
+        let back: FaultSummary = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

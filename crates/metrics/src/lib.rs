@@ -19,12 +19,14 @@
 
 pub mod collector;
 pub mod fairness;
+pub mod faults;
 pub mod histogram;
 pub mod report;
 pub mod series;
 
 pub use collector::MetricsCollector;
 pub use fairness::jain_index;
+pub use faults::FaultSummary;
 pub use histogram::LatencyHistogram;
 pub use report::{FlowReport, SimReport};
 pub use series::TimeSeries;

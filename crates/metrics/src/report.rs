@@ -1,6 +1,7 @@
 //! Frozen simulation reports.
 
 use crate::fairness::jain_index;
+use crate::faults::FaultSummary;
 use crate::histogram::LatencyHistogram;
 use crate::series::TimeSeries;
 use ccfit_engine::ids::FlowId;
@@ -55,6 +56,9 @@ pub struct SimReport {
     /// wall time itself lives outside the report so identical runs stay
     /// byte-identical).
     pub simulated_cycles: u64,
+    /// Fault-injection accounting; `None` (serialized as `null`) when
+    /// the run had no fault schedule.
+    pub faults: Option<FaultSummary>,
 }
 
 impl SimReport {
@@ -136,6 +140,39 @@ impl SimReport {
             .map(|&id| self.flow_mean_bandwidth_gbps(id, from_ns, to_ns))
             .collect();
         jain_index(&bws)
+    }
+
+    /// Post-fault recovery time in ns: how long after the last repair's
+    /// re-routing completed (`FaultSummary::last_recovery_ns`) the
+    /// network throughput needed to climb back to ≥ 90 % of its
+    /// pre-fault baseline (mean normalized throughput over the bins
+    /// before the first fault).
+    ///
+    /// Returns `None` when the run had no applied faults, when the
+    /// fault fired too early for a baseline to exist, or when the run
+    /// ended before throughput recovered (an unrecovered run — report
+    /// it as such rather than as a number).
+    pub fn fault_recovery_ns(&self) -> Option<f64> {
+        let f = self.faults.as_ref()?;
+        if !f.any_applied() {
+            return None;
+        }
+        let nt = self.network_throughput_normalized();
+        let fault_bin = self.total_bytes.bin_of(f.first_fault_ns);
+        if fault_bin == 0 || nt.is_empty() {
+            return None;
+        }
+        let baseline = nt[..fault_bin.min(nt.len())].iter().sum::<f64>() / fault_bin as f64;
+        if baseline <= 0.0 {
+            return Some(0.0);
+        }
+        let resume_bin = self.total_bytes.bin_of(f.last_recovery_ns).min(nt.len());
+        for (i, &v) in nt.iter().enumerate().skip(resume_bin) {
+            if v >= 0.9 * baseline {
+                return Some((self.total_bytes.bin_center_ns(i) - f.last_recovery_ns).max(0.0));
+            }
+        }
+        None
     }
 
     /// All flow ids present in the report.
@@ -226,6 +263,7 @@ mod tests {
             delivered_packets: 20,
             delivered_bytes: 37_500,
             simulated_cycles: 2500,
+            faults: None,
         }
     }
 
@@ -288,5 +326,44 @@ mod tests {
         let r = sample_report();
         let m = r.mean_normalized_throughput(0.0, 10_000.0);
         assert!((m - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_recovery_finds_first_recovered_bin() {
+        let mut r = sample_report();
+        // Fault at 3 µs, recovery (reroute done) at 5 µs. Crater the
+        // delivery series between them and during the first post-repair
+        // bin, so throughput regains the 90 % baseline in bin 6.
+        for bin in 3..6 {
+            r.total_bytes.bins[bin] = 100.0;
+        }
+        r.faults = Some(FaultSummary {
+            events_applied: 2,
+            first_fault_ns: 3_000.0,
+            last_recovery_ns: 5_000.0,
+            ..FaultSummary::default()
+        });
+        let rec = r.fault_recovery_ns().unwrap();
+        // Bin 6 center = 6500 ns, recovery reference = 5000 ns.
+        assert!((rec - 1_500.0).abs() < 1e-9);
+
+        // No faults applied -> no recovery number.
+        r.faults = Some(FaultSummary::default());
+        assert_eq!(r.fault_recovery_ns(), None);
+        r.faults = None;
+        assert_eq!(r.fault_recovery_ns(), None);
+    }
+
+    #[test]
+    fn fault_summary_round_trips_in_report_json() {
+        let mut r2 = sample_report();
+        r2.faults = Some(FaultSummary {
+            events_applied: 3,
+            packets_lost_wire: 11,
+            node_unreachable_ns: 987.5,
+            ..FaultSummary::default()
+        });
+        let back: SimReport = serde_json::from_str(&r2.to_json()).unwrap();
+        assert_eq!(r2, back);
     }
 }

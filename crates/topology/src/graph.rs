@@ -182,25 +182,81 @@ impl Topology {
         (0..self.nodes.len()).map(NodeId::from)
     }
 
-    /// A copy of this topology with the cable at `(s, p)` removed — the
-    /// fault-injection primitive. Re-deriving routing afterwards (e.g.
+    /// Remove the switch-to-switch cable at `(s, p)` **in place** — the
+    /// fault-injection primitive used by the `ccfit-faults` runtime.
+    /// Returns the far end `(peer_switch, peer_port, params)` so the
+    /// caller can later reinstall the cable with
+    /// [`Topology::restore_cable`]. Re-deriving routing afterwards (e.g.
     /// [`crate::RoutingTable::shortest_path`]) models the re-routing
     /// around faulty regions that the paper lists among the causes of
     /// congestion. Only switch-to-switch cables can fail (removing a node
-    /// cable would strand the node).
-    pub fn without_cable(&self, s: SwitchId, p: PortId) -> Result<Topology, TopologyError> {
-        let (peer, _) = self
+    /// cable would strand the node). Removal from a valid topology keeps
+    /// it valid, so no re-validation is performed.
+    pub fn remove_cable(
+        &mut self,
+        s: SwitchId,
+        p: PortId,
+    ) -> Result<(SwitchId, PortId, LinkParams), TopologyError> {
+        let (peer, params) = self
             .peer(s, p)
             .ok_or(TopologyError::PortOutOfRange { switch: s, port: p })?;
         let (os, op) = match peer {
             Endpoint::Switch(os, op) => (os, op),
             Endpoint::Node(n) => return Err(TopologyError::NodeAlreadyAttached(n)),
         };
+        self.switches[s.index()].ports[p.index()] = None;
+        self.switches[os.index()].ports[op.index()] = None;
+        Ok((os, op, params))
+    }
+
+    /// Reinstall a switch-to-switch cable previously taken out with
+    /// [`Topology::remove_cable`] (the inverse operation; fault
+    /// recovery). Both ports must exist and be free.
+    pub fn restore_cable(
+        &mut self,
+        s: SwitchId,
+        p: PortId,
+        os: SwitchId,
+        op: PortId,
+        params: LinkParams,
+    ) -> Result<(), TopologyError> {
+        for (sw, pt) in [(s, p), (os, op)] {
+            match self
+                .switches
+                .get(sw.index())
+                .and_then(|x| x.ports.get(pt.index()))
+            {
+                None => {
+                    return Err(TopologyError::PortOutOfRange {
+                        switch: sw,
+                        port: pt,
+                    })
+                }
+                Some(Some(_)) => {
+                    return Err(TopologyError::PortInUse {
+                        switch: sw,
+                        port: pt,
+                    })
+                }
+                Some(None) => {}
+            }
+        }
+        if s == os && p == op {
+            return Err(TopologyError::PortInUse { switch: s, port: p });
+        }
+        self.switches[s.index()].ports[p.index()] = Some((Endpoint::Switch(os, op), params));
+        self.switches[os.index()].ports[op.index()] = Some((Endpoint::Switch(s, p), params));
+        Ok(())
+    }
+
+    /// A copy of this topology with the cable at `(s, p)` removed — the
+    /// static-scenario convenience over [`Topology::remove_cable`]. Use
+    /// `remove_cable` directly when mutating a topology you already own;
+    /// this clones only because it keeps `self` intact.
+    pub fn without_cable(&self, s: SwitchId, p: PortId) -> Result<Topology, TopologyError> {
         let mut t = self.clone();
-        t.switches[s.index()].ports[p.index()] = None;
-        t.switches[os.index()].ports[op.index()] = None;
+        t.remove_cable(s, p)?;
         t.name = format!("{} (cable {s}:{p} failed)", self.name);
-        t.validate()?;
         Ok(t)
     }
 
@@ -361,6 +417,48 @@ mod fault_tests {
         // Top-stage up ports are unconnected.
         let top = tree.switch_id(2, 0);
         assert!(topo.without_cable(top, PortId(5)).is_err());
+    }
+
+    #[test]
+    fn remove_then_restore_round_trips_in_place() {
+        let tree = KAryNTree::new(2, 3);
+        let pristine = tree.build(LinkParams::default());
+        let mut topo = pristine.clone();
+        let (os, op, params) = topo.remove_cable(SwitchId(0), PortId(2)).unwrap();
+        assert_eq!(topo.num_cables(), pristine.num_cables() - 1);
+        assert!(topo.peer(SwitchId(0), PortId(2)).is_none());
+        assert!(topo.peer(os, op).is_none());
+        topo.validate().unwrap();
+        topo.restore_cable(SwitchId(0), PortId(2), os, op, params)
+            .unwrap();
+        assert_eq!(topo, pristine, "restore is the exact inverse");
+    }
+
+    #[test]
+    fn restore_into_an_occupied_port_fails() {
+        let tree = KAryNTree::new(2, 3);
+        let mut topo = tree.build(LinkParams::default());
+        let (os, op, params) = topo.remove_cable(SwitchId(0), PortId(2)).unwrap();
+        // Port 3 of switch 0 is still cabled.
+        assert!(matches!(
+            topo.restore_cable(SwitchId(0), PortId(3), os, op, params),
+            Err(TopologyError::PortInUse { .. })
+        ));
+        // Out-of-range restore target.
+        assert!(matches!(
+            topo.restore_cable(SwitchId(0), PortId(99), os, op, params),
+            Err(TopologyError::PortOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_cable_rejects_node_cables_in_place() {
+        let tree = KAryNTree::new(2, 3);
+        let mut topo = tree.build(LinkParams::default());
+        let (s, p, _) = topo.node_attachment(NodeId(0));
+        let before = topo.clone();
+        assert!(topo.remove_cable(s, p).is_err());
+        assert_eq!(topo, before, "failed removal leaves the topology intact");
     }
 
     #[test]

@@ -9,14 +9,63 @@
 //! equivalence) — and compares the full serialized `SimReport`s, which
 //! capture every counter, histogram, gauge series, and per-flow curve.
 
-use ccfit::experiment::config1_case1_scaled;
-use ccfit::{Mechanism, SimConfig};
+use ccfit::experiment::{config1_case1_scaled, config2_case2_scaled};
+use ccfit::{FaultConfig, FaultPolicy, FaultSchedule, Mechanism, SimConfig};
+use ccfit_engine::ids::NodeId;
+use ccfit_topology::Endpoint;
 
 fn cfg(force_slow_path: bool) -> SimConfig {
     SimConfig {
         metrics_bin_ns: 20_000.0,
         force_slow_path,
         ..SimConfig::default()
+    }
+}
+
+/// Same guarantee with a dynamic fault schedule in play: the Phase-0
+/// event queue, the purges, and the re-route must be just as
+/// deterministic as the steady-state machinery — same seed + same
+/// schedule ⇒ byte-identical reports, fast path and slow path alike.
+#[test]
+fn fault_schedule_runs_are_bit_identical() {
+    let spec = config2_case2_scaled(0.04);
+    // A leaf up-link of node 7's switch: on the congested path of
+    // case 2's hotspot, so the failure displaces live traffic.
+    let leaf = spec.topology.node_attachment(NodeId(7)).0;
+    let trunk = spec
+        .topology
+        .switch(leaf)
+        .connected()
+        .find(|&p| matches!(spec.topology.peer(leaf, p), Some((Endpoint::Switch(..), _))))
+        .expect("leaf has an up-link");
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .link_down(40_000, leaf, trunk, FaultPolicy::FailStop)
+        .link_up(120_000, leaf, trunk);
+
+    for mech in [Mechanism::ccfit(), Mechanism::VoqSw] {
+        let name = mech.name();
+        let run = |slow: bool| {
+            spec.run_with_faults(
+                mech.clone(),
+                9,
+                cfg(slow),
+                schedule.clone(),
+                FaultConfig::default(),
+            )
+            .to_json()
+        };
+        let fast_a = run(false);
+        let fast_b = run(false);
+        let slow = run(true);
+        assert_eq!(
+            fast_a, fast_b,
+            "{name}: fault-schedule run is not run-to-run deterministic"
+        );
+        assert_eq!(
+            fast_a, slow,
+            "{name}: fault handling diverges between fast and slow paths"
+        );
     }
 }
 
