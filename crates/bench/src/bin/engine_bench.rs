@@ -1,12 +1,17 @@
-//! Engine-throughput benchmark for the active-set scheduler and the
-//! quiet-cycle fast-forward (DESIGN.md §6).
+//! Engine-throughput benchmark for the active-set scheduler, the
+//! quiet-cycle fast-forward (DESIGN.md §6), and the sharded parallel
+//! tick engine (DESIGN.md §9).
 //!
 //! Runs two workloads — one idle-heavy (flows finish early, leaving a
 //! long quiet tail) and one congestion-heavy (config #1 / case #1 with
 //! a sustained hotspot) — each with the optimizations on (default) and
 //! off (`force_slow_path`), and reports simulated cycles per wall-clock
-//! second plus the speedup ratio. Results land in `BENCH_engine.json`
-//! (override the path with `--out <file>`).
+//! second plus the speedup ratio. The congestion-heavy scenario is
+//! additionally timed on the parallel engine (`--threads N`, default 4);
+//! `host_cpus` is recorded so a reader can tell whether the parallel
+//! numbers were taken on a machine that can actually run the shards
+//! concurrently. Results land in `BENCH_engine.json` (override the path
+//! with `--out <file>`).
 //!
 //! Run with `cargo run --release --bin engine_bench`.
 
@@ -27,6 +32,13 @@ struct ScenarioResult {
     slow_cycles_per_sec: f64,
     fast_cycles_per_sec: f64,
     speedup: f64,
+    /// Worker threads used for the parallel engine run (null when the
+    /// scenario was not benchmarked in parallel).
+    threads: Option<usize>,
+    parallel_wall_s: Option<f64>,
+    parallel_cycles_per_sec: Option<f64>,
+    /// Parallel throughput over fast-serial throughput.
+    parallel_speedup: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -34,6 +46,9 @@ struct BenchDoc {
     bench: String,
     mechanism: String,
     reps_best_of: usize,
+    /// Logical CPUs on the benchmarking host. Parallel speedup is only
+    /// meaningful when this comfortably exceeds `threads`.
+    host_cpus: usize,
     scenarios: Vec<ScenarioResult>,
 }
 
@@ -71,20 +86,22 @@ fn congestion_heavy() -> ExperimentSpec {
     spec
 }
 
-fn cfg(force_slow_path: bool) -> SimConfig {
-    SimConfig {
+fn cfg(force_slow_path: bool, threads: usize) -> SimConfig {
+    let mut c = SimConfig {
         force_slow_path,
         ..SimConfig::default()
-    }
+    };
+    c.parallel.threads = threads;
+    c
 }
 
 /// Best-of-`REPS` wall time and the (identical every run) cycle count.
-fn time_run(spec: &ExperimentSpec, force_slow_path: bool) -> (f64, u64) {
+fn time_run(spec: &ExperimentSpec, force_slow_path: bool, threads: usize) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut cycles = 0;
     for _ in 0..REPS {
         let t0 = Instant::now();
-        let report = spec.run_with(Mechanism::ccfit(), 1, cfg(force_slow_path));
+        let report = spec.run_with(Mechanism::ccfit(), 1, cfg(force_slow_path, threads));
         let wall = t0.elapsed().as_secs_f64();
         best = best.min(wall);
         cycles = report.simulated_cycles;
@@ -99,11 +116,20 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_engine.json".into());
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let mut entries = Vec::new();
-    for spec in [idle_heavy(), congestion_heavy()] {
-        let (slow_s, slow_cycles) = time_run(&spec, true);
-        let (fast_s, fast_cycles) = time_run(&spec, false);
+    for (spec, bench_parallel) in [(idle_heavy(), false), (congestion_heavy(), true)] {
+        let (slow_s, slow_cycles) = time_run(&spec, true, 1);
+        let (fast_s, fast_cycles) = time_run(&spec, false, 1);
         assert_eq!(
             slow_cycles, fast_cycles,
             "{}: fast and slow paths simulated different cycle counts",
@@ -116,6 +142,32 @@ fn main() {
             "{:<17} {:>9} cycles | slow {:>12.0} cyc/s | fast {:>12.0} cyc/s | {:.2}x",
             spec.name, slow_cycles, slow_cps, fast_cps, speedup
         );
+        // The parallel engine only pays off where per-cycle work
+        // dominates; the idle-heavy scenario is a fast-forward benchmark
+        // and stays serial.
+        let (par_s, par_cycles) = if bench_parallel {
+            let (s, c) = time_run(&spec, false, threads);
+            assert_eq!(
+                c, fast_cycles,
+                "{}: parallel engine simulated a different cycle count",
+                spec.name
+            );
+            (Some(s), Some(c))
+        } else {
+            (None, None)
+        };
+        let par_cps = par_s.zip(par_cycles).map(|(s, c)| c as f64 / s.max(1e-12));
+        if let Some(cps) = par_cps {
+            println!(
+                "{:<17} {:>9} cycles | par({}) {:>10.0} cyc/s | {:.2}x vs fast ({} host cpus)",
+                spec.name,
+                fast_cycles,
+                threads,
+                cps,
+                cps / fast_cps,
+                host_cpus
+            );
+        }
         entries.push(ScenarioResult {
             scenario: spec.name.clone(),
             simulated_cycles: slow_cycles,
@@ -124,12 +176,17 @@ fn main() {
             slow_cycles_per_sec: slow_cps,
             fast_cycles_per_sec: fast_cps,
             speedup,
+            threads: par_s.map(|_| threads),
+            parallel_wall_s: par_s,
+            parallel_cycles_per_sec: par_cps,
+            parallel_speedup: par_cps.map(|cps| cps / fast_cps),
         });
     }
     let doc = BenchDoc {
         bench: "engine".into(),
         mechanism: "CCFIT".into(),
         reps_best_of: REPS,
+        host_cpus,
         scenarios: entries,
     };
     std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap())

@@ -7,6 +7,8 @@
 //! * `faultstorm` — the full 4 ms run (burst [1, 2] ms, failure at
 //!   1.2 ms, repair at 2.2 ms)
 //! * `faultstorm --smoke` — the same shape compressed 10× (CI-friendly)
+//! * `--threads <n>` — run every simulation on the sharded parallel
+//!   tick engine (DESIGN.md §9); output is byte-identical to serial
 //! * `--csv <dir>` — archive every report as CSV + JSON
 //!
 //! Mechanisms: the paper's Fig. 8 set (1Q, ITh, FBICM, CCFIT, VOQnet)
@@ -39,6 +41,12 @@ fn victim_cable(spec: &ExperimentSpec) -> (SwitchId, PortId) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let csv = csv_dir_from_args(&args);
     let units = UnitModel::default();
 
@@ -56,10 +64,11 @@ fn main() {
         .link_up(units.ns_to_cycles(repair_ns), s, p);
     let fault_cfg = FaultConfig::default();
 
-    let cfg = SimConfig {
+    let mut cfg = SimConfig {
         metrics_bin_ns: bin_ns,
         ..SimConfig::default()
     };
+    cfg.parallel.threads = threads;
     let mechanisms = [
         Mechanism::OneQ,
         Mechanism::VoqSw,
@@ -76,6 +85,9 @@ fn main() {
         repair_ns / 1e6,
         if smoke { " (smoke)" } else { "" },
     );
+    if threads > 1 {
+        println!("(parallel tick engine, {threads} threads per simulation)");
+    }
 
     // One OS thread per mechanism (independent single-threaded sims).
     let results: Mutex<Vec<Option<RunOutput>>> =

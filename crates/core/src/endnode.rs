@@ -23,12 +23,12 @@ use crate::port::{CfqSlot, CfqState};
 use crate::switch::{OutCamState, PurgeStats, VoqNetCredits};
 use ccfit_engine::cam::Cam;
 use ccfit_engine::ids::{LinkId, NodeId, PacketId};
-use ccfit_engine::link::{CtrlEvent, Link};
+use ccfit_engine::link::{CtrlEvent, Link, LinkSlice};
 use ccfit_engine::packet::Packet;
 use ccfit_engine::queue::{PacketQueue, QueuedPacket};
 use ccfit_engine::ram::PortRam;
 use ccfit_engine::units::{Cycle, UnitModel};
-use ccfit_metrics::MetricsCollector;
+use ccfit_metrics::MetricsSink;
 use ccfit_traffic::GenPacket;
 
 /// Adapter-side throttling configuration, pre-converted to cycles.
@@ -198,7 +198,20 @@ impl Adapter {
 
     /// Drain the congestion information the attached switch sent up the
     /// injection link (Stop/Go + CFQ allocation/deallocation hints).
-    pub fn poll_ctrl(&mut self, now: Cycle, links: &mut [Link], metrics: &mut MetricsCollector) {
+    pub fn poll_ctrl<M: MetricsSink>(&mut self, now: Cycle, links: &mut [Link], metrics: &mut M) {
+        let mut ls = LinkSlice::new(links);
+        self.poll_ctrl_ls(now, &mut ls, metrics);
+    }
+
+    /// [`Self::poll_ctrl`] over a [`LinkSlice`] view (the parallel engine
+    /// hands each shard an aliased view restricted by convention to its
+    /// own injection links).
+    pub fn poll_ctrl_ls<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        links: &mut LinkSlice<'_>,
+        metrics: &mut M,
+    ) {
         if !links[self.inject_link.index()].has_ctrl(now) {
             return;
         }
@@ -262,7 +275,7 @@ impl Adapter {
 
     /// React to a BECN for congested destination `dst` (§III-D event #6):
     /// bump the CCTI and arm the recovery timer.
-    pub fn on_becn(&mut self, now: Cycle, dst: NodeId, metrics: &mut MetricsCollector) {
+    pub fn on_becn<M: MetricsSink>(&mut self, now: Cycle, dst: NodeId, metrics: &mut M) {
         let Some(thr) = &self.cfg.thr else { return };
         let d = dst.index();
         let max = (thr.cct.len() - 1) as u16;
@@ -294,12 +307,26 @@ impl Adapter {
 
     /// One cycle of adapter work. Returns the RAM release to schedule if
     /// a packet started injecting.
-    pub fn tick(
+    pub fn tick<M: MetricsSink>(
         &mut self,
         now: Cycle,
         links: &mut [Link],
-        voqnet: Option<&mut VoqNetCredits>,
-        metrics: &mut MetricsCollector,
+        voqnet: Option<&VoqNetCredits>,
+        metrics: &mut M,
+    ) -> Option<AdapterRelease> {
+        let mut ls = LinkSlice::new(links);
+        self.tick_ls(now, &mut ls, voqnet, metrics)
+    }
+
+    /// [`Self::tick`] over a [`LinkSlice`] view: the shard worker of the
+    /// parallel engine calls this with an aliased view and only ever
+    /// touches `self.inject_link`, which belongs to this adapter's shard.
+    pub fn tick_ls<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        links: &mut LinkSlice<'_>,
+        voqnet: Option<&VoqNetCredits>,
+        metrics: &mut M,
     ) -> Option<AdapterRelease> {
         self.expire_timers(now);
         if self.cfg.per_dest_output {
@@ -315,8 +342,8 @@ impl Adapter {
     fn direct_output_arbitration(
         &mut self,
         now: Cycle,
-        links: &mut [Link],
-        mut voqnet: Option<&mut VoqNetCredits>,
+        links: &mut LinkSlice<'_>,
+        voqnet: Option<&VoqNetCredits>,
     ) {
         let link = &links[self.inject_link.index()];
         if !link.tx_idle(now) {
@@ -324,10 +351,10 @@ impl Adapter {
         }
         if let Some(b) = self.becn_out.front() {
             if link.can_send(now, b.size_flits)
-                && Self::voqnet_ok(&voqnet, self.inject_link, b.dst, b.size_flits)
+                && Self::voqnet_ok(voqnet, self.inject_link, b.dst, b.size_flits)
             {
                 let b = self.becn_out.pop_front().expect("front exists");
-                if let Some(vn) = voqnet.as_deref_mut() {
+                if let Some(vn) = voqnet {
                     vn.sub(self.inject_link.0, b.dst.0, b.size_flits);
                 }
                 links[self.inject_link.index()].send(now, b);
@@ -343,13 +370,13 @@ impl Adapter {
             let size = head.packet.size_flits;
             if now < self.next_allowed[d]
                 || !link.can_send(now, size)
-                || !Self::voqnet_ok(&voqnet, self.inject_link, head.packet.dst, size)
+                || !Self::voqnet_ok(voqnet, self.inject_link, head.packet.dst, size)
             {
                 continue;
             }
             let entry = self.advoqs[d].pop().expect("head exists");
             self.resident -= 1;
-            if let Some(vn) = voqnet.as_deref_mut() {
+            if let Some(vn) = voqnet {
                 vn.sub(self.inject_link.0, entry.packet.dst.0, size);
             }
             let packet_time = size.div_ceil(self.inject_bw).max(1) as Cycle;
@@ -384,7 +411,7 @@ impl Adapter {
 
     /// Round-robin AdVOQ arbitration gated by the IRD (§III-D event #8):
     /// move at most one packet per cycle into the output buffer.
-    fn advoq_arbitration(&mut self, now: Cycle, metrics: &mut MetricsCollector) {
+    fn advoq_arbitration<M: MetricsSink>(&mut self, now: Cycle, metrics: &mut M) {
         let n = self.advoqs.len();
         let iso = self.cfg.iso;
         let stop_flits = iso.map_or(0, |i| i.stop_mtus * self.cfg.mtu_flits);
@@ -501,8 +528,8 @@ impl Adapter {
     fn output_arbitration(
         &mut self,
         now: Cycle,
-        links: &mut [Link],
-        voqnet: Option<&mut VoqNetCredits>,
+        links: &mut LinkSlice<'_>,
+        voqnet: Option<&VoqNetCredits>,
     ) -> Option<AdapterRelease> {
         let link = &links[self.inject_link.index()];
         if !link.tx_idle(now) {
@@ -511,7 +538,7 @@ impl Adapter {
         // Congestion notifications first: absolute priority (§III-B).
         if let Some(b) = self.becn_out.front() {
             if link.can_send(now, b.size_flits)
-                && Self::voqnet_ok(&voqnet, self.inject_link, b.dst, b.size_flits)
+                && Self::voqnet_ok(voqnet, self.inject_link, b.dst, b.size_flits)
             {
                 let b = self.becn_out.pop_front().expect("front exists");
                 if let Some(vn) = voqnet {
@@ -526,7 +553,7 @@ impl Adapter {
         // free; the candidate list used to be materialized as a Vec.
         let nfq_ok = self.nfq.head_visible(now).is_some_and(|h| {
             link.can_send(now, h.packet.size_flits)
-                && Self::voqnet_ok(&voqnet, self.inject_link, h.packet.dst, h.packet.size_flits)
+                && Self::voqnet_ok(voqnet, self.inject_link, h.packet.dst, h.packet.size_flits)
         });
         let cfq_ok = |slot: &CfqSlot| {
             let Some(st) = slot.state else { return false };
@@ -535,7 +562,7 @@ impl Adapter {
             }
             slot.queue.head_visible(now).is_some_and(|h| {
                 link.can_send(now, h.packet.size_flits)
-                    && Self::voqnet_ok(&voqnet, self.inject_link, h.packet.dst, h.packet.size_flits)
+                    && Self::voqnet_ok(voqnet, self.inject_link, h.packet.dst, h.packet.size_flits)
             })
         };
         let count = nfq_ok as usize + self.cfqs.iter().filter(|s| cfq_ok(s)).count();
@@ -575,12 +602,7 @@ impl Adapter {
         })
     }
 
-    fn voqnet_ok(
-        voqnet: &Option<&mut VoqNetCredits>,
-        link: LinkId,
-        dst: NodeId,
-        size: u32,
-    ) -> bool {
+    fn voqnet_ok(voqnet: Option<&VoqNetCredits>, link: LinkId, dst: NodeId, size: u32) -> bool {
         match voqnet {
             Some(vn) => vn.has(link.0, dst.0, size),
             None => true,
@@ -684,6 +706,7 @@ mod tests {
     use super::*;
     use ccfit_engine::link::LinkConfig;
     use ccfit_engine::units::UnitModel;
+    use ccfit_metrics::MetricsCollector;
 
     fn cfg(thr: bool, iso: bool) -> AdapterCfg {
         let units = UnitModel::default();
@@ -909,6 +932,7 @@ mod voqnet_tests {
     use super::*;
     use ccfit_engine::link::LinkConfig;
     use ccfit_engine::units::UnitModel;
+    use ccfit_metrics::MetricsCollector;
 
     fn direct_adapter() -> (Adapter, Vec<Link>) {
         let cfg = AdapterCfg {
@@ -957,7 +981,7 @@ mod voqnet_tests {
         let (mut a, mut links) = direct_adapter();
         let mut m = MetricsCollector::new(UnitModel::default(), 1000.0);
         // Per-destination credits: dst 4 has none, dst 3 plenty.
-        let mut vn = VoqNetCredits::new(1, 8);
+        let vn = VoqNetCredits::new(1, 8);
         vn.set(0, 4, 0);
         vn.set(0, 3, 256);
         assert!(a.try_inject(0, gp(4), PacketId(0)));
@@ -965,7 +989,7 @@ mod voqnet_tests {
         let mut dsts = Vec::new();
         let mut now = 0u64;
         for _ in 0..8 {
-            a.tick(now, &mut links, Some(&mut vn), &mut m);
+            a.tick(now, &mut links, Some(&vn), &mut m);
             links[0].poll_credits(now);
             now += 33;
             for d in drain(&mut links[0], now) {

@@ -41,6 +41,7 @@
 pub mod arbiter;
 pub mod endnode;
 pub mod experiment;
+pub mod parallel;
 pub mod params;
 pub mod port;
 pub mod simulator;
@@ -50,6 +51,7 @@ pub mod trace;
 pub use ccfit_faults::{
     FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent, RandomFaults, ScheduledEvent,
 };
+pub use parallel::ParallelConfig;
 pub use params::{IsolationParams, Mechanism, QueueingScheme, ThrottleParams};
 pub use simulator::{SimBuilder, SimConfig, Simulator};
 

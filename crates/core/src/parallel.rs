@@ -1,0 +1,532 @@
+//! The deterministic sharded parallel tick engine (DESIGN.md §9).
+//!
+//! [`crate::Simulator`] partitions switches and adapters into `threads`
+//! contiguous shards and runs the intra-component phases of the cycle
+//! loop — link deliveries into switches, control polling, isolation,
+//! congestion-state + arbitration, and adapter ticks — on a persistent
+//! worker pool. Everything a shard does to state it does not own (RAM
+//! releases, metric updates, fault-purge tallies) is recorded into a
+//! per-shard [`ShardOutbox`] and replayed by the coordinator in the
+//! canonical order *(shard index, component index, emission order)*.
+//! Because shards are contiguous component ranges, that replay order is
+//! exactly the component-index order of the serial engine, so a parallel
+//! run is **byte-identical** to a serial one — a property the
+//! determinism suite pins for `threads ∈ {1, 2, 4}`.
+//!
+//! ## Why this is sound
+//!
+//! Every parallel section touches a statically disjoint link set per
+//! shard (links are the shard boundary; they carry ≥ 1 cycle of latency,
+//! so nothing a shard emits is visible to another shard within the same
+//! cycle):
+//!
+//! * **Deliver** — a link is drained by the shard of its *receiving*
+//!   switch (credit refunds on a fault purge touch the same link).
+//! * **Ctrl** — a switch polls its own output links; an adapter polls
+//!   its own injection link. Output links and injection links are
+//!   disjoint sets (injection links are sent on by adapters).
+//! * **Iso** — a switch sends Stop/Go/alloc control *upstream* on its
+//!   own input links; the cached [`crate::switch::OutputPort::link_bw`]
+//!   removes the one foreign read the starvation test used to make.
+//! * **CstArb** — a switch reads credits of and transmits on its own
+//!   output links.
+//! * **AdapterTick** — an adapter transmits on its own injection link.
+//!
+//! VOQnet per-destination credits are atomics indexed by link, so each
+//! row inherits the single-writer guarantee of the link that owns it.
+//! Sections are separated by sense-reversing barriers, which provide the
+//! happens-before edges the aliased [`LinkSlice`] views rely on.
+
+use crate::endnode::{Adapter, AdapterRelease};
+use crate::switch::{PendingRelease, Switch, VoqNetCredits};
+use ccfit_engine::ids::SwitchId;
+use ccfit_engine::link::{Delivery, Link, LinkSlice};
+use ccfit_engine::units::Cycle;
+use ccfit_metrics::MetricsScratch;
+use ccfit_topology::RoutingTable;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Worker-pool configuration for the sharded parallel tick engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// OS threads ticking the network. `1` (the default) keeps the
+    /// serial engine; `n > 1` runs the sharded engine on `n` threads
+    /// (the calling thread works shard 0). Results are byte-identical
+    /// for every value.
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
+
+/// Which parallel section of the tick to run (see the module docs for
+/// the per-section link-ownership argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PhaseKind {
+    /// Phase 3a: drain switch-bound links into their receiving switches.
+    Deliver,
+    /// Phase 4: switches poll output-link ctrl, adapters poll injection
+    /// ctrl.
+    Ctrl,
+    /// Phase 5a: isolation / post-processing (records its activity gate
+    /// into `p5_ran` for reuse by `CstArb`).
+    Iso,
+    /// Phases 5b + 6: congestion-state refresh, then iSLIP arbitration
+    /// and transmission.
+    CstArb,
+    /// Phase 8b: adapter output work (AdVOQ moves + injection).
+    AdapterTick,
+}
+
+/// The static shard layout: contiguous switch/adapter ranges plus the
+/// per-shard list of links delivering into that shard's switches.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardPlan {
+    pub(crate) shards: usize,
+    pub(crate) switch_ranges: Vec<Range<usize>>,
+    pub(crate) adapter_ranges: Vec<Range<usize>>,
+    /// Per shard: `(link, switch, port)` for every link whose receiver
+    /// is one of the shard's switches, ascending by link index — the
+    /// serial engine's per-switch delivery order.
+    pub(crate) deliver_links: Vec<Vec<(u32, u32, u32)>>,
+}
+
+impl ShardPlan {
+    /// Partition `num_switches` switches and `num_adapters` adapters
+    /// into `threads` contiguous shards. `link_sw_dst[li]` is the
+    /// `(switch, port)` a link delivers into (`None` for node-bound
+    /// links, which stay serial).
+    pub(crate) fn build(
+        threads: usize,
+        num_switches: usize,
+        num_adapters: usize,
+        link_sw_dst: &[Option<(u32, u32)>],
+    ) -> Self {
+        let shards = threads.max(1);
+        let chunk =
+            |n: usize, w: usize| -> Range<usize> { (w * n / shards)..((w + 1) * n / shards) };
+        let switch_ranges: Vec<_> = (0..shards).map(|w| chunk(num_switches, w)).collect();
+        let adapter_ranges: Vec<_> = (0..shards).map(|w| chunk(num_adapters, w)).collect();
+        let shard_of_switch = |s: usize| -> usize {
+            switch_ranges
+                .iter()
+                .position(|r| r.contains(&s))
+                .expect("every switch is in exactly one shard")
+        };
+        let mut deliver_links = vec![Vec::new(); shards];
+        for (li, dst) in link_sw_dst.iter().enumerate() {
+            if let Some((s, p)) = *dst {
+                deliver_links[shard_of_switch(s as usize)].push((li as u32, s, p));
+            }
+        }
+        Self {
+            shards,
+            switch_ranges,
+            adapter_ranges,
+            deliver_links,
+        }
+    }
+}
+
+/// Everything a shard produced that must be applied to shared state,
+/// replayed by the coordinator in shard order after the section barrier.
+#[derive(Debug, Default)]
+pub(crate) struct ShardOutbox {
+    /// Metric operations, replayed verbatim (an op log, not partial
+    /// sums, so floating-point accumulation order matches the serial
+    /// engine exactly).
+    pub(crate) metrics: MetricsScratch,
+    /// `(switch, release)` RAM releases from arbitration.
+    pub(crate) releases: Vec<(u32, PendingRelease)>,
+    /// `(node, release)` RAM releases from adapter injection.
+    pub(crate) adapter_releases: Vec<(u32, AdapterRelease)>,
+    /// Data packets consumed by the phase-3a fault guard.
+    pub(crate) purged_data: u64,
+    /// Control packets consumed by the phase-3a fault guard.
+    pub(crate) purged_ctrl: u64,
+    /// Per-shard delivery drain scratch (no cross-tick state).
+    deliveries: Vec<Delivery>,
+    /// Per-shard arbitration release scratch.
+    rel_scratch: Vec<PendingRelease>,
+}
+
+/// Read-only snapshot of the fault runtime's reachability state, enough
+/// to evaluate the phase-3a arrival guard from any shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FaultView {
+    pub(crate) comp: *const u32,
+    pub(crate) node_comp: *const u32,
+    pub(crate) down: *const SwitchId,
+    pub(crate) n_down: usize,
+}
+
+/// The per-section context handed to every worker: raw pointers into
+/// the simulator plus the tick parameters. Rebuilt by the coordinator
+/// for each section so the pointers are re-derived after every serial
+/// interlude.
+pub(crate) struct TickCtx {
+    pub(crate) now: Cycle,
+    pub(crate) fast: bool,
+    pub(crate) switches: *mut Switch,
+    pub(crate) adapters: *mut Adapter,
+    pub(crate) links: *mut Link,
+    pub(crate) n_links: usize,
+    pub(crate) routing: *const RoutingTable,
+    /// Null when the mechanism has no VOQnet credit table.
+    pub(crate) voqnet: *const VoqNetCredits,
+    /// `2 × shards` outboxes: `[0, shards)` switch-side, `[shards, 2·shards)`
+    /// adapter-side.
+    pub(crate) outboxes: *mut ShardOutbox,
+    /// Phase-5 activity gate, one flag per switch, written by `Iso` and
+    /// read by `CstArb` (the serial engine evaluates the gate once for
+    /// both halves, and isolation can change quiescence).
+    pub(crate) p5_ran: *mut bool,
+    pub(crate) plan: *const ShardPlan,
+    pub(crate) faults: Option<FaultView>,
+}
+
+// SAFETY: the pointers are only dereferenced inside `run_shard`, whose
+// per-phase access pattern is element-disjoint across shards (module
+// docs); barriers order the sections.
+unsafe impl Send for TickCtx {}
+unsafe impl Sync for TickCtx {}
+
+impl TickCtx {
+    /// The phase-3a arrival guard (`FaultRuntime::arrival_is_undeliverable`
+    /// evaluated against the shared read-only snapshot).
+    ///
+    /// # Safety
+    /// The `FaultView` pointers must still be live.
+    unsafe fn arrival_is_undeliverable(&self, sw: u32, dst: u32) -> bool {
+        let Some(fv) = self.faults else { return false };
+        let down = std::slice::from_raw_parts(fv.down, fv.n_down);
+        if down.iter().any(|d| d.0 == sw) {
+            return true;
+        }
+        let dc = *fv.node_comp.add(dst as usize);
+        dc == u32::MAX || dc != *fv.comp.add(sw as usize)
+    }
+}
+
+/// Run shard `w`'s slice of `phase`.
+///
+/// # Safety
+/// `ctx` must point into a live simulator whose components the caller
+/// is not otherwise touching; at most one concurrent caller per `w`;
+/// all callers must run the same `phase` between the same two barriers.
+pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
+    let plan = &*ctx.plan;
+    let now = ctx.now;
+    let mut links = LinkSlice::from_raw(ctx.links, ctx.n_links);
+    let voqnet: Option<&VoqNetCredits> = ctx.voqnet.as_ref();
+    match phase {
+        PhaseKind::Deliver => {
+            let ob = &mut *ctx.outboxes.add(w);
+            let mut scratch = std::mem::take(&mut ob.deliveries);
+            for &(li, s, p) in &plan.deliver_links[w] {
+                let li = li as usize;
+                if !links[li].has_delivery(now) {
+                    continue;
+                }
+                scratch.clear();
+                links[li].deliver_into(now, &mut scratch);
+                let sw = &mut *ctx.switches.add(s as usize);
+                for d in scratch.drain(..) {
+                    // Fault guard: consume stragglers the routing in
+                    // force cannot deliver (see the serial phase 3).
+                    if ctx.faults.is_some() && ctx.arrival_is_undeliverable(s, d.packet.dst.0) {
+                        if d.packet.is_data() {
+                            ob.purged_data += 1;
+                        } else {
+                            ob.purged_ctrl += 1;
+                        }
+                        links[li].return_credits(d.ready_at, d.packet.size_flits);
+                        if let Some(vn) = voqnet {
+                            vn.add(li as u32, d.packet.dst.0, d.packet.size_flits);
+                        }
+                        continue;
+                    }
+                    sw.accept_delivery(p as usize, d, &*ctx.routing);
+                }
+            }
+            ob.deliveries = scratch;
+        }
+        PhaseKind::Ctrl => {
+            {
+                let ob = &mut *ctx.outboxes.add(w);
+                for s in plan.switch_ranges[w].clone() {
+                    (*ctx.switches.add(s)).poll_output_ctrl_ls(now, &mut links, &mut ob.metrics);
+                }
+            }
+            {
+                let ob = &mut *ctx.outboxes.add(plan.shards + w);
+                for a in plan.adapter_ranges[w].clone() {
+                    (*ctx.adapters.add(a)).poll_ctrl_ls(now, &mut links, &mut ob.metrics);
+                }
+            }
+        }
+        PhaseKind::Iso => {
+            let ob = &mut *ctx.outboxes.add(w);
+            for s in plan.switch_ranges[w].clone() {
+                let sw = &mut *ctx.switches.add(s);
+                let run = !ctx.fast || !sw.is_quiescent();
+                *ctx.p5_ran.add(s) = run;
+                if run {
+                    sw.isolation_tick_ls(now, &*ctx.routing, &mut links, &mut ob.metrics);
+                }
+            }
+        }
+        PhaseKind::CstArb => {
+            let ob = &mut *ctx.outboxes.add(w);
+            let mut rel = std::mem::take(&mut ob.rel_scratch);
+            for s in plan.switch_ranges[w].clone() {
+                let sw = &mut *ctx.switches.add(s);
+                if *ctx.p5_ran.add(s) {
+                    sw.congestion_state_tick_ls(now, &links);
+                }
+                if ctx.fast && !sw.has_buffered() {
+                    continue;
+                }
+                rel.clear();
+                sw.arbitrate_and_transmit_ls(
+                    now,
+                    &*ctx.routing,
+                    &mut links,
+                    voqnet,
+                    &mut ob.metrics,
+                    &mut rel,
+                );
+                for r in rel.drain(..) {
+                    ob.releases.push((s as u32, r));
+                }
+            }
+            ob.rel_scratch = rel;
+        }
+        PhaseKind::AdapterTick => {
+            let ob = &mut *ctx.outboxes.add(plan.shards + w);
+            for a in plan.adapter_ranges[w].clone() {
+                let ad = &mut *ctx.adapters.add(a);
+                if ctx.fast && ad.is_quiet() && ad.armed_timer_count() == 0 {
+                    continue;
+                }
+                if let Some(r) = ad.tick_ls(now, &mut links, voqnet, &mut ob.metrics) {
+                    ob.adapter_releases.push((a as u32, r));
+                }
+            }
+        }
+    }
+}
+
+/// A sense-reversing barrier that spins briefly, then yields — the
+/// sections it separates are microseconds long, but the engine must
+/// also stay live when the host has fewer cores than workers (CI
+/// containers), where pure spinning would deadlock the scheduler's
+/// patience.
+pub(crate) struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Block until all `n` participants arrive. The release/acquire
+    /// pair on `sense` (and the RMW chain on `count`) publishes every
+    /// write made before the barrier to every thread leaving it.
+    pub(crate) fn wait(&self) {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Release);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Job {
+    Run(PhaseKind, *const TickCtx),
+    Shutdown,
+}
+
+struct PoolShared {
+    start: SpinBarrier,
+    done: SpinBarrier,
+    job: UnsafeCell<Job>,
+}
+
+// SAFETY: `job` is written by the coordinator only while every worker
+// is parked before `start` and read by workers only after passing it;
+// the barriers provide the necessary happens-before edges.
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+/// A persistent worker pool: `threads - 1` parked OS threads plus the
+/// calling thread, which always works shard 0. Created once per
+/// parallel run; the workers idle at a barrier between sections.
+pub(crate) struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    pub(crate) fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a pool below 2 threads is the serial engine");
+        let shared = Arc::new(PoolShared {
+            start: SpinBarrier::new(threads),
+            done: SpinBarrier::new(threads),
+            job: UnsafeCell::new(Job::Shutdown),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ccfit-shard-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("spawning a tick worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Run one parallel section: publish the job, release the workers,
+    /// work shard 0 on this thread, and wait for everyone.
+    pub(crate) fn run_section(&self, phase: PhaseKind, ctx: &TickCtx) {
+        // SAFETY: every worker is parked before `start` (protocol
+        // invariant), so nothing is reading `job`.
+        unsafe { *self.shared.job.get() = Job::Run(phase, ctx as *const TickCtx) };
+        self.shared.start.wait();
+        // SAFETY: ctx is live for the whole section; this thread is the
+        // unique owner of shard 0.
+        unsafe { run_shard(phase, ctx, 0) };
+        self.shared.done.wait();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // SAFETY: workers are parked before `start` (see run_section).
+        unsafe { *self.shared.job.get() = Job::Shutdown };
+        self.shared.start.wait();
+        self.shared.done.wait();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, w: usize) {
+    loop {
+        shared.start.wait();
+        // SAFETY: the coordinator published `job` before the barrier.
+        let job = unsafe { *shared.job.get() };
+        match job {
+            Job::Shutdown => {
+                shared.done.wait();
+                return;
+            }
+            Job::Run(phase, ctx) => {
+                // SAFETY: the coordinator keeps `ctx` (and the
+                // simulator it points into) alive until `done`.
+                unsafe { run_shard(phase, &*ctx, w) };
+                shared.done.wait();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_partitions_contiguously_and_covers_everything() {
+        let link_sw_dst = [
+            Some((0, 0)),
+            None,
+            Some((2, 1)),
+            Some((1, 0)),
+            Some((2, 0)),
+            None,
+        ];
+        let plan = ShardPlan::build(2, 3, 5, &link_sw_dst);
+        assert_eq!(plan.shards, 2);
+        // Contiguous, complete coverage.
+        assert_eq!(plan.switch_ranges[0].end, plan.switch_ranges[1].start);
+        assert_eq!(plan.switch_ranges[1].end, 3);
+        assert_eq!(plan.adapter_ranges[1].end, 5);
+        // Every switch-bound link lands in its receiver's shard, sorted.
+        let all: Vec<_> = plan.deliver_links.concat();
+        assert_eq!(all.len(), 4);
+        for w in 0..2 {
+            for &(li, s, _) in &plan.deliver_links[w] {
+                assert!(plan.switch_ranges[w].contains(&(s as usize)));
+                assert_eq!(link_sw_dst[li as usize].unwrap().0, s);
+            }
+            assert!(plan.deliver_links[w].windows(2).all(|x| x[0].0 < x[1].0));
+        }
+    }
+
+    #[test]
+    fn shard_plan_tolerates_more_shards_than_components() {
+        let plan = ShardPlan::build(4, 2, 3, &[Some((0, 0)), Some((1, 0))]);
+        let covered: usize = plan.switch_ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 2);
+        let covered: usize = plan.adapter_ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 3);
+        assert_eq!(plan.deliver_links.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_and_reuses() {
+        let b = Arc::new(SpinBarrier::new(3));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let b = Arc::clone(&b);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    b.wait();
+                    b.wait();
+                }
+            }));
+        }
+        for round in 1..=100 {
+            b.wait(); // everyone incremented
+            assert_eq!(counter.load(Ordering::Relaxed), 2 * round);
+            b.wait(); // release them into the next round
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn default_parallel_config_is_serial() {
+        assert_eq!(ParallelConfig::default().threads, 1);
+    }
+}

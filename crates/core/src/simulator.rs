@@ -3,6 +3,9 @@
 //! per-cycle phase loop (DESIGN.md §6).
 
 use crate::endnode::{Adapter, AdapterCfg, AdapterThrottle};
+use crate::parallel::{
+    FaultView, ParallelConfig, PhaseKind, Pool, ShardOutbox, ShardPlan, TickCtx,
+};
 use crate::params::{Mechanism, QueueingScheme};
 use crate::switch::{MarkingSource, PurgeStats, Switch, SwitchCfg, SwitchThrottle, VoqNetCredits};
 use ccfit_engine::ids::{FlowId, LinkId, NodeId, PacketId, PortId, SwitchId};
@@ -11,6 +14,7 @@ use ccfit_engine::packet::Packet;
 use ccfit_engine::queue::QueuedPacket;
 use ccfit_engine::rng::SeedSplitter;
 use ccfit_engine::units::{Cycle, UnitModel};
+use ccfit_engine::CalendarQueue;
 use ccfit_faults::{FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent};
 use ccfit_metrics::{FaultSummary, MetricsCollector, SimReport};
 use ccfit_topology::{Endpoint, LinkParams, RoutingTable, Topology};
@@ -68,6 +72,12 @@ pub struct SimConfig {
     /// bit-identical either way (the determinism test enforces it); this
     /// exists as the baseline for the perf harness and as an escape hatch.
     pub force_slow_path: bool,
+    /// Sharded parallel-tick configuration (DESIGN.md §9). With
+    /// `threads > 1`, [`Simulator::run`] ticks the network on a worker
+    /// pool; results are byte-identical to the serial engine for every
+    /// thread count. Ignored (serial engine) when `force_slow_path` is
+    /// set or packet tracing is enabled.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for SimConfig {
@@ -87,6 +97,7 @@ impl Default for SimConfig {
             becn_transport: BecnTransport::InBand,
             trace_sample_every: None,
             force_slow_path: false,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -370,6 +381,13 @@ impl SimBuilder {
         self
     }
 
+    /// Tick the network on `n` worker threads (byte-identical to the
+    /// serial engine; see [`SimConfig::parallel`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.parallel.threads = n.max(1);
+        self
+    }
+
     /// Override every [`SimConfig`] field at once.
     pub fn config(mut self, cfg: SimConfig) -> Self {
         self.cfg = cfg;
@@ -426,7 +444,11 @@ pub struct Simulator {
     link_dst: Vec<LinkDst>,
     voqnet: Option<VoqNetCredits>,
     metrics: MetricsCollector,
-    release_q: BinaryHeap<Reverse<(Cycle, u64, Release)>>,
+    /// Scheduled RAM releases / credit returns. The calendar queue pops
+    /// in ascending-cycle FIFO order, which is exactly the `(at, seq)`
+    /// heap order it replaced: pushes within a cycle happen in component
+    /// order, so FIFO == seq order.
+    release_q: CalendarQueue<Release>,
     becn_q: BinaryHeap<Reverse<(Cycle, u64, u32, u32)>>, // (at, seq, congested_dst, throttle_node)
     /// Flat `from × to` BECN-delay memo (`Cycle::MAX` = not yet traced).
     becn_delay_cache: Vec<Cycle>,
@@ -595,7 +617,7 @@ impl Simulator {
         // ---- VOQnet per-destination reserved credits ----
         let voqnet = match mech.queueing() {
             QueueingScheme::PerDest => {
-                let mut vn = VoqNetCredits::new(links.len(), num_nodes);
+                let vn = VoqNetCredits::new(links.len(), num_nodes);
                 for (li, dst) in link_dst.iter().enumerate() {
                     if matches!(dst, LinkDst::SwitchIn(..)) {
                         for d in 0..num_nodes {
@@ -609,7 +631,7 @@ impl Simulator {
         };
 
         // ---- switches ----
-        let switches: Vec<Switch> = topo
+        let mut switches: Vec<Switch> = topo
             .switch_ids()
             .map(|s| {
                 let n_ports = topo.switch(s).num_ports();
@@ -625,6 +647,16 @@ impl Simulator {
                 )
             })
             .collect();
+        // Cache each output's link bandwidth on the switch (read by the
+        // starvation detector without touching the link array; refreshed
+        // by `LinkDegrade` / `LinkRestoreRate` events).
+        for sw in switches.iter_mut() {
+            for p in 0..sw.outputs.len() {
+                if let Some(l) = sw.outputs[p].out_link {
+                    sw.set_output_link_bw(p, links[l.index()].config().bw_flits_per_cycle);
+                }
+            }
+        }
 
         // ---- adapters ----
         let adapter_thr = mech
@@ -680,7 +712,7 @@ impl Simulator {
             link_dst,
             voqnet,
             metrics,
-            release_q: BinaryHeap::new(),
+            release_q: CalendarQueue::new(),
             becn_q: BinaryHeap::new(),
             becn_delay_cache: vec![Cycle::MAX; num_nodes * num_nodes],
             num_nodes,
@@ -788,33 +820,7 @@ impl Simulator {
         }
 
         // Phase 1: scheduled RAM releases + credit returns.
-        while let Some(&Reverse((at, _, rel))) = self.release_q.peek() {
-            if at > now {
-                break;
-            }
-            self.release_q.pop();
-            match rel {
-                Release::SwitchPort {
-                    sw,
-                    port,
-                    flits,
-                    dst,
-                } => {
-                    let sw_idx = sw as usize;
-                    let port_idx = port as usize;
-                    self.switches[sw_idx].release_ram(port_idx, flits);
-                    if let Some(link) = self.switches[sw_idx].inputs[port_idx].in_link {
-                        self.links[link.index()].return_credits(now, flits);
-                        if let Some(vn) = self.voqnet.as_mut() {
-                            vn.add(link.0, dst, flits);
-                        }
-                    }
-                }
-                Release::Node { node, flits } => {
-                    self.adapters[node as usize].release_ram(flits);
-                }
-            }
-        }
+        self.drain_releases(now);
 
         // Phase 2: senders absorb returned credits.
         for l in &mut self.links {
@@ -896,34 +902,26 @@ impl Simulator {
                 now,
                 &self.routing,
                 &mut self.links,
-                self.voqnet.as_mut(),
+                self.voqnet.as_ref(),
                 &mut self.metrics,
                 &mut releases,
             );
             for r in releases.drain(..) {
-                self.seq += 1;
-                self.release_q.push(Reverse((
+                self.release_q.push(
                     r.at,
-                    self.seq,
                     Release::SwitchPort {
                         sw: si as u32,
                         port: r.port as u16,
                         flits: r.flits,
                         dst: r.dst.0,
                     },
-                )));
+                );
             }
         }
         self.release_scratch = releases;
 
         // Phase 7: BECN arrivals throttle their sources.
-        while let Some(&Reverse((at, _, congested_dst, node))) = self.becn_q.peek() {
-            if at > now {
-                break;
-            }
-            self.becn_q.pop();
-            self.adapters[node as usize].on_becn(now, NodeId(congested_dst), &mut self.metrics);
-        }
+        self.drain_becns(now);
 
         // Phase 8: traffic generation and adapter work. A generator with
         // no flow in its active window injects nothing and draws no
@@ -931,36 +929,7 @@ impl Simulator {
         // provably nothing to do (see `Adapter::is_quiet`).
         for n in 0..self.adapters.len() {
             if !fast || self.gens[n].any_active(now) {
-                let adapter = &mut self.adapters[n];
-                let next_packet_id = &mut self.next_packet_id;
-                let injected = &mut self.injected;
-                let trace = &mut self.trace;
-                let faults = &mut self.faults;
-                let mut sink = |gp: GenPacket| {
-                    // Fault guard: a source never stalls on a currently
-                    // unreachable destination — the packet is consumed
-                    // (counted as refused) but not injected.
-                    if let Some(frt) = faults.as_mut() {
-                        if frt.pair_unreachable(n, gp.dst) {
-                            frt.packets_refused += 1;
-                            return true;
-                        }
-                    }
-                    let id = PacketId(*next_packet_id);
-                    if adapter.try_inject(now, gp, id) {
-                        *next_packet_id += 1;
-                        *injected += 1;
-                        if let Some(tr) = trace {
-                            if tr.wants(id) {
-                                tr.injected(id, gp.flow, adapter.node(), gp.dst, now);
-                            }
-                        }
-                        true
-                    } else {
-                        false
-                    }
-                };
-                self.gens[n].tick(now, &mut sink);
+                self.gen_node(n, now);
             }
             if fast && self.adapters[n].is_quiet() && self.adapters[n].armed_timer_count() == 0 {
                 continue;
@@ -968,45 +937,122 @@ impl Simulator {
             if let Some(rel) = self.adapters[n].tick(
                 now,
                 &mut self.links,
-                self.voqnet.as_mut(),
+                self.voqnet.as_ref(),
                 &mut self.metrics,
             ) {
-                self.seq += 1;
-                self.release_q.push(Reverse((
+                self.release_q.push(
                     rel.at,
-                    self.seq,
                     Release::Node {
                         node: n as u32,
                         flits: rel.flits,
                     },
-                )));
+                );
             }
         }
 
         // Gauge sampling: congestion-tree size over time.
-        if now.is_multiple_of(self.gauge_every) {
-            let at_ns = self.cfg.units.cycles_to_ns(now);
-            let buffered: u32 = self
-                .switches
-                .iter()
-                .flat_map(|sw| sw.inputs.iter().map(|i| i.ram.used()))
-                .sum();
-            self.metrics
-                .gauge("network_buffered_flits", at_ns, buffered as f64);
-            self.metrics
-                .gauge("cfqs_allocated", at_ns, self.cfqs_allocated() as f64);
-            if let Some(frt) = &self.faults {
-                let unreachable = frt.unreachable_since.iter().filter(|s| s.is_some()).count();
-                self.metrics
-                    .gauge("unreachable_nodes", at_ns, unreachable as f64);
-            }
-        }
+        self.sample_gauges(now);
 
         self.now = if fast {
             self.quiet_jump_target(now)
         } else {
             now + 1
         };
+    }
+
+    /// Phase 1: apply every RAM release / credit return due at `now`.
+    fn drain_releases(&mut self, now: Cycle) {
+        while let Some((_, rel)) = self.release_q.pop_due(now) {
+            match rel {
+                Release::SwitchPort {
+                    sw,
+                    port,
+                    flits,
+                    dst,
+                } => {
+                    let sw_idx = sw as usize;
+                    let port_idx = port as usize;
+                    self.switches[sw_idx].release_ram(port_idx, flits);
+                    if let Some(link) = self.switches[sw_idx].inputs[port_idx].in_link {
+                        self.links[link.index()].return_credits(now, flits);
+                        if let Some(vn) = self.voqnet.as_ref() {
+                            vn.add(link.0, dst, flits);
+                        }
+                    }
+                }
+                Release::Node { node, flits } => {
+                    self.adapters[node as usize].release_ram(flits);
+                }
+            }
+        }
+    }
+
+    /// Phase 7: BECN arrivals throttle their sources.
+    fn drain_becns(&mut self, now: Cycle) {
+        while let Some(&Reverse((at, _, congested_dst, node))) = self.becn_q.peek() {
+            if at > now {
+                break;
+            }
+            self.becn_q.pop();
+            self.adapters[node as usize].on_becn(now, NodeId(congested_dst), &mut self.metrics);
+        }
+    }
+
+    /// Phase 8a: run node `n`'s traffic generator against its adapter's
+    /// admittance logic.
+    fn gen_node(&mut self, n: usize, now: Cycle) {
+        let adapter = &mut self.adapters[n];
+        let next_packet_id = &mut self.next_packet_id;
+        let injected = &mut self.injected;
+        let trace = &mut self.trace;
+        let faults = &mut self.faults;
+        let mut sink = |gp: GenPacket| {
+            // Fault guard: a source never stalls on a currently
+            // unreachable destination — the packet is consumed
+            // (counted as refused) but not injected.
+            if let Some(frt) = faults.as_mut() {
+                if frt.pair_unreachable(n, gp.dst) {
+                    frt.packets_refused += 1;
+                    return true;
+                }
+            }
+            let id = PacketId(*next_packet_id);
+            if adapter.try_inject(now, gp, id) {
+                *next_packet_id += 1;
+                *injected += 1;
+                if let Some(tr) = trace {
+                    if tr.wants(id) {
+                        tr.injected(id, gp.flow, adapter.node(), gp.dst, now);
+                    }
+                }
+                true
+            } else {
+                false
+            }
+        };
+        self.gens[n].tick(now, &mut sink);
+    }
+
+    /// Sample the congestion-tree gauges on `gauge_every` boundaries.
+    fn sample_gauges(&mut self, now: Cycle) {
+        if !now.is_multiple_of(self.gauge_every) {
+            return;
+        }
+        let at_ns = self.cfg.units.cycles_to_ns(now);
+        let buffered: u32 = self
+            .switches
+            .iter()
+            .flat_map(|sw| sw.inputs.iter().map(|i| i.ram.used()))
+            .sum();
+        self.metrics
+            .gauge("network_buffered_flits", at_ns, buffered as f64);
+        self.metrics
+            .gauge("cfqs_allocated", at_ns, self.cfqs_allocated() as f64);
+        if let Some(frt) = &self.faults {
+            let unreachable = frt.unreachable_since.iter().filter(|s| s.is_some()).count();
+            self.metrics
+                .gauge("unreachable_nodes", at_ns, unreachable as f64);
+        }
     }
 
     /// Where the clock may jump to after this cycle. When any component
@@ -1028,7 +1074,7 @@ impl Simulator {
             return step;
         }
         let mut target = (now / self.gauge_every + 1) * self.gauge_every;
-        if let Some(&Reverse((at, _, _))) = self.release_q.peek() {
+        if let Some(at) = self.release_q.next_at() {
             target = target.min(at);
         }
         if let Some(&Reverse((at, _, _, _))) = self.becn_q.peek() {
@@ -1184,7 +1230,7 @@ impl Simulator {
                 // credits they would have returned are already tallied
                 // as lost by the wire cut or will be re-granted on
                 // restore from ground-truth RAM occupancy).
-                self.release_q.retain(|Reverse((_, _, rel))| {
+                self.release_q.retain(|rel| {
                     !matches!(rel, Release::SwitchPort { sw: x, .. } if *x == sw.index() as u32)
                 });
                 frt.down_switches.push(sw);
@@ -1260,6 +1306,8 @@ impl Simulator {
                     .expect("cabled");
                 self.links[fwd.index()].degrade(bw_divisor, extra_delay_cycles);
                 self.links[rev.index()].degrade(bw_divisor, extra_delay_cycles);
+                self.refresh_link_bw_cache(s, p, fwd);
+                self.refresh_link_bw_cache(os, op, rev);
                 frt.applied(now);
             }
             NetworkEvent::LinkRestoreRate { switch: s, port: p } => {
@@ -1275,10 +1323,19 @@ impl Simulator {
                     .expect("cabled");
                 self.links[fwd.index()].restore_rate();
                 self.links[rev.index()].restore_rate();
+                self.refresh_link_bw_cache(s, p, fwd);
+                self.refresh_link_bw_cache(os, op, rev);
                 frt.applied(now);
                 frt.last_recovery = now;
             }
         }
+    }
+
+    /// Re-cache an output's link bandwidth on its switch after a rate
+    /// change (the starvation detector reads the cached copy).
+    fn refresh_link_bw_cache(&mut self, s: SwitchId, p: PortId, link: LinkId) {
+        let bw = self.links[link.index()].config().bw_flits_per_cycle;
+        self.switches[s.index()].set_output_link_bw(p.index(), bw);
     }
 
     /// Cut (fail-stop) or close (graceful) both directed links of a
@@ -1502,11 +1559,219 @@ impl Simulator {
     }
 
     /// Run to completion and produce the report.
+    ///
+    /// With [`SimConfig::parallel`] requesting more than one thread the
+    /// network ticks on the sharded worker pool (byte-identical results;
+    /// DESIGN.md §9), unless `force_slow_path` or packet tracing pins
+    /// the serial engine. [`Self::run_cycles`] always ticks serially.
     pub fn run(mut self) -> SimReport {
-        while self.now < self.end {
-            self.tick();
+        let threads = self.cfg.parallel.threads.max(1);
+        if threads > 1 && !self.cfg.force_slow_path && self.trace.is_none() {
+            self.run_parallel(threads);
+        } else {
+            while self.now < self.end {
+                self.tick();
+            }
         }
         self.finish()
+    }
+
+    /// Tick to `end` on `threads` shards (see `tick_parallel`).
+    fn run_parallel(&mut self, threads: usize) {
+        let link_sw_dst: Vec<Option<(u32, u32)>> = self
+            .link_dst
+            .iter()
+            .map(|d| match d {
+                LinkDst::SwitchIn(s, p) => Some((s.0, p.index() as u32)),
+                LinkDst::NodeRecv(_) => None,
+            })
+            .collect();
+        let plan = ShardPlan::build(
+            threads,
+            self.switches.len(),
+            self.adapters.len(),
+            &link_sw_dst,
+        );
+        let mut outboxes: Vec<ShardOutbox> = (0..2 * plan.shards)
+            .map(|_| ShardOutbox::default())
+            .collect();
+        let mut p5_ran = vec![false; self.switches.len()];
+        let pool = Pool::new(threads);
+        while self.now < self.end {
+            self.tick_parallel(&pool, &plan, &mut outboxes, &mut p5_ran);
+        }
+    }
+
+    /// Snapshot the raw pointers a parallel section needs. Rebuilt
+    /// before every section so serial interludes (which borrow the same
+    /// component vectors) stay in the clear.
+    fn make_ctx(
+        &mut self,
+        now: Cycle,
+        plan: &ShardPlan,
+        outboxes: &mut [ShardOutbox],
+        p5_ran: &mut [bool],
+    ) -> TickCtx {
+        TickCtx {
+            now,
+            fast: true,
+            switches: self.switches.as_mut_ptr(),
+            adapters: self.adapters.as_mut_ptr(),
+            links: self.links.as_mut_ptr(),
+            n_links: self.links.len(),
+            routing: &self.routing,
+            voqnet: self
+                .voqnet
+                .as_ref()
+                .map_or(std::ptr::null(), |v| v as *const VoqNetCredits),
+            outboxes: outboxes.as_mut_ptr(),
+            p5_ran: p5_ran.as_mut_ptr(),
+            plan,
+            faults: self.faults.as_ref().map(|frt| FaultView {
+                comp: frt.comp.as_ptr(),
+                node_comp: frt.node_comp.as_ptr(),
+                down: frt.down_switches.as_ptr(),
+                n_down: frt.down_switches.len(),
+            }),
+        }
+    }
+
+    /// Replay every shard's metric op-log into the collector, in shard
+    /// order — switch-side outboxes first, adapter-side second, which is
+    /// exactly the serial engine's per-phase emission order (outboxes
+    /// not involved in the section just finished are empty no-ops).
+    fn apply_outbox_metrics(&mut self, outboxes: &mut [ShardOutbox]) {
+        for ob in outboxes.iter_mut() {
+            self.metrics.apply_scratch(&mut ob.metrics);
+        }
+    }
+
+    /// One cycle on the worker pool. Phase structure, ordering and
+    /// results are identical to [`Self::tick`] with `fast` semantics;
+    /// the cross-component phases (releases, node deliveries, BECNs,
+    /// traffic generation, gauges) stay serial, the per-component
+    /// phases fan out over the shards, and every shard effect is merged
+    /// back in canonical order (DESIGN.md §9).
+    fn tick_parallel(
+        &mut self,
+        pool: &Pool,
+        plan: &ShardPlan,
+        outboxes: &mut [ShardOutbox],
+        p5_ran: &mut [bool],
+    ) {
+        let now = self.now;
+
+        // Phase 0 + 1 + 2 (serial): fault events, RAM releases, credit
+        // absorption.
+        if self.faults.is_some() {
+            self.apply_fault_events(now);
+        }
+        self.drain_releases(now);
+        for l in &mut self.links {
+            l.poll_credits(now);
+        }
+
+        // Phase 3a (parallel): drain switch-bound links into their
+        // receiving switches.
+        let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
+        pool.run_section(PhaseKind::Deliver, &ctx);
+        if let Some(frt) = self.faults.as_mut() {
+            for ob in outboxes[..plan.shards].iter_mut() {
+                frt.packets_purged += ob.purged_data;
+                frt.ctrl_purged += ob.purged_ctrl;
+                ob.purged_data = 0;
+                ob.purged_ctrl = 0;
+            }
+        }
+
+        // Phase 3b (serial): node-bound deliveries — these touch the
+        // global delivery metrics, the delivered counter, and the BECN
+        // generation sequence, all of which must accumulate in link
+        // order.
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        for li in 0..self.links.len() {
+            let LinkDst::NodeRecv(n) = self.link_dst[li] else {
+                continue;
+            };
+            if !self.links[li].has_delivery(now) {
+                continue;
+            }
+            deliveries.clear();
+            self.links[li].deliver_into(now, &mut deliveries);
+            for d in deliveries.drain(..) {
+                self.deliver_to_node(n, li, d);
+            }
+        }
+        self.delivery_scratch = deliveries;
+
+        // Phase 4 (parallel): control traffic. Switch metrics land in
+        // outboxes [0, S), adapter metrics in [S, 2S) — applying them in
+        // order replays the serial switches-then-adapters emission.
+        let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
+        pool.run_section(PhaseKind::Ctrl, &ctx);
+        self.apply_outbox_metrics(outboxes);
+
+        // Phase 5a (parallel): isolation / post-processing. Its own
+        // section because a switch sends control events upstream on its
+        // *input* links, which are other shards' output links in the
+        // arbitration phase.
+        let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
+        pool.run_section(PhaseKind::Iso, &ctx);
+        self.apply_outbox_metrics(outboxes);
+
+        // Phases 5b + 6 (parallel): congestion-state refresh and
+        // arbitration. RAM releases merge into the calendar queue in
+        // (shard, switch) order == switch order, the serial push order.
+        let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
+        pool.run_section(PhaseKind::CstArb, &ctx);
+        self.apply_outbox_metrics(outboxes);
+        for ob in outboxes[..plan.shards].iter_mut() {
+            for (sw, r) in ob.releases.drain(..) {
+                self.release_q.push(
+                    r.at,
+                    Release::SwitchPort {
+                        sw,
+                        port: r.port as u16,
+                        flits: r.flits,
+                        dst: r.dst.0,
+                    },
+                );
+            }
+        }
+
+        // Phase 7 (serial): BECN arrivals.
+        self.drain_becns(now);
+
+        // Phase 8a (serial): traffic generation draws seeded randomness
+        // and allocates global packet ids — strictly node order. Running
+        // every generator before any adapter tick is equivalent to the
+        // serial interleave: a generator only touches its own adapter
+        // (pre-tick state in both engines) and the global id counters,
+        // which no adapter tick reads.
+        for n in 0..self.adapters.len() {
+            if self.gens[n].any_active(now) {
+                self.gen_node(n, now);
+            }
+        }
+
+        // Phase 8b (parallel): adapter arbitration and injection.
+        let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
+        pool.run_section(PhaseKind::AdapterTick, &ctx);
+        self.apply_outbox_metrics(outboxes);
+        for ob in outboxes[plan.shards..].iter_mut() {
+            for (node, rel) in ob.adapter_releases.drain(..) {
+                self.release_q.push(
+                    rel.at,
+                    Release::Node {
+                        node,
+                        flits: rel.flits,
+                    },
+                );
+            }
+        }
+
+        self.sample_gauges(now);
+        self.now = self.quiet_jump_target(now);
     }
 
     /// Run `cycles` more cycles (tests drive the simulator piecewise).

@@ -22,14 +22,15 @@ use crate::params::{IsolationParams, QueueingScheme};
 use crate::port::{CfqState, InputQueues};
 use ccfit_engine::cam::Cam;
 use ccfit_engine::ids::{LinkId, NodeId, SwitchId};
-use ccfit_engine::link::{CtrlEvent, Delivery, Link};
+use ccfit_engine::link::{CtrlEvent, Delivery, Link, LinkSlice};
 use ccfit_engine::queue::QueuedPacket;
 use ccfit_engine::ram::PortRam;
 use ccfit_engine::units::Cycle;
-use ccfit_metrics::MetricsCollector;
+use ccfit_metrics::MetricsSink;
 use ccfit_topology::RoutingTable;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Where the congestion state of an output port comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +128,11 @@ pub struct OutputPort {
     pub congested: bool,
     /// CCFIT: number of root CFQs above High draining through this port.
     pub over_high_count: u32,
+    /// Cached bandwidth (flits/cycle) of `out_link`, so the starvation
+    /// test in `isolation_tick` never reads a foreign shard's link. Set
+    /// by the simulator at assembly and refreshed on degrade/restore
+    /// fault events (which run in the serial fault phase).
+    pub link_bw: u32,
 }
 
 /// Identifies a queue within an input port.
@@ -196,10 +202,30 @@ impl PurgeStats {
 /// `u32::MAX`): links whose receiver is not a switch input have no
 /// per-destination reservation and always pass the credit check, matching
 /// the old `HashMap`'s missing-key behaviour.
-#[derive(Debug, Clone)]
+///
+/// Cells are atomics accessed through `&self` so the parallel tick can
+/// share the table across shard workers. All operations use relaxed
+/// plain load/store pairs, *not* read-modify-write: the phase structure
+/// guarantees each `(link, dst)` row is touched by exactly one thread
+/// within a parallel section (the link's owning shard), with barriers
+/// ordering the phases, so there is never a data race to resolve.
+#[derive(Debug)]
 pub struct VoqNetCredits {
     num_dests: usize,
-    table: Vec<u32>,
+    table: Vec<AtomicU32>,
+}
+
+impl Clone for VoqNetCredits {
+    fn clone(&self) -> Self {
+        Self {
+            num_dests: self.num_dests,
+            table: self
+                .table
+                .iter()
+                .map(|c| AtomicU32::new(c.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
 }
 
 impl VoqNetCredits {
@@ -210,7 +236,9 @@ impl VoqNetCredits {
     pub fn new(num_links: usize, num_dests: usize) -> Self {
         Self {
             num_dests,
-            table: vec![Self::UNTRACKED; num_links * num_dests],
+            table: (0..num_links * num_dests)
+                .map(|_| AtomicU32::new(Self::UNTRACKED))
+                .collect(),
         }
     }
 
@@ -219,15 +247,15 @@ impl VoqNetCredits {
     }
 
     /// Start tracking `(link, dst)` with `credits` flits of reserved space.
-    pub fn set(&mut self, link: u32, dst: u32, credits: u32) {
+    pub fn set(&self, link: u32, dst: u32, credits: u32) {
         debug_assert_ne!(credits, Self::UNTRACKED);
         let i = self.idx(link, dst);
-        self.table[i] = credits;
+        self.table[i].store(credits, Ordering::Relaxed);
     }
 
     /// Current credits, or `None` if the pair is untracked.
     pub fn get(&self, link: u32, dst: u32) -> Option<u32> {
-        match self.table[self.idx(link, dst)] {
+        match self.table[self.idx(link, dst)].load(Ordering::Relaxed) {
             Self::UNTRACKED => None,
             c => Some(c),
         }
@@ -236,24 +264,26 @@ impl VoqNetCredits {
     /// Whether a packet of `flits` may be sent (untracked pairs always
     /// pass).
     pub fn has(&self, link: u32, dst: u32, flits: u32) -> bool {
-        let c = self.table[self.idx(link, dst)];
+        let c = self.table[self.idx(link, dst)].load(Ordering::Relaxed);
         c == Self::UNTRACKED || c >= flits
     }
 
     /// Return `flits` credits (no-op when untracked).
-    pub fn add(&mut self, link: u32, dst: u32, flits: u32) {
-        let i = self.idx(link, dst);
-        if self.table[i] != Self::UNTRACKED {
-            self.table[i] += flits;
-            debug_assert_ne!(self.table[i], Self::UNTRACKED);
+    pub fn add(&self, link: u32, dst: u32, flits: u32) {
+        let cell = &self.table[self.idx(link, dst)];
+        let c = cell.load(Ordering::Relaxed);
+        if c != Self::UNTRACKED {
+            debug_assert_ne!(c + flits, Self::UNTRACKED);
+            cell.store(c + flits, Ordering::Relaxed);
         }
     }
 
     /// Debit `flits` credits (no-op when untracked).
-    pub fn sub(&mut self, link: u32, dst: u32, flits: u32) {
-        let i = self.idx(link, dst);
-        if self.table[i] != Self::UNTRACKED {
-            self.table[i] -= flits;
+    pub fn sub(&self, link: u32, dst: u32, flits: u32) {
+        let cell = &self.table[self.idx(link, dst)];
+        let c = cell.load(Ordering::Relaxed);
+        if c != Self::UNTRACKED {
+            cell.store(c - flits, Ordering::Relaxed);
         }
     }
 }
@@ -338,6 +368,7 @@ impl Switch {
                 cam: Cam::new(out_cam_lines),
                 congested: false,
                 over_high_count: 0,
+                link_bw: 1,
             })
             .collect();
         let islip = Islip::new(num_ports, cfg.islip_iterations);
@@ -374,6 +405,12 @@ impl Switch {
         self.inputs[0].ram.capacity()
     }
 
+    /// Refresh the cached bandwidth of output `port`'s link (assembly,
+    /// and the serial fault phase after a degrade/restore event).
+    pub fn set_output_link_bw(&mut self, port: usize, bw_flits_per_cycle: u32) {
+        self.outputs[port].link_bw = bw_flits_per_cycle;
+    }
+
     /// Accept a packet delivered on input `port`. BECN notification
     /// packets travel the normal data path but only ever use the NFQ
     /// (§III-B).
@@ -403,11 +440,22 @@ impl Switch {
 
     /// Drain control events arriving at the output ports (congestion info
     /// propagated upstream by the downstream switch/adapter).
-    pub fn poll_output_ctrl(
+    pub fn poll_output_ctrl<M: MetricsSink>(
         &mut self,
         now: Cycle,
         links: &mut [Link],
-        metrics: &mut MetricsCollector,
+        metrics: &mut M,
+    ) {
+        self.poll_output_ctrl_ls(now, &mut LinkSlice::new(links), metrics)
+    }
+
+    /// [`Switch::poll_output_ctrl`] against a [`LinkSlice`] view. Only
+    /// touches this switch's own output links (shard-safe).
+    pub fn poll_output_ctrl_ls<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        links: &mut LinkSlice<'_>,
+        metrics: &mut M,
     ) {
         let scratch = &mut self.ctrl_scratch;
         for out in &mut self.outputs {
@@ -468,12 +516,25 @@ impl Switch {
 
     /// The isolation duties of the post-processing stage (§III-C): runs
     /// only when the mechanism isolates congested flows.
-    pub fn isolation_tick(
+    pub fn isolation_tick<M: MetricsSink>(
         &mut self,
         now: Cycle,
         routing: &RoutingTable,
         links: &mut [Link],
-        metrics: &mut MetricsCollector,
+        metrics: &mut M,
+    ) {
+        self.isolation_tick_ls(now, routing, &mut LinkSlice::new(links), metrics)
+    }
+
+    /// [`Switch::isolation_tick`] against a [`LinkSlice`] view. Only
+    /// touches this switch's own input links — control propagation goes
+    /// upstream on `in_link` — so it is shard-safe.
+    pub fn isolation_tick_ls<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        routing: &RoutingTable,
+        links: &mut LinkSlice<'_>,
+        metrics: &mut M,
     ) {
         let Some(iso) = self.cfg.iso else { return };
         let mtu = self.cfg.mtu_flits;
@@ -679,10 +740,10 @@ impl Switch {
                     if st.root {
                         // Periodic drain-rate evaluation.
                         if now.saturating_sub(st.window_start) >= thr.starvation_window_cycles {
-                            let out_bw = self.outputs[st.out_port]
-                                .out_link
-                                .map(|l| links[l.index()].config().bw_flits_per_cycle)
-                                .unwrap_or(1);
+                            // Cached at assembly / fault-phase: reading the
+                            // out-link's live config here would cross into
+                            // another shard's links.
+                            let out_bw = self.outputs[st.out_port].link_bw;
                             let capacity = (now - st.window_start) as f64 * out_bw as f64;
                             st.starved = (st.granted_window as f64) < 0.9 * capacity;
                             st.granted_window = 0;
@@ -751,6 +812,16 @@ impl Switch {
 
     /// Update each output port's congestion state.
     pub fn congestion_state_tick(&mut self, now: Cycle, links: &[Link]) {
+        self.congestion_state_tick_inner(now, |i| links[i].credits())
+    }
+
+    /// [`Switch::congestion_state_tick`] against a [`LinkSlice`] view.
+    /// Only reads this switch's own output links (shard-safe).
+    pub fn congestion_state_tick_ls(&mut self, now: Cycle, links: &LinkSlice<'_>) {
+        self.congestion_state_tick_inner(now, |i| links[i].credits())
+    }
+
+    fn congestion_state_tick_inner(&mut self, now: Cycle, link_credits: impl Fn(usize) -> u32) {
         let _ = now;
         let Some(thr) = self.cfg.thr else { return };
         match thr.source {
@@ -787,7 +858,7 @@ impl Switch {
                         // than a victim of spreading.
                         let has_credits = out
                             .out_link
-                            .is_some_and(|l| links[l.index()].credits() >= self.cfg.mtu_flits);
+                            .is_some_and(|l| link_credits(l.index()) >= self.cfg.mtu_flits);
                         if occ >= thr.high_flits && has_credits {
                             out.congested = true;
                             self.congested_count += 1;
@@ -807,7 +878,7 @@ impl Switch {
         port: usize,
         now: Cycle,
         routing: &RoutingTable,
-        links: &[Link],
+        links: &LinkSlice<'_>,
         voqnet: Option<&VoqNetCredits>,
         out: &mut Vec<Candidate>,
     ) {
@@ -921,13 +992,13 @@ impl Switch {
     /// Run iSLIP and start the winning transmissions. Returns the RAM
     /// releases to schedule. `voqnet` per-destination credits are debited
     /// here for the packets sent.
-    pub fn arbitrate_and_transmit(
+    pub fn arbitrate_and_transmit<M: MetricsSink>(
         &mut self,
         now: Cycle,
         routing: &RoutingTable,
         links: &mut [Link],
-        voqnet: Option<&mut VoqNetCredits>,
-        metrics: &mut MetricsCollector,
+        voqnet: Option<&VoqNetCredits>,
+        metrics: &mut M,
     ) -> Vec<PendingRelease> {
         let mut releases = Vec::new();
         self.arbitrate_and_transmit_into(now, routing, links, voqnet, metrics, &mut releases);
@@ -936,13 +1007,34 @@ impl Switch {
 
     /// Allocation-free `arbitrate_and_transmit`: append the RAM releases
     /// to `releases`, reusing scratch kept inside the switch.
-    pub fn arbitrate_and_transmit_into(
+    pub fn arbitrate_and_transmit_into<M: MetricsSink>(
         &mut self,
         now: Cycle,
         routing: &RoutingTable,
         links: &mut [Link],
-        voqnet: Option<&mut VoqNetCredits>,
-        metrics: &mut MetricsCollector,
+        voqnet: Option<&VoqNetCredits>,
+        metrics: &mut M,
+        releases: &mut Vec<PendingRelease>,
+    ) {
+        self.arbitrate_and_transmit_ls(
+            now,
+            routing,
+            &mut LinkSlice::new(links),
+            voqnet,
+            metrics,
+            releases,
+        )
+    }
+
+    /// [`Switch::arbitrate_and_transmit_into`] against a [`LinkSlice`]
+    /// view. Only touches this switch's own output links (shard-safe).
+    pub fn arbitrate_and_transmit_ls<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        routing: &RoutingTable,
+        links: &mut LinkSlice<'_>,
+        voqnet: Option<&VoqNetCredits>,
+        metrics: &mut M,
         releases: &mut Vec<PendingRelease>,
     ) {
         if self.buffered == 0 {
@@ -957,11 +1049,10 @@ impl Switch {
         // free for `candidates_into` / `islip` below; put it back at the
         // end.
         let mut arb = std::mem::take(&mut self.arb);
-        let voqnet_ref = voqnet.as_deref();
         for port in 0..num_ports {
             let cands = &mut arb.all_candidates[port];
             cands.clear();
-            self.candidates_into(port, now, routing, links, voqnet_ref, cands);
+            self.candidates_into(port, now, routing, links, voqnet, cands);
             let req = &mut arb.requests[port];
             req.clear();
             req.extend(cands.iter().map(|c| c.out));
@@ -983,7 +1074,6 @@ impl Switch {
         self.islip
             .schedule_into(&arb.requests, &arb.in_free, &arb.out_free, &mut arb.matches);
 
-        let mut voqnet = voqnet;
         for &(port, out) in &arb.matches {
             // Choose which of the port's queues serves this output:
             // round-robin over the queue list for intra-port fairness.
@@ -1048,7 +1138,7 @@ impl Switch {
                 .max(entry.ready_at);
             let _ = wire_done; // the output link tracks its own busy time
             self.inputs[port].busy_until = input_done;
-            if let Some(vn) = voqnet.as_deref_mut() {
+            if let Some(vn) = voqnet {
                 vn.sub(link_id.0, entry.packet.dst.0, entry.packet.size_flits);
             }
             releases.push(PendingRelease {

@@ -26,6 +26,7 @@
 //!
 //! [`ccfit`]: https://example.org/ccfit-rs
 
+pub mod calq;
 pub mod cam;
 pub mod error;
 pub mod ids;
@@ -36,10 +37,11 @@ pub mod ram;
 pub mod rng;
 pub mod units;
 
+pub use calq::CalendarQueue;
 pub use cam::{Cam, CamLine};
 pub use error::EngineError;
 pub use ids::{FlowId, LinkId, NodeId, PacketId, PortId, SwitchId};
-pub use link::{CtrlEvent, Link, LinkConfig, WireLoss};
+pub use link::{CtrlEvent, Link, LinkConfig, LinkSlice, WireLoss};
 pub use packet::{Packet, PacketKind};
 pub use queue::PacketQueue;
 pub use ram::PortRam;

@@ -178,3 +178,96 @@ proptest! {
         prop_assert!(back < ns + u.cycle_ns + 1e-6);
     }
 }
+
+// ---- CalendarQueue vs. sequenced-heap model equivalence ----
+//
+// The simulator replaced its `BinaryHeap<Reverse<(cycle, seq, T)>>`
+// release queue with `CalendarQueue`, relying on the queue yielding
+// events in ascending-cycle order, FIFO within a cycle — exactly the
+// heap's order when `seq` increases monotonically with each push. These
+// properties pin that equivalence over arbitrary interleavings of
+// pushes, timed drains, and retains.
+
+use ccfit_engine::CalendarQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone)]
+enum CalOp {
+    /// Schedule a value `delta` cycles from the current clock.
+    Push(u64),
+    /// Advance the clock by `delta` and drain everything due.
+    Drain(u64),
+    /// Keep only values where `value % modulus != 0`.
+    Retain(u64),
+}
+
+fn cal_op() -> impl Strategy<Value = CalOp> {
+    (0u8..7, 0u64..5000).prop_map(|(kind, delta)| match kind {
+        0..=3 => CalOp::Push(delta),
+        4 | 5 => CalOp::Drain(delta % 2048),
+        _ => CalOp::Retain(2 + delta % 3),
+    })
+}
+
+proptest! {
+    #[test]
+    fn calendar_queue_matches_sequenced_heap(ops in prop::collection::vec(cal_op(), 1..200)) {
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut next_val = 0u64;
+        for op in ops {
+            match op {
+                CalOp::Push(delta) => {
+                    let at = now + delta;
+                    cal.push(at, next_val);
+                    heap.push(Reverse((at, seq, next_val)));
+                    seq += 1;
+                    next_val += 1;
+                }
+                CalOp::Drain(delta) => {
+                    now += delta;
+                    loop {
+                        let c = cal.pop_due(now);
+                        let h = match heap.peek() {
+                            Some(&Reverse((at, _, v))) if at <= now => {
+                                heap.pop();
+                                Some((at, v))
+                            }
+                            _ => None,
+                        };
+                        prop_assert_eq!(c, h, "divergence at now = {}", now);
+                        if c.is_none() {
+                            break;
+                        }
+                    }
+                }
+                CalOp::Retain(m) => {
+                    cal.retain(|&v| v % m != 0);
+                    heap = heap
+                        .drain()
+                        .filter(|&Reverse((_, _, v))| v % m != 0)
+                        .collect();
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.is_empty(), heap.is_empty());
+            prop_assert_eq!(
+                cal.next_at(),
+                heap.peek().map(|&Reverse((at, _, _))| at),
+                "next_at diverges at now = {}", now
+            );
+        }
+        // Final full drain: both must yield the identical tail.
+        loop {
+            let c = cal.pop_due(u64::MAX - 1);
+            let h = heap.pop().map(|Reverse((at, _, v))| (at, v));
+            prop_assert_eq!(c, h);
+            if c.is_none() {
+                break;
+            }
+        }
+    }
+}

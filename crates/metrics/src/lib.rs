@@ -22,6 +22,7 @@ pub mod fairness;
 pub mod faults;
 pub mod histogram;
 pub mod report;
+pub mod scratch;
 pub mod series;
 
 pub use collector::MetricsCollector;
@@ -29,4 +30,5 @@ pub use fairness::jain_index;
 pub use faults::FaultSummary;
 pub use histogram::LatencyHistogram;
 pub use report::{FlowReport, SimReport};
+pub use scratch::{MetricOp, MetricsScratch, MetricsSink};
 pub use series::TimeSeries;

@@ -1,0 +1,162 @@
+//! Order-preserving metrics outboxes for the sharded parallel tick.
+//!
+//! The collector's delivery series accumulate `f64` values, and floating
+//! point addition is not associative — so the parallel engine may not sum
+//! partial results per shard. Instead every worker records the *operations*
+//! it would have performed into a [`MetricsScratch`] op log; the main
+//! thread replays the logs into the real [`MetricsCollector`] in canonical
+//! shard order, reproducing the serial call sequence bit for bit.
+
+use crate::collector::MetricsCollector;
+use ccfit_engine::packet::Packet;
+use ccfit_engine::units::Cycle;
+
+/// The sink interface shared by the live collector and the per-shard
+/// scratch logs. Switch/adapter code is generic over this so the same
+/// model code runs serially (writing straight into [`MetricsCollector`])
+/// and in a worker (logging into a [`MetricsScratch`]).
+pub trait MetricsSink {
+    /// Increment a named event counter.
+    fn count(&mut self, name: &str, delta: u64);
+    /// Record an instantaneous gauge sample.
+    fn gauge(&mut self, name: &str, at_ns: f64, value: f64);
+    /// Record a data packet delivered to its destination at cycle `now`.
+    fn record_delivery(&mut self, now: Cycle, pkt: &Packet);
+}
+
+impl MetricsSink for MetricsCollector {
+    fn count(&mut self, name: &str, delta: u64) {
+        MetricsCollector::count(self, name, delta);
+    }
+    fn gauge(&mut self, name: &str, at_ns: f64, value: f64) {
+        MetricsCollector::gauge(self, name, at_ns, value);
+    }
+    fn record_delivery(&mut self, now: Cycle, pkt: &Packet) {
+        MetricsCollector::record_delivery(self, now, pkt);
+    }
+}
+
+/// One recorded metrics operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricOp {
+    /// `count(name, delta)`.
+    Count(String, u64),
+    /// `gauge(name, at_ns, value)`.
+    Gauge(String, f64, f64),
+    /// `record_delivery(now, pkt)`.
+    Delivery(Cycle, Packet),
+}
+
+/// An append-only log of metrics operations, recorded by one shard worker
+/// and drained into the collector by [`MetricsCollector::apply_scratch`].
+#[derive(Debug, Default, Clone)]
+pub struct MetricsScratch {
+    ops: Vec<MetricOp>,
+}
+
+impl MetricsScratch {
+    /// Fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The recorded operations, in emission order.
+    pub fn ops(&self) -> &[MetricOp] {
+        &self.ops
+    }
+
+    /// Drop all recorded operations, keeping capacity.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+impl MetricsSink for MetricsScratch {
+    fn count(&mut self, name: &str, delta: u64) {
+        self.ops.push(MetricOp::Count(name.to_string(), delta));
+    }
+    fn gauge(&mut self, name: &str, at_ns: f64, value: f64) {
+        self.ops
+            .push(MetricOp::Gauge(name.to_string(), at_ns, value));
+    }
+    fn record_delivery(&mut self, now: Cycle, pkt: &Packet) {
+        self.ops.push(MetricOp::Delivery(now, *pkt));
+    }
+}
+
+impl MetricsCollector {
+    /// Replay a scratch log into the collector in emission order and clear
+    /// it. Applying shard logs in canonical (shard-index) order reproduces
+    /// the serial call sequence exactly, including `f64` addition order.
+    pub fn apply_scratch(&mut self, scratch: &mut MetricsScratch) {
+        for op in scratch.ops.drain(..) {
+            match op {
+                MetricOp::Count(name, delta) => self.count(&name, delta),
+                MetricOp::Gauge(name, at_ns, value) => self.gauge(&name, at_ns, value),
+                MetricOp::Delivery(now, pkt) => self.record_delivery(now, &pkt),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfit_engine::ids::{FlowId, NodeId, PacketId};
+    use ccfit_engine::units::UnitModel;
+    use std::collections::BTreeMap;
+
+    fn pkt(flow: u32, bytes: u32) -> Packet {
+        Packet::data(
+            PacketId(0),
+            NodeId(0),
+            NodeId(1),
+            bytes.div_ceil(64),
+            bytes,
+            FlowId(flow),
+            0,
+        )
+    }
+
+    #[test]
+    fn scratch_replay_matches_direct_calls() {
+        let mut direct = MetricsCollector::new(UnitModel::default(), 1000.0);
+        let mut via = MetricsCollector::new(UnitModel::default(), 1000.0);
+        let mut scratch = MetricsScratch::new();
+
+        direct.count("x", 2);
+        direct.gauge("g", 500.0, 3.5);
+        direct.record_delivery(10, &pkt(1, 2048));
+
+        MetricsSink::count(&mut scratch, "x", 2);
+        MetricsSink::gauge(&mut scratch, "g", 500.0, 3.5);
+        MetricsSink::record_delivery(&mut scratch, 10, &pkt(1, 2048));
+        via.apply_scratch(&mut scratch);
+
+        assert!(scratch.is_empty());
+        let a = direct.finish("t", 2000.0, 1.0, &BTreeMap::new());
+        let b = via.finish("t", 2000.0, 1.0, &BTreeMap::new());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn apply_clears_and_preserves_capacity() {
+        let mut c = MetricsCollector::new(UnitModel::default(), 1000.0);
+        let mut s = MetricsScratch::new();
+        MetricsSink::count(&mut s, "a", 1);
+        assert_eq!(s.len(), 1);
+        c.apply_scratch(&mut s);
+        assert_eq!(s.len(), 0);
+        assert_eq!(c.counter("a"), 1);
+    }
+}

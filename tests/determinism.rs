@@ -9,7 +9,7 @@
 //! equivalence) — and compares the full serialized `SimReport`s, which
 //! capture every counter, histogram, gauge series, and per-flow curve.
 
-use ccfit::experiment::{config1_case1_scaled, config2_case2_scaled};
+use ccfit::experiment::{config1_case1_scaled, config2_case2_scaled, config3_case4_scaled};
 use ccfit::{FaultConfig, FaultPolicy, FaultSchedule, Mechanism, SimConfig};
 use ccfit_engine::ids::NodeId;
 use ccfit_topology::Endpoint;
@@ -20,6 +20,12 @@ fn cfg(force_slow_path: bool) -> SimConfig {
         force_slow_path,
         ..SimConfig::default()
     }
+}
+
+fn cfg_threads(threads: usize) -> SimConfig {
+    let mut c = cfg(false);
+    c.parallel.threads = threads;
+    c
 }
 
 /// Same guarantee with a dynamic fault schedule in play: the Phase-0
@@ -91,5 +97,69 @@ fn fast_path_is_bit_identical_to_slow_path() {
                 "{name}/seed {seed}: fast path diverges from the exhaustive slow path"
             );
         }
+    }
+}
+
+/// The sharded parallel tick engine (DESIGN.md §9) must be
+/// byte-identical to the exhaustive serial engine for every thread
+/// count, across all three paper configurations — single crossbar
+/// switch, 2-ary 3-tree, and the 4-ary 3-tree under hotspot congestion.
+#[test]
+fn parallel_tick_is_bit_identical_across_thread_counts() {
+    let specs = [
+        config1_case1_scaled(0.02),
+        config2_case2_scaled(0.02),
+        config3_case4_scaled(1, 0.01),
+    ];
+    for spec in &specs {
+        let serial = spec.run_with(Mechanism::ccfit(), 3, cfg(true)).to_json();
+        for threads in [1usize, 2, 4] {
+            let par = spec
+                .run_with(Mechanism::ccfit(), 3, cfg_threads(threads))
+                .to_json();
+            assert_eq!(
+                par, serial,
+                "{}: threads={threads} diverges from the serial engine",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Parallel byte-identity must also hold with a dynamic fault schedule
+/// in play: purges, re-routes and link-rate changes all cross shard
+/// boundaries.
+#[test]
+fn parallel_tick_is_bit_identical_under_faults() {
+    let spec = config2_case2_scaled(0.04);
+    let leaf = spec.topology.node_attachment(NodeId(7)).0;
+    let trunk = spec
+        .topology
+        .switch(leaf)
+        .connected()
+        .find(|&p| matches!(spec.topology.peer(leaf, p), Some((Endpoint::Switch(..), _))))
+        .expect("leaf has an up-link");
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .link_down(40_000, leaf, trunk, FaultPolicy::FailStop)
+        .link_up(120_000, leaf, trunk);
+
+    let run = |c: SimConfig| {
+        spec.run_with_faults(
+            Mechanism::ccfit(),
+            9,
+            c,
+            schedule.clone(),
+            FaultConfig::default(),
+        )
+        .to_json()
+    };
+    let serial = run(cfg(true));
+    for threads in [2usize, 4] {
+        assert_eq!(
+            run(cfg_threads(threads)),
+            serial,
+            "threads={threads} diverges from the serial engine under faults"
+        );
     }
 }
