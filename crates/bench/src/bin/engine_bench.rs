@@ -13,10 +13,16 @@
 //! concurrently. Results land in `BENCH_engine.json` (override the path
 //! with `--out <file>`).
 //!
+//! With `--trace`, the congestion-heavy scenario is additionally timed
+//! with the full observability layer on (every event class, per-packet
+//! tracing, per-port telemetry; DESIGN.md §10) and the run asserts that
+//! recording never perturbs the simulation — the traced report's
+//! aggregates must equal the untraced ones exactly.
+//!
 //! Run with `cargo run --release --bin engine_bench`.
 
 use ccfit::experiment::{config1_case1_scaled, ExperimentSpec};
-use ccfit::{Mechanism, SimConfig};
+use ccfit::{EventClass, EventConfig, Mechanism, SimConfig};
 use ccfit_engine::ids::NodeId;
 use ccfit_topology::{config1_topology, RoutingTable};
 use ccfit_traffic::{FlowSpec, TrafficPattern};
@@ -39,6 +45,11 @@ struct ScenarioResult {
     parallel_cycles_per_sec: Option<f64>,
     /// Parallel throughput over fast-serial throughput.
     parallel_speedup: Option<f64>,
+    /// Wall time with the full observability layer on (`--trace` only).
+    traced_wall_s: Option<f64>,
+    traced_cycles_per_sec: Option<f64>,
+    /// Percent throughput lost to full tracing vs the fast serial run.
+    tracing_overhead_pct: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -109,6 +120,43 @@ fn time_run(spec: &ExperimentSpec, force_slow_path: bool, threads: usize) -> (f6
     (best, cycles)
 }
 
+/// Best-of-`REPS` wall time with every observability channel on, plus a
+/// correctness gate: tracing may observe the run but never change it.
+fn time_traced(spec: &ExperimentSpec) -> f64 {
+    let mut c = cfg(false, 1);
+    c.events = Some(EventConfig {
+        classes: EventClass::ALL,
+        sample_every: 1,
+        cap: 1 << 22,
+    });
+    c.trace_sample_every = Some(1);
+    c.port_telemetry = true;
+
+    let untraced = spec.run_with(Mechanism::ccfit(), 1, cfg(false, 1));
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let report = spec.run_with(Mechanism::ccfit(), 1, c.clone());
+        best = best.min(t0.elapsed().as_secs_f64());
+        let log = report.events.as_ref().expect("events enabled");
+        assert_eq!(log.dropped_cap, 0, "{}: event cap truncated", spec.name);
+        assert!(!log.events.is_empty(), "{}: no events recorded", spec.name);
+        assert_eq!(
+            report.counters, untraced.counters,
+            "{}: tracing perturbed the counters",
+            spec.name
+        );
+        assert_eq!(report.delivered_packets, untraced.delivered_packets);
+        assert_eq!(report.delivered_bytes, untraced.delivered_bytes);
+        assert_eq!(
+            report.total_bytes, untraced.total_bytes,
+            "{}: tracing perturbed the throughput series",
+            spec.name
+        );
+    }
+    best
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
@@ -122,6 +170,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
+    let trace = args.iter().any(|a| a == "--trace");
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -168,6 +217,19 @@ fn main() {
                 host_cpus
             );
         }
+        // The tracing-overhead leg rides the congestion-heavy scenario:
+        // a busy network is where event emission is most frequent.
+        let traced_s = (trace && bench_parallel).then(|| time_traced(&spec));
+        let traced_cps = traced_s.map(|s| fast_cycles as f64 / s.max(1e-12));
+        if let (Some(s), Some(cps)) = (traced_s, traced_cps) {
+            println!(
+                "{:<17} {:>9} cycles | traced {:>10.0} cyc/s | {:.1}% overhead vs fast",
+                spec.name,
+                fast_cycles,
+                cps,
+                (1.0 - s.min(fast_s) / s.max(1e-12)) * 100.0
+            );
+        }
         entries.push(ScenarioResult {
             scenario: spec.name.clone(),
             simulated_cycles: slow_cycles,
@@ -180,6 +242,9 @@ fn main() {
             parallel_wall_s: par_s,
             parallel_cycles_per_sec: par_cps,
             parallel_speedup: par_cps.map(|cps| cps / fast_cps),
+            traced_wall_s: traced_s,
+            traced_cycles_per_sec: traced_cps,
+            tracing_overhead_pct: traced_s.map(|s| (1.0 - fast_s.min(s) / s.max(1e-12)) * 100.0),
         });
     }
     let doc = BenchDoc {

@@ -28,7 +28,7 @@ use ccfit_engine::packet::Packet;
 use ccfit_engine::queue::{PacketQueue, QueuedPacket};
 use ccfit_engine::ram::PortRam;
 use ccfit_engine::units::{Cycle, UnitModel};
-use ccfit_metrics::MetricsSink;
+use ccfit_metrics::{CcEvent, CcEventKind, EventClass, MetricsSink};
 use ccfit_traffic::GenPacket;
 
 /// Adapter-side throttling configuration, pre-converted to cycles.
@@ -232,6 +232,15 @@ impl Adapter {
                             .is_err()
                     {
                         metrics.count("ia_cam_exhausted", 1);
+                        if metrics.wants_events(EventClass::CAM) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::IaCamExhausted {
+                                    node: self.node.0,
+                                    dst: dst.0,
+                                },
+                            });
+                        }
                     }
                 }
                 CtrlEvent::CfqDealloc { dst } => {
@@ -248,6 +257,15 @@ impl Adapter {
                         .is_err()
                     {
                         metrics.count("ia_cam_exhausted", 1);
+                        if metrics.wants_events(EventClass::CAM) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::IaCamExhausted {
+                                    node: self.node.0,
+                                    dst: dst.0,
+                                },
+                            });
+                        }
                     }
                 }
                 CtrlEvent::Go { dst } => {
@@ -285,6 +303,27 @@ impl Adapter {
         }
         self.timer_deadline[d] = now + thr.ccti_timer_cycles;
         metrics.count("becn_received", 1);
+        if metrics.wants_events(EventClass::BECN) {
+            metrics.cc_event(CcEvent {
+                at: now,
+                kind: CcEventKind::BecnReceived {
+                    node: self.node.0,
+                    dst: dst.0,
+                },
+            });
+        }
+        if metrics.wants_events(EventClass::CCTI) {
+            let ccti = self.ccti[d];
+            metrics.cc_event(CcEvent {
+                at: now,
+                kind: CcEventKind::CctiIncrease {
+                    node: self.node.0,
+                    dst: dst.0,
+                    ccti: ccti as u32,
+                    ird_cycles: thr.cct[ccti as usize],
+                },
+            });
+        }
     }
 
     /// Current CCTI for a destination (tests and introspection).
@@ -328,7 +367,7 @@ impl Adapter {
         voqnet: Option<&VoqNetCredits>,
         metrics: &mut M,
     ) -> Option<AdapterRelease> {
-        self.expire_timers(now);
+        self.expire_timers(now, metrics);
         if self.cfg.per_dest_output {
             self.direct_output_arbitration(now, links, voqnet);
             return None;
@@ -389,7 +428,7 @@ impl Adapter {
 
     /// Timer expiry (§III-D event #7): decrement CCTI, re-arm while
     /// nonzero.
-    fn expire_timers(&mut self, now: Cycle) {
+    fn expire_timers<M: MetricsSink>(&mut self, now: Cycle, metrics: &mut M) {
         let Some(thr) = &self.cfg.thr else { return };
         if self.armed_timers == 0 {
             return; // every deadline is Cycle::MAX
@@ -398,6 +437,18 @@ impl Adapter {
             if now >= self.timer_deadline[d] {
                 if self.ccti[d] > 0 {
                     self.ccti[d] -= 1;
+                    if metrics.wants_events(EventClass::CCTI) {
+                        let ccti = self.ccti[d];
+                        metrics.cc_event(CcEvent {
+                            at: now,
+                            kind: CcEventKind::CctiDecay {
+                                node: self.node.0,
+                                dst: d as u32,
+                                ccti: ccti as u32,
+                                ird_cycles: thr.cct[ccti as usize],
+                            },
+                        });
+                    }
                 }
                 self.timer_deadline[d] = if self.ccti[d] > 0 {
                     now + thr.ccti_timer_cycles
@@ -445,13 +496,32 @@ impl Adapter {
                         let free = self.cfqs.iter().position(|c| c.state.is_none());
                         match free {
                             Some(c) => {
-                                self.cfqs[c].state = Some(CfqState::new(head.packet.dst, 0, false));
+                                let dst = head.packet.dst;
+                                self.cfqs[c].state = Some(CfqState::new(dst, 0, false));
                                 self.cfq_count += 1;
                                 metrics.count("ia_cfq_allocated", 1);
+                                if metrics.wants_events(EventClass::CFQ) {
+                                    metrics.cc_event(CcEvent {
+                                        at: now,
+                                        kind: CcEventKind::IaCfqAlloc {
+                                            node: self.node.0,
+                                            dst: dst.0,
+                                        },
+                                    });
+                                }
                                 Some(Target::Cfq(c))
                             }
                             None => {
                                 metrics.count("ia_cfq_exhausted", 1);
+                                if metrics.wants_events(EventClass::CFQ) {
+                                    metrics.cc_event(CcEvent {
+                                        at: now,
+                                        kind: CcEventKind::IaCfqExhausted {
+                                            node: self.node.0,
+                                            dst: head.packet.dst.0,
+                                        },
+                                    });
+                                }
                                 // No CFQ left: fall back to the NFQ (the
                                 // HoL risk the paper accepts when
                                 // isolation resources run out).
@@ -474,6 +544,7 @@ impl Adapter {
             };
             // Commit the move.
             let entry = self.advoqs[d].pop().expect("head exists");
+            let dst = entry.packet.dst;
             self.out_ram.reserve(size).expect("checked above");
             match target {
                 Target::Nfq => self.nfq.push(entry.packet, now, now),
@@ -489,6 +560,16 @@ impl Adapter {
             self.next_allowed[d] = now + packet_time + ird;
             if ird > 0 {
                 metrics.count("throttled_injections", 1);
+                if metrics.wants_events(EventClass::THROTTLE) {
+                    metrics.cc_event(CcEvent {
+                        at: now,
+                        kind: CcEventKind::ThrottledInjection {
+                            node: self.node.0,
+                            dst: dst.0,
+                            ird_cycles: ird,
+                        },
+                    });
+                }
             }
             self.rr = (d + 1) % n;
             break; // one move per cycle
@@ -514,6 +595,15 @@ impl Adapter {
                         self.cfqs[c].state = None;
                         self.cfq_count -= 1;
                         metrics.count("ia_cfq_deallocated", 1);
+                        if metrics.wants_events(EventClass::CFQ) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::IaCfqDealloc {
+                                    node: self.node.0,
+                                    dst: st.dst.0,
+                                },
+                            });
+                        }
                         continue;
                     }
                 } else {

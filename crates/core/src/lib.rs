@@ -51,9 +51,11 @@ pub mod trace;
 pub use ccfit_faults::{
     FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent, RandomFaults, ScheduledEvent,
 };
+pub use ccfit_metrics::{CcEvent, CcEventKind, EventClass, EventConfig, FaultKind};
 pub use parallel::ParallelConfig;
 pub use params::{IsolationParams, Mechanism, QueueingScheme, ThrottleParams};
-pub use simulator::{SimBuilder, SimConfig, Simulator};
+pub use simulator::{BecnTransport, SimBuilder, SimConfig, Simulator};
+pub use trace::{PacketTrace, TraceLog};
 
 // Re-export the companion crates so downstream users need a single
 // dependency.

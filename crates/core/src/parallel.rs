@@ -39,7 +39,7 @@
 
 use crate::endnode::{Adapter, AdapterRelease};
 use crate::switch::{PendingRelease, Switch, VoqNetCredits};
-use ccfit_engine::ids::SwitchId;
+use ccfit_engine::ids::{PacketId, SwitchId};
 use ccfit_engine::link::{Delivery, Link, LinkSlice};
 use ccfit_engine::units::Cycle;
 use ccfit_metrics::MetricsScratch;
@@ -150,6 +150,11 @@ pub(crate) struct ShardOutbox {
     pub(crate) purged_data: u64,
     /// Control packets consumed by the phase-3a fault guard.
     pub(crate) purged_ctrl: u64,
+    /// `(packet, switch, arrival)` hops of traced packets seen by this
+    /// shard's phase 3a, replayed into the central `TraceLog` in shard
+    /// order (a packet makes at most one hop per cycle, so per-packet
+    /// hop order is cycle order regardless of the shard layout).
+    pub(crate) trace_hops: Vec<(PacketId, SwitchId, Cycle)>,
     /// Per-shard delivery drain scratch (no cross-tick state).
     deliveries: Vec<Delivery>,
     /// Per-shard arbitration release scratch.
@@ -189,6 +194,10 @@ pub(crate) struct TickCtx {
     pub(crate) p5_ran: *mut bool,
     pub(crate) plan: *const ShardPlan,
     pub(crate) faults: Option<FaultView>,
+    /// `TraceLog::sample_every` when packet tracing is on, `0` when off
+    /// — lets the Deliver phase apply the serial engine's sampling
+    /// filter without touching the central `TraceLog`.
+    pub(crate) trace_sample: u64,
 }
 
 // SAFETY: the pointers are only dereferenced inside `run_shard`, whose
@@ -252,6 +261,12 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
                         }
                         continue;
                     }
+                    if ctx.trace_sample != 0
+                        && d.packet.is_data()
+                        && d.packet.id.0.is_multiple_of(ctx.trace_sample)
+                    {
+                        ob.trace_hops.push((d.packet.id, SwitchId(s), d.visible_at));
+                    }
                     sw.accept_delivery(p as usize, d, &*ctx.routing);
                 }
             }
@@ -288,7 +303,7 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
             for s in plan.switch_ranges[w].clone() {
                 let sw = &mut *ctx.switches.add(s);
                 if *ctx.p5_ran.add(s) {
-                    sw.congestion_state_tick_ls(now, &links);
+                    sw.congestion_state_tick_ls(now, &links, &mut ob.metrics);
                 }
                 if ctx.fast && !sw.has_buffered() {
                     continue;

@@ -16,7 +16,10 @@ use ccfit_engine::rng::SeedSplitter;
 use ccfit_engine::units::{Cycle, UnitModel};
 use ccfit_engine::CalendarQueue;
 use ccfit_faults::{FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent};
-use ccfit_metrics::{FaultSummary, MetricsCollector, SimReport};
+use ccfit_metrics::{
+    CcEvent, CcEventKind, EventClass, EventConfig, FaultKind, FaultSummary, MetricsCollector,
+    MetricsSink, SimReport,
+};
 use ccfit_topology::{Endpoint, LinkParams, RoutingTable, Topology};
 use ccfit_traffic::{GenPacket, NodeGenerator, TrafficPattern};
 use std::cmp::Reverse;
@@ -75,9 +78,18 @@ pub struct SimConfig {
     /// Sharded parallel-tick configuration (DESIGN.md §9). With
     /// `threads > 1`, [`Simulator::run`] ticks the network on a worker
     /// pool; results are byte-identical to the serial engine for every
-    /// thread count. Ignored (serial engine) when `force_slow_path` is
-    /// set or packet tracing is enabled.
+    /// thread count (packet traces and CC event logs included). Ignored
+    /// (serial engine) when `force_slow_path` is set.
     pub parallel: ParallelConfig,
+    /// Structured congestion-control event recording (DESIGN.md §10).
+    /// `None` (the default) compiles the emission sites down to a single
+    /// predicted-false branch each; `Some` captures the selected event
+    /// classes into the report's [`ccfit_metrics::EventLogReport`].
+    pub events: Option<EventConfig>,
+    /// Sample per-port telemetry gauges (input-RAM occupancy and output
+    /// link credits per switch port) alongside the network-wide gauges.
+    /// Off by default: it adds one series per port to the report.
+    pub port_telemetry: bool,
 }
 
 impl Default for SimConfig {
@@ -98,6 +110,8 @@ impl Default for SimConfig {
             trace_sample_every: None,
             force_slow_path: false,
             parallel: ParallelConfig::default(),
+            events: None,
+            port_telemetry: false,
         }
     }
 }
@@ -385,6 +399,56 @@ impl SimBuilder {
     /// serial engine; see [`SimConfig::parallel`]).
     pub fn threads(mut self, n: usize) -> Self {
         self.cfg.parallel.threads = n.max(1);
+        self
+    }
+
+    /// Record structured CC events with the given configuration
+    /// (classes, sampling stride, ring capacity). See
+    /// [`SimConfig::events`].
+    pub fn events(mut self, cfg: EventConfig) -> Self {
+        self.cfg.events = Some(cfg);
+        self
+    }
+
+    /// Restrict event recording to the given classes (enables recording
+    /// with default sampling/capacity if not configured yet).
+    pub fn event_classes(mut self, classes: EventClass) -> Self {
+        self.cfg
+            .events
+            .get_or_insert_with(EventConfig::default)
+            .classes = classes;
+        self
+    }
+
+    /// Keep every `n`-th event that passes the class mask (1 = all).
+    /// Enables recording if not configured yet.
+    pub fn event_sample_every(mut self, n: u64) -> Self {
+        self.cfg
+            .events
+            .get_or_insert_with(EventConfig::default)
+            .sample_every = n.max(1);
+        self
+    }
+
+    /// Bound the event ring buffer to `cap` events; overflow drops the
+    /// oldest and is tallied in `EventLogReport::dropped_cap`. Enables
+    /// recording if not configured yet.
+    pub fn event_buffer_cap(mut self, cap: usize) -> Self {
+        self.cfg.events.get_or_insert_with(EventConfig::default).cap = cap;
+        self
+    }
+
+    /// Sample per-port occupancy/credit gauges (see
+    /// [`SimConfig::port_telemetry`]).
+    pub fn port_telemetry(mut self, on: bool) -> Self {
+        self.cfg.port_telemetry = on;
+        self
+    }
+
+    /// Trace every `n`-th injected data packet (see
+    /// [`SimConfig::trace_sample_every`]).
+    pub fn trace_sample_every(mut self, n: u64) -> Self {
+        self.cfg.trace_sample_every = Some(n.max(1));
         self
     }
 
@@ -693,7 +757,10 @@ impl Simulator {
             &seeds,
         );
 
-        let metrics = MetricsCollector::new(units, cfg.metrics_bin_ns);
+        let mut metrics = MetricsCollector::new(units, cfg.metrics_bin_ns);
+        if let Some(ec) = cfg.events {
+            metrics.enable_events(ec);
+        }
         let end = units.ns_to_cycles(cfg.duration_ns);
 
         let gauge_every = units.ns_to_cycles(cfg.metrics_bin_ns / 4.0).max(64);
@@ -887,7 +954,7 @@ impl Simulator {
                 continue;
             }
             sw.isolation_tick(now, &self.routing, &mut self.links, &mut self.metrics);
-            sw.congestion_state_tick(now, &self.links);
+            sw.congestion_state_tick(now, &self.links, &mut self.metrics);
         }
 
         // Phase 6: crossbar scheduling and transmission. Switches with
@@ -1053,6 +1120,33 @@ impl Simulator {
             self.metrics
                 .gauge("unreachable_nodes", at_ns, unreachable as f64);
         }
+        if self.cfg.port_telemetry {
+            // Per-port series: input-RAM occupancy and output-link sender
+            // credits for every switch port. Opt-in because it adds one
+            // series per port to the report (formatting here is fine —
+            // gauges sample on bin boundaries, not per cycle).
+            for sw in &self.switches {
+                let s = sw.id.0;
+                for (p, inp) in sw.inputs.iter().enumerate() {
+                    if inp.in_link.is_some() {
+                        self.metrics.gauge(
+                            &format!("port_occ_sw{s}_in{p}"),
+                            at_ns,
+                            inp.ram.used() as f64,
+                        );
+                    }
+                }
+                for (p, out) in sw.outputs.iter().enumerate() {
+                    if let Some(l) = out.out_link {
+                        self.metrics.gauge(
+                            &format!("port_credits_sw{s}_out{p}"),
+                            at_ns,
+                            self.links[l.index()].credits() as f64,
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Where the clock may jump to after this cycle. When any component
@@ -1115,7 +1209,29 @@ impl Simulator {
                 break;
             }
             frt.next += 1;
+            let before = frt.events_applied;
             self.apply_network_event(now, &mut frt, ev.event);
+            // Skipped events (stale schedule entries) are not logged —
+            // they changed nothing.
+            if frt.events_applied > before && self.metrics.wants_events(EventClass::FAULT) {
+                let kind = match ev.event {
+                    NetworkEvent::LinkDown { .. } => FaultKind::LinkDown,
+                    NetworkEvent::LinkUp { .. } => FaultKind::LinkUp,
+                    NetworkEvent::SwitchDown { .. } => FaultKind::SwitchDown,
+                    NetworkEvent::SwitchUp { .. } => FaultKind::SwitchUp,
+                    NetworkEvent::LinkDegrade { .. } => FaultKind::LinkDegrade,
+                    NetworkEvent::LinkRestoreRate { .. } => FaultKind::LinkRestore,
+                };
+                let (sw, port) = ev.event.target();
+                self.metrics.cc_event(CcEvent {
+                    at: now,
+                    kind: CcEventKind::Fault {
+                        kind,
+                        sw: sw.0,
+                        port: port.map_or(0, |p| p.index() as u32),
+                    },
+                });
+            }
         }
         if frt.routing_update_at.is_some_and(|t| t <= now) {
             frt.routing_update_at = None;
@@ -1444,6 +1560,15 @@ impl Simulator {
         }
         frt.reroutes += 1;
         frt.last_recovery = now;
+        if self.metrics.wants_events(EventClass::FAULT) {
+            let unreachable = frt.unreachable_since.iter().filter(|s| s.is_some()).count();
+            self.metrics.cc_event(CcEvent {
+                at: now,
+                kind: CcEventKind::RerouteDone {
+                    unreachable_nodes: unreachable as u32,
+                },
+            });
+        }
     }
 
     /// Drop every buffered packet (switch queues and adapter queues)
@@ -1528,11 +1653,32 @@ impl Simulator {
                     tr.delivered(d.packet.id, d.ready_at, d.packet.fecn);
                 }
             }
+            if self.metrics.wants_events(EventClass::DELIVERY) {
+                self.metrics.cc_event(CcEvent {
+                    at: d.ready_at,
+                    kind: CcEventKind::Delivered {
+                        node: node.0,
+                        flow: d.packet.flow.0,
+                        bytes: d.packet.size_bytes,
+                        latency_cycles: d.ready_at.saturating_sub(d.packet.injected_at),
+                        fecn: d.packet.fecn,
+                    },
+                });
+            }
         }
         // FECN → BECN (§III-B): the destination returns a congestion
         // notification to the packet's source.
         if d.packet.fecn && self.mech.throttle().is_some() {
             self.metrics.count("becn_generated", 1);
+            if self.metrics.wants_events(EventClass::BECN) {
+                self.metrics.cc_event(CcEvent {
+                    at: d.ready_at,
+                    kind: CcEventKind::BecnGenerated {
+                        node: node.0,
+                        src: d.packet.src.0,
+                    },
+                });
+            }
             match self.cfg.becn_transport {
                 BecnTransport::InBand => {
                     let id = PacketId(self.next_packet_id);
@@ -1561,19 +1707,27 @@ impl Simulator {
     /// Run to completion and produce the report.
     ///
     /// With [`SimConfig::parallel`] requesting more than one thread the
-    /// network ticks on the sharded worker pool (byte-identical results;
-    /// DESIGN.md §9), unless `force_slow_path` or packet tracing pins
-    /// the serial engine. [`Self::run_cycles`] always ticks serially.
+    /// network ticks on the sharded worker pool (byte-identical results,
+    /// packet traces and CC event logs included; DESIGN.md §9), unless
+    /// `force_slow_path` pins the serial engine. [`Self::run_cycles`]
+    /// always ticks serially.
     pub fn run(mut self) -> SimReport {
+        self.run_to_end();
+        self.finish()
+    }
+
+    /// Advance the clock to the end of the configured duration without
+    /// consuming the simulator, so callers can still inspect live state
+    /// ([`Self::traces`], [`Self::counter`], …) before [`Self::finish`].
+    pub fn run_to_end(&mut self) {
         let threads = self.cfg.parallel.threads.max(1);
-        if threads > 1 && !self.cfg.force_slow_path && self.trace.is_none() {
+        if threads > 1 && !self.cfg.force_slow_path {
             self.run_parallel(threads);
         } else {
             while self.now < self.end {
                 self.tick();
             }
         }
-        self.finish()
     }
 
     /// Tick to `end` on `threads` shards (see `tick_parallel`).
@@ -1595,6 +1749,15 @@ impl Simulator {
         let mut outboxes: Vec<ShardOutbox> = (0..2 * plan.shards)
             .map(|_| ShardOutbox::default())
             .collect();
+        // Shard workers filter events against a copied mask so the
+        // off-path cost stays a predicted branch; sampling and capacity
+        // are applied only when the op-logs replay into the collector
+        // (per-shard sampling would break byte-identity across thread
+        // counts).
+        let mask = self.metrics.event_mask();
+        for ob in outboxes.iter_mut() {
+            ob.metrics.set_event_mask(mask);
+        }
         let mut p5_ran = vec![false; self.switches.len()];
         let pool = Pool::new(threads);
         while self.now < self.end {
@@ -1627,6 +1790,7 @@ impl Simulator {
             outboxes: outboxes.as_mut_ptr(),
             p5_ran: p5_ran.as_mut_ptr(),
             plan,
+            trace_sample: self.trace.as_ref().map_or(0, |t| t.sample_every()),
             faults: self.faults.as_ref().map(|frt| FaultView {
                 comp: frt.comp.as_ptr(),
                 node_comp: frt.node_comp.as_ptr(),
@@ -1681,6 +1845,17 @@ impl Simulator {
                 frt.ctrl_purged += ob.purged_ctrl;
                 ob.purged_data = 0;
                 ob.purged_ctrl = 0;
+            }
+        }
+        // Sampled switch arrivals recorded by the shard workers replay
+        // into the trace log in shard order. A packet makes at most one
+        // hop per cycle, so each trace's hop list still accumulates in
+        // cycle order — identical to the serial engine's.
+        if let Some(tr) = self.trace.as_mut() {
+            for ob in outboxes[..plan.shards].iter_mut() {
+                for (id, sw, at) in ob.trace_hops.drain(..) {
+                    tr.switch_hop(id, sw, at);
+                }
             }
         }
 

@@ -26,7 +26,7 @@ use ccfit_engine::link::{CtrlEvent, Delivery, Link, LinkSlice};
 use ccfit_engine::queue::QueuedPacket;
 use ccfit_engine::ram::PortRam;
 use ccfit_engine::units::Cycle;
-use ccfit_metrics::MetricsSink;
+use ccfit_metrics::{CcEvent, CcEventKind, EventClass, MetricsSink};
 use ccfit_topology::RoutingTable;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -457,8 +457,9 @@ impl Switch {
         links: &mut LinkSlice<'_>,
         metrics: &mut M,
     ) {
+        let sw = self.id.0;
         let scratch = &mut self.ctrl_scratch;
-        for out in &mut self.outputs {
+        for (o, out) in self.outputs.iter_mut().enumerate() {
             let Some(link) = out.out_link else { continue };
             if !links[link.index()].has_ctrl(now) {
                 continue;
@@ -475,6 +476,16 @@ impl Switch {
                                 .is_err()
                         {
                             metrics.count("out_cam_exhausted", 1);
+                            if metrics.wants_events(EventClass::CAM) {
+                                metrics.cc_event(CcEvent {
+                                    at: now,
+                                    kind: CcEventKind::CamExhausted {
+                                        sw,
+                                        port: o as u32,
+                                        dst: dst.0,
+                                    },
+                                });
+                            }
                         }
                     }
                     CtrlEvent::CfqDealloc { dst } => {
@@ -491,14 +502,44 @@ impl Switch {
                             .is_err()
                         {
                             metrics.count("out_cam_exhausted", 1);
+                            if metrics.wants_events(EventClass::CAM) {
+                                metrics.cc_event(CcEvent {
+                                    at: now,
+                                    kind: CcEventKind::CamExhausted {
+                                        sw,
+                                        port: o as u32,
+                                        dst: dst.0,
+                                    },
+                                });
+                            }
                         }
                         metrics.count("stops_received", 1);
+                        if metrics.wants_events(EventClass::STOP_GO) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::StopReceived {
+                                    sw,
+                                    port: o as u32,
+                                    dst: dst.0,
+                                },
+                            });
+                        }
                     }
                     CtrlEvent::Go { dst } => {
                         if let Some(idx) = out.cam.lookup(dst) {
                             out.cam.get_mut(idx).unwrap().value.stopped = false;
                         }
                         metrics.count("gos_received", 1);
+                        if metrics.wants_events(EventClass::STOP_GO) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::GoReceived {
+                                    sw,
+                                    port: o as u32,
+                                    dst: dst.0,
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -620,6 +661,17 @@ impl Switch {
                                 &format!("detected_sw{}_in{}_dst{}", self.id.0, port, dst.0),
                                 1,
                             );
+                            if metrics.wants_events(EventClass::CFQ) {
+                                metrics.cc_event(CcEvent {
+                                    at: now,
+                                    kind: CcEventKind::CfqAlloc {
+                                        sw: self.id.0,
+                                        port: port as u32,
+                                        dst: dst.0,
+                                        root: true,
+                                    },
+                                });
+                            }
                             if std::env::var_os("CCFIT_TRACE_DETECT").is_some() {
                                 eprintln!(
                                     "[{} cyc] detect sw{} in{} dst{} unmatched={} nfq_occ={}",
@@ -632,6 +684,16 @@ impl Switch {
                             // left, congested packets stay in the NFQ and
                             // HoL-block everything behind them.
                             metrics.count("cfq_exhausted", 1);
+                            if metrics.wants_events(EventClass::CFQ) {
+                                metrics.cc_event(CcEvent {
+                                    at: now,
+                                    kind: CcEventKind::CfqExhausted {
+                                        sw: self.id.0,
+                                        port: port as u32,
+                                        dst: dst.0,
+                                    },
+                                });
+                            }
                         }
                     }
                 }
@@ -669,10 +731,31 @@ impl Switch {
                                 cfqs[free].state = Some(CfqState::new(dst, out, false));
                                 self.cfq_count += 1;
                                 metrics.count("cfq_allocated", 1);
+                                if metrics.wants_events(EventClass::CFQ) {
+                                    metrics.cc_event(CcEvent {
+                                        at: now,
+                                        kind: CcEventKind::CfqAlloc {
+                                            sw: self.id.0,
+                                            port: port as u32,
+                                            dst: dst.0,
+                                            root: false,
+                                        },
+                                    });
+                                }
                                 Some(free)
                             }
                             None => {
                                 metrics.count("cfq_exhausted", 1);
+                                if metrics.wants_events(EventClass::CFQ) {
+                                    metrics.cc_event(CcEvent {
+                                        at: now,
+                                        kind: CcEventKind::CfqExhausted {
+                                            sw: self.id.0,
+                                            port: port as u32,
+                                            dst: dst.0,
+                                        },
+                                    });
+                                }
                                 None
                             }
                         }
@@ -713,6 +796,16 @@ impl Switch {
                         links[link.index()].send_ctrl(now, CtrlEvent::CfqAlloc { dst: st.dst });
                         st.alloc_sent = true;
                         metrics.count("allocs_propagated", 1);
+                        if metrics.wants_events(EventClass::CFQ) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::AllocPropagated {
+                                    sw: self.id.0,
+                                    port: port as u32,
+                                    dst: st.dst.0,
+                                },
+                            });
+                        }
                     }
                     if !st.stop_sent && occ >= stop_flits {
                         if !st.alloc_sent {
@@ -722,11 +815,31 @@ impl Switch {
                         links[link.index()].send_ctrl(now, CtrlEvent::Stop { dst: st.dst });
                         st.stop_sent = true;
                         metrics.count("stops_sent", 1);
+                        if metrics.wants_events(EventClass::STOP_GO) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::StopSent {
+                                    sw: self.id.0,
+                                    port: port as u32,
+                                    dst: st.dst.0,
+                                },
+                            });
+                        }
                     }
                     if st.stop_sent && occ <= go_flits {
                         links[link.index()].send_ctrl(now, CtrlEvent::Go { dst: st.dst });
                         st.stop_sent = false;
                         metrics.count("gos_sent", 1);
+                        if metrics.wants_events(EventClass::STOP_GO) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::GoSent {
+                                    sw: self.id.0,
+                                    port: port as u32,
+                                    dst: st.dst.0,
+                                },
+                            });
+                        }
                     }
                 }
                 // CCFIT congestion state: root CFQs *persistently* above
@@ -796,6 +909,16 @@ impl Switch {
                         cfqs[c].state = None;
                         self.cfq_count -= 1;
                         metrics.count("cfq_deallocated", 1);
+                        if metrics.wants_events(EventClass::CFQ) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::CfqDealloc {
+                                    sw: self.id.0,
+                                    port: port as u32,
+                                    dst: st.dst.0,
+                                },
+                            });
+                        }
                         continue;
                     }
                 } else {
@@ -810,30 +933,80 @@ impl Switch {
         }
     }
 
-    /// Update each output port's congestion state.
-    pub fn congestion_state_tick(&mut self, now: Cycle, links: &[Link]) {
-        self.congestion_state_tick_inner(now, |i| links[i].credits())
+    /// Update each output port's congestion state, emitting
+    /// enter/leave events on transitions when the sink asks for them.
+    pub fn congestion_state_tick<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        links: &[Link],
+        metrics: &mut M,
+    ) {
+        self.congestion_state_tick_inner(now, |i| links[i].credits(), metrics)
     }
 
     /// [`Switch::congestion_state_tick`] against a [`LinkSlice`] view.
     /// Only reads this switch's own output links (shard-safe).
-    pub fn congestion_state_tick_ls(&mut self, now: Cycle, links: &LinkSlice<'_>) {
-        self.congestion_state_tick_inner(now, |i| links[i].credits())
+    pub fn congestion_state_tick_ls<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        links: &LinkSlice<'_>,
+        metrics: &mut M,
+    ) {
+        self.congestion_state_tick_inner(now, |i| links[i].credits(), metrics)
     }
 
-    fn congestion_state_tick_inner(&mut self, now: Cycle, link_credits: impl Fn(usize) -> u32) {
-        let _ = now;
+    /// Summed occupancy of the root CFQs draining through output `out`
+    /// — the queue backlog behind a RootCfq congestion-state decision.
+    /// Only called on state transitions, so the scan stays off the hot
+    /// path.
+    fn root_cfq_occupancy_flits(&self, out: usize) -> u32 {
+        self.inputs
+            .iter()
+            .map(|inp| match &inp.queues {
+                InputQueues::Isolating { cfqs, .. } => cfqs
+                    .iter()
+                    .filter(|c| matches!(c.state, Some(st) if st.root && st.out_port == out))
+                    .map(|c| c.queue.occupancy_flits())
+                    .sum(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn congestion_state_tick_inner<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        link_credits: impl Fn(usize) -> u32,
+        metrics: &mut M,
+    ) {
         let Some(thr) = self.cfg.thr else { return };
         match thr.source {
             MarkingSource::RootCfq => {
-                for out in &mut self.outputs {
-                    let congested = out.over_high_count > 0;
-                    if congested != out.congested {
-                        out.congested = congested;
+                for o in 0..self.outputs.len() {
+                    let congested = self.outputs[o].over_high_count > 0;
+                    if congested != self.outputs[o].congested {
+                        self.outputs[o].congested = congested;
                         if congested {
                             self.congested_count += 1;
                         } else {
                             self.congested_count -= 1;
+                        }
+                        if metrics.wants_events(EventClass::CONGESTION) {
+                            let occupancy_flits = self.root_cfq_occupancy_flits(o);
+                            let kind = if congested {
+                                CcEventKind::CongestionEnter {
+                                    sw: self.id.0,
+                                    port: o as u32,
+                                    occupancy_flits,
+                                }
+                            } else {
+                                CcEventKind::CongestionLeave {
+                                    sw: self.id.0,
+                                    port: o as u32,
+                                    occupancy_flits,
+                                }
+                            };
+                            metrics.cc_event(CcEvent { at: now, kind });
                         }
                     }
                 }
@@ -862,10 +1035,30 @@ impl Switch {
                         if occ >= thr.high_flits && has_credits {
                             out.congested = true;
                             self.congested_count += 1;
+                            if metrics.wants_events(EventClass::CONGESTION) {
+                                metrics.cc_event(CcEvent {
+                                    at: now,
+                                    kind: CcEventKind::CongestionEnter {
+                                        sw: self.id.0,
+                                        port: o as u32,
+                                        occupancy_flits: occ,
+                                    },
+                                });
+                            }
                         }
                     } else if occ <= thr.low_flits {
                         out.congested = false;
                         self.congested_count -= 1;
+                        if metrics.wants_events(EventClass::CONGESTION) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::CongestionLeave {
+                                    sw: self.id.0,
+                                    port: o as u32,
+                                    occupancy_flits: occ,
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -1122,6 +1315,17 @@ impl Switch {
                         ),
                         1,
                     );
+                    if metrics.wants_events(EventClass::FECN) {
+                        metrics.cc_event(CcEvent {
+                            at: now,
+                            kind: CcEventKind::FecnMark {
+                                sw: self.id.0,
+                                port: out as u32,
+                                dst: entry.packet.dst.0,
+                                flow: entry.packet.flow.0,
+                            },
+                        });
+                    }
                 }
             }
             let link_id = self.outputs[out]
@@ -1819,7 +2023,8 @@ mod tests {
         for id in 0..5 {
             deliver(&mut fx, 0, pkt(id, 6));
         }
-        fx.sw.congestion_state_tick(0, &fx.links);
+        fx.sw
+            .congestion_state_tick(0, &fx.links, &mut ccfit_metrics::MetricsScratch::new());
         assert!(
             fx.sw.outputs[2].congested,
             "above High with credits => congested"
@@ -1839,7 +2044,8 @@ mod tests {
             now = rel[0].at;
             fx.sw.release_ram(rel[0].port, rel[0].flits);
         }
-        fx.sw.congestion_state_tick(now, &fx.links);
+        fx.sw
+            .congestion_state_tick(now, &fx.links, &mut ccfit_metrics::MetricsScratch::new());
         assert!(
             !fx.sw.outputs[2].congested,
             "below Low => out of congestion state"
@@ -1861,7 +2067,8 @@ mod tests {
         assert_eq!(fx.metrics.counter("fecn_marked"), 0);
         // Enter congestion state; with marking_rate = 1 every departure
         // through output 2 is marked.
-        fx.sw.congestion_state_tick(32, &fx.links);
+        fx.sw
+            .congestion_state_tick(32, &fx.links, &mut ccfit_metrics::MetricsScratch::new());
         assert!(fx.sw.outputs[2].congested);
         let rel =
             fx.sw
@@ -1889,7 +2096,8 @@ mod tests {
         for now in 0..200 {
             fx.sw
                 .isolation_tick(now, &fx.routing, &mut fx.links, &mut fx.metrics);
-            fx.sw.congestion_state_tick(now, &fx.links);
+            fx.sw
+                .congestion_state_tick(now, &fx.links, &mut ccfit_metrics::MetricsScratch::new());
         }
         assert!(
             fx.sw.outputs[2].congested,
@@ -1911,7 +2119,11 @@ mod tests {
         for _ in 0..20 {
             fx2.sw
                 .isolation_tick(now, &fx2.routing, &mut fx2.links, &mut fx2.metrics);
-            fx2.sw.congestion_state_tick(now, &fx2.links);
+            fx2.sw.congestion_state_tick(
+                now,
+                &fx2.links,
+                &mut ccfit_metrics::MetricsScratch::new(),
+            );
             assert!(!fx2.sw.outputs[2].congested, "full-rate CFQ never congests");
             let rel = fx2.sw.arbitrate_and_transmit(
                 now,
@@ -2004,7 +2216,6 @@ mod tests {
 #[cfg(test)]
 mod dbbm_tests {
     use super::tests_support::*;
-    use super::*;
 
     #[test]
     fn dstmod_maps_destinations_to_queue_classes() {

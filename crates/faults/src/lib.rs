@@ -96,6 +96,19 @@ pub enum NetworkEvent {
 }
 
 impl NetworkEvent {
+    /// Short static label of the event kind (observability exports and
+    /// log lines).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NetworkEvent::LinkDown { .. } => "link_down",
+            NetworkEvent::LinkUp { .. } => "link_up",
+            NetworkEvent::SwitchDown { .. } => "switch_down",
+            NetworkEvent::SwitchUp { .. } => "switch_up",
+            NetworkEvent::LinkDegrade { .. } => "link_degrade",
+            NetworkEvent::LinkRestoreRate { .. } => "link_restore",
+        }
+    }
+
     /// The `(switch, port)` the event targets (`port` is `None` for
     /// whole-switch events).
     pub fn target(&self) -> (SwitchId, Option<PortId>) {

@@ -1,5 +1,6 @@
 //! The live metrics collector driven by the simulator.
 
+use crate::events::{CcEvent, EventClass, EventConfig, EventLog};
 use crate::faults::FaultSummary;
 use crate::histogram::LatencyHistogram;
 use crate::report::{FlowReport, SimReport};
@@ -25,6 +26,7 @@ pub struct MetricsCollector {
     delivered_packets: u64,
     delivered_bytes: u64,
     faults: Option<FaultSummary>,
+    events: Option<EventLog>,
 }
 
 impl MetricsCollector {
@@ -43,7 +45,35 @@ impl MetricsCollector {
             delivered_packets: 0,
             delivered_bytes: 0,
             faults: None,
+            events: None,
         }
+    }
+
+    /// Turn on the structured CC event log (off by default — fully
+    /// zero-cost when unset). See [`crate::events`].
+    pub fn enable_events(&mut self, cfg: EventConfig) {
+        self.events = Some(EventLog::new(cfg));
+    }
+
+    /// The enabled event-class mask ([`EventClass::NONE`] when the log
+    /// is off). Emission sites check this before constructing events.
+    pub fn event_mask(&self) -> EventClass {
+        self.events
+            .as_ref()
+            .map_or(EventClass::NONE, EventLog::classes)
+    }
+
+    /// Offer an event to the log (no-op when the log is off or the
+    /// event's class is masked).
+    pub fn cc_event(&mut self, ev: CcEvent) {
+        if let Some(log) = &mut self.events {
+            log.offer(ev);
+        }
+    }
+
+    /// The live event log, if enabled.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_ref()
     }
 
     /// Attach fault-injection accounting (set once, at the end of a run
@@ -160,6 +190,7 @@ impl MetricsCollector {
             delivered_bytes: self.delivered_bytes,
             simulated_cycles: self.units.ns_to_cycles(duration_ns),
             faults: self.faults,
+            events: self.events.map(EventLog::into_report),
         }
     }
 }

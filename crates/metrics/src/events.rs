@@ -1,0 +1,752 @@
+//! Structured congestion-control event log.
+//!
+//! The paper's whole argument (§IV) is read off *internal* CC dynamics —
+//! congestion-state transitions at root ports, CFQ allocation and
+//! release, FECN/BECN traffic, CCT index movement — so the simulator
+//! records them as first-class [`CcEvent`]s instead of leaving them
+//! implicit in throughput curves. Events flow through the same
+//! [`MetricsSink`](crate::MetricsSink) interface as counters: serially
+//! they land straight in the collector's [`EventLog`]; under the sharded
+//! parallel tick they ride the per-shard op logs and are replayed in
+//! canonical shard order, so event logs are byte-identical across thread
+//! counts (see DESIGN.md §10).
+//!
+//! Emission is zero-cost when off: every site guards construction behind
+//! [`MetricsSink::wants_events`](crate::MetricsSink::wants_events), which
+//! is a single branch against a bitmask.
+
+use ccfit_engine::units::Cycle;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Bitmask of event classes — the `SimBuilder` knob that selects which
+/// event families are recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventClass(pub u16);
+
+impl EventClass {
+    /// No events.
+    pub const NONE: EventClass = EventClass(0);
+    /// Congestion-state enter/leave at switch output ports.
+    pub const CONGESTION: EventClass = EventClass(1 << 0);
+    /// CFQ allocate/release/exhaustion (switch and injection adapter).
+    pub const CFQ: EventClass = EventClass(1 << 1);
+    /// CAM exhaustion (switch output CAMs and adapter IA-CAMs).
+    pub const CAM: EventClass = EventClass(1 << 2);
+    /// FECN marks placed on data packets.
+    pub const FECN: EventClass = EventClass(1 << 3);
+    /// BECN generation at destinations and reception at sources.
+    pub const BECN: EventClass = EventClass(1 << 4);
+    /// CCT-index increases (on BECN) and timer-driven decays.
+    pub const CCTI: EventClass = EventClass(1 << 5);
+    /// Stop/Go flow-control transitions between CFQ stages.
+    pub const STOP_GO: EventClass = EventClass(1 << 6);
+    /// Injection-throttle delays actually imposed on packets.
+    pub const THROTTLE: EventClass = EventClass(1 << 7);
+    /// Fault-schedule applications and re-route completions.
+    pub const FAULT: EventClass = EventClass(1 << 8);
+    /// Per-packet delivery records (for cross-validation against the
+    /// aggregate series; high volume).
+    pub const DELIVERY: EventClass = EventClass(1 << 9);
+    /// Every event class.
+    pub const ALL: EventClass = EventClass((1 << 10) - 1);
+
+    /// True when every class in `other` is enabled in `self`.
+    #[inline]
+    pub fn contains(self, other: EventClass) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when no class is enabled.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for EventClass {
+    /// Defaults to [`EventClass::NONE`] — recording is opt-in.
+    fn default() -> Self {
+        EventClass::NONE
+    }
+}
+
+impl std::ops::BitOr for EventClass {
+    type Output = EventClass;
+    fn bitor(self, rhs: EventClass) -> EventClass {
+        EventClass(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for EventClass {
+    fn bitor_assign(&mut self, rhs: EventClass) {
+        self.0 |= rhs.0;
+    }
+}
+
+/// What happened. Switch-side events carry the switch id and the local
+/// port; adapter-side events carry the node id. All ids are raw indices
+/// (`SwitchId::0`, `NodeId::0`, …) so the log stays `Copy` and compact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CcEventKind {
+    /// A switch output port entered the congested marking state.
+    /// `occupancy_flits` is the queue occupancy that drove the
+    /// transition: the summed root-CFQ occupancy feeding the port
+    /// (FBICM/CCFIT) or the VOQ occupancy (ITh-style detection).
+    CongestionEnter {
+        /// Switch id.
+        sw: u32,
+        /// Output port.
+        port: u32,
+        /// Driving queue occupancy in flits.
+        occupancy_flits: u32,
+    },
+    /// A switch output port left the congested marking state.
+    CongestionLeave {
+        /// Switch id.
+        sw: u32,
+        /// Output port.
+        port: u32,
+        /// Driving queue occupancy in flits.
+        occupancy_flits: u32,
+    },
+    /// A CFQ was allocated at a switch input port.
+    CfqAlloc {
+        /// Switch id.
+        sw: u32,
+        /// Input port holding the CFQ.
+        port: u32,
+        /// Congested destination the CFQ isolates.
+        dst: u32,
+        /// True when this is a root allocation (congestion detected
+        /// here) rather than a propagated one.
+        root: bool,
+    },
+    /// A switch CFQ drained and was released.
+    CfqDealloc {
+        /// Switch id.
+        sw: u32,
+        /// Input port.
+        port: u32,
+        /// Destination it isolated.
+        dst: u32,
+    },
+    /// A CFQ was needed but the input port's CFQ pool was exhausted.
+    CfqExhausted {
+        /// Switch id.
+        sw: u32,
+        /// Input port.
+        port: u32,
+        /// Destination that could not be isolated.
+        dst: u32,
+    },
+    /// An injection-adapter CFQ was allocated.
+    IaCfqAlloc {
+        /// Node id.
+        node: u32,
+        /// Congested destination.
+        dst: u32,
+    },
+    /// An injection-adapter CFQ drained and was released.
+    IaCfqDealloc {
+        /// Node id.
+        node: u32,
+        /// Destination it isolated.
+        dst: u32,
+    },
+    /// An injection-adapter CFQ was needed but the pool was exhausted.
+    IaCfqExhausted {
+        /// Node id.
+        node: u32,
+        /// Destination that could not be isolated.
+        dst: u32,
+    },
+    /// A propagated allocation notification was accepted upstream.
+    AllocPropagated {
+        /// Switch id.
+        sw: u32,
+        /// Input port that allocated in response.
+        port: u32,
+        /// Congested destination.
+        dst: u32,
+    },
+    /// A switch output CAM had no free entry for a notification.
+    CamExhausted {
+        /// Switch id.
+        sw: u32,
+        /// Output port.
+        port: u32,
+        /// Destination the notification was for.
+        dst: u32,
+    },
+    /// An injection-adapter CAM had no free entry.
+    IaCamExhausted {
+        /// Node id.
+        node: u32,
+        /// Destination the notification was for.
+        dst: u32,
+    },
+    /// A data packet was FECN-marked while crossing a congested output.
+    FecnMark {
+        /// Switch id.
+        sw: u32,
+        /// Congested output port.
+        port: u32,
+        /// Packet destination.
+        dst: u32,
+        /// Packet flow.
+        flow: u32,
+    },
+    /// A destination node turned a FECN-marked delivery into a BECN.
+    BecnGenerated {
+        /// Destination node generating the BECN.
+        node: u32,
+        /// Source node the BECN travels back to.
+        src: u32,
+    },
+    /// A source adapter received a BECN.
+    BecnReceived {
+        /// Receiving (source) node.
+        node: u32,
+        /// Congested destination the BECN refers to.
+        dst: u32,
+    },
+    /// A source adapter's CCT index for `dst` increased (BECN arrival).
+    CctiIncrease {
+        /// Source node.
+        node: u32,
+        /// Congested destination.
+        dst: u32,
+        /// New CCT index.
+        ccti: u32,
+        /// New inter-release delay `CCT[ccti]` in cycles — the
+        /// throttle-delay change this implies.
+        ird_cycles: u64,
+    },
+    /// A source adapter's CCT index for `dst` decayed (timer expiry).
+    CctiDecay {
+        /// Source node.
+        node: u32,
+        /// Destination.
+        dst: u32,
+        /// New CCT index.
+        ccti: u32,
+        /// New inter-release delay in cycles.
+        ird_cycles: u64,
+    },
+    /// A Stop notification was sent upstream for a CFQ.
+    StopSent {
+        /// Switch id.
+        sw: u32,
+        /// Input port whose CFQ filled.
+        port: u32,
+        /// Destination of the stopped CFQ.
+        dst: u32,
+    },
+    /// A Go notification was sent upstream for a CFQ.
+    GoSent {
+        /// Switch id.
+        sw: u32,
+        /// Input port whose CFQ drained.
+        port: u32,
+        /// Destination of the resumed CFQ.
+        dst: u32,
+    },
+    /// A Stop notification was received at a switch output.
+    StopReceived {
+        /// Switch id.
+        sw: u32,
+        /// Output port.
+        port: u32,
+        /// Destination of the stopped flow set.
+        dst: u32,
+    },
+    /// A Go notification was received at a switch output.
+    GoReceived {
+        /// Switch id.
+        sw: u32,
+        /// Output port.
+        port: u32,
+        /// Destination of the resumed flow set.
+        dst: u32,
+    },
+    /// An injection was delayed by the throttle (non-zero IRD).
+    ThrottledInjection {
+        /// Injecting node.
+        node: u32,
+        /// Throttled destination.
+        dst: u32,
+        /// Imposed inter-release delay in cycles.
+        ird_cycles: u64,
+    },
+    /// A fault-schedule event was applied to the network.
+    Fault {
+        /// Which kind of event.
+        kind: FaultKind,
+        /// Affected switch.
+        sw: u32,
+        /// Affected port (0 for whole-switch events).
+        port: u32,
+    },
+    /// Live re-routing around a topology change completed.
+    RerouteDone {
+        /// Nodes left unreachable after the re-route.
+        unreachable_nodes: u32,
+    },
+    /// A data packet reached its destination (cross-validation record).
+    Delivered {
+        /// Destination node.
+        node: u32,
+        /// Flow the packet belongs to.
+        flow: u32,
+        /// Payload bytes.
+        bytes: u32,
+        /// In-network latency in cycles.
+        latency_cycles: u64,
+        /// True when the packet arrived FECN-marked.
+        fecn: bool,
+    },
+}
+
+impl CcEventKind {
+    /// The class this kind belongs to (for mask checks).
+    pub fn class(&self) -> EventClass {
+        use CcEventKind::*;
+        match self {
+            CongestionEnter { .. } | CongestionLeave { .. } => EventClass::CONGESTION,
+            CfqAlloc { .. }
+            | CfqDealloc { .. }
+            | CfqExhausted { .. }
+            | IaCfqAlloc { .. }
+            | IaCfqDealloc { .. }
+            | IaCfqExhausted { .. }
+            | AllocPropagated { .. } => EventClass::CFQ,
+            CamExhausted { .. } | IaCamExhausted { .. } => EventClass::CAM,
+            FecnMark { .. } => EventClass::FECN,
+            BecnGenerated { .. } | BecnReceived { .. } => EventClass::BECN,
+            CctiIncrease { .. } | CctiDecay { .. } => EventClass::CCTI,
+            StopSent { .. } | GoSent { .. } | StopReceived { .. } | GoReceived { .. } => {
+                EventClass::STOP_GO
+            }
+            ThrottledInjection { .. } => EventClass::THROTTLE,
+            Fault { .. } | RerouteDone { .. } => EventClass::FAULT,
+            Delivered { .. } => EventClass::DELIVERY,
+        }
+    }
+
+    /// Short static label (CSV `kind` column, Chrome-trace event name).
+    pub fn label(&self) -> &'static str {
+        use CcEventKind::*;
+        match self {
+            CongestionEnter { .. } => "congestion_enter",
+            CongestionLeave { .. } => "congestion_leave",
+            CfqAlloc { .. } => "cfq_alloc",
+            CfqDealloc { .. } => "cfq_dealloc",
+            CfqExhausted { .. } => "cfq_exhausted",
+            IaCfqAlloc { .. } => "ia_cfq_alloc",
+            IaCfqDealloc { .. } => "ia_cfq_dealloc",
+            IaCfqExhausted { .. } => "ia_cfq_exhausted",
+            AllocPropagated { .. } => "alloc_propagated",
+            CamExhausted { .. } => "cam_exhausted",
+            IaCamExhausted { .. } => "ia_cam_exhausted",
+            FecnMark { .. } => "fecn_mark",
+            BecnGenerated { .. } => "becn_generated",
+            BecnReceived { .. } => "becn_received",
+            CctiIncrease { .. } => "ccti_increase",
+            CctiDecay { .. } => "ccti_decay",
+            StopSent { .. } => "stop_sent",
+            GoSent { .. } => "go_sent",
+            StopReceived { .. } => "stop_received",
+            GoReceived { .. } => "go_received",
+            ThrottledInjection { .. } => "throttled_injection",
+            Fault { .. } => "fault",
+            RerouteDone { .. } => "reroute_done",
+            Delivered { .. } => "delivered",
+        }
+    }
+}
+
+/// The kind of an applied fault-schedule event, as seen by the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A directed link failed.
+    LinkDown,
+    /// A failed link was repaired.
+    LinkUp,
+    /// A whole switch failed.
+    SwitchDown,
+    /// A failed switch was repaired.
+    SwitchUp,
+    /// A link's rate was degraded.
+    LinkDegrade,
+    /// A degraded link's rate was restored.
+    LinkRestore,
+}
+
+/// One timestamped CC event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CcEvent {
+    /// Simulator cycle at which the event fired.
+    pub at: Cycle,
+    /// What happened.
+    pub kind: CcEventKind,
+}
+
+/// A bounded FIFO of events with explicit drop accounting: once `cap`
+/// events are held, the *oldest* is dropped to admit a newer one, and
+/// the drop counter advances — truncation is never silent. The
+/// invariant `dropped() == offered() − len()` is property-tested.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    cap: usize,
+    buf: VecDeque<CcEvent>,
+    offered: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            buf: VecDeque::new(),
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Admit an event, evicting the oldest (and counting the drop) when
+    /// full.
+    pub fn push(&mut self, ev: CcEvent) {
+        self.offered += 1;
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events ever pushed.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain into a `Vec`, oldest first.
+    pub fn into_vec(self) -> Vec<CcEvent> {
+        self.buf.into_iter().collect()
+    }
+
+    /// Iterate the held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &CcEvent> {
+        self.buf.iter()
+    }
+}
+
+/// Event-log configuration: the `SimBuilder` knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventConfig {
+    /// Which event classes to record.
+    pub classes: EventClass,
+    /// Keep every `sample_every`-th event (per the post-mask stream);
+    /// `1` keeps everything. Skipped events are counted, not silently
+    /// lost.
+    pub sample_every: u64,
+    /// Ring capacity — the most events the log will hold. Overflow
+    /// evicts the oldest event and advances the drop counter.
+    pub cap: usize,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        Self {
+            classes: EventClass::ALL,
+            sample_every: 1,
+            cap: 1 << 20,
+        }
+    }
+}
+
+/// The collector-side event log: mask → sampling → bounded ring.
+///
+/// Masking, sampling and the capacity bound are applied *only here*, on
+/// the single canonical event stream (serially, or after the per-shard
+/// op logs were replayed in shard order) — applying them per shard
+/// would make the kept set depend on the shard layout and break
+/// byte-identity across thread counts.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    cfg: EventConfig,
+    ring: EventRing,
+    seen: u64,
+    sampled_out: u64,
+}
+
+impl EventLog {
+    /// An empty log with the given knobs.
+    pub fn new(cfg: EventConfig) -> Self {
+        Self {
+            cfg,
+            ring: EventRing::new(cfg.cap),
+            seen: 0,
+            sampled_out: 0,
+        }
+    }
+
+    /// The enabled class mask.
+    pub fn classes(&self) -> EventClass {
+        self.cfg.classes
+    }
+
+    /// True when the log records events of `class`.
+    #[inline]
+    pub fn wants(&self, class: EventClass) -> bool {
+        self.cfg.classes.contains(class)
+    }
+
+    /// Offer an event: drop it if masked, count it out if sampling
+    /// skips it, otherwise push it into the ring.
+    pub fn offer(&mut self, ev: CcEvent) {
+        if !self.cfg.classes.contains(ev.kind.class()) {
+            return;
+        }
+        self.seen += 1;
+        if self.cfg.sample_every > 1 && !(self.seen - 1).is_multiple_of(self.cfg.sample_every) {
+            self.sampled_out += 1;
+            return;
+        }
+        self.ring.push(ev);
+    }
+
+    /// Events that passed the class mask so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events skipped by sampling so far.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// Events evicted by the capacity bound so far.
+    pub fn dropped_cap(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Iterate the held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &CcEvent> {
+        self.ring.iter()
+    }
+
+    /// Freeze into the serializable report section.
+    pub fn into_report(self) -> EventLogReport {
+        EventLogReport {
+            classes: self.cfg.classes.0,
+            sample_every: self.cfg.sample_every,
+            cap: self.cfg.cap as u64,
+            seen: self.seen,
+            sampled_out: self.sampled_out,
+            dropped_cap: self.ring.dropped(),
+            events: self.ring.into_vec(),
+        }
+    }
+}
+
+/// The event log as it appears inside a frozen
+/// [`SimReport`](crate::SimReport).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLogReport {
+    /// Enabled class mask (raw bits).
+    pub classes: u16,
+    /// Sampling stride that was in effect.
+    pub sample_every: u64,
+    /// Ring capacity that was in effect.
+    pub cap: u64,
+    /// Events that passed the class mask.
+    pub seen: u64,
+    /// Events skipped by sampling.
+    pub sampled_out: u64,
+    /// Events evicted by the capacity bound.
+    pub dropped_cap: u64,
+    /// The recorded events, in canonical emission order.
+    pub events: Vec<CcEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Cycle) -> CcEvent {
+        CcEvent {
+            at,
+            kind: CcEventKind::FecnMark {
+                sw: 1,
+                port: 2,
+                dst: 3,
+                flow: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn class_mask_contains() {
+        let m = EventClass::FECN | EventClass::BECN;
+        assert!(m.contains(EventClass::FECN));
+        assert!(!m.contains(EventClass::CFQ));
+        assert!(EventClass::ALL.contains(m));
+        assert!(EventClass::NONE.is_none());
+    }
+
+    #[test]
+    fn every_kind_maps_into_all() {
+        let kinds = [
+            CcEventKind::CongestionEnter {
+                sw: 0,
+                port: 0,
+                occupancy_flits: 0,
+            },
+            CcEventKind::CfqAlloc {
+                sw: 0,
+                port: 0,
+                dst: 0,
+                root: true,
+            },
+            CcEventKind::CamExhausted {
+                sw: 0,
+                port: 0,
+                dst: 0,
+            },
+            CcEventKind::FecnMark {
+                sw: 0,
+                port: 0,
+                dst: 0,
+                flow: 0,
+            },
+            CcEventKind::BecnReceived { node: 0, dst: 0 },
+            CcEventKind::CctiDecay {
+                node: 0,
+                dst: 0,
+                ccti: 0,
+                ird_cycles: 0,
+            },
+            CcEventKind::StopSent {
+                sw: 0,
+                port: 0,
+                dst: 0,
+            },
+            CcEventKind::ThrottledInjection {
+                node: 0,
+                dst: 0,
+                ird_cycles: 1,
+            },
+            CcEventKind::Fault {
+                kind: FaultKind::LinkDown,
+                sw: 0,
+                port: 0,
+            },
+            CcEventKind::Delivered {
+                node: 0,
+                flow: 0,
+                bytes: 0,
+                latency_cycles: 0,
+                fecn: false,
+            },
+        ];
+        for k in kinds {
+            assert!(EventClass::ALL.contains(k.class()), "{}", k.label());
+            assert!(!EventClass::NONE.contains(k.class()), "{}", k.label());
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.offered(), 5);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<Cycle> = r.into_vec().iter().map(|e| e.at).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest events were evicted");
+    }
+
+    #[test]
+    fn zero_cap_ring_keeps_nothing_but_counts() {
+        let mut r = EventRing::new(0);
+        r.push(ev(0));
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.offered(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn log_masks_samples_and_bounds() {
+        let mut log = EventLog::new(EventConfig {
+            classes: EventClass::FECN,
+            sample_every: 2,
+            cap: 2,
+        });
+        // Masked class: invisible (not even counted as seen).
+        log.offer(CcEvent {
+            at: 0,
+            kind: CcEventKind::BecnReceived { node: 0, dst: 0 },
+        });
+        assert_eq!(log.seen(), 0);
+        for i in 0..6 {
+            log.offer(ev(i)); // keeps 0, 2, 4; ring caps at 2 -> drops 0
+        }
+        assert_eq!(log.seen(), 6);
+        assert_eq!(log.sampled_out(), 3);
+        assert_eq!(log.dropped_cap(), 1);
+        let r = log.into_report();
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[0].at, 2);
+        assert_eq!(r.events[1].at, 4);
+        assert_eq!(
+            r.seen,
+            r.sampled_out + r.dropped_cap + r.events.len() as u64
+        );
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let evs = vec![
+            ev(7),
+            CcEvent {
+                at: 9,
+                kind: CcEventKind::Fault {
+                    kind: FaultKind::SwitchDown,
+                    sw: 3,
+                    port: 0,
+                },
+            },
+        ];
+        let json = serde_json::to_string(&evs).unwrap();
+        let back: Vec<CcEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(evs, back);
+    }
+}

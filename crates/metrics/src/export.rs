@@ -1,0 +1,280 @@
+//! Event-log exporters: Chrome `trace_event` JSON, JSONL and CSV.
+//!
+//! The Chrome exporter emits the legacy `trace_event` format understood
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! switch-side events appear under one "process" per switch (pid =
+//! switch id) with one "thread" per port (tid = port), node-side events
+//! under one process per node (pid = [`NODE_PID_BASE`] + node id) with
+//! one thread per destination. Congestion enter/leave pairs render as
+//! duration slices; everything else renders as instant events carrying
+//! its payload in `args`.
+
+use crate::events::{CcEvent, CcEventKind};
+
+/// Offset added to node ids to keep node "processes" disjoint from
+/// switch "processes" in the Chrome trace.
+pub const NODE_PID_BASE: u32 = 100_000;
+
+/// Location and payload of one event, flattened for the row-oriented
+/// exporters: `(pid, tid, args)` where `args` is `(name, value)` pairs.
+fn flatten(kind: &CcEventKind) -> (u32, u32, Vec<(&'static str, u64)>) {
+    use CcEventKind::*;
+    match *kind {
+        CongestionEnter {
+            sw,
+            port,
+            occupancy_flits,
+        }
+        | CongestionLeave {
+            sw,
+            port,
+            occupancy_flits,
+        } => (
+            sw,
+            port,
+            vec![("occupancy_flits", u64::from(occupancy_flits))],
+        ),
+        CfqAlloc {
+            sw,
+            port,
+            dst,
+            root,
+        } => (
+            sw,
+            port,
+            vec![("dst", u64::from(dst)), ("root", u64::from(root))],
+        ),
+        CfqDealloc { sw, port, dst }
+        | CfqExhausted { sw, port, dst }
+        | AllocPropagated { sw, port, dst }
+        | CamExhausted { sw, port, dst }
+        | StopSent { sw, port, dst }
+        | GoSent { sw, port, dst }
+        | StopReceived { sw, port, dst }
+        | GoReceived { sw, port, dst } => (sw, port, vec![("dst", u64::from(dst))]),
+        FecnMark {
+            sw,
+            port,
+            dst,
+            flow,
+        } => (
+            sw,
+            port,
+            vec![("dst", u64::from(dst)), ("flow", u64::from(flow))],
+        ),
+        IaCfqAlloc { node, dst }
+        | IaCfqDealloc { node, dst }
+        | IaCfqExhausted { node, dst }
+        | IaCamExhausted { node, dst }
+        | BecnReceived { node, dst } => (NODE_PID_BASE + node, dst, vec![("dst", u64::from(dst))]),
+        BecnGenerated { node, src } => (NODE_PID_BASE + node, src, vec![("src", u64::from(src))]),
+        CctiIncrease {
+            node,
+            dst,
+            ccti,
+            ird_cycles,
+        }
+        | CctiDecay {
+            node,
+            dst,
+            ccti,
+            ird_cycles,
+        } => (
+            NODE_PID_BASE + node,
+            dst,
+            vec![
+                ("dst", u64::from(dst)),
+                ("ccti", u64::from(ccti)),
+                ("ird_cycles", ird_cycles),
+            ],
+        ),
+        ThrottledInjection {
+            node,
+            dst,
+            ird_cycles,
+        } => (
+            NODE_PID_BASE + node,
+            dst,
+            vec![("dst", u64::from(dst)), ("ird_cycles", ird_cycles)],
+        ),
+        Fault { kind: _, sw, port } => (sw, port, vec![]),
+        RerouteDone { unreachable_nodes } => (
+            0,
+            0,
+            vec![("unreachable_nodes", u64::from(unreachable_nodes))],
+        ),
+        Delivered {
+            node,
+            flow,
+            bytes,
+            latency_cycles,
+            fecn,
+        } => (
+            NODE_PID_BASE + node,
+            flow,
+            vec![
+                ("flow", u64::from(flow)),
+                ("bytes", u64::from(bytes)),
+                ("latency_cycles", latency_cycles),
+                ("fecn", u64::from(fecn)),
+            ],
+        ),
+    }
+}
+
+/// One JSON object per line, in canonical emission order — the grep- and
+/// `jq`-friendly archive format.
+pub fn events_jsonl(events: &[CcEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Flat CSV: `at_cycles,at_ns,class,kind,pid,tid,args`, where `args`
+/// packs the kind-specific payload as `name=value` pairs separated by
+/// `;`.
+pub fn events_csv(events: &[CcEvent], cycle_ns: f64) -> String {
+    let mut out = String::from("at_cycles,at_ns,kind,pid,tid,args\n");
+    for ev in events {
+        let (pid, tid, args) = flatten(&ev.kind);
+        let packed: Vec<String> = args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        out.push_str(&format!(
+            "{},{},{},{pid},{tid},{}\n",
+            ev.at,
+            ev.at as f64 * cycle_ns,
+            ev.kind.label(),
+            packed.join(";")
+        ));
+    }
+    out
+}
+
+/// Chrome `trace_event` JSON (load in `chrome://tracing` or Perfetto).
+///
+/// `cycle_ns` converts event cycles to the format's microsecond
+/// timestamps. Congestion enter/leave become `B`/`E` duration slices
+/// named `congested`; every other event is an instant (`ph: "i"`) with
+/// thread scope.
+pub fn chrome_trace_json(events: &[CcEvent], cycle_ns: f64) -> String {
+    let mut pids: Vec<u32> = Vec::new();
+    let mut body = String::new();
+    for ev in events {
+        let (pid, tid, args) = flatten(&ev.kind);
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        let ts_us = ev.at as f64 * cycle_ns / 1000.0;
+        let (ph, name) = match ev.kind {
+            CcEventKind::CongestionEnter { .. } => ("B", "congested"),
+            CcEventKind::CongestionLeave { .. } => ("E", "congested"),
+            _ => ("i", ev.kind.label()),
+        };
+        if !body.is_empty() {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{ts_us},\"pid\":{pid},\"tid\":{tid}"
+        ));
+        if ph == "i" {
+            body.push_str(",\"s\":\"t\"");
+        }
+        if !args.is_empty() {
+            let packed: Vec<String> = args.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+            body.push_str(&format!(",\"args\":{{{}}}", packed.join(",")));
+        }
+        body.push('}');
+    }
+    pids.sort_unstable();
+    for pid in pids {
+        let label = if pid >= NODE_PID_BASE {
+            format!("node {}", pid - NODE_PID_BASE)
+        } else {
+            format!("switch {pid}")
+        };
+        if !body.is_empty() {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        ));
+    }
+    format!("{{\"traceEvents\":[{body}],\"displayTimeUnit\":\"ms\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CcEvent;
+
+    fn sample() -> Vec<CcEvent> {
+        vec![
+            CcEvent {
+                at: 100,
+                kind: CcEventKind::CongestionEnter {
+                    sw: 1,
+                    port: 2,
+                    occupancy_flits: 33,
+                },
+            },
+            CcEvent {
+                at: 150,
+                kind: CcEventKind::FecnMark {
+                    sw: 1,
+                    port: 2,
+                    dst: 3,
+                    flow: 7,
+                },
+            },
+            CcEvent {
+                at: 180,
+                kind: CcEventKind::BecnReceived { node: 0, dst: 3 },
+            },
+            CcEvent {
+                at: 200,
+                kind: CcEventKind::CongestionLeave {
+                    sw: 1,
+                    port: 2,
+                    occupancy_flits: 4,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let text = events_jsonl(&sample());
+        assert_eq!(text.lines().count(), 4);
+        for line in text.lines() {
+            let back: CcEvent = serde_json::from_str(line).unwrap();
+            assert!(back.at >= 100);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let text = events_csv(&sample(), 2.0);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "at_cycles,at_ns,kind,pid,tid,args");
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("100,200,congestion_enter,1,2,"));
+        assert!(lines[2].contains("fecn_mark"));
+        assert!(lines[2].contains("dst=3;flow=7"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_and_names_processes() {
+        let text = chrome_trace_json(&sample(), 1000.0);
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"name\":\"switch 1\""));
+        assert!(text.contains(&format!("\"name\":\"node {}\"", 0)));
+        // ts is microseconds: 100 cycles * 1000 ns = 100 us.
+        assert!(text.contains("\"ts\":100"));
+    }
+}

@@ -18,6 +18,8 @@
 //! (§IV-C).
 
 pub mod collector;
+pub mod events;
+pub mod export;
 pub mod fairness;
 pub mod faults;
 pub mod histogram;
@@ -26,6 +28,9 @@ pub mod scratch;
 pub mod series;
 
 pub use collector::MetricsCollector;
+pub use events::{
+    CcEvent, CcEventKind, EventClass, EventConfig, EventLog, EventLogReport, EventRing, FaultKind,
+};
 pub use fairness::jain_index;
 pub use faults::FaultSummary;
 pub use histogram::LatencyHistogram;

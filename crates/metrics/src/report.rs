@@ -1,5 +1,6 @@
 //! Frozen simulation reports.
 
+use crate::events::EventLogReport;
 use crate::fairness::jain_index;
 use crate::faults::FaultSummary;
 use crate::histogram::LatencyHistogram;
@@ -59,6 +60,9 @@ pub struct SimReport {
     /// Fault-injection accounting; `None` (serialized as `null`) when
     /// the run had no fault schedule.
     pub faults: Option<FaultSummary>,
+    /// Structured CC event log; `None` (serialized as `null`) when the
+    /// run did not enable event recording.
+    pub events: Option<EventLogReport>,
 }
 
 impl SimReport {
@@ -264,6 +268,7 @@ mod tests {
             delivered_bytes: 37_500,
             simulated_cycles: 2500,
             faults: None,
+            events: None,
         }
     }
 
@@ -352,6 +357,37 @@ mod tests {
         assert_eq!(r.fault_recovery_ns(), None);
         r.faults = None;
         assert_eq!(r.fault_recovery_ns(), None);
+    }
+
+    #[test]
+    fn event_log_round_trips_in_report_json() {
+        use crate::events::{CcEvent, CcEventKind, EventClass};
+        let mut r = sample_report();
+        r.events = Some(EventLogReport {
+            classes: EventClass::ALL.0,
+            sample_every: 1,
+            cap: 1024,
+            seen: 2,
+            sampled_out: 0,
+            dropped_cap: 0,
+            events: vec![
+                CcEvent {
+                    at: 5,
+                    kind: CcEventKind::FecnMark {
+                        sw: 0,
+                        port: 1,
+                        dst: 2,
+                        flow: 3,
+                    },
+                },
+                CcEvent {
+                    at: 9,
+                    kind: CcEventKind::BecnReceived { node: 4, dst: 2 },
+                },
+            ],
+        });
+        let back: SimReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(r, back);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! shard order, reproducing the serial call sequence bit for bit.
 
 use crate::collector::MetricsCollector;
+use crate::events::{CcEvent, EventClass};
 use ccfit_engine::packet::Packet;
 use ccfit_engine::units::Cycle;
 
@@ -22,6 +23,17 @@ pub trait MetricsSink {
     fn gauge(&mut self, name: &str, at_ns: f64, value: f64);
     /// Record a data packet delivered to its destination at cycle `now`.
     fn record_delivery(&mut self, now: Cycle, pkt: &Packet);
+    /// True when the sink records structured CC events of `class`.
+    /// Emission sites guard event construction behind this, so disabled
+    /// tracing costs a single branch per site.
+    fn wants_events(&self, class: EventClass) -> bool {
+        let _ = class;
+        false
+    }
+    /// Record a structured CC event (see [`crate::events`]).
+    fn cc_event(&mut self, ev: CcEvent) {
+        let _ = ev;
+    }
 }
 
 impl MetricsSink for MetricsCollector {
@@ -34,6 +46,12 @@ impl MetricsSink for MetricsCollector {
     fn record_delivery(&mut self, now: Cycle, pkt: &Packet) {
         MetricsCollector::record_delivery(self, now, pkt);
     }
+    fn wants_events(&self, class: EventClass) -> bool {
+        MetricsCollector::event_mask(self).contains(class)
+    }
+    fn cc_event(&mut self, ev: CcEvent) {
+        MetricsCollector::cc_event(self, ev);
+    }
 }
 
 /// One recorded metrics operation.
@@ -45,19 +63,34 @@ pub enum MetricOp {
     Gauge(String, f64, f64),
     /// `record_delivery(now, pkt)`.
     Delivery(Cycle, Packet),
+    /// `cc_event(ev)`.
+    Event(CcEvent),
 }
 
 /// An append-only log of metrics operations, recorded by one shard worker
 /// and drained into the collector by [`MetricsCollector::apply_scratch`].
+///
+/// The scratch carries a copy of the collector's event-class mask so a
+/// worker can skip event construction exactly like the serial path does;
+/// sampling and the capacity bound are *not* applied here — they run on
+/// the canonical merged stream in the collector, so the kept set never
+/// depends on the shard layout.
 #[derive(Debug, Default, Clone)]
 pub struct MetricsScratch {
     ops: Vec<MetricOp>,
+    event_mask: EventClass,
 }
 
 impl MetricsScratch {
     /// Fresh, empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Adopt the collector's event-class mask (set once per parallel
+    /// run, before workers start).
+    pub fn set_event_mask(&mut self, mask: EventClass) {
+        self.event_mask = mask;
     }
 
     /// Number of recorded operations.
@@ -92,6 +125,12 @@ impl MetricsSink for MetricsScratch {
     fn record_delivery(&mut self, now: Cycle, pkt: &Packet) {
         self.ops.push(MetricOp::Delivery(now, *pkt));
     }
+    fn wants_events(&self, class: EventClass) -> bool {
+        self.event_mask.contains(class)
+    }
+    fn cc_event(&mut self, ev: CcEvent) {
+        self.ops.push(MetricOp::Event(ev));
+    }
 }
 
 impl MetricsCollector {
@@ -104,6 +143,7 @@ impl MetricsCollector {
                 MetricOp::Count(name, delta) => self.count(&name, delta),
                 MetricOp::Gauge(name, at_ns, value) => self.gauge(&name, at_ns, value),
                 MetricOp::Delivery(now, pkt) => self.record_delivery(now, &pkt),
+                MetricOp::Event(ev) => self.cc_event(ev),
             }
         }
     }

@@ -58,6 +58,27 @@ impl TimeSeries {
         }
     }
 
+    /// Accumulate another series into this one, bin by bin. Both series
+    /// must share the same bin width; the result covers the longer of
+    /// the two. Merging is the shard-combining primitive: because each
+    /// bin is a plain sum, `merge` is commutative up to f64 rounding and
+    /// exactly associative whenever the bin values are exactly
+    /// representable (property-tested in `tests/proptests.rs`).
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert!(
+            self.bin_ns == other.bin_ns,
+            "cannot merge series with different bin widths ({} vs {})",
+            self.bin_ns,
+            other.bin_ns
+        );
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0.0);
+        }
+        for (dst, src) in self.bins.iter_mut().zip(&other.bins) {
+            *dst += *src;
+        }
+    }
+
     /// Total across all bins.
     pub fn total(&self) -> f64 {
         self.bins.iter().sum()
@@ -146,5 +167,23 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bin_width_rejected() {
         TimeSeries::new(0.0);
+    }
+
+    #[test]
+    fn merge_sums_bins_and_extends() {
+        let mut a = TimeSeries::new(100.0);
+        a.add(0.0, 1.0);
+        let mut b = TimeSeries::new(100.0);
+        b.add(50.0, 2.0);
+        b.add(250.0, 4.0);
+        a.merge(&b);
+        assert_eq!(a.bins, vec![3.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin widths")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = TimeSeries::new(100.0);
+        a.merge(&TimeSeries::new(200.0));
     }
 }

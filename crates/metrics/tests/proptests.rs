@@ -242,3 +242,113 @@ proptest! {
         prop_assert_eq!(&seq, &direct);
     }
 }
+
+// ---- observability-layer properties (DESIGN.md §10) ----
+
+use ccfit_engine::units::Cycle;
+use ccfit_metrics::{CcEvent, CcEventKind, EventRing};
+
+fn fecn_ev(at: Cycle) -> CcEvent {
+    CcEvent {
+        at,
+        kind: CcEventKind::FecnMark {
+            sw: 0,
+            port: 1,
+            dst: 2,
+            flow: 3,
+        },
+    }
+}
+
+proptest! {
+    /// TimeSeries::merge is associative and commutative for
+    /// integer-valued bins (the parallel engine merges per-shard gauge
+    /// series, so grouping must not matter).
+    #[test]
+    fn series_merge_is_associative_and_commutative(
+        series in prop::collection::vec(
+            prop::collection::vec((0.0f64..1e5, 0u32..1000), 0..30),
+            2..5,
+        ),
+    ) {
+        let build = |adds: &[(f64, u32)]| {
+            let mut s = TimeSeries::new(500.0);
+            for &(t, v) in adds {
+                s.add(t, f64::from(v));
+            }
+            s
+        };
+        let parts: Vec<TimeSeries> = series.iter().map(|a| build(a)).collect();
+
+        // Left fold: ((a ∪ b) ∪ c) ∪ ...
+        let mut left = parts[0].clone();
+        for p in &parts[1..] {
+            left.merge(p);
+        }
+        // Right fold: a ∪ (b ∪ (c ∪ ...))
+        let mut right = parts[parts.len() - 1].clone();
+        for p in parts[..parts.len() - 1].iter().rev() {
+            let mut acc = p.clone();
+            acc.merge(&right);
+            right = acc;
+        }
+        // Reversed order (commutativity).
+        let mut rev = parts[parts.len() - 1].clone();
+        for p in parts[..parts.len() - 1].iter().rev() {
+            rev.merge(p);
+        }
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left.bins, &rev.bins);
+
+        // And the merge conserves mass.
+        let expect: f64 = parts.iter().map(|p| p.total()).sum();
+        prop_assert_eq!(left.total(), expect);
+    }
+
+    /// Samples landing exactly on a multiple of `bin_ns` belong to the
+    /// bin *starting* there — `[i·bin, (i+1)·bin)` — never the one
+    /// ending there.
+    #[test]
+    fn series_bin_boundary_at_exact_multiples(
+        i in 0usize..1000,
+        bin_pow in 4u32..12,
+    ) {
+        let bin = f64::from(2u32.pow(bin_pow)); // exactly representable
+        let s = TimeSeries::new(bin);
+        let t = i as f64 * bin;
+        prop_assert_eq!(s.bin_of(t), i);
+        let mut s = s;
+        s.add(t, 1.0);
+        prop_assert_eq!(s.len(), i + 1, "boundary sample opens bin {}", i);
+        prop_assert_eq!(s.bins[i], 1.0);
+        if i > 0 {
+            prop_assert_eq!(s.bins[i - 1], 0.0);
+        }
+        // Just below the boundary falls in the previous bin.
+        let below = t - bin / 2.0;
+        if i > 0 {
+            prop_assert_eq!(s.bin_of(below), i - 1);
+        }
+    }
+
+    /// The event ring's drop accounting is exact for every (cap, load):
+    /// dropped == offered − kept, the ring never exceeds its cap, and
+    /// the survivors are precisely the newest `kept` events in order.
+    #[test]
+    fn event_ring_cap_accounting_is_exact(
+        cap in 0usize..40,
+        offered in 0u64..200,
+    ) {
+        let mut r = EventRing::new(cap);
+        for at in 0..offered {
+            r.push(fecn_ev(at));
+        }
+        prop_assert!(r.len() <= r.cap());
+        prop_assert_eq!(r.offered(), offered);
+        prop_assert_eq!(r.dropped(), offered - r.len() as u64);
+        let kept: Vec<Cycle> = r.iter().map(|e| e.at).collect();
+        let expect: Vec<Cycle> =
+            (offered.saturating_sub(cap as u64)..offered).collect();
+        prop_assert_eq!(kept, expect, "oldest events are evicted first");
+    }
+}

@@ -126,6 +126,58 @@ fn parallel_tick_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// With every observability channel wide open — full event recording,
+/// per-packet tracing, per-port telemetry — the parallel engine must
+/// still match the serial one byte-for-byte: the event log and the
+/// packet traces ride the per-shard outboxes and are replayed in
+/// canonical shard order (DESIGN.md §10), so thread count may not leak
+/// into any recorded artifact.
+#[test]
+fn parallel_tick_traces_and_events_identical_across_threads() {
+    use ccfit::trace::PacketTrace;
+    use ccfit::{EventClass, EventConfig, SimBuilder};
+
+    let spec = config1_case1_scaled(0.02);
+    let run = |c: SimConfig| {
+        let mut c = c;
+        c.duration_ns = spec.duration_ns;
+        c.crossbar_bw_flits_per_cycle = spec.crossbar_bw_flits_per_cycle;
+        let mut sim = SimBuilder::new(spec.topology.clone())
+            .routing(spec.routing.clone())
+            .mechanism(Mechanism::ccfit())
+            .traffic(spec.pattern.clone())
+            .config(c)
+            .events(EventConfig {
+                classes: EventClass::ALL,
+                sample_every: 1,
+                cap: 1 << 22,
+            })
+            .trace_sample_every(1)
+            .port_telemetry(true)
+            .seed(3)
+            .build();
+        sim.run_to_end();
+        let traces: Vec<PacketTrace> = sim.traces().into_iter().cloned().collect();
+        (
+            serde_json::to_string(&traces).unwrap(),
+            sim.finish().to_json(),
+        )
+    };
+    let (serial_traces, serial_report) = run(cfg(true));
+    assert!(serial_report.contains("\"events\""));
+    for threads in [1usize, 2, 4] {
+        let (traces, report) = run(cfg_threads(threads));
+        assert_eq!(
+            traces, serial_traces,
+            "threads={threads}: packet traces diverge from the serial engine"
+        );
+        assert_eq!(
+            report, serial_report,
+            "threads={threads}: report/event log diverges from the serial engine"
+        );
+    }
+}
+
 /// Parallel byte-identity must also hold with a dynamic fault schedule
 /// in play: purges, re-routes and link-rate changes all cross shard
 /// boundaries.

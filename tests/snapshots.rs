@@ -1,0 +1,105 @@
+//! Golden-snapshot pins for the paper's Config #1 / Case #1 scenario.
+//!
+//! Each of the six evaluated mechanisms runs a short, fixed-seed
+//! schedule and its full serialized [`SimReport`] is compared byte-for-
+//! byte against a checked-in snapshot under `tests/snapshots/`. The
+//! determinism suite proves fast/slow/parallel engines agree with *each
+//! other*; these pins additionally freeze the absolute numbers, so an
+//! innocent-looking change that shifts results for every engine at once
+//! (and would sail through the determinism tests) still fails loudly.
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test snapshots
+//! ```
+//!
+//! then review the snapshot diff like any other code change.
+
+use ccfit::experiment::config1_case1_scaled;
+use ccfit::{EventClass, EventConfig, Mechanism, SimConfig};
+use std::path::PathBuf;
+
+fn snapshot_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/snapshots")
+        .join(file)
+}
+
+/// Compare `actual` against the checked-in snapshot, or rewrite it when
+/// `UPDATE_SNAPSHOTS` is set.
+fn check_snapshot(file: &str, actual: &str) {
+    let path = snapshot_path(file);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); regenerate with UPDATE_SNAPSHOTS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{file}: report diverged from the golden snapshot; if the change \
+         is intentional, regenerate with UPDATE_SNAPSHOTS=1 and review the diff"
+    );
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        metrics_bin_ns: 20_000.0,
+        ..SimConfig::default()
+    }
+}
+
+/// The six mechanisms of the paper's evaluation (Fig. 7 plotting order).
+fn all_mechanisms() -> Vec<Mechanism> {
+    vec![
+        Mechanism::OneQ,
+        Mechanism::VoqSw,
+        Mechanism::voqnet(),
+        Mechanism::ith(),
+        Mechanism::fbicm(),
+        Mechanism::ccfit(),
+    ]
+}
+
+#[test]
+fn config1_case1_reports_match_golden_snapshots() {
+    let spec = config1_case1_scaled(0.02);
+    for mech in all_mechanisms() {
+        let file = format!(
+            "config1_case1_{}.json",
+            mech.name().to_ascii_lowercase().replace('/', "_")
+        );
+        let report = spec.run_with(mech, 7, cfg());
+        check_snapshot(&file, &report.to_json());
+    }
+}
+
+/// The CCFIT event log itself is pinned too: isolation and Stop/Go
+/// transitions on the congestion-tree classes form a compact, fully
+/// deterministic transcript of the mechanism's §III behaviour.
+#[test]
+fn config1_case1_ccfit_event_log_matches_golden_snapshot() {
+    let spec = config1_case1_scaled(0.02);
+    let mut c = cfg();
+    c.events = Some(EventConfig {
+        classes: EventClass::CONGESTION
+            | EventClass::CFQ
+            | EventClass::STOP_GO
+            | EventClass::THROTTLE,
+        sample_every: 1,
+        cap: 1 << 16,
+    });
+    let report = spec.run_with(Mechanism::ccfit(), 7, c);
+    let log = report.events.as_ref().expect("event recording was enabled");
+    assert_eq!(log.dropped_cap, 0, "cap must not truncate the snapshot");
+    check_snapshot(
+        "config1_case1_ccfit_events.json",
+        &serde_json::to_string_pretty(log).unwrap(),
+    );
+}
