@@ -10,8 +10,18 @@
 //! additionally timed on the parallel engine (`--threads N`, default 4);
 //! `host_cpus` is recorded so a reader can tell whether the parallel
 //! numbers were taken on a machine that can actually run the shards
-//! concurrently. Results land in `BENCH_engine.json` (override the path
-//! with `--out <file>`).
+//! concurrently, and each parallel leg records the engine's
+//! auto-fallback verdict (`effective_threads` / `fallback`, DESIGN.md
+//! §9) so a degraded leg cannot masquerade as a parallel measurement.
+//! Results land in `BENCH_engine.json` (override the path with
+//! `--out <file>`).
+//!
+//! A third scenario, `scale-16ary3`, proves the engine at scale: a
+//! 16-ary 3-tree (4096 nodes, 768 × 32-port switches) under light
+//! uniform traffic, timed serial and parallel, recording cycles/sec,
+//! peak RSS and bytes-per-node. On a multi-core host the parallel leg
+//! must not lose to serial. `--smoke` shrinks it to a few thousand
+//! cycles for CI.
 //!
 //! With `--trace`, the congestion-heavy scenario is additionally timed
 //! with the full observability layer on (every event class, per-packet
@@ -24,8 +34,8 @@
 use ccfit::experiment::{config1_case1_scaled, ExperimentSpec};
 use ccfit::{EventClass, EventConfig, Mechanism, SimConfig};
 use ccfit_engine::ids::NodeId;
-use ccfit_topology::{config1_topology, RoutingTable};
-use ccfit_traffic::{FlowSpec, TrafficPattern};
+use ccfit_topology::{config1_topology, KAryNTree, LinkParams, RoutingTable};
+use ccfit_traffic::{uniform_all, FlowSpec, TrafficPattern};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -33,18 +43,34 @@ use std::time::Instant;
 struct ScenarioResult {
     scenario: String,
     simulated_cycles: u64,
-    slow_wall_s: f64,
+    /// Serial wall time with `force_slow_path` (null for the scale
+    /// scenario, which is too large to run de-optimized).
+    slow_wall_s: Option<f64>,
     fast_wall_s: f64,
-    slow_cycles_per_sec: f64,
+    slow_cycles_per_sec: Option<f64>,
     fast_cycles_per_sec: f64,
-    speedup: f64,
+    /// Fast-serial throughput over slow-serial throughput.
+    speedup: Option<f64>,
     /// Worker threads used for the parallel engine run (null when the
     /// scenario was not benchmarked in parallel).
     threads: Option<usize>,
+    /// Threads the engine actually used after the auto-fallback
+    /// decision (DESIGN.md §9) — 1 means the parallel leg measured the
+    /// serial engine.
+    effective_threads: Option<usize>,
+    /// Why the parallel request was degraded (`single-cpu`,
+    /// `oversubscribed`, `tiny-shards`), or null for an honest run.
+    fallback: Option<String>,
     parallel_wall_s: Option<f64>,
     parallel_cycles_per_sec: Option<f64>,
     /// Parallel throughput over fast-serial throughput.
     parallel_speedup: Option<f64>,
+    /// Peak resident set (`VmHWM`) after the scenario finished, bytes
+    /// (scale scenario only).
+    peak_rss_bytes: Option<u64>,
+    /// Peak RSS divided by the node count — the engine's memory
+    /// footprint per simulated node (scale scenario only).
+    mem_per_node_bytes: Option<u64>,
     /// Wall time with the full observability layer on (`--trace` only).
     traced_wall_s: Option<f64>,
     traced_cycles_per_sec: Option<f64>,
@@ -106,11 +132,16 @@ fn cfg(force_slow_path: bool, threads: usize) -> SimConfig {
     c
 }
 
-/// Best-of-`REPS` wall time and the (identical every run) cycle count.
-fn time_run(spec: &ExperimentSpec, force_slow_path: bool, threads: usize) -> (f64, u64) {
+/// Best-of-`reps` wall time and the (identical every run) cycle count.
+fn time_run_n(
+    spec: &ExperimentSpec,
+    force_slow_path: bool,
+    threads: usize,
+    reps: usize,
+) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut cycles = 0;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let t0 = Instant::now();
         let report = spec.run_with(Mechanism::ccfit(), 1, cfg(force_slow_path, threads));
         let wall = t0.elapsed().as_secs_f64();
@@ -118,6 +149,39 @@ fn time_run(spec: &ExperimentSpec, force_slow_path: bool, threads: usize) -> (f6
         cycles = report.simulated_cycles;
     }
     (best, cycles)
+}
+
+/// Best-of-`REPS` wall time and the (identical every run) cycle count.
+fn time_run(spec: &ExperimentSpec, force_slow_path: bool, threads: usize) -> (f64, u64) {
+    time_run_n(spec, force_slow_path, threads, REPS)
+}
+
+/// A `VmHWM:`/`VmRSS:`-style line from `/proc/self/status`, in bytes.
+/// `None` off Linux or if the field is missing — the bench records
+/// nulls rather than guessing.
+fn proc_status_bytes(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The 4096-node scale scenario: a 16-ary 3-tree (768 switches of 32
+/// ports) under light uniform traffic from every node — per-cycle work
+/// two orders of magnitude above the paper configs, which is the regime
+/// the sharded engine exists for. Duration is set by the caller.
+fn scale_16ary3(duration_ns: f64) -> ExperimentSpec {
+    let tree = KAryNTree::new(16, 3);
+    let topology = tree.build(LinkParams::default());
+    let routing = tree.det_routing();
+    ExperimentSpec {
+        name: "scale-16ary3".into(),
+        pattern: uniform_all(topology.num_nodes(), 0.1),
+        routing,
+        topology,
+        duration_ns,
+        crossbar_bw_flits_per_cycle: 1,
+    }
 }
 
 /// Best-of-`REPS` wall time with every observability channel on, plus a
@@ -171,6 +235,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
     let trace = args.iter().any(|a| a == "--trace");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -194,6 +259,8 @@ fn main() {
         // The parallel engine only pays off where per-cycle work
         // dominates; the idle-heavy scenario is a fast-forward benchmark
         // and stays serial.
+        let decision =
+            bench_parallel.then(|| spec.engine_decision(&Mechanism::ccfit(), &cfg(false, threads)));
         let (par_s, par_cycles) = if bench_parallel {
             let (s, c) = time_run(&spec, false, threads);
             assert_eq!(
@@ -207,14 +274,18 @@ fn main() {
         };
         let par_cps = par_s.zip(par_cycles).map(|(s, c)| c as f64 / s.max(1e-12));
         if let Some(cps) = par_cps {
+            let d = decision.as_ref().unwrap();
             println!(
-                "{:<17} {:>9} cycles | par({}) {:>10.0} cyc/s | {:.2}x vs fast ({} host cpus)",
+                "{:<17} {:>9} cycles | par({}) {:>10.0} cyc/s | {:.2}x vs fast ({} host cpus{})",
                 spec.name,
                 fast_cycles,
                 threads,
                 cps,
                 cps / fast_cps,
-                host_cpus
+                host_cpus,
+                d.fallback
+                    .map(|r| format!(", fell back: {}", r.as_str()))
+                    .unwrap_or_default(),
             );
         }
         // The tracing-overhead leg rides the congestion-heavy scenario:
@@ -233,20 +304,99 @@ fn main() {
         entries.push(ScenarioResult {
             scenario: spec.name.clone(),
             simulated_cycles: slow_cycles,
-            slow_wall_s: slow_s,
+            slow_wall_s: Some(slow_s),
             fast_wall_s: fast_s,
-            slow_cycles_per_sec: slow_cps,
+            slow_cycles_per_sec: Some(slow_cps),
             fast_cycles_per_sec: fast_cps,
-            speedup,
+            speedup: Some(speedup),
             threads: par_s.map(|_| threads),
+            effective_threads: decision.as_ref().map(|d| d.effective_threads),
+            fallback: decision
+                .as_ref()
+                .and_then(|d| d.fallback.map(|r| r.as_str().to_string())),
             parallel_wall_s: par_s,
             parallel_cycles_per_sec: par_cps,
             parallel_speedup: par_cps.map(|cps| cps / fast_cps),
+            peak_rss_bytes: None,
+            mem_per_node_bytes: None,
             traced_wall_s: traced_s,
             traced_cycles_per_sec: traced_cps,
             tracing_overhead_pct: traced_s.map(|s| (1.0 - fast_s.min(s) / s.max(1e-12)) * 100.0),
         });
     }
+
+    // --- scale-16ary3: prove the engine at 4096 nodes -----------------
+    // One rep in smoke mode (CI), two otherwise: each run touches a
+    // network two orders of magnitude larger than the paper configs, so
+    // reps are expensive and run-to-run noise is comparatively small.
+    let (dur_ns, reps) = if smoke { (0.1e6, 1) } else { (0.5e6, 2) };
+    let spec = scale_16ary3(dur_ns);
+    let (serial_s, serial_cycles) = time_run_n(&spec, false, 1, reps);
+    let serial_cps = serial_cycles as f64 / serial_s.max(1e-12);
+    let decision = spec.engine_decision(&Mechanism::ccfit(), &cfg(false, threads));
+    let (par_s, par_cycles) = time_run_n(&spec, false, threads, reps);
+    assert_eq!(
+        par_cycles, serial_cycles,
+        "scale-16ary3: parallel engine simulated a different cycle count"
+    );
+    let par_cps = par_cycles as f64 / par_s.max(1e-12);
+    let parallel_speedup = par_cps / serial_cps;
+    let peak_rss = proc_status_bytes("VmHWM:");
+    let mem_per_node = peak_rss.map(|b| b / spec.topology.num_nodes() as u64);
+    println!(
+        "{:<17} {:>9} cycles | serial {:>10.0} cyc/s | par({}) {:>10.0} cyc/s | {:.2}x{}",
+        spec.name,
+        serial_cycles,
+        serial_cps,
+        threads,
+        par_cps,
+        parallel_speedup,
+        decision
+            .fallback
+            .map(|r| format!(" (fell back: {})", r.as_str()))
+            .unwrap_or_default(),
+    );
+    if let (Some(rss), Some(per_node)) = (peak_rss, mem_per_node) {
+        println!(
+            "{:<17} peak RSS {:.1} MiB | {:.1} KiB per node",
+            spec.name,
+            rss as f64 / (1 << 20) as f64,
+            per_node as f64 / 1024.0,
+        );
+    }
+    // On a host that can actually run the shards concurrently the
+    // parallel engine must not lose to serial (5 % noise allowance).
+    // When the auto-fallback degraded the leg to serial the comparison
+    // is serial-vs-serial and holds trivially — the recorded
+    // `effective_threads`/`fallback` fields say so.
+    if decision.effective_threads > 1 {
+        assert!(
+            parallel_speedup >= 0.95,
+            "scale-16ary3: parallel engine lost to serial on a multi-core host \
+             ({parallel_speedup:.2}x with {} effective threads)",
+            decision.effective_threads,
+        );
+    }
+    entries.push(ScenarioResult {
+        scenario: spec.name.clone(),
+        simulated_cycles: serial_cycles,
+        slow_wall_s: None,
+        fast_wall_s: serial_s,
+        slow_cycles_per_sec: None,
+        fast_cycles_per_sec: serial_cps,
+        speedup: None,
+        threads: Some(threads),
+        effective_threads: Some(decision.effective_threads),
+        fallback: decision.fallback.map(|r| r.as_str().to_string()),
+        parallel_wall_s: Some(par_s),
+        parallel_cycles_per_sec: Some(par_cps),
+        parallel_speedup: Some(parallel_speedup),
+        peak_rss_bytes: peak_rss,
+        mem_per_node_bytes: mem_per_node,
+        traced_wall_s: None,
+        traced_cycles_per_sec: None,
+        tracing_overhead_pct: None,
+    });
     let doc = BenchDoc {
         bench: "engine".into(),
         mechanism: "CCFIT".into(),

@@ -97,10 +97,12 @@ fn main() {
             let (results, spec, cfg) = (&results, &spec, cfg.clone());
             let schedule = schedule.clone();
             scope.spawn(move || {
+                let warning = spec.engine_decision(mech, &cfg).warning();
                 let t0 = std::time::Instant::now();
                 let report = spec.run_with_faults(mech.clone(), 0xFA_017, cfg, schedule, fault_cfg);
                 let out =
-                    RunOutput::new(mech.name().to_string(), report, t0.elapsed().as_secs_f64());
+                    RunOutput::new(mech.name().to_string(), report, t0.elapsed().as_secs_f64())
+                        .with_parallel_warning(warning);
                 results.lock().unwrap()[i] = Some(out);
             });
         }

@@ -17,6 +17,12 @@ pub struct RunOutput {
     pub wall_s: f64,
     /// Engine throughput: simulated cycles per wall-clock second.
     pub sim_cycles_per_sec: f64,
+    /// `Some` when a parallel request was degraded by the engine's
+    /// auto-fallback (e.g. `threads` > host CPUs, or shards too small to
+    /// pay for synchronization) — the wall-clock numbers then measure
+    /// the serial/clamped engine, not the configuration that was asked
+    /// for. `None` for honest-to-request runs.
+    pub parallel_warning: Option<String>,
 }
 
 impl RunOutput {
@@ -29,7 +35,15 @@ impl RunOutput {
             report,
             wall_s,
             sim_cycles_per_sec,
+            parallel_warning: None,
         }
+    }
+
+    /// Attach the engine's fallback advisory (see
+    /// `ccfit::EngineDecision::warning`).
+    pub fn with_parallel_warning(mut self, warning: Option<String>) -> Self {
+        self.parallel_warning = warning;
+        self
     }
 }
 
@@ -51,10 +65,12 @@ pub fn run_all(
             let spec = &spec;
             let cfg = cfg.clone();
             scope.spawn(move || {
+                let warning = spec.engine_decision(mech, &cfg).warning();
                 let t0 = std::time::Instant::now();
                 let report = spec.run_with(mech.clone(), seed, cfg);
                 let out =
-                    RunOutput::new(mech.name().to_string(), report, t0.elapsed().as_secs_f64());
+                    RunOutput::new(mech.name().to_string(), report, t0.elapsed().as_secs_f64())
+                        .with_parallel_warning(warning);
                 results.lock().unwrap()[i] = Some(out);
             });
         }

@@ -52,7 +52,7 @@ pub use ccfit_faults::{
     FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent, RandomFaults, ScheduledEvent,
 };
 pub use ccfit_metrics::{CcEvent, CcEventKind, EventClass, EventConfig, FaultKind};
-pub use parallel::ParallelConfig;
+pub use parallel::{EngineDecision, FallbackReason, ParallelConfig, ParallelFallback};
 pub use params::{IsolationParams, Mechanism, QueueingScheme, ThrottleParams};
 pub use simulator::{BecnTransport, SimBuilder, SimConfig, Simulator};
 pub use trace::{PacketTrace, TraceLog};

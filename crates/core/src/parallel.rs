@@ -46,8 +46,25 @@ use ccfit_metrics::MetricsScratch;
 use ccfit_topology::RoutingTable;
 use std::cell::UnsafeCell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cycles per worker-pool dispatch when [`ParallelConfig::batch_cycles`]
+/// is left at `0` (auto). Inside a batch the workers stay hot and cross
+/// cheap spin-biased barriers; only the batch boundary is a park-capable
+/// rendezvous, so a larger batch amortizes wakeup latency. Output is
+/// byte-identical for every batch size (the determinism suite pins
+/// `k ∈ {1, 4, 16}`), so the knob is purely about scheduling overhead.
+pub const DEFAULT_BATCH_CYCLES: usize = 16;
+
+/// Minimum per-shard work estimate (in [`network_weight`] units —
+/// roughly "connected ports plus adapters, scaled by mechanism cost")
+/// below which the auto-fallback runs serially: a shard that ticks a
+/// handful of components finishes in well under a microsecond, which is
+/// less than the barrier crossings cost. The three paper configs (≤ 64
+/// nodes) all land below this; a 16-ary 3-tree (4096 nodes) is ~150×
+/// above it.
+pub const MIN_SHARD_WEIGHT: u64 = 512;
 
 /// Worker-pool configuration for the sharded parallel tick engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,12 +74,173 @@ pub struct ParallelConfig {
     /// (the calling thread works shard 0). Results are byte-identical
     /// for every value.
     pub threads: usize,
+    /// Simulated cycles per pool dispatch (`0` = auto, currently
+    /// [`DEFAULT_BATCH_CYCLES`]). Does not affect results.
+    pub batch_cycles: usize,
+    /// Whether the engine may overrule `threads` when parallelism cannot
+    /// pay for its synchronization (see [`EngineDecision`]).
+    pub fallback: ParallelFallback,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            batch_cycles: 0,
+            fallback: ParallelFallback::Auto,
+        }
     }
+}
+
+/// Policy for degrading a parallel request that cannot pay off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelFallback {
+    /// Degrade automatically: run serially on a single-CPU host or when
+    /// shards would be too small, and clamp `threads` to the host's CPU
+    /// count. The default — results are identical either way, only
+    /// wall-clock changes.
+    #[default]
+    Auto,
+    /// Run exactly `threads` workers no matter what. Used by the
+    /// determinism suite (which must exercise the sharded engine even on
+    /// a 1-CPU CI runner) and available via
+    /// [`crate::SimBuilder::force_parallel`].
+    Never,
+}
+
+/// Why the engine did not run with the requested thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The host has one CPU: every barrier crossing would be a scheduler
+    /// round-trip (the configuration that measured 0.008× speedup).
+    SingleCpu,
+    /// `threads` exceeded the host's CPU count; the engine still runs in
+    /// parallel, clamped to the CPUs that exist.
+    Oversubscribed,
+    /// Per-shard work below [`MIN_SHARD_WEIGHT`]: synchronization would
+    /// cost more than the work it distributes.
+    TinyShards,
+}
+
+impl FallbackReason {
+    /// Stable lowercase token for logs/JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FallbackReason::SingleCpu => "single-cpu",
+            FallbackReason::Oversubscribed => "oversubscribed",
+            FallbackReason::TinyShards => "tiny-shards",
+        }
+    }
+}
+
+/// The engine-selection verdict for one run: what was asked, what will
+/// actually execute, and why they differ (if they do). Computed before
+/// the first tick from the host CPU count and a static work estimate —
+/// deliberately *not* part of [`crate::simulator::SimReport`], so the
+/// report stays byte-identical across hosts and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineDecision {
+    /// `ParallelConfig::threads` as configured.
+    pub requested_threads: usize,
+    /// Worker count that will actually run (`1` = serial engine).
+    pub effective_threads: usize,
+    /// Host CPUs visible to the process.
+    pub host_cpus: usize,
+    /// Cycles per pool dispatch (resolved from `batch_cycles`).
+    pub batch_cycles: usize,
+    /// Estimated per-shard work at `effective_threads.max(1)` shards,
+    /// in [`network_weight`] units.
+    pub shard_weight: u64,
+    /// `Some` when the engine overruled or clamped the request.
+    pub fallback: Option<FallbackReason>,
+}
+
+impl EngineDecision {
+    /// The advisory line for a degraded request, `None` when the engine
+    /// runs exactly what was asked. Bench harnesses surface this next to
+    /// wall-clock numbers so a fallen-back "parallel" leg cannot
+    /// masquerade as a parallel measurement.
+    pub fn warning(&self) -> Option<String> {
+        self.fallback.map(|_| self.summary())
+    }
+
+    /// One-line human summary (the auto-fallback warning body).
+    pub fn summary(&self) -> String {
+        match self.fallback {
+            None => format!(
+                "parallel tick: {} thread(s) on {} CPU(s)",
+                self.effective_threads, self.host_cpus
+            ),
+            Some(r) => format!(
+                "parallel tick requested {} thread(s) but running {} ({}; host has {} CPU(s), \
+                 per-shard work ≈ {}); set SimBuilder::force_parallel() to override",
+                self.requested_threads,
+                self.effective_threads,
+                r.as_str(),
+                self.host_cpus,
+                self.shard_weight,
+            ),
+        }
+    }
+}
+
+/// Decide how a [`ParallelConfig`] request should execute on a host with
+/// `host_cpus` CPUs against a network whose total static work estimate
+/// is `total_weight` (see [`network_weight`]). Pure — the simulator and
+/// the bench harness both call this, so the warning a user sees is the
+/// decision the engine makes.
+pub fn decide(cfg: &ParallelConfig, host_cpus: usize, total_weight: u64) -> EngineDecision {
+    let requested = cfg.threads.max(1);
+    let batch = if cfg.batch_cycles == 0 {
+        DEFAULT_BATCH_CYCLES
+    } else {
+        cfg.batch_cycles
+    };
+    let host_cpus = host_cpus.max(1);
+    let mut d = EngineDecision {
+        requested_threads: requested,
+        effective_threads: requested,
+        host_cpus,
+        batch_cycles: batch,
+        shard_weight: total_weight / requested.max(1) as u64,
+        fallback: None,
+    };
+    if requested == 1 || cfg.fallback == ParallelFallback::Never {
+        return d;
+    }
+    if host_cpus == 1 {
+        d.effective_threads = 1;
+        d.shard_weight = total_weight;
+        d.fallback = Some(FallbackReason::SingleCpu);
+        return d;
+    }
+    let clamped = requested.min(host_cpus);
+    d.shard_weight = total_weight / clamped as u64;
+    if d.shard_weight < MIN_SHARD_WEIGHT {
+        d.effective_threads = 1;
+        d.shard_weight = total_weight;
+        d.fallback = Some(FallbackReason::TinyShards);
+        return d;
+    }
+    d.effective_threads = clamped;
+    if clamped < requested {
+        d.fallback = Some(FallbackReason::Oversubscribed);
+    }
+    d
+}
+
+/// Static work estimate for a network: one unit per connected switch
+/// port and per adapter, scaled by the mechanism's per-component cost
+/// factor ([`crate::Mechanism::tick_weight`]). The same quantity drives
+/// shard balancing, so "per-shard weight" in [`EngineDecision`] is the
+/// load the busiest worker actually receives.
+pub fn network_weight(
+    switch_ports: impl Iterator<Item = usize>,
+    num_adapters: usize,
+    mech_factor: u64,
+) -> u64 {
+    let ports: u64 = switch_ports.map(|p| p as u64).sum();
+    ports * mech_factor + num_adapters as u64
 }
 
 /// Which parallel section of the tick to run (see the module docs for
@@ -97,21 +275,62 @@ pub(crate) struct ShardPlan {
     pub(crate) deliver_links: Vec<Vec<(u32, u32, u32)>>,
 }
 
+/// Split `weights` into `parts` contiguous ranges whose weight sums are
+/// as even as a greedy left-to-right pass can make them. Deterministic;
+/// the concatenation of the ranges is always exactly `0..weights.len()`
+/// (a proptest in `tests/` pins that invariant), and with uniform
+/// weights it degenerates to the near-even index split. Trailing ranges
+/// may be empty when there are more parts than items.
+pub fn partition_weighted(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let n = weights.len();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut remaining: u64 = weights.iter().sum();
+    let mut start = 0usize;
+    for w in 0..parts {
+        let end = if w + 1 == parts {
+            n
+        } else {
+            // This part's fair share of what is left. Take items while
+            // under it; overshoot only when the overshoot lands closer
+            // to the share than stopping short would.
+            let share = remaining.div_ceil((parts - w) as u64).max(1);
+            let mut acc = 0u64;
+            let mut end = start;
+            while end < n && acc < share {
+                let wi = weights[end];
+                if acc > 0 && acc + wi > share && (acc + wi - share) > (share - acc) {
+                    break;
+                }
+                acc += wi;
+                end += 1;
+            }
+            remaining -= acc;
+            end
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 impl ShardPlan {
-    /// Partition `num_switches` switches and `num_adapters` adapters
-    /// into `threads` contiguous shards. `link_sw_dst[li]` is the
-    /// `(switch, port)` a link delivers into (`None` for node-bound
-    /// links, which stay serial).
+    /// Partition switches (weighted — see [`network_weight`]) and
+    /// `num_adapters` adapters into `threads` contiguous shards.
+    /// `link_sw_dst[li]` is the `(switch, port)` a link delivers into
+    /// (`None` for node-bound links, which stay serial). Contiguity is
+    /// load-bearing: replaying shard outboxes in shard order must equal
+    /// component-index order.
     pub(crate) fn build(
         threads: usize,
-        num_switches: usize,
+        switch_weights: &[u64],
         num_adapters: usize,
         link_sw_dst: &[Option<(u32, u32)>],
     ) -> Self {
         let shards = threads.max(1);
         let chunk =
             |n: usize, w: usize| -> Range<usize> { (w * n / shards)..((w + 1) * n / shards) };
-        let switch_ranges: Vec<_> = (0..shards).map(|w| chunk(num_switches, w)).collect();
+        let switch_ranges = partition_weighted(switch_weights, shards);
         let adapter_ranges: Vec<_> = (0..shards).map(|w| chunk(num_adapters, w)).collect();
         let shard_of_switch = |s: usize| -> usize {
             switch_ranges
@@ -278,6 +497,11 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
                 for s in plan.switch_ranges[w].clone() {
                     (*ctx.switches.add(s)).poll_output_ctrl_ls(now, &mut links, &mut ob.metrics);
                 }
+                // Segment boundary: Ctrl/Iso/CstArb run back-to-back with
+                // no merge in between, so the coordinator replays this
+                // log in marked segments (all shards' ctrl ops before any
+                // shard's iso ops — the serial emission order).
+                ob.metrics.mark();
             }
             {
                 let ob = &mut *ctx.outboxes.add(plan.shards + w);
@@ -296,6 +520,7 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
                     sw.isolation_tick_ls(now, &*ctx.routing, &mut links, &mut ob.metrics);
                 }
             }
+            ob.metrics.mark();
         }
         PhaseKind::CstArb => {
             let ob = &mut *ctx.outboxes.add(w);
@@ -338,81 +563,155 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
     }
 }
 
-/// A sense-reversing barrier that spins briefly, then yields — the
-/// sections it separates are microseconds long, but the engine must
-/// also stay live when the host has fewer cores than workers (CI
-/// containers), where pure spinning would deadlock the scheduler's
-/// patience.
-pub(crate) struct SpinBarrier {
+/// A generation-counted barrier that spins briefly, then parks on a
+/// condvar — the sections it separates are microseconds long when the
+/// network is busy (spin wins), but a waiter must get off the CPU fast
+/// when cores are shared or the coordinator is in a long serial stretch
+/// (park wins). The old pure spin/yield barrier was pathological in the
+/// second regime: on a 1-CPU host it measured a 125× slowdown.
+pub(crate) struct AdaptiveBarrier {
     n: usize,
+    /// Spin iterations before parking. `0` parks (almost) immediately —
+    /// the right setting when workers outnumber CPUs.
+    spin_limit: u32,
     count: AtomicUsize,
-    sense: AtomicBool,
+    /// Barrier generation; waiters leave when it moves past the value
+    /// they arrived at.
+    gen: AtomicUsize,
+    /// Waiters currently (or about to be) blocked in `cv`.
+    parked: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
 }
 
-impl SpinBarrier {
-    pub(crate) fn new(n: usize) -> Self {
+impl AdaptiveBarrier {
+    pub(crate) fn new(n: usize, spin_limit: u32) -> Self {
         Self {
             n,
+            spin_limit,
             count: AtomicUsize::new(0),
-            sense: AtomicBool::new(false),
+            gen: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
         }
     }
 
-    /// Block until all `n` participants arrive. The release/acquire
-    /// pair on `sense` (and the RMW chain on `count`) publishes every
-    /// write made before the barrier to every thread leaving it.
+    /// Block until all `n` participants arrive. The RMW chain on `count`
+    /// plus the release/acquire (and, on the park path, SeqCst) accesses
+    /// on `gen` publish every write made before the barrier to every
+    /// thread leaving it.
     pub(crate) fn wait(&self) {
-        let my_sense = !self.sense.load(Ordering::Acquire);
+        let g = self.gen.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             self.count.store(0, Ordering::Release);
-            self.sense.store(my_sense, Ordering::Release);
+            // SeqCst pairs with the waiter's parked/gen accesses below:
+            // if we miss a waiter's `parked` increment, that waiter's
+            // later `gen` load is ordered after this store and sees the
+            // new generation, so it never blocks on a stale one.
+            self.gen.store(g.wrapping_add(1), Ordering::SeqCst);
+            if self.parked.load(Ordering::SeqCst) != 0 {
+                // Serialize against a waiter between its gen re-check and
+                // its cv.wait — otherwise the notify could land in that
+                // window and be lost.
+                drop(self.lock.lock().unwrap());
+                self.cv.notify_all();
+            }
         } else {
             let mut spins = 0u32;
-            while self.sense.load(Ordering::Acquire) != my_sense {
+            loop {
+                if self.gen.load(Ordering::Acquire) != g {
+                    return;
+                }
                 spins += 1;
-                if spins < 64 {
+                if spins <= self.spin_limit {
                     std::hint::spin_loop();
-                } else {
+                } else if spins <= self.spin_limit.saturating_add(16) {
+                    // A few scheduler yields bridge the "releaser is
+                    // runnable but preempted" case before paying for a
+                    // full park/unpark round-trip.
                     std::thread::yield_now();
+                } else {
+                    self.parked.fetch_add(1, Ordering::SeqCst);
+                    let mut guard = self.lock.lock().unwrap();
+                    while self.gen.load(Ordering::SeqCst) == g {
+                        guard = self.cv.wait(guard).unwrap();
+                    }
+                    drop(guard);
+                    self.parked.fetch_sub(1, Ordering::SeqCst);
+                    return;
                 }
             }
         }
     }
 }
 
+/// An intra-batch step: run `phases[..n]` back-to-back, one barrier
+/// apart, against a single [`TickCtx`]. Chaining is only legal when the
+/// coordinator has no serial work between the phases (the ctx pointers
+/// stay valid across the whole chain).
+#[derive(Clone, Copy)]
+struct StepCmd {
+    phases: [PhaseKind; 4],
+    n: usize,
+    ctx: *const TickCtx,
+}
+
 #[derive(Clone, Copy)]
 enum Job {
-    Run(PhaseKind, *const TickCtx),
+    /// Enter the intra-batch step loop.
+    Batch,
     Shutdown,
 }
 
 struct PoolShared {
-    start: SpinBarrier,
-    done: SpinBarrier,
+    /// Batch-boundary rendezvous: workers park here between batches (and
+    /// during serial-only stretches), so it spins only briefly.
+    go: AdaptiveBarrier,
+    /// Intra-batch step barrier: crossed up to `4 × batch_cycles` times
+    /// per dispatch with live work on both sides, so it spins longer
+    /// before parking.
+    step: AdaptiveBarrier,
     job: UnsafeCell<Job>,
+    /// `Some(step)` published before each step barrier; `None` ends the
+    /// batch and sends the workers back to `go`.
+    cmd: UnsafeCell<Option<StepCmd>>,
 }
 
 // SAFETY: `job` is written by the coordinator only while every worker
-// is parked before `start` and read by workers only after passing it;
-// the barriers provide the necessary happens-before edges.
+// is parked before `go`, and `cmd` only while every worker is parked
+// before `step`; each is read only after passing the respective
+// barrier, which provides the happens-before edge.
 unsafe impl Send for PoolShared {}
 unsafe impl Sync for PoolShared {}
 
-/// A persistent worker pool: `threads - 1` parked OS threads plus the
-/// calling thread, which always works shard 0. Created once per
-/// parallel run; the workers idle at a barrier between sections.
+/// A persistent worker pool: `threads - 1` OS threads plus the calling
+/// thread, which always works shard 0. Created once per parallel run.
+/// The coordinator drives it in *batches*: one `go` rendezvous admits
+/// the workers into a step loop that executes many parallel sections
+/// (across several simulated cycles) over cheap spin-biased barriers,
+/// then a `None` step releases them back to the park-friendly `go`.
 pub(crate) struct Pool {
     shared: Arc<PoolShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Pool {
-    pub(crate) fn new(threads: usize) -> Self {
+    /// `oversubscribed` tunes the spin budgets: when workers outnumber
+    /// CPUs, spinning only steals cycles from the thread everyone is
+    /// waiting for, so the barriers park almost immediately.
+    pub(crate) fn new(threads: usize, oversubscribed: bool) -> Self {
         assert!(threads >= 2, "a pool below 2 threads is the serial engine");
+        let (go_spin, step_spin) = if oversubscribed {
+            (0, 0)
+        } else {
+            (128, 20_000)
+        };
         let shared = Arc::new(PoolShared {
-            start: SpinBarrier::new(threads),
-            done: SpinBarrier::new(threads),
+            go: AdaptiveBarrier::new(threads, go_spin),
+            step: AdaptiveBarrier::new(threads, step_spin),
             job: UnsafeCell::new(Job::Shutdown),
+            cmd: UnsafeCell::new(None),
         });
         let handles = (1..threads)
             .map(|w| {
@@ -426,26 +725,52 @@ impl Pool {
         Self { shared, handles }
     }
 
-    /// Run one parallel section: publish the job, release the workers,
-    /// work shard 0 on this thread, and wait for everyone.
-    pub(crate) fn run_section(&self, phase: PhaseKind, ctx: &TickCtx) {
-        // SAFETY: every worker is parked before `start` (protocol
+    /// Open a batch: admit the workers into the step loop.
+    pub(crate) fn begin_batch(&self) {
+        // SAFETY: every worker is parked before `go` (protocol
         // invariant), so nothing is reading `job`.
-        unsafe { *self.shared.job.get() = Job::Run(phase, ctx as *const TickCtx) };
-        self.shared.start.wait();
-        // SAFETY: ctx is live for the whole section; this thread is the
-        // unique owner of shard 0.
-        unsafe { run_shard(phase, ctx, 0) };
-        self.shared.done.wait();
+        unsafe { *self.shared.job.get() = Job::Batch };
+        self.shared.go.wait();
+    }
+
+    /// Run `phases` as one chained step (≤ 4, no coordinator work in
+    /// between), working shard 0 on this thread. Must be called between
+    /// [`Self::begin_batch`] and [`Self::end_batch`].
+    pub(crate) fn run_step(&self, phases: &[PhaseKind], ctx: &TickCtx) {
+        debug_assert!((1..=4).contains(&phases.len()));
+        let mut cmd = StepCmd {
+            phases: [PhaseKind::Deliver; 4],
+            n: phases.len(),
+            ctx: ctx as *const TickCtx,
+        };
+        cmd.phases[..phases.len()].copy_from_slice(phases);
+        // SAFETY: every worker is blocked before `step` (they only read
+        // `cmd` after passing it, and it only passes when we arrive).
+        unsafe { *self.shared.cmd.get() = Some(cmd) };
+        self.shared.step.wait();
+        for &p in phases {
+            // SAFETY: ctx is live for the whole chain; this thread is
+            // the unique owner of shard 0.
+            unsafe { run_shard(p, ctx, 0) };
+            self.shared.step.wait();
+        }
+    }
+
+    /// Close the batch: release the workers back to the `go` barrier so
+    /// the coordinator can run serial work (or sleep) without them
+    /// spinning.
+    pub(crate) fn end_batch(&self) {
+        // SAFETY: as in `run_step`.
+        unsafe { *self.shared.cmd.get() = None };
+        self.shared.step.wait();
     }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        // SAFETY: workers are parked before `start` (see run_section).
+        // SAFETY: workers are parked before `go` (protocol invariant).
         unsafe { *self.shared.job.get() = Job::Shutdown };
-        self.shared.start.wait();
-        self.shared.done.wait();
+        self.shared.go.wait();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -454,20 +779,26 @@ impl Drop for Pool {
 
 fn worker_loop(shared: Arc<PoolShared>, w: usize) {
     loop {
-        shared.start.wait();
+        shared.go.wait();
         // SAFETY: the coordinator published `job` before the barrier.
         let job = unsafe { *shared.job.get() };
         match job {
-            Job::Shutdown => {
-                shared.done.wait();
-                return;
-            }
-            Job::Run(phase, ctx) => {
-                // SAFETY: the coordinator keeps `ctx` (and the
-                // simulator it points into) alive until `done`.
-                unsafe { run_shard(phase, &*ctx, w) };
-                shared.done.wait();
-            }
+            Job::Shutdown => return,
+            Job::Batch => loop {
+                shared.step.wait();
+                // SAFETY: the coordinator published `cmd` before
+                // arriving at the barrier we just passed.
+                let Some(cmd) = (unsafe { *shared.cmd.get() }) else {
+                    break;
+                };
+                for i in 0..cmd.n {
+                    // SAFETY: the coordinator keeps `ctx` (and the
+                    // simulator it points into) alive until the chain's
+                    // final step barrier.
+                    unsafe { run_shard(cmd.phases[i], &*cmd.ctx, w) };
+                    shared.step.wait();
+                }
+            },
         }
     }
 }
@@ -486,7 +817,7 @@ mod tests {
             Some((2, 0)),
             None,
         ];
-        let plan = ShardPlan::build(2, 3, 5, &link_sw_dst);
+        let plan = ShardPlan::build(2, &[1, 1, 1], 5, &link_sw_dst);
         assert_eq!(plan.shards, 2);
         // Contiguous, complete coverage.
         assert_eq!(plan.switch_ranges[0].end, plan.switch_ranges[1].start);
@@ -506,7 +837,7 @@ mod tests {
 
     #[test]
     fn shard_plan_tolerates_more_shards_than_components() {
-        let plan = ShardPlan::build(4, 2, 3, &[Some((0, 0)), Some((1, 0))]);
+        let plan = ShardPlan::build(4, &[1, 1], 3, &[Some((0, 0)), Some((1, 0))]);
         let covered: usize = plan.switch_ranges.iter().map(|r| r.len()).sum();
         assert_eq!(covered, 2);
         let covered: usize = plan.adapter_ranges.iter().map(|r| r.len()).sum();
@@ -515,33 +846,102 @@ mod tests {
     }
 
     #[test]
-    fn spin_barrier_synchronizes_and_reuses() {
-        let b = Arc::new(SpinBarrier::new(3));
-        let counter = Arc::new(AtomicUsize::new(0));
-        let mut handles = Vec::new();
-        for _ in 0..2 {
-            let b = Arc::clone(&b);
-            let c = Arc::clone(&counter);
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..100 {
-                    c.fetch_add(1, Ordering::Relaxed);
-                    b.wait();
-                    b.wait();
-                }
-            }));
-        }
-        for round in 1..=100 {
-            b.wait(); // everyone incremented
-            assert_eq!(counter.load(Ordering::Relaxed), 2 * round);
-            b.wait(); // release them into the next round
-        }
-        for h in handles {
-            h.join().unwrap();
+    fn weighted_partition_balances_by_weight_not_count() {
+        // One heavy item (a 32-port spine switch) vs many light ones:
+        // the heavy item gets a shard of its own.
+        let weights = [32u64, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2];
+        let ranges = partition_weighted(&weights, 2);
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0], 0..1);
+        assert_eq!(ranges[1], 1..weights.len());
+        // Uniform weights degenerate to the near-even index split.
+        let even = partition_weighted(&[1; 10], 4);
+        let sizes: Vec<_> = even.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "{sizes:?}");
+    }
+
+    /// Hammer the spin-then-park barrier through both regimes: more
+    /// threads than most CI hosts have cores (forced parking) and many
+    /// reuse generations.
+    #[test]
+    fn adaptive_barrier_synchronizes_and_reuses() {
+        for spin_limit in [0u32, 64] {
+            let b = Arc::new(AdaptiveBarrier::new(3, spin_limit));
+            let counter = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let b = Arc::clone(&b);
+                let c = Arc::clone(&counter);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        b.wait();
+                        b.wait();
+                    }
+                }));
+            }
+            for round in 1..=200 {
+                b.wait(); // everyone incremented
+                assert_eq!(counter.load(Ordering::Relaxed), 2 * round);
+                b.wait(); // release them into the next round
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            counter.store(0, Ordering::Relaxed);
         }
     }
 
     #[test]
-    fn default_parallel_config_is_serial() {
-        assert_eq!(ParallelConfig::default().threads, 1);
+    fn default_parallel_config_is_serial_with_auto_fallback() {
+        let c = ParallelConfig::default();
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.batch_cycles, 0);
+        assert_eq!(c.fallback, ParallelFallback::Auto);
+    }
+
+    #[test]
+    fn decision_table() {
+        let cfg = |threads, fallback| ParallelConfig {
+            threads,
+            batch_cycles: 0,
+            fallback,
+        };
+        let auto = |threads| cfg(threads, ParallelFallback::Auto);
+
+        // threads == 1 is a request for the serial engine, not a fallback.
+        let d = decide(&auto(1), 8, 1_000_000);
+        assert_eq!((d.effective_threads, d.fallback), (1, None));
+
+        // Single-CPU host: serial, whatever the work is.
+        let d = decide(&auto(4), 1, 1_000_000);
+        assert_eq!(
+            (d.effective_threads, d.fallback),
+            (1, Some(FallbackReason::SingleCpu))
+        );
+
+        // Tiny network on a big host: serial.
+        let d = decide(&auto(4), 8, 200);
+        assert_eq!(
+            (d.effective_threads, d.fallback),
+            (1, Some(FallbackReason::TinyShards))
+        );
+
+        // Big network, more threads than CPUs: clamp, stay parallel.
+        let d = decide(&auto(8), 2, 1_000_000);
+        assert_eq!(
+            (d.effective_threads, d.fallback),
+            (2, Some(FallbackReason::Oversubscribed))
+        );
+
+        // Big network, enough CPUs: run as requested.
+        let d = decide(&auto(4), 8, 1_000_000);
+        assert_eq!((d.effective_threads, d.fallback), (4, None));
+        assert_eq!(d.batch_cycles, DEFAULT_BATCH_CYCLES);
+
+        // Never: the request is law, even on one CPU.
+        let d = decide(&cfg(4, ParallelFallback::Never), 1, 10);
+        assert_eq!((d.effective_threads, d.fallback), (4, None));
     }
 }

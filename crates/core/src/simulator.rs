@@ -4,7 +4,8 @@
 
 use crate::endnode::{Adapter, AdapterCfg, AdapterThrottle};
 use crate::parallel::{
-    FaultView, ParallelConfig, PhaseKind, Pool, ShardOutbox, ShardPlan, TickCtx,
+    decide, network_weight, EngineDecision, FaultView, ParallelConfig, ParallelFallback, PhaseKind,
+    Pool, ShardOutbox, ShardPlan, TickCtx,
 };
 use crate::params::{Mechanism, QueueingScheme};
 use crate::switch::{MarkingSource, PurgeStats, Switch, SwitchCfg, SwitchThrottle, VoqNetCredits};
@@ -396,9 +397,27 @@ impl SimBuilder {
     }
 
     /// Tick the network on `n` worker threads (byte-identical to the
-    /// serial engine; see [`SimConfig::parallel`]).
+    /// serial engine; see [`SimConfig::parallel`]). The engine may
+    /// degrade the request when parallelism cannot pay — see
+    /// [`Simulator::engine_decision`] and [`Self::force_parallel`].
     pub fn threads(mut self, n: usize) -> Self {
         self.cfg.parallel.threads = n.max(1);
+        self
+    }
+
+    /// Simulated cycles per worker-pool dispatch (`0` = auto). Purely a
+    /// scheduling knob; results are byte-identical for every value.
+    pub fn batch_cycles(mut self, k: usize) -> Self {
+        self.cfg.parallel.batch_cycles = k;
+        self
+    }
+
+    /// Disable the automatic serial fallback: run exactly the requested
+    /// thread count even on hosts where that is known to be slower
+    /// (single CPU, tiny shards). The determinism suite uses this to
+    /// exercise the sharded engine on 1-CPU CI runners.
+    pub fn force_parallel(mut self) -> Self {
+        self.cfg.parallel.fallback = ParallelFallback::Never;
         self
     }
 
@@ -494,6 +513,69 @@ impl SimBuilder {
     }
 }
 
+/// Flat-array memo of BECN transit delays for small networks; above
+/// [`BECN_CACHE_FLAT_MAX`] nodes the dense `from × to` table is replaced
+/// by a hash map — at 4096 nodes the table would burn 128 MB to memoize
+/// a handful of hot (destination, source) pairs. Lookups are keyed only
+/// (never iterated), so the map cannot leak iteration order into
+/// results.
+const BECN_CACHE_FLAT_MAX: usize = 1024;
+
+#[derive(Debug)]
+enum BecnDelayCache {
+    Flat(Vec<Cycle>),
+    Sparse(std::collections::HashMap<(u32, u32), Cycle>),
+}
+
+impl BecnDelayCache {
+    fn new(num_nodes: usize) -> Self {
+        if num_nodes <= BECN_CACHE_FLAT_MAX {
+            BecnDelayCache::Flat(vec![Cycle::MAX; num_nodes * num_nodes])
+        } else {
+            BecnDelayCache::Sparse(std::collections::HashMap::new())
+        }
+    }
+
+    fn get(&self, from: NodeId, to: NodeId, num_nodes: usize) -> Option<Cycle> {
+        match self {
+            BecnDelayCache::Flat(v) => {
+                let d = v[from.index() * num_nodes + to.index()];
+                (d != Cycle::MAX).then_some(d)
+            }
+            BecnDelayCache::Sparse(m) => m.get(&(from.0, to.0)).copied(),
+        }
+    }
+
+    fn insert(&mut self, from: NodeId, to: NodeId, num_nodes: usize, d: Cycle) {
+        match self {
+            BecnDelayCache::Flat(v) => v[from.index() * num_nodes + to.index()] = d,
+            BecnDelayCache::Sparse(m) => {
+                m.insert((from.0, to.0), d);
+            }
+        }
+    }
+
+    /// Drop every memoized delay (paths changed after a re-route).
+    fn invalidate(&mut self) {
+        match self {
+            BecnDelayCache::Flat(v) => v.fill(Cycle::MAX),
+            BecnDelayCache::Sparse(m) => m.clear(),
+        }
+    }
+}
+
+/// One-line stderr advisory, emitted once per process, when the
+/// auto-fallback overrules or clamps a parallel request — the visible
+/// fix for the silent 0.008×-speedup trap. Suppressed for
+/// [`ParallelFallback::Never`] (the caller opted out) and for explicit
+/// serial runs.
+fn warn_fallback_once(d: &EngineDecision) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    if d.fallback.is_some() {
+        ONCE.call_once(|| eprintln!("ccfit: {}", d.summary()));
+    }
+}
+
 /// The assembled network, ready to run.
 pub struct Simulator {
     cfg: SimConfig,
@@ -514,8 +596,8 @@ pub struct Simulator {
     /// order, so FIFO == seq order.
     release_q: CalendarQueue<Release>,
     becn_q: BinaryHeap<Reverse<(Cycle, u64, u32, u32)>>, // (at, seq, congested_dst, throttle_node)
-    /// Flat `from × to` BECN-delay memo (`Cycle::MAX` = not yet traced).
-    becn_delay_cache: Vec<Cycle>,
+    /// BECN-delay memo (flat for small networks, sparse for large ones).
+    becn_delay_cache: BecnDelayCache,
     num_nodes: usize,
     /// Per-tick delivery scratch (no state across ticks).
     delivery_scratch: Vec<ccfit_engine::link::Delivery>,
@@ -781,7 +863,7 @@ impl Simulator {
             metrics,
             release_q: CalendarQueue::new(),
             becn_q: BinaryHeap::new(),
-            becn_delay_cache: vec![Cycle::MAX; num_nodes * num_nodes],
+            becn_delay_cache: BecnDelayCache::new(num_nodes),
             num_nodes,
             delivery_scratch: Vec::new(),
             release_scratch: Vec::new(),
@@ -860,10 +942,8 @@ impl Simulator {
     /// one flit serialization per hop (CNPs are single-flit priority
     /// packets riding the NFQ path; see DESIGN.md §3).
     fn becn_delay(&mut self, from: NodeId, to: NodeId) -> Cycle {
-        let idx = from.index() * self.num_nodes + to.index();
-        let cached = self.becn_delay_cache[idx];
-        if cached != Cycle::MAX {
-            return cached;
+        if let Some(d) = self.becn_delay_cache.get(from, to, self.num_nodes) {
+            return d;
         }
         let hops = self
             .routing
@@ -871,7 +951,7 @@ impl Simulator {
             .map(|p| p.len())
             .unwrap_or(1) as Cycle;
         let d = hops * 2 + 1;
-        self.becn_delay_cache[idx] = d;
+        self.becn_delay_cache.insert(from, to, self.num_nodes, d);
         d
     }
 
@@ -1536,7 +1616,7 @@ impl Simulator {
     fn complete_reroute(&mut self, now: Cycle, frt: &mut FaultRuntime) {
         self.routing = RoutingTable::shortest_path(&self.topo);
         // BECN transit times follow the new paths.
-        self.becn_delay_cache.fill(Cycle::MAX);
+        self.becn_delay_cache.invalidate();
         let (comp, node_comp) = compute_components(&self.topo, &frt.down_switches);
         frt.comp = comp;
         frt.node_comp = node_comp;
@@ -1720,9 +1800,10 @@ impl Simulator {
     /// consuming the simulator, so callers can still inspect live state
     /// ([`Self::traces`], [`Self::counter`], …) before [`Self::finish`].
     pub fn run_to_end(&mut self) {
-        let threads = self.cfg.parallel.threads.max(1);
-        if threads > 1 && !self.cfg.force_slow_path {
-            self.run_parallel(threads);
+        let decision = self.engine_decision();
+        warn_fallback_once(&decision);
+        if decision.effective_threads > 1 && !self.cfg.force_slow_path {
+            self.run_parallel(&decision);
         } else {
             while self.now < self.end {
                 self.tick();
@@ -1730,8 +1811,42 @@ impl Simulator {
         }
     }
 
-    /// Tick to `end` on `threads` shards (see `tick_parallel`).
-    fn run_parallel(&mut self, threads: usize) {
+    /// Per-switch static work weights for shard balancing: connected
+    /// ports scaled by the mechanism's per-port tick cost, plus one unit
+    /// per attached adapter (adapters are ticked by their own shard, but
+    /// their control/BECN load lands on the attachment switch).
+    fn switch_weights(&self) -> Vec<u64> {
+        let factor = self.mech.tick_weight();
+        let mut w: Vec<u64> = (0..self.switches.len())
+            .map(|s| self.topo.switch(SwitchId(s as u32)).connected().count() as u64 * factor)
+            .collect();
+        for n in 0..self.num_nodes {
+            let (sw, _, _) = self.topo.node_attachment(NodeId(n as u32));
+            w[sw.index()] += 1;
+        }
+        w
+    }
+
+    /// How [`Self::run_to_end`] will execute the configured
+    /// [`ParallelConfig`] on this host: the effective thread count,
+    /// batch size, and the fallback reason when the request was
+    /// degraded (see `crate::parallel::decide`). Deliberately not part
+    /// of the [`SimReport`], which stays byte-identical across hosts.
+    pub fn engine_decision(&self) -> EngineDecision {
+        let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let weight = network_weight(
+            (0..self.switches.len())
+                .map(|s| self.topo.switch(SwitchId(s as u32)).connected().count()),
+            self.adapters.len(),
+            self.mech.tick_weight(),
+        );
+        decide(&self.cfg.parallel, host_cpus, weight)
+    }
+
+    /// Tick to `end` on the worker pool, `batch_cycles` cycles per
+    /// dispatch (see `tick_parallel`).
+    fn run_parallel(&mut self, decision: &EngineDecision) {
+        let threads = decision.effective_threads;
         let link_sw_dst: Vec<Option<(u32, u32)>> = self
             .link_dst
             .iter()
@@ -1742,7 +1857,7 @@ impl Simulator {
             .collect();
         let plan = ShardPlan::build(
             threads,
-            self.switches.len(),
+            &self.switch_weights(),
             self.adapters.len(),
             &link_sw_dst,
         );
@@ -1759,9 +1874,20 @@ impl Simulator {
             ob.metrics.set_event_mask(mask);
         }
         let mut p5_ran = vec![false; self.switches.len()];
-        let pool = Pool::new(threads);
+        let pool = Pool::new(threads, threads > decision.host_cpus);
+        // Batch loop: one park-capable rendezvous per `batch_cycles`
+        // simulated cycles; everything inside a batch crosses only the
+        // spin-biased step barrier. Per-cycle phase and merge order are
+        // untouched, so batch size cannot affect results.
         while self.now < self.end {
-            self.tick_parallel(&pool, &plan, &mut outboxes, &mut p5_ran);
+            pool.begin_batch();
+            for _ in 0..decision.batch_cycles {
+                if self.now >= self.end {
+                    break;
+                }
+                self.tick_parallel(&pool, &plan, &mut outboxes, &mut p5_ran);
+            }
+            pool.end_batch();
         }
     }
 
@@ -1838,7 +1964,7 @@ impl Simulator {
         // Phase 3a (parallel): drain switch-bound links into their
         // receiving switches.
         let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
-        pool.run_section(PhaseKind::Deliver, &ctx);
+        pool.run_step(&[PhaseKind::Deliver], &ctx);
         if let Some(frt) = self.faults.as_mut() {
             for ob in outboxes[..plan.shards].iter_mut() {
                 frt.packets_purged += ob.purged_data;
@@ -1879,28 +2005,39 @@ impl Simulator {
         }
         self.delivery_scratch = deliveries;
 
-        // Phase 4 (parallel): control traffic. Switch metrics land in
-        // outboxes [0, S), adapter metrics in [S, 2S) — applying them in
-        // order replays the serial switches-then-adapters emission.
+        // Phases 4 + 5a + 5b/6 (parallel, chained): control polling,
+        // isolation, congestion-state + arbitration run as one step
+        // chain — barriers between them (the link-ownership sets
+        // differ), but no coordinator work, so the merge happens once.
+        // Workers drop a scratch mark at each section end; replaying
+        // segment-major/shard-minor below reproduces the serial emission
+        // order exactly: all switch ctrl ops, all adapter ctrl ops, all
+        // isolation ops, all arbitration ops.
         let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
-        pool.run_section(PhaseKind::Ctrl, &ctx);
-        self.apply_outbox_metrics(outboxes);
-
-        // Phase 5a (parallel): isolation / post-processing. Its own
-        // section because a switch sends control events upstream on its
-        // *input* links, which are other shards' output links in the
-        // arbitration phase.
-        let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
-        pool.run_section(PhaseKind::Iso, &ctx);
-        self.apply_outbox_metrics(outboxes);
-
-        // Phases 5b + 6 (parallel): congestion-state refresh and
-        // arbitration. RAM releases merge into the calendar queue in
-        // (shard, switch) order == switch order, the serial push order.
-        let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
-        pool.run_section(PhaseKind::CstArb, &ctx);
-        self.apply_outbox_metrics(outboxes);
-        for ob in outboxes[..plan.shards].iter_mut() {
+        pool.run_step(&[PhaseKind::Ctrl, PhaseKind::Iso, PhaseKind::CstArb], &ctx);
+        let (switch_obs, adapter_obs) = outboxes.split_at_mut(plan.shards);
+        for seg in 0..3 {
+            for ob in switch_obs.iter() {
+                self.metrics
+                    .apply_scratch_range(&ob.metrics, ob.metrics.segment(seg));
+            }
+            if seg == 0 {
+                // Adapter-side outboxes hold only ctrl ops at this
+                // point; the serial engine emits them right after the
+                // switch ctrl ops.
+                for ob in adapter_obs.iter_mut() {
+                    self.metrics
+                        .apply_scratch_range(&ob.metrics, 0..ob.metrics.len());
+                    ob.metrics.clear();
+                }
+            }
+        }
+        for ob in switch_obs.iter_mut() {
+            ob.metrics.clear();
+        }
+        // RAM releases merge into the calendar queue in (shard, switch)
+        // order == switch order, the serial push order.
+        for ob in switch_obs.iter_mut() {
             for (sw, r) in ob.releases.drain(..) {
                 self.release_q.push(
                     r.at,
@@ -1931,7 +2068,7 @@ impl Simulator {
 
         // Phase 8b (parallel): adapter arbitration and injection.
         let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
-        pool.run_section(PhaseKind::AdapterTick, &ctx);
+        pool.run_step(&[PhaseKind::AdapterTick], &ctx);
         self.apply_outbox_metrics(outboxes);
         for ob in outboxes[plan.shards..].iter_mut() {
             for (node, rel) in ob.adapter_releases.drain(..) {

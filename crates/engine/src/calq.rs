@@ -28,6 +28,21 @@ const WHEEL: usize = 1024;
 const MASK: u64 = (WHEEL as u64) - 1;
 const WORDS: usize = WHEEL / 64;
 
+/// Capacity a bucket shrinks back to once it drains. A fault purge or a
+/// congestion spike can pile thousands of releases into one cycle's
+/// bucket; without a shrink the `VecDeque` keeps that peak allocation
+/// for the rest of the run — multiplied by up to `WHEEL` buckets over a
+/// long fault storm. 32 entries covers steady-state occupancy without
+/// re-allocation.
+const BUCKET_KEEP_CAP: usize = 32;
+
+/// Return a drained bucket's spike allocation to the allocator.
+fn shrink_drained<E>(bucket: &mut VecDeque<E>) {
+    if bucket.is_empty() && bucket.capacity() > BUCKET_KEEP_CAP {
+        bucket.shrink_to(BUCKET_KEEP_CAP);
+    }
+}
+
 /// A timed FIFO event queue optimized for near-future scheduling.
 #[derive(Debug, Clone)]
 pub struct CalendarQueue<T> {
@@ -155,12 +170,20 @@ impl<T> CalendarQueue<T> {
                 debug_assert_eq!(at, w);
                 if self.wheel[slot].is_empty() {
                     self.occ[slot / 64] &= !(1 << (slot % 64));
+                    shrink_drained(&mut self.wheel[slot]);
                 }
                 self.wheel_len -= 1;
                 return Some((at, v));
             }
         }
         None
+    }
+
+    /// Allocated capacity of the wheel bucket cycle `at` maps to
+    /// (tests pin the post-drain shrink heuristic with this).
+    #[cfg(test)]
+    fn bucket_capacity(&self, at: Cycle) -> usize {
+        self.wheel[(at & MASK) as usize].capacity()
     }
 
     /// Keep only events for which `f` returns true (used when a fault
@@ -175,6 +198,7 @@ impl<T> CalendarQueue<T> {
             self.wheel_len -= before - self.wheel[slot].len();
             if self.wheel[slot].is_empty() {
                 self.occ[slot / 64] &= !(1 << (slot % 64));
+                shrink_drained(&mut self.wheel[slot]);
             }
         }
         self.overflow.retain(|_, bucket| {
@@ -273,6 +297,39 @@ mod tests {
         assert_eq!(q.pop_due(u64::MAX), Some((2, 2)));
         assert_eq!(q.pop_due(u64::MAX), Some((1_000_000, 4)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drained_buckets_shed_spike_capacity() {
+        let mut q = CalendarQueue::new();
+        // A fault-purge-sized spike into a single cycle's bucket…
+        for i in 0..10_000u32 {
+            q.push(5, i);
+        }
+        assert!(q.bucket_capacity(5) >= 10_000);
+        // …fully drained: the bucket must give the allocation back.
+        while q.pop_due(5).is_some() {}
+        assert!(q.is_empty());
+        assert!(
+            q.bucket_capacity(5) <= BUCKET_KEEP_CAP,
+            "bucket kept {} slots after draining",
+            q.bucket_capacity(5)
+        );
+        // The slot keeps working after the shrink.
+        let at = 5 + WHEEL as u64; // same slot, next window
+        q.push(at, 1);
+        assert_eq!(q.pop_due(at), Some((at, 1)));
+    }
+
+    #[test]
+    fn retain_wipe_sheds_spike_capacity() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10_000u32 {
+            q.push(9, i);
+        }
+        q.retain(|_| false);
+        assert!(q.is_empty());
+        assert!(q.bucket_capacity(9) <= BUCKET_KEEP_CAP);
     }
 
     #[test]

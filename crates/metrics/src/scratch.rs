@@ -78,6 +78,10 @@ pub enum MetricOp {
 #[derive(Debug, Default, Clone)]
 pub struct MetricsScratch {
     ops: Vec<MetricOp>,
+    /// Op-count watermarks dropped by [`Self::mark`]; they bound the
+    /// *segments* a batched merge replays interleaved across shards
+    /// (e.g. every shard's ctrl ops before any shard's isolation ops).
+    marks: Vec<usize>,
     event_mask: EventClass,
 }
 
@@ -108,9 +112,24 @@ impl MetricsScratch {
         &self.ops
     }
 
-    /// Drop all recorded operations, keeping capacity.
+    /// Drop a segment boundary at the current op count. A log with `k`
+    /// marks has `k + 1` segments (the last one open-ended).
+    pub fn mark(&mut self) {
+        self.marks.push(self.ops.len());
+    }
+
+    /// Bounds of segment `i` (segments are delimited by [`Self::mark`];
+    /// the segment after the last mark runs to the end of the log).
+    pub fn segment(&self, i: usize) -> std::ops::Range<usize> {
+        let lo = if i == 0 { 0 } else { self.marks[i - 1] };
+        let hi = self.marks.get(i).copied().unwrap_or(self.ops.len());
+        lo..hi
+    }
+
+    /// Drop all recorded operations and marks, keeping capacity.
     pub fn clear(&mut self) {
         self.ops.clear();
+        self.marks.clear();
     }
 }
 
@@ -144,6 +163,22 @@ impl MetricsCollector {
                 MetricOp::Gauge(name, at_ns, value) => self.gauge(&name, at_ns, value),
                 MetricOp::Delivery(now, pkt) => self.record_delivery(now, &pkt),
                 MetricOp::Event(ev) => self.cc_event(ev),
+            }
+        }
+        scratch.marks.clear();
+    }
+
+    /// Replay `range` of a scratch log without draining it — the batched
+    /// parallel merge replays one [`MetricsScratch::segment`] per shard
+    /// at a time, so a log cannot be consumed front-to-back in one pass.
+    /// The caller clears the scratch once every segment has replayed.
+    pub fn apply_scratch_range(&mut self, scratch: &MetricsScratch, range: std::ops::Range<usize>) {
+        for op in &scratch.ops[range] {
+            match op {
+                MetricOp::Count(name, delta) => self.count(name, *delta),
+                MetricOp::Gauge(name, at_ns, value) => self.gauge(name, *at_ns, *value),
+                MetricOp::Delivery(now, pkt) => self.record_delivery(*now, pkt),
+                MetricOp::Event(ev) => self.cc_event(*ev),
             }
         }
     }
@@ -184,6 +219,34 @@ mod tests {
         via.apply_scratch(&mut scratch);
 
         assert!(scratch.is_empty());
+        let a = direct.finish("t", 2000.0, 1.0, &BTreeMap::new());
+        let b = via.finish("t", 2000.0, 1.0, &BTreeMap::new());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn segmented_replay_matches_direct_calls() {
+        let mut direct = MetricsCollector::new(UnitModel::default(), 1000.0);
+        let mut via = MetricsCollector::new(UnitModel::default(), 1000.0);
+        let mut s = MetricsScratch::new();
+
+        // Two segments recorded out of replay order: the merge applies
+        // segment 1 before segment 0 on the direct collector's schedule.
+        MetricsSink::count(&mut s, "late", 1);
+        s.mark();
+        MetricsSink::count(&mut s, "early", 2);
+        MetricsSink::gauge(&mut s, "g", 10.0, 1.5);
+
+        direct.count("early", 2);
+        direct.gauge("g", 10.0, 1.5);
+        direct.count("late", 1);
+
+        via.apply_scratch_range(&s, s.segment(1));
+        via.apply_scratch_range(&s, s.segment(0));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.segment(0), 0..0);
+
         let a = direct.finish("t", 2000.0, 1.0, &BTreeMap::new());
         let b = via.finish("t", 2000.0, 1.0, &BTreeMap::new());
         assert_eq!(a.to_json(), b.to_json());

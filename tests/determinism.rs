@@ -10,7 +10,7 @@
 //! capture every counter, histogram, gauge series, and per-flow curve.
 
 use ccfit::experiment::{config1_case1_scaled, config2_case2_scaled, config3_case4_scaled};
-use ccfit::{FaultConfig, FaultPolicy, FaultSchedule, Mechanism, SimConfig};
+use ccfit::{FaultConfig, FaultPolicy, FaultSchedule, Mechanism, ParallelFallback, SimConfig};
 use ccfit_engine::ids::NodeId;
 use ccfit_topology::Endpoint;
 
@@ -22,10 +22,20 @@ fn cfg(force_slow_path: bool) -> SimConfig {
     }
 }
 
-fn cfg_threads(threads: usize) -> SimConfig {
+/// A parallel config that *forces* the sharded engine: the paper-scale
+/// configs are exactly the networks the auto-fallback would (correctly)
+/// run serially, and a fallen-back run would make every assertion here
+/// vacuously true.
+fn cfg_batch(threads: usize, batch_cycles: usize) -> SimConfig {
     let mut c = cfg(false);
     c.parallel.threads = threads;
+    c.parallel.batch_cycles = batch_cycles;
+    c.parallel.fallback = ParallelFallback::Never;
     c
+}
+
+fn cfg_threads(threads: usize) -> SimConfig {
+    cfg_batch(threads, 0)
 }
 
 /// Same guarantee with a dynamic fault schedule in play: the Phase-0
@@ -100,12 +110,14 @@ fn fast_path_is_bit_identical_to_slow_path() {
     }
 }
 
-/// The sharded parallel tick engine (DESIGN.md §9) must be
+/// The batched sharded parallel tick engine (DESIGN.md §9) must be
 /// byte-identical to the exhaustive serial engine for every thread
-/// count, across all three paper configurations — single crossbar
-/// switch, 2-ary 3-tree, and the 4-ary 3-tree under hotspot congestion.
+/// count × batch size, across all three paper configurations — single
+/// crossbar switch, 2-ary 3-tree, and the 4-ary 3-tree under hotspot
+/// congestion. Batch size only changes how many cycles ride one worker
+/// dispatch; if it ever leaked into results this matrix catches it.
 #[test]
-fn parallel_tick_is_bit_identical_across_thread_counts() {
+fn parallel_tick_is_bit_identical_across_thread_counts_and_batches() {
     let specs = [
         config1_case1_scaled(0.02),
         config2_case2_scaled(0.02),
@@ -114,16 +126,63 @@ fn parallel_tick_is_bit_identical_across_thread_counts() {
     for spec in &specs {
         let serial = spec.run_with(Mechanism::ccfit(), 3, cfg(true)).to_json();
         for threads in [1usize, 2, 4] {
-            let par = spec
-                .run_with(Mechanism::ccfit(), 3, cfg_threads(threads))
-                .to_json();
-            assert_eq!(
-                par, serial,
-                "{}: threads={threads} diverges from the serial engine",
-                spec.name
-            );
+            for batch in [1usize, 4, 16] {
+                let par = spec
+                    .run_with(Mechanism::ccfit(), 3, cfg_batch(threads, batch))
+                    .to_json();
+                assert_eq!(
+                    par, serial,
+                    "{}: threads={threads} batch={batch} diverges from the serial engine",
+                    spec.name
+                );
+            }
         }
     }
+}
+
+/// The auto-fallback must (a) degrade paper-scale networks to the
+/// serial engine — their shards are far below the pay-off threshold on
+/// any host, and 1-CPU hosts degrade everything — and (b) stand down
+/// entirely when the caller forces parallelism. Exercised by CI on the
+/// 1-CPU runner so the fallback path cannot bit-rot.
+#[test]
+fn auto_fallback_degrades_tiny_configs_and_respects_force() {
+    use ccfit::SimBuilder;
+    let spec = config1_case1_scaled(0.02);
+    let build = |force: bool| {
+        let mut c = cfg(false);
+        c.duration_ns = spec.duration_ns;
+        c.crossbar_bw_flits_per_cycle = spec.crossbar_bw_flits_per_cycle;
+        c.parallel.threads = 4;
+        let mut b = SimBuilder::new(spec.topology.clone())
+            .routing(spec.routing.clone())
+            .mechanism(Mechanism::ccfit())
+            .traffic(spec.pattern.clone())
+            .config(c)
+            .seed(3);
+        if force {
+            b = b.force_parallel();
+        }
+        b.build()
+    };
+
+    let auto = build(false).engine_decision();
+    assert_eq!(
+        auto.effective_threads, 1,
+        "config #1 must fall back to the serial engine (got {auto:?})"
+    );
+    assert!(auto.fallback.is_some());
+    assert_eq!(auto.requested_threads, 4);
+
+    let forced = build(true).engine_decision();
+    assert_eq!(forced.effective_threads, 4, "force_parallel was overruled");
+    assert_eq!(forced.fallback, None);
+
+    // The degraded run still produces byte-identical output.
+    let mut auto_sim = build(false);
+    auto_sim.run_to_end();
+    let serial = spec.run_with(Mechanism::ccfit(), 3, cfg(true)).to_json();
+    assert_eq!(auto_sim.finish().to_json(), serial);
 }
 
 /// With every observability channel wide open — full event recording,
@@ -207,11 +266,11 @@ fn parallel_tick_is_bit_identical_under_faults() {
         .to_json()
     };
     let serial = run(cfg(true));
-    for threads in [2usize, 4] {
+    for (threads, batch) in [(2usize, 1usize), (2, 16), (4, 4), (4, 16)] {
         assert_eq!(
-            run(cfg_threads(threads)),
+            run(cfg_batch(threads, batch)),
             serial,
-            "threads={threads} diverges from the serial engine under faults"
+            "threads={threads} batch={batch} diverges from the serial engine under faults"
         );
     }
 }
