@@ -1,0 +1,332 @@
+//! **cc_shootout** — the modern congestion-control schemes head-to-head
+//! with the paper's mechanisms on the paper's own scenarios.
+//!
+//! Runs Configs #1–#3 (Table I) under their hotspot cases and compares,
+//! per mechanism: mean network throughput over the congested window,
+//! packet latency (mean + tail percentiles), the victim-flow recovery
+//! time after congestion onset, and Jain's fairness index over the
+//! competing flows. Results are printed as a table and archived as a
+//! single JSON document (`BENCH_cc.json` by default).
+//!
+//! ```sh
+//! cc_shootout [--smoke] [--mech <name>[,<name>...]] [--out <path>]
+//! ```
+//!
+//! * default — Configs #1–#3 with the headline set (1Q floor, CCFIT,
+//!   DCQCN, HPCC)
+//! * `--smoke` — a shrunken Config #1 with the **entire** mechanism
+//!   registry ([`Mechanism::all`]); CI uses this to prove every
+//!   registered scheme still assembles, runs and reports
+//! * `--mech`  — narrow the set by registry display name
+//! * `--out`   — JSON path (default `BENCH_cc.json`)
+
+use ccfit::experiment::{
+    config1_case1_scaled, config2_case2_scaled, config3_case4_scaled, ExperimentSpec,
+};
+use ccfit::{Mechanism, SimConfig};
+use ccfit_bench::harness::mechanisms_from_args;
+use ccfit_engine::ids::FlowId;
+use ccfit_metrics::SimReport;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Which flows enter the Jain fairness index.
+#[derive(Clone, Copy)]
+enum JainSet {
+    /// The hotspot contributors (flows with a scheduled end): how
+    /// evenly the mechanism shares the hot link among its claimants.
+    Contributors,
+    /// The long-running flows (no scheduled end): how evenly the
+    /// background/victim population rides out the burst.
+    LongRunning,
+}
+
+/// What "the victim" means for recovery measurement.
+#[derive(Clone, Copy)]
+enum Victim {
+    /// The unique long-running flow (Config #1/#2: the established flow
+    /// that predates the hotspot) — recovery of its own bandwidth.
+    Flow,
+    /// Aggregate network throughput (Config #3: the uniform background
+    /// as a whole) — recovery after the burst ends.
+    Network,
+}
+
+/// One benchmark scenario plus the measurement windows, all expressed
+/// as fractions of the run so the same shape works at any time scale.
+struct Panel {
+    spec: ExperimentSpec,
+    /// Throughput/fairness window: full congestion, every contributor on.
+    congested: (f64, f64),
+    /// Victim baseline window is `[0, baseline_to)`.
+    baseline_to: f64,
+    /// Recovery is measured from this instant (congestion onset for
+    /// Configs #1/#2, burst end for Config #3).
+    recover_from: f64,
+    victim: Victim,
+    jain: JainSet,
+}
+
+fn panels(smoke: bool) -> Vec<Panel> {
+    if smoke {
+        // CI shape: the Config #1 hotspot compressed to 0.2 ms.
+        return vec![Panel {
+            spec: config1_case1_scaled(0.02),
+            congested: (0.65, 1.0),
+            baseline_to: 0.2,
+            recover_from: 0.2,
+            victim: Victim::Flow,
+            jain: JainSet::Contributors,
+        }];
+    }
+    vec![
+        // Config #1 / Case #1 at 2 ms: victim F0 vs staggered
+        // contributors converging on node 4 (onset at 20 % of the run).
+        Panel {
+            spec: config1_case1_scaled(0.2),
+            congested: (0.65, 1.0),
+            baseline_to: 0.2,
+            recover_from: 0.2,
+            victim: Victim::Flow,
+            jain: JainSet::Contributors,
+        },
+        // Config #2 / Case #2 at 2 ms: five flows converging on node 7;
+        // the established flow from node 1 plays the victim role.
+        Panel {
+            spec: config2_case2_scaled(0.2),
+            congested: (0.65, 1.0),
+            baseline_to: 0.2,
+            recover_from: 0.2,
+            victim: Victim::Flow,
+            jain: JainSet::Contributors,
+        },
+        // Config #3 / Case #4 at 0.4 ms: 75 % uniform background with a
+        // one-tree hotspot storm in the middle half-window; recovery of
+        // aggregate throughput is measured from the burst's end.
+        Panel {
+            spec: config3_case4_scaled(1, 0.1),
+            congested: (0.25, 0.5),
+            baseline_to: 0.25,
+            recover_from: 0.5,
+            victim: Victim::Network,
+            jain: JainSet::LongRunning,
+        },
+    ]
+}
+
+/// Victim recovery time: scanning from `from_ns`, find the first bin
+/// where `series` drops below 90 % of its `[0, baseline_to_ns)` mean
+/// (the congestion impact), then the first point after it where the
+/// series sustains ≥ 90 % of baseline for three consecutive bins.
+/// Returns ns from the dip to the recovery; `Some(0)` when the victim
+/// was never impacted, `None` when it never recovered before the run
+/// ended.
+fn recovery_ns(series: &[f64], bin_ns: f64, baseline_to_ns: f64, from_ns: f64) -> Option<f64> {
+    let base_bins = ((baseline_to_ns / bin_ns) as usize)
+        .min(series.len())
+        .max(1);
+    let baseline = series[..base_bins].iter().sum::<f64>() / base_bins as f64;
+    if baseline <= 0.0 {
+        return Some(0.0);
+    }
+    let target = 0.9 * baseline;
+    let start = (from_ns / bin_ns) as usize;
+    // The final bin is partial (it undercounts bytes) — keep it out of
+    // both the dip scan and the recovery scan.
+    let usable = series.len().saturating_sub(1);
+    let Some(dip) = (start..usable).find(|&i| series[i] < target) else {
+        return Some(0.0); // never impacted
+    };
+    let dip_ns = dip as f64 * bin_ns;
+    let mut run = 0usize;
+    for (i, &v) in series.iter().enumerate().take(usable).skip(dip) {
+        run = if v >= target { run + 1 } else { 0 };
+        if run == 3 {
+            let first = i + 1 - run;
+            let center = (first as f64 + 0.5) * bin_ns;
+            return Some((center - dip_ns).max(0.0));
+        }
+    }
+    None
+}
+
+/// One mechanism's scorecard on one panel.
+#[derive(Serialize)]
+struct MechResult {
+    mechanism: String,
+    /// Mean normalized network throughput over the congested window.
+    throughput: f64,
+    /// Mean end-to-end packet latency over the whole run, ns.
+    mean_latency_ns: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    p99_ns: f64,
+    /// ns from congestion onset (burst end for Config #3) until the
+    /// victim sustains ≥ 90 % of its pre-congestion bandwidth; `null`
+    /// when it never recovered within the run.
+    victim_recovery_ns: Option<f64>,
+    /// Jain's index over the panel's competing-flow set, congested window.
+    jain: f64,
+    delivered_packets: u64,
+    /// Wall-clock seconds for the simulation.
+    wall_s: f64,
+    /// The congestion-control counters the run produced (feedback
+    /// volumes, wire overhead, throttling activity) — empty for the
+    /// open-loop queueing-only schemes.
+    cc_counters: BTreeMap<String, u64>,
+}
+
+fn score(panel: &Panel, mech: &Mechanism, report: &SimReport, wall_s: f64) -> MechResult {
+    let d = report.duration_ns;
+    let (cw_from, cw_to) = (panel.congested.0 * d, panel.congested.1 * d);
+    let throughput = report.mean_normalized_throughput(cw_from, cw_to);
+
+    let lat_total = report.latency_count.total();
+    let mean_latency_ns = if lat_total > 0.0 {
+        report.latency_sum_ns.total() / lat_total
+    } else {
+        0.0
+    };
+    let (p50_ns, p95_ns, p99_ns) = report.latency_percentiles_ns();
+
+    let bin_ns = report.bin_ns;
+    let victim_series: Option<Vec<f64>> = match panel.victim {
+        Victim::Network => Some(report.network_throughput_normalized()),
+        Victim::Flow => panel
+            .spec
+            .pattern
+            .flows
+            .iter()
+            .find(|f| f.start_ns == 0.0 && f.end_ns.is_none())
+            .and_then(|f| report.flow_bandwidth_gbps(f.id)),
+    };
+    let victim_recovery_ns = victim_series
+        .as_ref()
+        .and_then(|s| recovery_ns(s, bin_ns, panel.baseline_to * d, panel.recover_from * d));
+
+    let jain_flows: Vec<FlowId> = panel
+        .spec
+        .pattern
+        .flows
+        .iter()
+        .filter(|f| match panel.jain {
+            JainSet::Contributors => f.end_ns.is_some(),
+            JainSet::LongRunning => f.end_ns.is_none(),
+        })
+        .map(|f| f.id)
+        .collect();
+    let jain = report.jain_over(&jain_flows, cw_from, cw_to);
+
+    const CC_PREFIXES: [&str; 9] = [
+        "ecn_", "fecn_", "becn_", "cnp_", "ack_", "wire_", "ctrl_", "dcqcn_", "throttle",
+    ];
+    let cc_counters = report
+        .counters
+        .iter()
+        .filter(|(k, _)| CC_PREFIXES.iter().any(|p| k.starts_with(p)))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+
+    MechResult {
+        mechanism: mech.name().to_string(),
+        throughput,
+        mean_latency_ns,
+        p50_ns,
+        p95_ns,
+        p99_ns,
+        victim_recovery_ns,
+        jain,
+        delivered_packets: report.delivered_packets,
+        wall_s,
+        cc_counters,
+    }
+}
+
+#[derive(Serialize)]
+struct PanelResult {
+    config: String,
+    duration_ns: f64,
+    mechanisms: Vec<MechResult>,
+}
+
+#[derive(Serialize)]
+struct Shootout {
+    name: &'static str,
+    smoke: bool,
+    seed: u64,
+    results: Vec<PanelResult>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_cc.json".into());
+    let default_set = if smoke {
+        Mechanism::all()
+    } else {
+        // The headline comparison: the no-CC floor, the paper's
+        // contribution, and the two modern rate-based schemes.
+        vec![
+            Mechanism::OneQ,
+            Mechanism::ccfit(),
+            Mechanism::dcqcn(),
+            Mechanism::hpcc(),
+        ]
+    };
+    let mechs = mechanisms_from_args(&args, default_set);
+    let seed = 0xCC5;
+
+    let mut results = Vec::new();
+    for panel in panels(smoke) {
+        let d = panel.spec.duration_ns;
+        // ~100 bins per run regardless of time scale.
+        let cfg = SimConfig {
+            metrics_bin_ns: d / 100.0,
+            ..SimConfig::default()
+        };
+        println!("=== {} ({:.2} ms simulated) ===", panel.spec.name, d / 1e6);
+        println!(
+            "{:<8} {:>7} {:>12} {:>10} {:>10} {:>12} {:>7} {:>8}",
+            "mech", "thput", "mean lat ns", "p95 ns", "p99 ns", "recovery ns", "jain", "wall s"
+        );
+        let mut per_mech = Vec::new();
+        for mech in &mechs {
+            let t0 = std::time::Instant::now();
+            let report = panel.spec.run_with(mech.clone(), seed, cfg.clone());
+            let r = score(&panel, mech, &report, t0.elapsed().as_secs_f64());
+            println!(
+                "{:<8} {:>7.4} {:>12.0} {:>10.0} {:>10.0} {:>12} {:>7.4} {:>8.2}",
+                r.mechanism,
+                r.throughput,
+                r.mean_latency_ns,
+                r.p95_ns,
+                r.p99_ns,
+                r.victim_recovery_ns
+                    .map_or("never".into(), |v| format!("{v:.0}")),
+                r.jain,
+                r.wall_s,
+            );
+            per_mech.push(r);
+        }
+        println!();
+        results.push(PanelResult {
+            config: panel.spec.name.clone(),
+            duration_ns: d,
+            mechanisms: per_mech,
+        });
+    }
+
+    let doc = Shootout {
+        name: "cc_shootout",
+        smoke,
+        seed,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out_path, json).expect("write BENCH_cc.json");
+    println!("wrote {out_path}");
+}

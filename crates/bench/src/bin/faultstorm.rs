@@ -10,16 +10,18 @@
 //! * `--threads <n>` — run every simulation on the sharded parallel
 //!   tick engine (DESIGN.md §9); output is byte-identical to serial
 //! * `--csv <dir>` — archive every report as CSV + JSON
+//! * `--mech <name>[,<name>...]` — narrow the mechanism set by registry
+//!   display name
 //!
-//! Mechanisms: the paper's Fig. 8 set (1Q, ITh, FBICM, CCFIT, VOQnet)
-//! plus VOQsw. Per mechanism the run reports the data packets lost to
+//! Mechanisms: the paper's evaluated set ([`Mechanism::paper_set`]) by
+//! default. Per mechanism the run reports the data packets lost to
 //! the fault, injections refused while the victim subtree was cut off,
 //! node-unreachable and stale-routing time, and the post-repair
 //! recovery time derived from the delivered-throughput series.
 
 use ccfit::experiment::{config3_case4, config3_case4_scaled, ExperimentSpec};
 use ccfit::{FaultConfig, FaultPolicy, FaultSchedule, Mechanism, SimConfig};
-use ccfit_bench::harness::{archive, csv_dir_from_args, RunOutput};
+use ccfit_bench::harness::{archive, csv_dir_from_args, mechanisms_from_args, RunOutput};
 use ccfit_bench::series_table;
 use ccfit_engine::ids::{NodeId, PortId, SwitchId};
 use ccfit_engine::units::UnitModel;
@@ -69,14 +71,7 @@ fn main() {
         ..SimConfig::default()
     };
     cfg.parallel.threads = threads;
-    let mechanisms = [
-        Mechanism::OneQ,
-        Mechanism::VoqSw,
-        Mechanism::voqnet(),
-        Mechanism::ith(),
-        Mechanism::fbicm(),
-        Mechanism::ccfit(),
-    ];
+    let mechanisms = mechanisms_from_args(&args, Mechanism::paper_set());
 
     println!(
         "=== faultstorm: {} | cable {s}:{p} fail-stop @ {:.2} ms, repaired @ {:.2} ms{} ===",

@@ -5,33 +5,24 @@
 //! (and the quickest way to see what HoL-blocking costs a network).
 //!
 //! ```sh
-//! sweep [tree|mesh|config3] [--csv <dir>]
+//! sweep [tree|mesh|config3] [--csv <dir>] [--mech <name>[,<name>...]]
 //! ```
 //!
 //! * `tree`    — 2-ary 3-tree (Config #2), 8 nodes (default)
 //! * `config3` — 4-ary 3-tree, 64 nodes (slow)
 //! * `mesh`    — 4×4 2D mesh with XY dimension-order routing
+//!
+//! The default mechanism set is the full registry ([`Mechanism::all`]);
+//! `--mech` narrows it by registry display name.
 
 use ccfit::{Mechanism, SimBuilder, SimConfig};
-use ccfit_bench::harness::csv_dir_from_args;
+use ccfit_bench::harness::{csv_dir_from_args, mechanisms_from_args};
 use ccfit_metrics::SimReport;
 use ccfit_topology::{KAryNTree, LinkParams, Mesh2D, RoutingTable, Topology};
 use ccfit_traffic::uniform_all;
 use std::sync::Mutex;
 
 const LOADS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0];
-
-fn mechanisms() -> Vec<Mechanism> {
-    vec![
-        Mechanism::OneQ,
-        Mechanism::VoqSw,
-        Mechanism::dbbm(),
-        Mechanism::voqnet(),
-        Mechanism::fbicm(),
-        Mechanism::ith(),
-        Mechanism::ccfit(),
-    ]
-}
 
 fn run_point(topo: &Topology, routing: &RoutingTable, mech: &Mechanism, load: f64) -> SimReport {
     SimBuilder::new(topo.clone())
@@ -74,7 +65,7 @@ fn main() {
         topo.num_nodes()
     );
 
-    let mechs = mechanisms();
+    let mechs = mechanisms_from_args(&args, Mechanism::all());
     // One thread per (mechanism, load) point; points are independent
     // simulations.
     let results: Mutex<Vec<Vec<Option<SimReport>>>> =

@@ -90,6 +90,32 @@ pub fn csv_dir_from_args(args: &[String]) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Parse a `--mech <name>[,<name>...]` argument pair through the
+/// [`Mechanism`] registry, falling back to `default` when absent.
+/// Unknown names abort with the list of registered mechanisms, so every
+/// bench binary shares one spelling of each scheme.
+///
+/// # Panics
+/// Exits the process with an error message on an unknown mechanism name.
+pub fn mechanisms_from_args(args: &[String], default: Vec<Mechanism>) -> Vec<Mechanism> {
+    let Some(spec) = args
+        .iter()
+        .position(|a| a == "--mech")
+        .and_then(|i| args.get(i + 1))
+    else {
+        return default;
+    };
+    spec.split(',')
+        .map(|name| {
+            Mechanism::parse(name).unwrap_or_else(|| {
+                let known: Vec<&str> = Mechanism::all().iter().map(|m| m.name()).collect();
+                eprintln!("unknown mechanism {name:?}; known: {}", known.join(", "));
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
 /// Archive each run as `<dir>/<figure>-<mechanism>.{csv,json}`.
 pub fn archive(dir: &str, figure: &str, runs: &[RunOutput]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
@@ -115,6 +141,22 @@ pub fn archive(dir: &str, figure: &str, runs: &[RunOutput]) -> std::io::Result<(
 mod tests {
     use super::*;
     use ccfit::experiment::config1_case1_scaled;
+
+    #[test]
+    fn mech_filter_parses_registry_names_case_insensitively() {
+        let args: Vec<String> = ["x", "--mech", "ccfit,hpcc,1q"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ms = mechanisms_from_args(&args, vec![]);
+        let names: Vec<&str> = ms.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["CCFIT", "HPCC", "1Q"]);
+        let none: Vec<String> = vec![];
+        assert_eq!(
+            mechanisms_from_args(&none, Mechanism::paper_set()),
+            Mechanism::paper_set()
+        );
+    }
 
     #[test]
     fn run_all_preserves_mechanism_order() {

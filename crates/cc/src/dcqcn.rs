@@ -1,0 +1,351 @@
+//! The DCQCN reaction-point rate machine.
+//!
+//! One [`DcqcnFlow`] per (source, destination) pair tracks a current
+//! rate `rc` and target rate `rt`, both as *fractions of the injection
+//! line rate*, plus the EWMA congestion estimate `alpha`. The adapter
+//! stretches the inter-packet gap by `1/rc` when arbitrating injection.
+//!
+//! All state advances **lazily**: nothing runs per cycle. Timer-driven
+//! events (alpha decay, rate-increase stages) are caught up
+//! arithmetically in [`DcqcnFlow::advance_to`] whenever the flow is
+//! touched — injecting a packet or receiving a CNP — which keeps the
+//! machine compatible with the engine's quiet-cycle fast-forward: a
+//! fully recovered idle flow needs no wakeups, and a recovering one
+//! catches up in a bounded number of steps (fast recovery halves the
+//! distance to `rt`; additive increase closes the rest in at most
+//! `1/rate_ai` stages).
+
+use crate::params::DcqcnParams;
+use serde::{Deserialize, Serialize};
+
+/// Cycle-domain DCQCN configuration, materialised once per run from
+/// [`DcqcnParams`] (nanosecond time constants become cycles; MTU
+/// thresholds become flits at the switch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcqcnCfg {
+    /// g: EWMA gain for alpha.
+    pub ewma_gain: f64,
+    /// Destination side: minimum cycles between CNPs to one source.
+    pub cnp_interval_cycles: u64,
+    /// Cycles between alpha-decay events while no CNP arrives.
+    pub alpha_resume_cycles: u64,
+    /// Minimum cycles between multiplicative rate cuts.
+    pub rate_decrease_cycles: u64,
+    /// Cycles between timer-driven rate-increase events.
+    pub rp_timer_cycles: u64,
+    /// Bytes sent per byte-driven rate-increase event.
+    pub byte_counter_bytes: u64,
+    /// F: fast-recovery stages before additive increase.
+    pub fast_recovery_times: u32,
+    /// Additive increase step (fraction of line rate).
+    pub rate_ai: f64,
+    /// Hyper increase step (fraction of line rate).
+    pub rate_hai: f64,
+    /// Rate floor (fraction of line rate).
+    pub min_rate: f64,
+}
+
+impl DcqcnCfg {
+    /// Convert the nanosecond-domain parameters to cycles with the
+    /// run's clock (`cycles_per_ns`), clamping every interval to at
+    /// least one cycle so degenerate configs cannot divide by zero.
+    pub fn materialise(p: &DcqcnParams, cycles_per_ns: f64) -> Self {
+        let cyc = |ns: f64| ((ns * cycles_per_ns).round() as u64).max(1);
+        DcqcnCfg {
+            ewma_gain: p.ewma_gain,
+            cnp_interval_cycles: cyc(p.cnp_interval_ns),
+            alpha_resume_cycles: cyc(p.alpha_resume_interval_ns),
+            rate_decrease_cycles: cyc(p.rate_decrease_interval_ns),
+            rp_timer_cycles: cyc(p.rp_timer_ns),
+            byte_counter_bytes: p.byte_counter_bytes.max(1),
+            fast_recovery_times: p.fast_recovery_times,
+            rate_ai: p.rate_ai_frac,
+            rate_hai: p.rate_hai_frac,
+            min_rate: p.min_rate_frac,
+        }
+    }
+}
+
+/// Rate considered "fully recovered" — past it the increase machinery
+/// snaps to 1.0 and stops scheduling work.
+const FULL_RATE_EPS: f64 = 1e-9;
+
+/// Per-(source, destination) DCQCN reaction-point state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcqcnFlow {
+    /// Current injection rate as a fraction of line rate, in
+    /// `[min_rate, 1.0]`.
+    pub rc: f64,
+    /// Target rate the increase machinery recovers toward.
+    pub rt: f64,
+    /// EWMA congestion estimate in `[0, 1]`.
+    pub alpha: f64,
+    /// Increase stages since the last rate cut (drives fast recovery →
+    /// additive → hyper phases).
+    pub stage: u32,
+    /// Bytes sent since the last byte-driven increase event.
+    pub bytes_acc: u64,
+    /// Cycle of the next timer-driven increase event.
+    pub next_timer: u64,
+    /// Cycle of the next alpha-decay event.
+    pub next_alpha: u64,
+    /// Cycle of the most recent multiplicative cut.
+    pub last_decrease: u64,
+}
+
+impl DcqcnFlow {
+    /// A fresh flow at full rate. `alpha` starts at 1 as in the DCQCN
+    /// paper, so the first CNP cuts the rate in half; it decays to zero
+    /// if the network never pushes back.
+    pub fn new(now: u64, cfg: &DcqcnCfg) -> Self {
+        DcqcnFlow {
+            rc: 1.0,
+            rt: 1.0,
+            alpha: 1.0,
+            stage: 0,
+            bytes_acc: 0,
+            next_timer: now.saturating_add(cfg.rp_timer_cycles),
+            next_alpha: now.saturating_add(cfg.alpha_resume_cycles),
+            last_decrease: 0,
+        }
+    }
+
+    fn at_full_rate(&self) -> bool {
+        self.rc >= 1.0 - FULL_RATE_EPS && self.rt >= 1.0 - FULL_RATE_EPS
+    }
+
+    /// Advance a timer deadline past `now` in O(1).
+    fn snap_past(deadline: u64, interval: u64, now: u64) -> u64 {
+        if deadline > now {
+            deadline
+        } else {
+            let missed = (now - deadline) / interval + 1;
+            deadline + missed * interval
+        }
+    }
+
+    /// Catch up all timer-driven events to `now`. Must be called before
+    /// [`Self::on_cnp`], [`Self::on_sent`] or [`Self::gap_cycles`] when
+    /// the flow may not have been touched for a while.
+    pub fn advance_to(&mut self, now: u64, cfg: &DcqcnCfg) {
+        // Alpha decay: k missed events fold to alpha * (1-g)^k.
+        if self.next_alpha <= now {
+            let k = (now - self.next_alpha) / cfg.alpha_resume_cycles + 1;
+            if self.alpha > 0.0 {
+                self.alpha *= (1.0 - cfg.ewma_gain).powi(k.min(i32::MAX as u64) as i32);
+                if self.alpha < 1e-12 {
+                    self.alpha = 0.0;
+                }
+            }
+            self.next_alpha = Self::snap_past(self.next_alpha, cfg.alpha_resume_cycles, now);
+        }
+        // Timer-driven increase events: bounded — each event either
+        // halves the distance to rt (fast recovery) or raises rt by at
+        // least rate_ai, so the loop exits at full rate long before any
+        // pathological iteration count.
+        while self.next_timer <= now {
+            if self.at_full_rate() {
+                self.rc = 1.0;
+                self.rt = 1.0;
+                self.next_timer = Self::snap_past(self.next_timer, cfg.rp_timer_cycles, now);
+                break;
+            }
+            self.increase_event(cfg);
+            self.next_timer += cfg.rp_timer_cycles;
+        }
+    }
+
+    /// One rate-increase event (timer- or byte-driven).
+    fn increase_event(&mut self, cfg: &DcqcnCfg) {
+        self.stage = self.stage.saturating_add(1);
+        if self.stage > cfg.fast_recovery_times {
+            // Past fast recovery: raise the target (additive on the
+            // first stage out, hyper afterwards)…
+            let step = if self.stage == cfg.fast_recovery_times + 1 {
+                cfg.rate_ai
+            } else {
+                cfg.rate_hai
+            };
+            self.rt = (self.rt + step).min(1.0);
+        }
+        // …and always close half the gap to it.
+        self.rc = (0.5 * (self.rc + self.rt)).min(1.0);
+    }
+
+    /// Account `bytes` of injected data, firing byte-driven increase
+    /// events as the byte counter wraps.
+    pub fn on_sent(&mut self, bytes: u64, cfg: &DcqcnCfg) {
+        if self.at_full_rate() {
+            self.bytes_acc = 0;
+            return;
+        }
+        self.bytes_acc += bytes;
+        while self.bytes_acc >= cfg.byte_counter_bytes {
+            self.bytes_acc -= cfg.byte_counter_bytes;
+            self.increase_event(cfg);
+            if self.at_full_rate() {
+                self.bytes_acc = 0;
+                break;
+            }
+        }
+    }
+
+    /// React to a CNP at cycle `now` (caller has already advanced the
+    /// flow). Returns `true` if a multiplicative cut was applied (at
+    /// most one per `rate_decrease_cycles`).
+    pub fn on_cnp(&mut self, now: u64, cfg: &DcqcnCfg) -> bool {
+        self.alpha = (1.0 - cfg.ewma_gain) * self.alpha + cfg.ewma_gain;
+        self.next_alpha = now.saturating_add(cfg.alpha_resume_cycles);
+        let cut = now >= self.last_decrease.saturating_add(cfg.rate_decrease_cycles)
+            || self.last_decrease == 0;
+        if cut {
+            self.rt = self.rc;
+            self.rc = (self.rc * (1.0 - self.alpha / 2.0)).max(cfg.min_rate);
+            self.last_decrease = now.max(1);
+            self.stage = 0;
+            self.bytes_acc = 0;
+            self.next_timer = now.saturating_add(cfg.rp_timer_cycles);
+        }
+        cut
+    }
+
+    /// Extra inter-packet gap (cycles) to append after a packet whose
+    /// serialization takes `packet_cycles`, stretching the effective
+    /// rate to `rc`: at `rc = 1` the gap is zero, at `rc = 0.5` the gap
+    /// equals the packet time.
+    pub fn gap_cycles(&self, packet_cycles: u64) -> u64 {
+        if self.rc >= 1.0 - FULL_RATE_EPS {
+            return 0;
+        }
+        let gap = packet_cycles as f64 * (1.0 / self.rc - 1.0);
+        gap.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DcqcnCfg {
+        DcqcnCfg::materialise(&DcqcnParams::default(), 0.4) // 2.5 ns/cycle
+    }
+
+    #[test]
+    fn materialise_converts_and_clamps() {
+        let c = cfg();
+        assert_eq!(c.cnp_interval_cycles, 800);
+        assert_eq!(c.alpha_resume_cycles, 3200);
+        assert_eq!(c.rp_timer_cycles, 3600);
+        assert_eq!(c.rate_decrease_cycles, 1600);
+        let p = DcqcnParams {
+            rp_timer_ns: 0.0,
+            ..DcqcnParams::default()
+        };
+        assert_eq!(DcqcnCfg::materialise(&p, 0.4).rp_timer_cycles, 1);
+    }
+
+    #[test]
+    fn fresh_flow_is_transparent() {
+        let c = cfg();
+        let f = DcqcnFlow::new(0, &c);
+        assert_eq!(f.rc, 1.0);
+        assert_eq!(f.gap_cycles(100), 0);
+    }
+
+    #[test]
+    fn cnp_cuts_and_recovery_restores() {
+        let c = cfg();
+        let mut f = DcqcnFlow::new(0, &c);
+        f.advance_to(100, &c);
+        assert!(f.on_cnp(100, &c));
+        // alpha jumped to g, rate cut by alpha/2.
+        assert!(f.alpha > 0.0);
+        assert!(f.rc < 1.0);
+        let cut_rate = f.rc;
+        assert_eq!(f.rt, 1.0);
+        assert!(f.gap_cycles(100) > 0);
+        // A CNP inside the decrease interval must not cut again.
+        f.advance_to(150, &c);
+        assert!(!f.on_cnp(150, &c));
+        assert_eq!(f.rc, cut_rate);
+        // Recovery: after enough timer events the flow is back at full
+        // rate (fast recovery halves toward rt=pre-cut rc, then
+        // additive/hyper stages raise rt to 1).
+        f.advance_to(100 + c.rp_timer_cycles * 500, &c);
+        assert!(f.at_full_rate(), "rc={} rt={}", f.rc, f.rt);
+        assert_eq!(f.gap_cycles(100), 0);
+    }
+
+    #[test]
+    fn repeated_cnps_deepen_the_cut() {
+        let c = cfg();
+        let mut f = DcqcnFlow::new(0, &c);
+        let mut now = 0;
+        for _ in 0..20 {
+            now += c.rate_decrease_cycles;
+            f.advance_to(now, &c);
+            f.on_cnp(now, &c);
+        }
+        // Sustained congestion drives the rate far down but never below
+        // the floor.
+        assert!(f.rc < 0.9);
+        assert!(f.rc >= c.min_rate);
+        assert!(f.alpha > 0.0);
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let c = cfg();
+        let mut f = DcqcnFlow::new(0, &c);
+        f.advance_to(10, &c);
+        f.on_cnp(10, &c);
+        let a0 = f.alpha;
+        f.advance_to(10 + 10 * c.alpha_resume_cycles, &c);
+        assert!(f.alpha < a0);
+        // And a huge quiet gap folds to zero in O(1), not a loop.
+        f.advance_to(u64::MAX / 2, &c);
+        assert_eq!(f.alpha, 0.0);
+        assert!(f.at_full_rate());
+    }
+
+    #[test]
+    fn byte_counter_drives_increase() {
+        let c = cfg();
+        let mut f = DcqcnFlow::new(0, &c);
+        f.advance_to(10, &c);
+        f.on_cnp(10, &c);
+        let cut = f.rc;
+        f.on_sent(c.byte_counter_bytes, &c);
+        assert!(f.rc > cut, "byte event should start recovery");
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_a_fixed_cycle() {
+        let c = cfg();
+        let mut f = DcqcnFlow::new(0, &c);
+        f.advance_to(5000, &c);
+        f.on_cnp(5000, &c);
+        f.advance_to(20_000, &c);
+        let snap = f;
+        let mut g = f;
+        g.advance_to(20_000, &c);
+        assert_eq!(snap, g);
+    }
+
+    #[test]
+    fn fast_recovery_precedes_additive_increase() {
+        let c = cfg();
+        let mut f = DcqcnFlow::new(0, &c);
+        f.advance_to(10, &c);
+        f.on_cnp(10, &c);
+        let rt_after_cut = f.rt;
+        // First F stages: rt untouched (fast recovery).
+        for _ in 0..c.fast_recovery_times {
+            f.on_sent(c.byte_counter_bytes, &c);
+            assert_eq!(f.rt, rt_after_cut);
+        }
+        // Next stage: additive bump of rt.
+        f.on_sent(c.byte_counter_bytes, &c);
+        assert!((f.rt - (rt_after_cut + c.rate_ai).min(1.0)).abs() < 1e-12);
+    }
+}

@@ -21,6 +21,7 @@ use crate::params::{IsolationParams, ThrottleParams};
 
 use crate::port::{CfqSlot, CfqState};
 use crate::switch::{OutCamState, PurgeStats, VoqNetCredits};
+use ccfit_cc::{DcqcnCfg, DcqcnFlow, HpccCfg, HpccFlow};
 use ccfit_engine::cam::Cam;
 use ccfit_engine::ids::{LinkId, NodeId, PacketId};
 use ccfit_engine::link::{CtrlEvent, Link, LinkSlice};
@@ -90,6 +91,15 @@ pub struct AdapterCfg {
     /// head-of-line blocking at the source, which is exactly what VOQnet
     /// exists to eliminate.
     pub per_dest_output: bool,
+    /// DCQCN rate machine (modern CC); `None` for the paper mechanisms,
+    /// which keeps their behaviour untouched.
+    pub dcqcn: Option<DcqcnCfg>,
+    /// HPCC window machine (modern CC).
+    pub hpcc: Option<HpccCfg>,
+    /// Wire overhead stamped on every injected data packet (e.g. INT
+    /// header space under HPCC). Charged by byte accounting only, never
+    /// by the flit-level link model.
+    pub data_overhead_bytes: u16,
 }
 
 /// The injection side of one end node.
@@ -115,6 +125,15 @@ pub struct Adapter {
     timer_deadline: Vec<Cycle>,
     /// Earliest next injection per destination: LTI + packet time + IRD.
     next_allowed: Vec<Cycle>,
+    // ---- modern-CC state, one entry per destination (empty vectors
+    // unless the corresponding cfg is present) ----
+    /// DCQCN reaction-point rate machines (source side).
+    dcqcn_flows: Vec<DcqcnFlow>,
+    /// DCQCN notification-point gate: earliest cycle the *receive* side
+    /// of this node may emit the next CNP toward each source.
+    cnp_gate: Vec<Cycle>,
+    /// HPCC sender window machines (source side).
+    hpcc_flows: Vec<HpccFlow>,
     // ---- active-set bookkeeping (incremental mirrors) ----
     /// Packets buffered in AdVOQs + NFQ + CFQs (`resident_packets()`).
     resident: usize,
@@ -148,6 +167,22 @@ impl Adapter {
     ) -> Self {
         let num_cfqs = cfg.iso.map_or(0, |i| i.num_cfqs);
         let cam_lines = cfg.iso.map_or(0, |i| i.out_cam_lines);
+        // Eagerly materialised per-destination flows: a fresh flow is
+        // transparent (full rate / initial window), so idle destinations
+        // cost nothing but memory.
+        let dcqcn_flows = cfg
+            .dcqcn
+            .as_ref()
+            .map_or_else(Vec::new, |c| vec![DcqcnFlow::new(0, c); num_nodes]);
+        let cnp_gate = if cfg.dcqcn.is_some() {
+            vec![0; num_nodes]
+        } else {
+            Vec::new()
+        };
+        let hpcc_flows = cfg
+            .hpcc
+            .as_ref()
+            .map_or_else(Vec::new, |c| vec![HpccFlow::new(c); num_nodes]);
         Self {
             node,
             out_ram: PortRam::new(cfg.out_ram_flits),
@@ -163,6 +198,9 @@ impl Adapter {
             ccti: vec![0; num_nodes],
             timer_deadline: vec![Cycle::MAX; num_nodes],
             next_allowed: vec![0; num_nodes],
+            dcqcn_flows,
+            cnp_gate,
+            hpcc_flows,
             resident: 0,
             armed_timers: 0,
             cfq_count: 0,
@@ -182,7 +220,7 @@ impl Adapter {
         if q.occupancy_flits() + gp.size_flits > self.cfg.advoq_cap_flits {
             return false;
         }
-        let pkt = Packet::data(
+        let mut pkt = Packet::data(
             id,
             self.node,
             gp.dst,
@@ -191,6 +229,7 @@ impl Adapter {
             gp.flow,
             now,
         );
+        pkt.overhead_bytes = self.cfg.data_overhead_bytes;
         q.push(pkt, now, now);
         self.resident += 1;
         true
@@ -278,11 +317,12 @@ impl Adapter {
         self.ctrl_scratch = scratch;
     }
 
-    /// Queue an outgoing congestion notification packet (generated by
-    /// this node's receive side for a FECN-marked delivery). Sent with
-    /// priority by [`Self::tick`].
+    /// Queue an outgoing control packet generated by this node's receive
+    /// side — a BECN for a FECN-marked delivery, a DCQCN CNP for an
+    /// ECN-CE one, or an HPCC ACK. All three share the priority path and
+    /// bypass the output RAM; they are sent by [`Self::tick`].
     pub fn queue_becn(&mut self, pkt: Packet) {
-        debug_assert!(pkt.is_becn());
+        debug_assert!(pkt.is_ctrl());
         self.becn_out.push_back(pkt);
     }
 
@@ -329,6 +369,103 @@ impl Adapter {
     /// Current CCTI for a destination (tests and introspection).
     pub fn ccti(&self, dst: NodeId) -> u16 {
         self.ccti[dst.index()]
+    }
+
+    /// DCQCN notification point (receive side): should this node emit a
+    /// CNP toward `src` for an ECN-CE-marked delivery at `now`? At most
+    /// one CNP per source per CNP interval; answering `true` arms the
+    /// gate.
+    pub fn cnp_due(&mut self, now: Cycle, src: NodeId) -> bool {
+        let Some(dc) = &self.cfg.dcqcn else {
+            return false;
+        };
+        let gate = &mut self.cnp_gate[src.index()];
+        if now >= *gate {
+            *gate = now + dc.cnp_interval_cycles;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// DCQCN reaction point: a CNP arrived for the flow toward `dst` —
+    /// bump alpha and (at most once per decrease interval) cut the rate.
+    pub fn on_cnp<M: MetricsSink>(&mut self, now: Cycle, dst: NodeId, metrics: &mut M) {
+        let Some(dc) = &self.cfg.dcqcn else { return };
+        let f = &mut self.dcqcn_flows[dst.index()];
+        f.advance_to(now, dc);
+        let cut = f.on_cnp(now, dc);
+        metrics.count("cnp_received", 1);
+        if metrics.wants_events(EventClass::CNP) {
+            metrics.cc_event(CcEvent {
+                at: now,
+                kind: CcEventKind::CnpReceived {
+                    node: self.node.0,
+                    dst: dst.0,
+                },
+            });
+        }
+        if cut && metrics.wants_events(EventClass::RATE) {
+            metrics.cc_event(CcEvent {
+                at: now,
+                kind: CcEventKind::RateChange {
+                    node: self.node.0,
+                    dst: dst.0,
+                    rate_ppm: (f.rc * 1e6) as u64,
+                    decrease: true,
+                },
+            });
+        }
+    }
+
+    /// HPCC sender: an ACK arrived for the flow toward `dst`, echoing
+    /// the folded INT utilization `u_ack` over `acked_bytes` wire bytes.
+    pub fn on_ack<M: MetricsSink>(
+        &mut self,
+        now: Cycle,
+        dst: NodeId,
+        u_ack: f32,
+        hops: u8,
+        acked_bytes: u32,
+        metrics: &mut M,
+    ) {
+        let Some(hc) = &self.cfg.hpcc else { return };
+        let f = &mut self.hpcc_flows[dst.index()];
+        let before = f.w;
+        f.on_ack(f64::from(u_ack), u64::from(acked_bytes), hc);
+        metrics.count("ack_received", 1);
+        if metrics.wants_events(EventClass::INT) {
+            metrics.cc_event(CcEvent {
+                at: now,
+                kind: CcEventKind::IntFeedback {
+                    node: self.node.0,
+                    dst: dst.0,
+                    u_ppm: (f64::from(u_ack) * 1e6) as u64,
+                    hops,
+                },
+            });
+        }
+        if f.w != before && metrics.wants_events(EventClass::RATE) {
+            metrics.cc_event(CcEvent {
+                at: now,
+                kind: CcEventKind::WindowChange {
+                    node: self.node.0,
+                    dst: dst.0,
+                    window_bytes: f.w as u64,
+                    decrease: f.w < before,
+                },
+            });
+        }
+    }
+
+    /// Current DCQCN rate fraction toward `dst` (tests, introspection).
+    pub fn dcqcn_rate(&self, dst: NodeId) -> Option<f64> {
+        self.dcqcn_flows.get(dst.index()).map(|f| f.rc)
+    }
+
+    /// Current HPCC window (bytes) toward `dst` (tests, introspection).
+    pub fn hpcc_window(&self, dst: NodeId) -> Option<f64> {
+        self.hpcc_flows.get(dst.index()).map(|f| f.w)
     }
 
     fn cfq_lookup(&self, dst: NodeId) -> Option<usize> {
@@ -474,6 +611,10 @@ impl Adapter {
             if now < self.next_allowed[d] {
                 continue; // IRD throttling gates this destination.
             }
+            if !self.hpcc_flows.is_empty() && !self.hpcc_flows[d].may_send(head.packet.wire_bytes())
+            {
+                continue; // HPCC window full for this destination.
+            }
             let size = head.packet.size_flits;
             if !self.out_ram.can_reserve(size) {
                 continue;
@@ -545,6 +686,7 @@ impl Adapter {
             // Commit the move.
             let entry = self.advoqs[d].pop().expect("head exists");
             let dst = entry.packet.dst;
+            let wire = entry.packet.wire_bytes();
             self.out_ram.reserve(size).expect("checked above");
             match target {
                 Target::Nfq => self.nfq.push(entry.packet, now, now),
@@ -557,7 +699,22 @@ impl Adapter {
                 .thr
                 .as_ref()
                 .map_or(0, |t| t.cct[self.ccti[d] as usize]);
-            self.next_allowed[d] = now + packet_time + ird;
+            // Modern-CC source reactions: DCQCN stretches the inter-
+            // packet gap by 1/rc; HPCC charges the in-flight window.
+            let mut gap = 0;
+            if let Some(dc) = &self.cfg.dcqcn {
+                let f = &mut self.dcqcn_flows[d];
+                f.advance_to(now, dc);
+                f.on_sent(wire, dc);
+                gap = f.gap_cycles(packet_time);
+                if gap > 0 {
+                    metrics.count("dcqcn_throttled_injections", 1);
+                }
+            }
+            if !self.hpcc_flows.is_empty() {
+                self.hpcc_flows[d].on_sent(wire);
+            }
+            self.next_allowed[d] = now + packet_time + ird + gap;
             if ird > 0 {
                 metrics.count("throttled_injections", 1);
                 if metrics.wants_events(EventClass::THROTTLE) {
@@ -808,6 +965,9 @@ mod tests {
             advoq_cap_flits: 256,
             nfq_gate_flits: 128,
             per_dest_output: false,
+            dcqcn: None,
+            hpcc: None,
+            data_overhead_bytes: 0,
         }
     }
 
@@ -1033,6 +1193,9 @@ mod voqnet_tests {
             advoq_cap_flits: 256,
             nfq_gate_flits: 128,
             per_dest_output: true,
+            dcqcn: None,
+            hpcc: None,
+            data_overhead_bytes: 0,
         };
         let links = vec![Link::new(LinkConfig::default(), 1024)];
         (Adapter::new(NodeId(0), cfg, LinkId(0), 1, 8), links)

@@ -198,14 +198,15 @@ pub fn config3_case4_scaled(hotspots: usize, scale: f64) -> ExperimentSpec {
     spec
 }
 
-/// The mechanisms of the paper's evaluation, in plotting order.
+/// The mechanisms of the paper's Fig. 7/9/10 panels, in plotting order.
+/// Resolved by display name through the [`Mechanism`] registry, so the
+/// figure binaries share one parse/display path with every other
+/// mechanism selector.
 pub fn paper_mechanisms() -> Vec<Mechanism> {
-    vec![
-        Mechanism::OneQ,
-        Mechanism::ith(),
-        Mechanism::fbicm(),
-        Mechanism::ccfit(),
-    ]
+    ["1Q", "ITh", "FBICM", "CCFIT"]
+        .iter()
+        .map(|n| Mechanism::parse(n).expect("registry knows every figure mechanism"))
+        .collect()
 }
 
 /// Render Table I (the evaluated network configurations).

@@ -53,12 +53,16 @@ pub use ccfit_faults::{
 };
 pub use ccfit_metrics::{CcEvent, CcEventKind, EventClass, EventConfig, FaultKind};
 pub use parallel::{EngineDecision, FallbackReason, ParallelConfig, ParallelFallback};
-pub use params::{IsolationParams, Mechanism, QueueingScheme, ThrottleParams};
+pub use params::{
+    CongestionControl, DcqcnParams, DetectionPolicy, FeedbackPolicy, HpccParams, IsolationParams,
+    Mechanism, QueueingScheme, ReactionPolicy, ThrottleParams,
+};
 pub use simulator::{BecnTransport, SimBuilder, SimConfig, Simulator};
 pub use trace::{PacketTrace, TraceLog};
 
 // Re-export the companion crates so downstream users need a single
 // dependency.
+pub use ccfit_cc as cc;
 pub use ccfit_engine as engine;
 pub use ccfit_faults as faults;
 pub use ccfit_metrics as metrics;

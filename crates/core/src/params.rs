@@ -1,437 +1,13 @@
-//! Congestion-control mechanism parameters (§III-E, §IV-A).
+//! Congestion-control mechanism parameters — re-exported from the
+//! [`ccfit-cc`](ccfit_cc) subsystem crate, where the [`Mechanism`]
+//! registry, the parameter sets and the
+//! [`CongestionControl`](ccfit_cc::CongestionControl) trait now live.
 //!
-//! The paper evaluates five mechanisms. Internally each decomposes into
-//! three orthogonal pieces, which is also how the ablation benches mix
-//! them:
-//!
-//! | Mechanism | Queueing            | Isolation (CFQs/CAMs) | Throttling (FECN/BECN) |
-//! |-----------|---------------------|-----------------------|------------------------|
-//! | 1Q        | single queue        | —                     | —                      |
-//! | VOQsw     | queue per output    | —                     | —                      |
-//! | VOQnet    | queue per dest      | —                     | —                      |
-//! | FBICM     | NFQ + CFQs          | yes                   | —                      |
-//! | ITh       | queue per output    | —                     | yes (VOQ-occupancy marking) |
-//! | CCFIT     | NFQ + CFQs          | yes                   | yes (root-CFQ marking) |
+//! This module exists so every pre-existing `ccfit::params::…` path
+//! keeps compiling; new code should consider depending on `ccfit-cc`
+//! directly when it only needs mechanism definitions.
 
-use serde::{Deserialize, Serialize};
-
-/// How an input port's RAM is organised into queues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum QueueingScheme {
-    /// One FIFO per input port ("1Q") — no HoL-blocking reduction at all.
-    Single,
-    /// Virtual output queues at switch level (VOQsw): one queue per
-    /// output port of the switch.
-    PerOutput,
-    /// Virtual output queues at network level (VOQnet): one queue per
-    /// destination end node, with a reserved per-queue capacity.
-    PerDest,
-    /// FBICM/CCFIT dynamic organisation: one normal flow queue plus a
-    /// small number of congested flow queues.
-    Isolating,
-    /// DBBM (paper ref. \[24\]): a fixed set of queues selected by
-    /// `destination mod Q` — cheap HoL reduction without congestion
-    /// tracking. Implemented as an extension beyond the paper's
-    /// evaluated set.
-    DstMod,
-}
-
-/// Congested-flow-isolation parameters (the FBICM side of CCFIT).
-///
-/// The default detection threshold is 8 MTUs (a 25 % fill ratio of the
-/// 64 KB port RAM): early enough to isolate a hotspot within a few
-/// microseconds, late enough that the transient bursts released when an
-/// upstream Stop clears do not get mis-detected as new congestion
-/// (§III-E: "not too early and not too late").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct IsolationParams {
-    /// CFQs per input port (the paper uses 2).
-    pub num_cfqs: usize,
-    /// NFQ occupancy (in MTUs) that triggers congestion detection and
-    /// allocates a CFQ + CAM line for the blocked destination.
-    pub detect_threshold_mtus: u32,
-    /// CFQ occupancy (MTUs) at which the congestion information is
-    /// propagated upstream (`CfqAlloc`), so the upstream hop starts
-    /// isolating this flow before the Stop threshold is reached.
-    pub propagate_threshold_mtus: u32,
-    /// CFQ Stop threshold (MTUs): ask upstream to pause this congested
-    /// flow (paper: 10).
-    pub stop_mtus: u32,
-    /// CFQ Go threshold (MTUs): resume (paper: 4).
-    pub go_mtus: u32,
-    /// Cycles a CFQ must remain empty (and in Go state) before its
-    /// resources are deallocated, avoiding allocation thrash.
-    pub dealloc_linger_cycles: u64,
-    /// CAM lines per *output* port for tracking congestion trees
-    /// propagated from downstream.
-    pub out_cam_lines: usize,
-}
-
-impl Default for IsolationParams {
-    fn default() -> Self {
-        Self {
-            num_cfqs: 2,
-            detect_threshold_mtus: 8,
-            propagate_threshold_mtus: 2,
-            stop_mtus: 10,
-            go_mtus: 4,
-            dealloc_linger_cycles: 1024,
-            out_cam_lines: 4,
-        }
-    }
-}
-
-/// Shape of the Congestion Control Table: how the injection rate delay
-/// grows with the CCTI. The paper only says "CCT values are typically
-/// arranged in such a way that the higher the index, the greater the
-/// IRD"; both common arrangements are provided.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum CctProfile {
-    /// `IRD(i) = i × unit` — gentle, proportional response.
-    Linear,
-    /// `IRD(i) = unit × (2^(i / period) − 1)` — doubling response every
-    /// `period` BECNs, the aggressive arrangement used by several IB CC
-    /// studies.
-    Exponential {
-        /// CCTI steps per doubling.
-        period: usize,
-    },
-}
-
-/// Injection-throttling parameters (the InfiniBand-CC side of CCFIT,
-/// §II and §IV-A).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ThrottleParams {
-    /// Fraction of packets crossing a congestion-state output port that
-    /// get FECN-marked (paper: 0.85).
-    pub marking_rate: f64,
-    /// Only packets larger than this (bytes) are FECN-marked
-    /// (`Packet_Size`).
-    pub packet_size_threshold_bytes: u32,
-    /// `CCTI_Timer`: nanoseconds between automatic CCTI decrements
-    /// (paper: 8000 ns).
-    pub ccti_timer_ns: f64,
-    /// `CCTI_Increase`: CCTI increment per received BECN (IB default 1).
-    pub ccti_increase: u16,
-    /// Number of entries in the Congestion Control Table.
-    pub cct_len: usize,
-    /// Base unit of the injection rate delay in nanoseconds.
-    pub cct_unit_ns: f64,
-    /// Arrangement of the CCT entries.
-    pub cct_profile: CctProfile,
-    /// Congestion-detection High threshold in MTUs. For ITh this is
-    /// compared against the aggregate VOQ occupancy of an output port;
-    /// for CCFIT against each root CFQ's occupancy (paper: 4).
-    pub high_mtus: u32,
-    /// Low threshold (hysteresis exit, paper: 2). Kept at least one MTU
-    /// below High per ref. \[12\].
-    pub low_mtus: u32,
-    /// CCFIT only: how long (ns) a root CFQ must stay above High before
-    /// its output port enters the congestion state. Discriminates
-    /// sustained oversubscription (occupancy pinned above High) from the
-    /// decaying burst a faster upstream link can momentarily deposit in
-    /// front of a full-rate-draining port — marking the latter would
-    /// throttle victims. Ignored by ITh, whose plain High/Low behaviour
-    /// (and resulting "saw-shape" instability) is a finding of the paper.
-    pub congestion_entry_delay_ns: f64,
-    /// CCFIT only: window (ns) over which each root CFQ's drain rate is
-    /// measured. A CFQ only drives its output into the congestion state
-    /// while it is *starved* — receiving clearly less than the output
-    /// link's capacity — which separates true oversubscription from a
-    /// full-rate flow with a standing queue.
-    pub starvation_window_ns: f64,
-}
-
-impl Default for ThrottleParams {
-    fn default() -> Self {
-        Self {
-            marking_rate: 0.85,
-            packet_size_threshold_bytes: 256,
-            ccti_timer_ns: 8000.0,
-            ccti_increase: 1,
-            cct_len: 128,
-            cct_unit_ns: 400.0,
-            cct_profile: CctProfile::Linear,
-            high_mtus: 4,
-            low_mtus: 2,
-            congestion_entry_delay_ns: 13_000.0,
-            starvation_window_ns: 13_000.0,
-        }
-    }
-}
-
-/// A congestion-control mechanism, exactly the set evaluated in §IV.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Mechanism {
-    /// Single queue per input port; the DET-routing-only baseline.
-    OneQ,
-    /// Switch-level virtual output queues (no explicit CC).
-    VoqSw,
-    /// Network-level virtual output queues — the "theoretical maximum"
-    /// HoL eliminator with per-destination reserved buffers.
-    VoqNet {
-        /// Reserved capacity per destination queue, in flits (paper:
-        /// 4 KB = 64 flits).
-        per_queue_flits: u32,
-    },
-    /// Congested-flow isolation alone.
-    Fbicm(IsolationParams),
-    /// Destination-Based Buffer Management (ref. \[24\]): packets use
-    /// queue `destination mod num_queues`. An evaluated extension, not
-    /// part of the paper's Fig. 7–10 set.
-    Dbbm {
-        /// Number of queues per input port.
-        num_queues: usize,
-    },
-    /// Injection throttling alone over VOQsw switches (IB-style CC).
-    Ith(ThrottleParams),
-    /// The paper's contribution: isolation + throttling combined, with
-    /// the congestion state driven by root-CFQ occupancy.
-    Ccfit(IsolationParams, ThrottleParams),
-}
-
-impl Mechanism {
-    /// Default-parameter CCFIT.
-    pub fn ccfit() -> Self {
-        Mechanism::Ccfit(IsolationParams::default(), ThrottleParams::default())
-    }
-
-    /// Default-parameter FBICM.
-    pub fn fbicm() -> Self {
-        Mechanism::Fbicm(IsolationParams::default())
-    }
-
-    /// Default-parameter injection throttling.
-    pub fn ith() -> Self {
-        Mechanism::Ith(ThrottleParams::default())
-    }
-
-    /// Default-parameter VOQnet (4 KB per destination queue).
-    pub fn voqnet() -> Self {
-        Mechanism::VoqNet {
-            per_queue_flits: 64,
-        }
-    }
-
-    /// Default-parameter DBBM (4 queues per port, as in ref. \[24\]'s
-    /// cost-effective configurations).
-    pub fn dbbm() -> Self {
-        Mechanism::Dbbm { num_queues: 4 }
-    }
-
-    /// Queueing scheme this mechanism uses at input ports.
-    pub fn queueing(&self) -> QueueingScheme {
-        match self {
-            Mechanism::OneQ => QueueingScheme::Single,
-            Mechanism::VoqSw | Mechanism::Ith(_) => QueueingScheme::PerOutput,
-            Mechanism::VoqNet { .. } => QueueingScheme::PerDest,
-            Mechanism::Dbbm { .. } => QueueingScheme::DstMod,
-            Mechanism::Fbicm(_) | Mechanism::Ccfit(..) => QueueingScheme::Isolating,
-        }
-    }
-
-    /// Number of DstMod queues (DBBM only).
-    pub fn dbbm_queues(&self) -> usize {
-        match self {
-            Mechanism::Dbbm { num_queues } => *num_queues,
-            _ => 0,
-        }
-    }
-
-    /// Isolation parameters, if the mechanism isolates congested flows.
-    pub fn isolation(&self) -> Option<&IsolationParams> {
-        match self {
-            Mechanism::Fbicm(iso) | Mechanism::Ccfit(iso, _) => Some(iso),
-            _ => None,
-        }
-    }
-
-    /// Throttling parameters, if the mechanism throttles injection.
-    pub fn throttle(&self) -> Option<&ThrottleParams> {
-        match self {
-            Mechanism::Ith(t) | Mechanism::Ccfit(_, t) => Some(t),
-            _ => None,
-        }
-    }
-
-    /// Relative per-port tick cost of this mechanism's switch machinery,
-    /// used by the parallel engine's work estimate (shard balancing and
-    /// the serial auto-fallback — see `crate::parallel::network_weight`).
-    /// Coarse by design: a FIFO port is the unit; per-output VOQs scan a
-    /// queue set; isolation adds CFQ/CAM bookkeeping; per-destination
-    /// VOQs scan a queue per end node. Only the *ratio* matters, and a
-    /// wrong ratio costs balance, never correctness.
-    pub fn tick_weight(&self) -> u64 {
-        match self.queueing() {
-            QueueingScheme::Single => 1,
-            QueueingScheme::PerOutput | QueueingScheme::DstMod => 2,
-            QueueingScheme::Isolating => 3,
-            QueueingScheme::PerDest => 4,
-        }
-    }
-
-    /// Display name used in reports and figures.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Mechanism::OneQ => "1Q",
-            Mechanism::VoqSw => "VOQsw",
-            Mechanism::VoqNet { .. } => "VOQnet",
-            Mechanism::Dbbm { .. } => "DBBM",
-            Mechanism::Fbicm(_) => "FBICM",
-            Mechanism::Ith(_) => "ITh",
-            Mechanism::Ccfit(..) => "CCFIT",
-        }
-    }
-
-    /// Validate parameter sanity (threshold ordering per §III-E).
-    pub fn validate(&self) -> Result<(), String> {
-        if let Mechanism::Dbbm { num_queues } = self {
-            if *num_queues == 0 {
-                return Err("DBBM needs at least one queue".into());
-            }
-        }
-        if let Some(iso) = self.isolation() {
-            if iso.num_cfqs == 0 {
-                return Err("isolation needs at least one CFQ".into());
-            }
-            if iso.go_mtus >= iso.stop_mtus {
-                return Err("Go threshold must be below Stop".into());
-            }
-            if iso.propagate_threshold_mtus > iso.stop_mtus {
-                return Err("propagation threshold must not exceed Stop".into());
-            }
-        }
-        if let Some(t) = self.throttle() {
-            if !(0.0..=1.0).contains(&t.marking_rate) {
-                return Err("marking rate must be in [0, 1]".into());
-            }
-            if t.low_mtus + 1 > t.high_mtus {
-                return Err("High/Low thresholds need at least one MTU of distance".into());
-            }
-            if t.cct_len < 2 {
-                return Err("CCT needs at least two entries".into());
-            }
-        }
-        if let Mechanism::Ccfit(iso, t) = self {
-            // §III-E: the Stop threshold should sit above High so upstream
-            // congested packets are not blocked while marking ramps up.
-            if iso.stop_mtus <= t.high_mtus {
-                return Err("Stop threshold should be greater than High (§III-E)".into());
-            }
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn defaults_match_the_paper() {
-        let iso = IsolationParams::default();
-        assert_eq!(iso.num_cfqs, 2);
-        assert_eq!(iso.stop_mtus, 10);
-        assert_eq!(iso.go_mtus, 4);
-        let t = ThrottleParams::default();
-        assert_eq!(t.marking_rate, 0.85);
-        assert_eq!(t.ccti_timer_ns, 8000.0);
-        assert_eq!(t.high_mtus, 4);
-        assert_eq!(t.low_mtus, 2);
-    }
-
-    #[test]
-    fn decomposition_matches_the_table() {
-        assert_eq!(Mechanism::OneQ.queueing(), QueueingScheme::Single);
-        assert_eq!(Mechanism::VoqSw.queueing(), QueueingScheme::PerOutput);
-        assert_eq!(Mechanism::voqnet().queueing(), QueueingScheme::PerDest);
-        assert_eq!(Mechanism::fbicm().queueing(), QueueingScheme::Isolating);
-        assert_eq!(Mechanism::ith().queueing(), QueueingScheme::PerOutput);
-        assert_eq!(Mechanism::ccfit().queueing(), QueueingScheme::Isolating);
-
-        assert!(Mechanism::OneQ.isolation().is_none());
-        assert!(Mechanism::fbicm().isolation().is_some());
-        assert!(Mechanism::fbicm().throttle().is_none());
-        assert!(Mechanism::ith().throttle().is_some());
-        assert!(Mechanism::ith().isolation().is_none());
-        assert!(Mechanism::ccfit().isolation().is_some());
-        assert!(Mechanism::ccfit().throttle().is_some());
-    }
-
-    #[test]
-    fn names_are_the_paper_names() {
-        assert_eq!(Mechanism::OneQ.name(), "1Q");
-        assert_eq!(Mechanism::voqnet().name(), "VOQnet");
-        assert_eq!(Mechanism::ccfit().name(), "CCFIT");
-    }
-
-    #[test]
-    fn all_defaults_validate() {
-        for m in [
-            Mechanism::OneQ,
-            Mechanism::VoqSw,
-            Mechanism::voqnet(),
-            Mechanism::fbicm(),
-            Mechanism::ith(),
-            Mechanism::ccfit(),
-        ] {
-            m.validate().unwrap();
-        }
-    }
-
-    #[test]
-    fn inverted_stop_go_is_rejected() {
-        let mut iso = IsolationParams::default();
-        iso.go_mtus = 12;
-        assert!(Mechanism::Fbicm(iso).validate().is_err());
-    }
-
-    #[test]
-    fn ccfit_stop_must_exceed_high() {
-        let mut iso = IsolationParams::default();
-        iso.stop_mtus = 3;
-        iso.go_mtus = 1;
-        iso.propagate_threshold_mtus = 1;
-        let err = Mechanism::Ccfit(iso, ThrottleParams::default())
-            .validate()
-            .unwrap_err();
-        assert!(err.contains("Stop"));
-    }
-
-    #[test]
-    fn bad_marking_rate_is_rejected() {
-        let mut t = ThrottleParams::default();
-        t.marking_rate = 1.5;
-        assert!(Mechanism::Ith(t).validate().is_err());
-    }
-
-    #[test]
-    fn high_low_distance_enforced() {
-        let mut t = ThrottleParams::default();
-        t.high_mtus = 2;
-        t.low_mtus = 2;
-        assert!(Mechanism::Ith(t).validate().is_err());
-    }
-}
-
-#[cfg(test)]
-mod dbbm_tests {
-    use super::*;
-
-    #[test]
-    fn dbbm_decomposition() {
-        let d = Mechanism::dbbm();
-        assert_eq!(d.queueing(), QueueingScheme::DstMod);
-        assert_eq!(d.dbbm_queues(), 4);
-        assert_eq!(d.name(), "DBBM");
-        assert!(d.isolation().is_none());
-        assert!(d.throttle().is_none());
-        d.validate().unwrap();
-    }
-
-    #[test]
-    fn dbbm_zero_queues_rejected() {
-        assert!(Mechanism::Dbbm { num_queues: 0 }.validate().is_err());
-        assert_eq!(Mechanism::OneQ.dbbm_queues(), 0);
-    }
-}
+pub use ccfit_cc::{
+    CctProfile, CongestionControl, DcqcnParams, DetectionPolicy, FeedbackPolicy, HpccParams,
+    IsolationParams, Mechanism, QueueingScheme, ReactionPolicy, ThrottleParams,
+};

@@ -7,8 +7,11 @@ use crate::parallel::{
     decide, network_weight, EngineDecision, FaultView, ParallelConfig, ParallelFallback, PhaseKind,
     Pool, ShardOutbox, ShardPlan, TickCtx,
 };
-use crate::params::{Mechanism, QueueingScheme};
-use crate::switch::{MarkingSource, PurgeStats, Switch, SwitchCfg, SwitchThrottle, VoqNetCredits};
+use crate::params::{CongestionControl, DetectionPolicy, Mechanism, QueueingScheme};
+use crate::switch::{
+    MarkingSource, PurgeStats, Switch, SwitchCcMode, SwitchCfg, SwitchThrottle, VoqNetCredits,
+};
+use ccfit_cc::{DcqcnCfg, HpccCfg};
 use ccfit_engine::ids::{FlowId, LinkId, NodeId, PacketId, PortId, SwitchId};
 use ccfit_engine::link::{Link, LinkConfig, WireLoss};
 use ccfit_engine::packet::Packet;
@@ -620,6 +623,10 @@ pub struct Simulator {
     /// Fault-injection runtime (`None` for fault-free runs: the hot
     /// path then pays a single branch per tick).
     faults: Option<FaultRuntime>,
+    /// Wire-byte accounting is active (modern CC only, so the paper
+    /// mechanisms' counter sets — pinned by golden snapshots — never
+    /// change).
+    cc_wire: bool,
 }
 
 impl Simulator {
@@ -663,6 +670,31 @@ impl Simulator {
                 MarkingSource::VoqOccupancy
             },
         });
+        // Modern CC (DCQCN/HPCC): materialise the cycle-domain configs
+        // once and derive the switch-side marking/telemetry mode from the
+        // mechanism's detection policy. Paper mechanisms get `None`
+        // everywhere, which keeps their tick behaviour untouched.
+        let cycles_per_ns = 1.0 / units.cycle_ns;
+        let dcqcn_cfg = mech
+            .dcqcn_params()
+            .map(|p| DcqcnCfg::materialise(p, cycles_per_ns));
+        let hpcc_cfg = mech
+            .hpcc_params()
+            .map(|p| HpccCfg::materialise(p, cycles_per_ns));
+        let switch_cc = match mech.detection() {
+            DetectionPolicy::EcnQueue(p) => Some(SwitchCcMode::Ecn {
+                kmin_flits: p.kmin_mtus * mtu_flits,
+                kmax_flits: (p.kmax_mtus * mtu_flits).max(p.kmin_mtus * mtu_flits + 1),
+                pmax: p.pmax,
+            }),
+            DetectionPolicy::IntWindow(_) => Some(SwitchCcMode::Int {
+                window_cycles: hpcc_cfg
+                    .as_ref()
+                    .expect("IntWindow detection implies HPCC params")
+                    .window_cycles,
+            }),
+            _ => None,
+        };
         let switch_cfg = SwitchCfg {
             scheme: mech.queueing(),
             iso: mech.isolation().copied(),
@@ -674,6 +706,7 @@ impl Simulator {
             islip_iterations: cfg.islip_iterations,
             move_budget: cfg.move_budget,
             crossbar_bw_flits_per_cycle: cfg.crossbar_bw_flits_per_cycle,
+            cc: switch_cc,
         };
 
         // ---- links ----
@@ -820,6 +853,9 @@ impl Simulator {
                     advoq_cap_flits: cfg.advoq_cap_mtus * mtu_flits,
                     nfq_gate_flits: cfg.nfq_gate_mtus * mtu_flits,
                     per_dest_output: mech.queueing() == QueueingScheme::PerDest,
+                    dcqcn: dcqcn_cfg.clone(),
+                    hpcc: hpcc_cfg.clone(),
+                    data_overhead_bytes: mech.hpcc_params().map_or(0, |p| p.int_overhead_bytes),
                 };
                 Adapter::new(
                     n,
@@ -848,6 +884,7 @@ impl Simulator {
         let gauge_every = units.ns_to_cycles(cfg.metrics_bin_ns / 4.0).max(64);
         let trace = cfg.trace_sample_every.map(crate::trace::TraceLog::new);
         let faults = faults.map(|(schedule, fcfg)| FaultRuntime::new(schedule, fcfg, &topo));
+        let cc_wire = dcqcn_cfg.is_some() || hpcc_cfg.is_some();
         Simulator {
             cfg,
             topo,
@@ -879,6 +916,7 @@ impl Simulator {
             recv_link,
             node_sink_credits,
             faults,
+            cc_wire,
         }
     }
 
@@ -1153,6 +1191,9 @@ impl Simulator {
         let injected = &mut self.injected;
         let trace = &mut self.trace;
         let faults = &mut self.faults;
+        let metrics = &mut self.metrics;
+        let cc_wire = self.cc_wire;
+        let data_overhead = self.mech.hpcc_params().map_or(0, |p| p.int_overhead_bytes);
         let mut sink = |gp: GenPacket| {
             // Fault guard: a source never stalls on a currently
             // unreachable destination — the packet is consumed
@@ -1167,6 +1208,12 @@ impl Simulator {
             if adapter.try_inject(now, gp, id) {
                 *next_packet_id += 1;
                 *injected += 1;
+                if cc_wire {
+                    metrics.count(
+                        "wire_bytes_injected",
+                        u64::from(gp.size_bytes) + u64::from(data_overhead),
+                    );
+                }
                 if let Some(tr) = trace {
                     if tr.wants(id) {
                         tr.injected(id, gp.flow, adapter.node(), gp.dst, now);
@@ -1720,14 +1767,50 @@ impl Simulator {
     fn deliver_to_node(&mut self, node: NodeId, link_idx: usize, d: ccfit_engine::link::Delivery) {
         // Ideal sink: space is freed the moment the tail lands.
         self.links[link_idx].return_credits(d.ready_at, d.packet.size_flits);
-        if d.packet.is_becn() {
-            // An in-band BECN reached the source it throttles.
-            self.adapters[node.index()].on_becn(d.ready_at, d.packet.src, &mut self.metrics);
-            return;
+        match d.packet.kind {
+            ccfit_engine::packet::PacketKind::Becn => {
+                // An in-band BECN reached the source it throttles.
+                self.adapters[node.index()].on_becn(d.ready_at, d.packet.src, &mut self.metrics);
+                return;
+            }
+            ccfit_engine::packet::PacketKind::Cnp => {
+                // DCQCN: a CNP reached the reaction point.
+                self.metrics
+                    .count("ctrl_wire_bytes_delivered", d.packet.wire_bytes());
+                self.adapters[node.index()].on_cnp(d.ready_at, d.packet.src, &mut self.metrics);
+                return;
+            }
+            ccfit_engine::packet::PacketKind::Ack => {
+                // HPCC: the INT echo reached the sender's window machine.
+                self.metrics
+                    .count("ctrl_wire_bytes_delivered", d.packet.wire_bytes());
+                self.adapters[node.index()].on_ack(
+                    d.ready_at,
+                    d.packet.src,
+                    d.packet.int_u,
+                    d.packet.int_hops,
+                    d.packet.ack_bytes,
+                    &mut self.metrics,
+                );
+                return;
+            }
+            ccfit_engine::packet::PacketKind::Data => {}
         }
         self.metrics.record_delivery(d.ready_at, &d.packet);
         if d.packet.is_data() {
             self.delivered += 1;
+            if self.cc_wire {
+                // Byte accounting at reception, consistent across data
+                // and control traffic: wire = payload + scheme overhead.
+                self.metrics
+                    .count("wire_bytes_delivered", d.packet.wire_bytes());
+                self.metrics
+                    .count("payload_bytes_delivered", u64::from(d.packet.size_bytes));
+                self.metrics.count(
+                    "overhead_bytes_delivered",
+                    u64::from(d.packet.overhead_bytes),
+                );
+            }
             if let Some(tr) = &mut self.trace {
                 if tr.wants(d.packet.id) {
                     tr.delivered(d.packet.id, d.ready_at, d.packet.fecn);
@@ -1781,6 +1864,46 @@ impl Simulator {
                     )));
                 }
             }
+        }
+        // ECN-CE → CNP (DCQCN notification point): answer a marked
+        // delivery with one CNP, rate-limited per source.
+        if d.packet.ecn && self.mech.dcqcn_params().is_some() {
+            let overhead = self.mech.dcqcn_params().map_or(0, |p| p.cnp_overhead_bytes);
+            if self.adapters[node.index()].cnp_due(d.ready_at, d.packet.src) {
+                let id = PacketId(self.next_packet_id);
+                self.next_packet_id += 1;
+                let cnp = Packet::cnp(id, node, d.packet.src, d.ready_at, overhead);
+                self.metrics.count("cnp_generated", 1);
+                self.metrics.count("ctrl_wire_bytes_sent", cnp.wire_bytes());
+                if self.metrics.wants_events(EventClass::CNP) {
+                    self.metrics.cc_event(CcEvent {
+                        at: d.ready_at,
+                        kind: CcEventKind::CnpGenerated {
+                            node: node.0,
+                            src: d.packet.src.0,
+                        },
+                    });
+                }
+                self.adapters[node.index()].queue_becn(cnp);
+            }
+        }
+        // Data delivery → per-packet ACK echoing the INT fold (HPCC).
+        if let Some(p) = self.mech.hpcc_params() {
+            let id = PacketId(self.next_packet_id);
+            self.next_packet_id += 1;
+            let ack = Packet::ack(
+                id,
+                node,
+                d.packet.src,
+                d.ready_at,
+                d.packet.int_u,
+                d.packet.int_hops,
+                d.packet.wire_bytes() as u32,
+                p.ack_overhead_bytes,
+            );
+            self.metrics.count("ack_generated", 1);
+            self.metrics.count("ctrl_wire_bytes_sent", ack.wire_bytes());
+            self.adapters[node.index()].queue_becn(ack);
         }
     }
 

@@ -62,6 +62,34 @@ pub struct SwitchThrottle {
     pub source: MarkingSource,
 }
 
+/// Switch-side behaviour of the modern (non-paper) congestion-control
+/// schemes, derived from the mechanism's
+/// [`crate::params::DetectionPolicy`]. Both act at the same place the
+/// FECN marker does — the instant a packet wins arbitration for an
+/// output — but on different header bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchCcMode {
+    /// DCQCN-style RED/ECN marking on the aggregate per-output VOQ
+    /// occupancy: mark with probability 0 below `kmin_flits`, ramping
+    /// linearly to `pmax` at `kmax_flits`, and 1 above.
+    Ecn {
+        /// RED ramp start (flits queued for the output).
+        kmin_flits: u32,
+        /// RED ramp end: occupancy at/above this always marks.
+        kmax_flits: u32,
+        /// Marking probability at the top of the ramp.
+        pmax: f64,
+    },
+    /// HPCC-style INT stamping: every data packet crossing an output
+    /// folds the hop's utilization sample — queued flits plus flits
+    /// transmitted in the current `window_cycles` window, over the
+    /// bandwidth-delay product — into its `int_u` header field.
+    Int {
+        /// INT measurement window in cycles.
+        window_cycles: u64,
+    },
+}
+
 /// Static switch configuration derived from the mechanism.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SwitchCfg {
@@ -91,6 +119,9 @@ pub struct SwitchCfg {
     /// Maximum NFQ→CFQ moves per input port per cycle (post-processing
     /// bandwidth).
     pub move_budget: u32,
+    /// Modern-CC switch behaviour (ECN marking / INT stamping); `None`
+    /// for the six paper mechanisms.
+    pub cc: Option<SwitchCcMode>,
 }
 
 /// Output-port CAM payload: congestion info propagated from downstream.
@@ -133,6 +164,15 @@ pub struct OutputPort {
     /// by the simulator at assembly and refreshed on degrade/restore
     /// fault events (which run in the serial fault phase).
     pub link_bw: u32,
+    /// HPCC INT: index (`now / window_cycles`) of the measurement window
+    /// `int_tx_flits` accumulates into. Rolled lazily at transmit time,
+    /// so idle stretches (and the quiet-cycle fast-forward) cost nothing.
+    pub int_win: u64,
+    /// HPCC INT: flits transmitted in the current window.
+    pub int_tx_flits: u64,
+    /// HPCC INT: flits transmitted in the last *completed* window (zero
+    /// if the port skipped a whole window).
+    pub int_tx_last: u64,
 }
 
 /// Identifies a queue within an input port.
@@ -369,6 +409,9 @@ impl Switch {
                 congested: false,
                 over_high_count: 0,
                 link_bw: 1,
+                int_win: 0,
+                int_tx_flits: 0,
+                int_tx_last: 0,
             })
             .collect();
         let islip = Islip::new(num_ports, cfg.islip_iterations);
@@ -1065,6 +1108,21 @@ impl Switch {
         }
     }
 
+    /// Aggregate VOQ backlog for output `out` across the input ports —
+    /// the same on-demand sum the ITh congestion detector uses. Both
+    /// modern CC schemes run on [`QueueingScheme::PerOutput`], so other
+    /// queue organisations contribute zero; computing it stateless keeps
+    /// purge/fault paths free of marking bookkeeping.
+    fn output_voq_occupancy_flits(&self, out: usize) -> u32 {
+        self.inputs
+            .iter()
+            .map(|inp| match &inp.queues {
+                InputQueues::PerOutput(qs) => qs[out].occupancy_flits(),
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Gather eligible queue heads at one input port into `out`.
     fn candidates_into(
         &self,
@@ -1101,7 +1159,10 @@ impl Switch {
                 acc.push(Candidate {
                     queue,
                     out: out_port,
-                    becn: head.packet.is_becn(),
+                    // CNPs and ACKs inherit the BECN transmission
+                    // priority: all three are 1-flit feedback packets
+                    // whose latency is the control loop's delay.
+                    becn: head.packet.is_ctrl(),
                 });
             };
         match &input.queues {
@@ -1328,6 +1389,71 @@ impl Switch {
                     }
                 }
             }
+            // Modern-CC header work at the same adjudication point
+            // (ECN-CE marking / INT stamping). Shard-safe for the same
+            // reason the FECN marker is: only this switch's own state
+            // (queues, RNG, output counters) is touched.
+            match self.cfg.cc {
+                Some(SwitchCcMode::Ecn {
+                    kmin_flits,
+                    kmax_flits,
+                    pmax,
+                }) if entry.packet.is_data() => {
+                    let occ = self.output_voq_occupancy_flits(out);
+                    let p = if occ >= kmax_flits {
+                        1.0
+                    } else if occ > kmin_flits {
+                        pmax * f64::from(occ - kmin_flits) / f64::from(kmax_flits - kmin_flits)
+                    } else {
+                        0.0
+                    };
+                    if p > 0.0 && self.marking_rng.random::<f64>() < p {
+                        entry.packet.ecn = true;
+                        metrics.count("ecn_marked", 1);
+                        if metrics.wants_events(EventClass::ECN) {
+                            metrics.cc_event(CcEvent {
+                                at: now,
+                                kind: CcEventKind::EcnMark {
+                                    sw: self.id.0,
+                                    port: out as u32,
+                                    dst: entry.packet.dst.0,
+                                    occupancy_flits: occ,
+                                },
+                            });
+                        }
+                    }
+                }
+                Some(SwitchCcMode::Int { window_cycles }) => {
+                    let occ = self.output_voq_occupancy_flits(out);
+                    let op = &mut self.outputs[out];
+                    let win = now / window_cycles;
+                    if win != op.int_win {
+                        op.int_tx_last = if win == op.int_win + 1 {
+                            op.int_tx_flits
+                        } else {
+                            0 // the port idled through at least one window
+                        };
+                        op.int_win = win;
+                        op.int_tx_flits = 0;
+                    }
+                    op.int_tx_flits += u64::from(entry.packet.size_flits);
+                    if entry.packet.is_data() {
+                        // The busier of the completing and completed
+                        // windows: responsive on ramp-up, stable once
+                        // the link streams.
+                        let tx = op.int_tx_flits.max(op.int_tx_last);
+                        let u = ccfit_cc::hop_utilization(
+                            u64::from(occ),
+                            tx,
+                            f64::from(op.link_bw.max(1)),
+                            window_cycles,
+                        );
+                        entry.packet.int_u = ccfit_cc::fold_u(entry.packet.int_u, u);
+                        entry.packet.int_hops = entry.packet.int_hops.saturating_add(1);
+                    }
+                }
+                _ => {}
+            }
             let link_id = self.outputs[out]
                 .out_link
                 .expect("matched output is cabled");
@@ -1395,6 +1521,9 @@ impl Switch {
             out.cam.clear();
             out.congested = false;
             out.over_high_count = 0;
+            out.int_win = 0;
+            out.int_tx_flits = 0;
+            out.int_tx_last = 0;
         }
         self.buffered = 0;
         self.cfq_count = 0;
@@ -1667,6 +1796,15 @@ mod tests {
         iso: Option<IsolationParams>,
         thr: Option<SwitchThrottle>,
     ) -> Fixture {
+        fixture_cc(scheme, iso, thr, None)
+    }
+
+    fn fixture_cc(
+        scheme: QueueingScheme,
+        iso: Option<IsolationParams>,
+        thr: Option<SwitchThrottle>,
+        cc: Option<SwitchCcMode>,
+    ) -> Fixture {
         let cfg = SwitchCfg {
             scheme,
             iso,
@@ -1678,6 +1816,7 @@ mod tests {
             islip_iterations: 2,
             move_budget: 4,
             crossbar_bw_flits_per_cycle: 1,
+            cc,
         };
         let wiring = vec![
             (Some(LinkId(0)), None), // port 0: input only
@@ -2080,6 +2219,78 @@ mod tests {
     }
 
     #[test]
+    fn ecn_marks_above_kmin_and_never_below() {
+        let cc = SwitchCcMode::Ecn {
+            kmin_flits: MTU,     // one buffered MTU behind the head
+            kmax_flits: 2 * MTU, // two -> always mark
+            pmax: 0.2,
+        };
+        let mut fx = fixture_cc(QueueingScheme::PerOutput, None, None, Some(cc));
+        deliver(&mut fx, 0, pkt(1, 6));
+        // Occupancy 1 MTU == kmin: below the ramp, never marked.
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(0, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        fx.sw.release_ram(rel[0].port, rel[0].flits);
+        assert_eq!(fx.metrics.counter("ecn_marked"), 0);
+        // Backlog of 3 MTUs >= kmax: marking probability 1.
+        let now = rel[0].at;
+        for id in 2..5 {
+            deliver(&mut fx, now, pkt(id, 6));
+        }
+        let rel =
+            fx.sw
+                .arbitrate_and_transmit(now, &fx.routing, &mut fx.links, None, &mut fx.metrics);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(fx.metrics.counter("ecn_marked"), 1);
+        let delivered = drain(&mut fx.links[2], 10_000);
+        let last = delivered.last().unwrap().packet;
+        assert!(last.ecn);
+        assert!(!last.fecn, "ECN mode never touches the FECN bit");
+    }
+
+    #[test]
+    fn int_stamping_folds_hop_utilization_and_rolls_the_window() {
+        let window_cycles = 64;
+        let mut fx = fixture_cc(
+            QueueingScheme::PerOutput,
+            None,
+            None,
+            Some(SwitchCcMode::Int { window_cycles }),
+        );
+        fx.sw.set_output_link_bw(2, 1);
+        for id in 0..3 {
+            deliver(&mut fx, 0, pkt(id, 6));
+        }
+        let mut now = 0;
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            let rel = fx.sw.arbitrate_and_transmit(
+                now,
+                &fx.routing,
+                &mut fx.links,
+                None,
+                &mut fx.metrics,
+            );
+            for r in &rel {
+                fx.sw.release_ram(r.port, r.flits);
+            }
+            now = rel.first().map_or(now + 1, |r| r.at);
+            got.extend(drain(&mut fx.links[2], 10_000));
+            assert!(now < 10_000, "packets must drain");
+        }
+        // First departure: 3 MTUs queued (head included in occupancy at
+        // sample time minus itself after pop = 2 MTUs) + its own tx
+        // flits over bw*T = 64 flits -> u > 0, one hop.
+        assert_eq!(got[0].packet.int_hops, 1);
+        assert!(got[0].packet.int_u > 0.0);
+        // The busiest sample (most backlog) is the first one.
+        assert!(got[0].packet.int_u >= got[2].packet.int_u);
+        // The tx-window counters rolled with the clock.
+        assert_eq!(fx.sw.outputs[2].int_win, now / window_cycles);
+    }
+
+    #[test]
     fn starved_root_cfq_drives_ccfit_congestion_state() {
         let thr = default_thr(MarkingSource::RootCfq);
         let mut fx = fixture(
@@ -2293,6 +2504,7 @@ pub(crate) mod tests_support {
             islip_iterations: 2,
             move_budget: 4,
             crossbar_bw_flits_per_cycle: 1,
+            cc: None,
         };
         let wiring = vec![
             (Some(LinkId(0)), None),

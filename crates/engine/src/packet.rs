@@ -2,11 +2,22 @@
 //!
 //! Packets model virtual cut-through units: routing and buffering happen at
 //! packet granularity, while buffer occupancy and link bandwidth are
-//! accounted in flits. The header carries the two explicit congestion
-//! notification bits of the InfiniBand CC architecture that CCFIT builds
-//! on: **FECN** (set by a switch whose output port is in the congestion
-//! state) and **BECN** (set on the notification packet a destination
-//! returns to the source of a FECN-marked packet).
+//! accounted in flits. The header carries the congestion-notification
+//! state of every scheme the simulator models:
+//!
+//! * **FECN**/**BECN** — the two explicit bits of the InfiniBand CC
+//!   architecture that CCFIT builds on (FECN set by a switch whose output
+//!   port is in the congestion state; BECN returned by the destination);
+//! * **ECN-CE** — the single congestion-experienced bit DCQCN-style
+//!   schemes mark probabilistically at switch queues, answered by **CNP**
+//!   control packets;
+//! * a folded **INT** record — the maximum per-hop utilization sample an
+//!   HPCC-style scheme accumulates along the path, echoed to the source
+//!   in **ACK** control packets.
+//!
+//! `overhead_bytes` carries the wire cost of whichever header extensions
+//! or control payloads a scheme adds, so byte-level accounting can charge
+//! control traffic consistently with data (see the `wire_bytes` method).
 
 use crate::ids::{FlowId, NodeId, PacketId};
 use crate::units::Cycle;
@@ -17,16 +28,24 @@ use serde::{Deserialize, Serialize};
 pub enum PacketKind {
     /// Ordinary payload traffic.
     Data,
-    /// A congestion notification packet (CNP) carrying the BECN bit back
-    /// to a source. BECNs travel with priority, only ever use normal flow
-    /// queues, and are never themselves FECN-marked or isolated.
+    /// A congestion notification packet carrying the BECN bit back to a
+    /// source (IB-style CC). BECNs travel with priority, only ever use
+    /// normal flow queues, and are never themselves FECN-marked or
+    /// isolated.
     Becn,
+    /// A DCQCN congestion notification packet: the destination's answer
+    /// to an ECN-CE-marked data packet, rate-limited per source.
+    Cnp,
+    /// An HPCC acknowledgement echoing the folded INT record (`int_u`)
+    /// and the acknowledged wire bytes (`ack_bytes`) to the source.
+    Ack,
 }
 
 /// A packet in flight or buffered somewhere in the network.
 ///
 /// `size_flits` includes the header; an MTU data packet is 32 flits under
-/// the default [`crate::units::UnitModel`], a BECN is a single flit.
+/// the default [`crate::units::UnitModel`], control packets (BECN, CNP,
+/// ACK) are a single flit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Packet {
     /// Unique identifier (dense, assigned at injection).
@@ -51,6 +70,23 @@ pub struct Packet {
     /// Forward Explicit Congestion Notification: set when the packet
     /// crosses an output port in the congestion state.
     pub fecn: bool,
+    /// ECN Congestion Experienced: set probabilistically by DCQCN-style
+    /// RED marking at switch output queues.
+    pub ecn: bool,
+    /// Folded INT record: the maximum normalised hop utilization sampled
+    /// along the path so far (HPCC). On an [`PacketKind::Ack`] this is
+    /// the echo of the acknowledged data packet's fold.
+    pub int_u: f32,
+    /// Hops that contributed an INT sample to `int_u`.
+    pub int_hops: u8,
+    /// Wire overhead in bytes beyond `size_bytes`: INT header space on
+    /// data packets, the control payload of CNPs/ACKs. Charged by the
+    /// byte-accounting counters, not by the flit-level link model (one
+    /// flit comfortably fits every control payload).
+    pub overhead_bytes: u16,
+    /// On an [`PacketKind::Ack`]: wire bytes being acknowledged, which
+    /// the source removes from its in-flight window.
+    pub ack_bytes: u32,
 }
 
 impl Packet {
@@ -75,6 +111,31 @@ impl Packet {
             flow,
             injected_at,
             fecn: false,
+            ecn: false,
+            int_u: 0.0,
+            int_hops: 0,
+            overhead_bytes: 0,
+            ack_bytes: 0,
+        }
+    }
+
+    /// One-flit zero-payload control-packet skeleton.
+    fn ctrl(kind: PacketKind, id: PacketId, src: NodeId, dst: NodeId, injected_at: Cycle) -> Self {
+        Self {
+            id,
+            kind,
+            src,
+            dst,
+            size_flits: 1,
+            size_bytes: 0,
+            flow: FlowId(u32::MAX),
+            injected_at,
+            fecn: false,
+            ecn: false,
+            int_u: 0.0,
+            int_hops: 0,
+            overhead_bytes: 0,
+            ack_bytes: 0,
         }
     }
 
@@ -84,17 +145,46 @@ impl Packet {
     /// source uses `src` to identify which per-destination admittance
     /// queue (AdVOQ) to slow down.
     pub fn becn(id: PacketId, src: NodeId, dst: NodeId, injected_at: Cycle) -> Self {
-        Self {
-            id,
-            kind: PacketKind::Becn,
-            src,
-            dst,
-            size_flits: 1,
-            size_bytes: 0,
-            flow: FlowId(u32::MAX),
-            injected_at,
-            fecn: false,
-        }
+        Self::ctrl(PacketKind::Becn, id, src, dst, injected_at)
+    }
+
+    /// Create a DCQCN CNP. Addressing follows [`Packet::becn`]: `src` is
+    /// the congested destination generating the notification, `dst` the
+    /// source whose rate machine must react. `overhead_bytes` is the
+    /// CNP's wire cost.
+    pub fn cnp(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        injected_at: Cycle,
+        overhead_bytes: u16,
+    ) -> Self {
+        let mut p = Self::ctrl(PacketKind::Cnp, id, src, dst, injected_at);
+        p.overhead_bytes = overhead_bytes;
+        p
+    }
+
+    /// Create an HPCC ACK echoing the folded INT record of a delivered
+    /// data packet back to its source. `ack_bytes` is the wire size of
+    /// the acknowledged packet (payload + overhead), which the source's
+    /// window machine removes from its in-flight count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ack(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        injected_at: Cycle,
+        int_u: f32,
+        int_hops: u8,
+        ack_bytes: u32,
+        overhead_bytes: u16,
+    ) -> Self {
+        let mut p = Self::ctrl(PacketKind::Ack, id, src, dst, injected_at);
+        p.int_u = int_u;
+        p.int_hops = int_hops;
+        p.ack_bytes = ack_bytes;
+        p.overhead_bytes = overhead_bytes;
+        p
     }
 
     /// True for payload traffic (counted in throughput metrics).
@@ -103,10 +193,25 @@ impl Packet {
         self.kind == PacketKind::Data
     }
 
-    /// True for congestion notification packets.
+    /// True for congestion notification packets (IB-style BECN).
     #[inline]
     pub fn is_becn(&self) -> bool {
         self.kind == PacketKind::Becn
+    }
+
+    /// True for any control packet (BECN, CNP, ACK): one flit, no
+    /// payload, travels in normal flow queues with priority, never
+    /// marked or isolated itself.
+    #[inline]
+    pub fn is_ctrl(&self) -> bool {
+        !self.is_data()
+    }
+
+    /// Total bytes this packet occupies on the wire: payload plus
+    /// whatever header/control overhead its scheme charges.
+    #[inline]
+    pub fn wire_bytes(&self) -> u64 {
+        self.size_bytes as u64 + self.overhead_bytes as u64
     }
 }
 
@@ -123,28 +228,73 @@ mod tests {
         let p = sample_data();
         assert!(p.is_data());
         assert!(!p.is_becn());
+        assert!(!p.is_ctrl());
         assert!(!p.fecn);
+        assert!(!p.ecn);
         assert_eq!(p.size_flits, 32);
         assert_eq!(p.size_bytes, 2048);
         assert_eq!(p.flow, FlowId(3));
+        assert_eq!(p.wire_bytes(), 2048);
     }
 
     #[test]
     fn becn_packet_is_one_flit_and_carries_no_payload() {
         let b = Packet::becn(PacketId(1), NodeId(4), NodeId(1), 50);
         assert!(b.is_becn());
+        assert!(b.is_ctrl());
         assert_eq!(b.size_flits, 1);
         assert_eq!(b.size_bytes, 0);
+        assert_eq!(b.wire_bytes(), 0);
         // BECN src is the congested destination that generated it.
         assert_eq!(b.src, NodeId(4));
         assert_eq!(b.dst, NodeId(1));
     }
 
     #[test]
-    fn fecn_bit_is_settable() {
+    fn cnp_carries_its_overhead() {
+        let c = Packet::cnp(PacketId(2), NodeId(4), NodeId(1), 60, 16);
+        assert_eq!(c.kind, PacketKind::Cnp);
+        assert!(c.is_ctrl());
+        assert!(!c.is_becn());
+        assert_eq!(c.size_flits, 1);
+        assert_eq!(c.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn ack_echoes_the_int_fold() {
+        let a = Packet::ack(PacketId(3), NodeId(4), NodeId(1), 70, 0.75, 3, 2064, 32);
+        assert_eq!(a.kind, PacketKind::Ack);
+        assert!(a.is_ctrl());
+        assert_eq!(a.int_u, 0.75);
+        assert_eq!(a.int_hops, 3);
+        assert_eq!(a.ack_bytes, 2064);
+        assert_eq!(a.wire_bytes(), 32);
+    }
+
+    #[test]
+    fn fecn_and_ecn_bits_are_settable() {
         let mut p = sample_data();
         p.fecn = true;
-        assert!(p.fecn);
+        p.ecn = true;
+        assert!(p.fecn && p.ecn);
+    }
+
+    #[test]
+    fn int_fold_accumulates_on_data() {
+        let mut p = sample_data();
+        p.int_u = p.int_u.max(0.4);
+        p.int_hops += 1;
+        p.int_u = p.int_u.max(0.2);
+        p.int_hops += 1;
+        assert_eq!(p.int_u, 0.4);
+        assert_eq!(p.int_hops, 2);
+    }
+
+    #[test]
+    fn overhead_charges_into_wire_bytes() {
+        let mut p = sample_data();
+        p.overhead_bytes = 16;
+        assert_eq!(p.wire_bytes(), 2048 + 16);
     }
 
     #[test]

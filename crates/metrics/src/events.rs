@@ -48,8 +48,16 @@ impl EventClass {
     /// Per-packet delivery records (for cross-validation against the
     /// aggregate series; high volume).
     pub const DELIVERY: EventClass = EventClass(1 << 9);
+    /// ECN-CE marks placed on data packets (DCQCN-style schemes).
+    pub const ECN: EventClass = EventClass(1 << 10);
+    /// CNP generation at destinations and reception at sources.
+    pub const CNP: EventClass = EventClass(1 << 11);
+    /// INT feedback: folded telemetry echoed to sources via ACKs.
+    pub const INT: EventClass = EventClass(1 << 12);
+    /// Source rate/window changes by the modern reaction machines.
+    pub const RATE: EventClass = EventClass(1 << 13);
     /// Every event class.
-    pub const ALL: EventClass = EventClass((1 << 10) - 1);
+    pub const ALL: EventClass = EventClass((1 << 14) - 1);
 
     /// True when every class in `other` is enabled in `self`.
     #[inline]
@@ -306,6 +314,67 @@ pub enum CcEventKind {
         /// True when the packet arrived FECN-marked.
         fecn: bool,
     },
+    /// A data packet was ECN-CE-marked crossing a switch output queue
+    /// (DCQCN-style RED marking).
+    EcnMark {
+        /// Switch id.
+        sw: u32,
+        /// Output port whose queue drove the mark.
+        port: u32,
+        /// Packet destination.
+        dst: u32,
+        /// Queue occupancy (flits) at marking time.
+        occupancy_flits: u32,
+    },
+    /// A destination turned an ECN-marked delivery into a CNP.
+    CnpGenerated {
+        /// Destination node generating the CNP.
+        node: u32,
+        /// Source node the CNP travels back to.
+        src: u32,
+    },
+    /// A source adapter received a CNP.
+    CnpReceived {
+        /// Receiving (source) node.
+        node: u32,
+        /// Congested destination the CNP refers to.
+        dst: u32,
+    },
+    /// INT feedback reached a source: an ACK echoed the folded per-hop
+    /// telemetry of a delivered data packet.
+    IntFeedback {
+        /// Receiving (source) node.
+        node: u32,
+        /// Destination the sample describes the path to.
+        dst: u32,
+        /// Folded max hop utilization ×1e6 (kept integral so the event
+        /// stays `Eq`-friendly and compact).
+        u_ppm: u64,
+        /// Hops that contributed to the fold.
+        hops: u8,
+    },
+    /// A DCQCN rate machine changed its current rate.
+    RateChange {
+        /// Source node.
+        node: u32,
+        /// Destination whose flow changed.
+        dst: u32,
+        /// New current rate as parts-per-million of line rate.
+        rate_ppm: u64,
+        /// True for a multiplicative cut, false for an increase stage.
+        decrease: bool,
+    },
+    /// An HPCC window machine changed its window.
+    WindowChange {
+        /// Source node.
+        node: u32,
+        /// Destination whose flow changed.
+        dst: u32,
+        /// New window in bytes.
+        window_bytes: u64,
+        /// True when the update shrank the window.
+        decrease: bool,
+    },
 }
 
 impl CcEventKind {
@@ -331,6 +400,10 @@ impl CcEventKind {
             ThrottledInjection { .. } => EventClass::THROTTLE,
             Fault { .. } | RerouteDone { .. } => EventClass::FAULT,
             Delivered { .. } => EventClass::DELIVERY,
+            EcnMark { .. } => EventClass::ECN,
+            CnpGenerated { .. } | CnpReceived { .. } => EventClass::CNP,
+            IntFeedback { .. } => EventClass::INT,
+            RateChange { .. } | WindowChange { .. } => EventClass::RATE,
         }
     }
 
@@ -362,6 +435,12 @@ impl CcEventKind {
             Fault { .. } => "fault",
             RerouteDone { .. } => "reroute_done",
             Delivered { .. } => "delivered",
+            EcnMark { .. } => "ecn_mark",
+            CnpGenerated { .. } => "cnp_generated",
+            CnpReceived { .. } => "cnp_received",
+            IntFeedback { .. } => "int_feedback",
+            RateChange { .. } => "rate_change",
+            WindowChange { .. } => "window_change",
         }
     }
 }

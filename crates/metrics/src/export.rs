@@ -119,6 +119,63 @@ fn flatten(kind: &CcEventKind) -> (u32, u32, Vec<(&'static str, u64)>) {
                 ("fecn", u64::from(fecn)),
             ],
         ),
+        EcnMark {
+            sw,
+            port,
+            dst,
+            occupancy_flits,
+        } => (
+            sw,
+            port,
+            vec![
+                ("dst", u64::from(dst)),
+                ("occupancy_flits", u64::from(occupancy_flits)),
+            ],
+        ),
+        CnpGenerated { node, src } => (NODE_PID_BASE + node, src, vec![("src", u64::from(src))]),
+        CnpReceived { node, dst } => (NODE_PID_BASE + node, dst, vec![("dst", u64::from(dst))]),
+        IntFeedback {
+            node,
+            dst,
+            u_ppm,
+            hops,
+        } => (
+            NODE_PID_BASE + node,
+            dst,
+            vec![
+                ("dst", u64::from(dst)),
+                ("u_ppm", u_ppm),
+                ("hops", u64::from(hops)),
+            ],
+        ),
+        RateChange {
+            node,
+            dst,
+            rate_ppm,
+            decrease,
+        } => (
+            NODE_PID_BASE + node,
+            dst,
+            vec![
+                ("dst", u64::from(dst)),
+                ("rate_ppm", rate_ppm),
+                ("decrease", u64::from(decrease)),
+            ],
+        ),
+        WindowChange {
+            node,
+            dst,
+            window_bytes,
+            decrease,
+        } => (
+            NODE_PID_BASE + node,
+            dst,
+            vec![
+                ("dst", u64::from(dst)),
+                ("window_bytes", window_bytes),
+                ("decrease", u64::from(decrease)),
+            ],
+        ),
     }
 }
 

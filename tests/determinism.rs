@@ -140,6 +140,35 @@ fn parallel_tick_is_bit_identical_across_thread_counts_and_batches() {
     }
 }
 
+/// The modern CC mechanisms must honour the same engine contracts as
+/// the paper set: DCQCN's probabilistic ECN marking rides the shard-
+/// owned marking RNGs, HPCC's INT window counters live on switch output
+/// ports, and CNP/ACK generation happens in the serial node-delivery
+/// phase — so serial, fast/slow and every thread count must produce
+/// byte-identical reports.
+#[test]
+fn modern_cc_is_bit_identical_across_engines_and_thread_counts() {
+    let spec = config1_case1_scaled(0.02);
+    for mech in [Mechanism::dcqcn(), Mechanism::hpcc()] {
+        let name = mech.name();
+        let slow = spec.run_with(mech.clone(), 7, cfg(true)).to_json();
+        let fast = spec.run_with(mech.clone(), 7, cfg(false)).to_json();
+        assert_eq!(
+            fast, slow,
+            "{name}: fast path diverges from the exhaustive slow path"
+        );
+        for threads in [1usize, 2, 4] {
+            let par = spec
+                .run_with(mech.clone(), 7, cfg_threads(threads))
+                .to_json();
+            assert_eq!(
+                par, slow,
+                "{name}: threads={threads} diverges from the serial engine"
+            );
+        }
+    }
+}
+
 /// The auto-fallback must (a) degrade paper-scale networks to the
 /// serial engine — their shards are far below the pay-off threshold on
 /// any host, and 1-CPU hosts degrade everything — and (b) stand down

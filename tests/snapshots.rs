@@ -55,22 +55,27 @@ fn cfg() -> SimConfig {
     }
 }
 
-/// The six mechanisms of the paper's evaluation (Fig. 7 plotting order).
-fn all_mechanisms() -> Vec<Mechanism> {
-    vec![
-        Mechanism::OneQ,
-        Mechanism::VoqSw,
-        Mechanism::voqnet(),
-        Mechanism::ith(),
-        Mechanism::fbicm(),
-        Mechanism::ccfit(),
-    ]
-}
-
 #[test]
 fn config1_case1_reports_match_golden_snapshots() {
     let spec = config1_case1_scaled(0.02);
-    for mech in all_mechanisms() {
+    for mech in Mechanism::paper_set() {
+        let file = format!(
+            "config1_case1_{}.json",
+            mech.name().to_ascii_lowercase().replace('/', "_")
+        );
+        let report = spec.run_with(mech, 7, cfg());
+        check_snapshot(&file, &report.to_json());
+    }
+}
+
+/// The modern mechanisms (DCQCN, HPCC) are pinned the same way: the
+/// full serialized report — including the ECN/CNP/INT counters and the
+/// wire-byte accounting — freezes the closed-loop behaviour of the new
+/// congestion-control subsystem.
+#[test]
+fn config1_case1_modern_cc_reports_match_golden_snapshots() {
+    let spec = config1_case1_scaled(0.02);
+    for mech in Mechanism::modern_set() {
         let file = format!(
             "config1_case1_{}.json",
             mech.name().to_ascii_lowercase().replace('/', "_")
