@@ -32,7 +32,10 @@
 //! Run with `cargo run --release --bin engine_bench`.
 
 use ccfit::experiment::{config1_case1_scaled, ExperimentSpec};
-use ccfit::{EventClass, EventConfig, Mechanism, SimConfig};
+use ccfit::{
+    ActiveSetStats, EventClass, EventConfig, Mechanism, PhaseProfile, SimConfig, PHASE_NAMES,
+};
+use ccfit_bench::harness::mechanisms_from_args;
 use ccfit_engine::ids::NodeId;
 use ccfit_topology::{config1_topology, KAryNTree, LinkParams, RoutingTable};
 use ccfit_traffic::{uniform_all, FlowSpec, TrafficPattern};
@@ -43,8 +46,8 @@ use std::time::Instant;
 struct ScenarioResult {
     scenario: String,
     simulated_cycles: u64,
-    /// Serial wall time with `force_slow_path` (null for the scale
-    /// scenario, which is too large to run de-optimized).
+    /// Serial wall time with `force_slow_path` (single rep for the
+    /// scale scenario, which is expensive de-optimized).
     slow_wall_s: Option<f64>,
     fast_wall_s: f64,
     slow_cycles_per_sec: Option<f64>,
@@ -76,7 +79,46 @@ struct ScenarioResult {
     traced_cycles_per_sec: Option<f64>,
     /// Percent throughput lost to full tracing vs the fast serial run.
     tracing_overhead_pct: Option<f64>,
+    /// Mean switches on the sparse scheduler's per-cycle work-list
+    /// during the fast serial run (null when the sparse path was off).
+    active_avg_switches: Option<f64>,
+    /// Peak of the same work-list.
+    active_max_switches: Option<u32>,
+    /// Mean adapters on the per-cycle work-list.
+    active_avg_adapters: Option<f64>,
+    /// Peak adapters on the per-cycle work-list.
+    active_max_adapters: Option<u32>,
+    /// Mean links on the per-cycle work-list.
+    active_avg_links: Option<f64>,
+    /// Peak links on the per-cycle work-list.
+    active_max_links: Option<u32>,
 }
+
+/// The occupancy fields for a `ScenarioResult`, from the fast serial
+/// run's [`ActiveSetStats`] (all-null for dense/slow runs, which record
+/// no ticks).
+fn occupancy(stats: &ActiveSetStats) -> ActiveSetFields {
+    if stats.ticks == 0 {
+        return (None, None, None, None, None, None);
+    }
+    (
+        Some(stats.avg_switches()),
+        Some(stats.sw_max),
+        Some(stats.avg_adapters()),
+        Some(stats.node_max),
+        Some(stats.avg_links()),
+        Some(stats.link_max),
+    )
+}
+
+type ActiveSetFields = (
+    Option<f64>,
+    Option<u32>,
+    Option<f64>,
+    Option<u32>,
+    Option<f64>,
+    Option<u32>,
+);
 
 #[derive(Serialize)]
 struct BenchDoc {
@@ -132,28 +174,65 @@ fn cfg(force_slow_path: bool, threads: usize) -> SimConfig {
     c
 }
 
-/// Best-of-`reps` wall time and the (identical every run) cycle count.
+/// Best-of-`reps` wall time, the (identical every run) cycle count, and
+/// the sparse scheduler's active-set occupancy (zero-ticks for dense
+/// runs). Assembly is inside the timed region, matching what a caller
+/// of `run_with` pays.
 fn time_run_n(
     spec: &ExperimentSpec,
+    mech: &Mechanism,
     force_slow_path: bool,
     threads: usize,
     reps: usize,
-) -> (f64, u64) {
+) -> (f64, u64, ActiveSetStats) {
     let mut best = f64::INFINITY;
     let mut cycles = 0;
+    let mut stats = ActiveSetStats::default();
     for _ in 0..reps {
         let t0 = Instant::now();
-        let report = spec.run_with(Mechanism::ccfit(), 1, cfg(force_slow_path, threads));
+        let mut sim = spec.build_sim(mech.clone(), 1, cfg(force_slow_path, threads));
+        sim.run_to_end();
         let wall = t0.elapsed().as_secs_f64();
         best = best.min(wall);
-        cycles = report.simulated_cycles;
+        stats = sim.active_set_stats();
+        cycles = sim.finish().simulated_cycles;
     }
-    (best, cycles)
+    (best, cycles, stats)
 }
 
 /// Best-of-`REPS` wall time and the (identical every run) cycle count.
-fn time_run(spec: &ExperimentSpec, force_slow_path: bool, threads: usize) -> (f64, u64) {
-    time_run_n(spec, force_slow_path, threads, REPS)
+fn time_run(
+    spec: &ExperimentSpec,
+    mech: &Mechanism,
+    force_slow_path: bool,
+    threads: usize,
+) -> (f64, u64, ActiveSetStats) {
+    time_run_n(spec, mech, force_slow_path, threads, REPS)
+}
+
+/// One serial run with the per-phase wall-time profiler on, printed as
+/// a breakdown table (`--profile`).
+fn profile_run(spec: &ExperimentSpec, mech: &Mechanism) {
+    let mut prof = PhaseProfile::default();
+    let mut sim = spec.build_sim(mech.clone(), 1, cfg(false, 1));
+    while sim.now() < sim.end_cycle() {
+        sim.tick_profiled(&mut prof);
+    }
+    let total: u64 = prof.nanos.iter().sum();
+    println!(
+        "{:<17} per-phase breakdown over {} ticks ({:.3}s in phases):",
+        spec.name,
+        prof.ticks,
+        total as f64 / 1e9
+    );
+    for (name, ns) in PHASE_NAMES.iter().zip(prof.nanos) {
+        println!(
+            "  {:<16} {:>10.3} ms  {:>5.1}%",
+            name,
+            ns as f64 / 1e6,
+            ns as f64 / total.max(1) as f64 * 100.0
+        );
+    }
 }
 
 /// A `VmHWM:`/`VmRSS:`-style line from `/proc/self/status`, in bytes.
@@ -186,7 +265,7 @@ fn scale_16ary3(duration_ns: f64) -> ExperimentSpec {
 
 /// Best-of-`REPS` wall time with every observability channel on, plus a
 /// correctness gate: tracing may observe the run but never change it.
-fn time_traced(spec: &ExperimentSpec) -> f64 {
+fn time_traced(spec: &ExperimentSpec, mech: &Mechanism) -> f64 {
     let mut c = cfg(false, 1);
     c.events = Some(EventConfig {
         classes: EventClass::ALL,
@@ -196,11 +275,11 @@ fn time_traced(spec: &ExperimentSpec) -> f64 {
     c.trace_sample_every = Some(1);
     c.port_telemetry = true;
 
-    let untraced = spec.run_with(Mechanism::ccfit(), 1, cfg(false, 1));
+    let untraced = spec.run_with(mech.clone(), 1, cfg(false, 1));
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
         let t0 = Instant::now();
-        let report = spec.run_with(Mechanism::ccfit(), 1, c.clone());
+        let report = spec.run_with(mech.clone(), 1, c.clone());
         best = best.min(t0.elapsed().as_secs_f64());
         let log = report.events.as_ref().expect("events enabled");
         assert_eq!(log.dropped_cap, 0, "{}: event cap truncated", spec.name);
@@ -236,14 +315,30 @@ fn main() {
         .unwrap_or(4);
     let trace = args.iter().any(|a| a == "--trace");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let profile = args.iter().any(|a| a == "--profile");
+    // CI floor on the quiet-dominated scale scenario's fast-serial
+    // throughput: the sparse scheduler must keep it above this.
+    let min_quiet_cps: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-quiet-cps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    // `--mech <name>` benches a different registered mechanism; the
+    // engine bench measures one engine at a time.
+    let mechs = mechanisms_from_args(&args, vec![Mechanism::ccfit()]);
+    if mechs.len() != 1 {
+        eprintln!("engine_bench benches one mechanism at a time; got {mechs:?}");
+        std::process::exit(2);
+    }
+    let mech = &mechs[0];
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
     let mut entries = Vec::new();
     for (spec, bench_parallel) in [(idle_heavy(), false), (congestion_heavy(), true)] {
-        let (slow_s, slow_cycles) = time_run(&spec, true, 1);
-        let (fast_s, fast_cycles) = time_run(&spec, false, 1);
+        let (slow_s, slow_cycles, _) = time_run(&spec, mech, true, 1);
+        let (fast_s, fast_cycles, act) = time_run(&spec, mech, false, 1);
         assert_eq!(
             slow_cycles, fast_cycles,
             "{}: fast and slow paths simulated different cycle counts",
@@ -256,13 +351,15 @@ fn main() {
             "{:<17} {:>9} cycles | slow {:>12.0} cyc/s | fast {:>12.0} cyc/s | {:.2}x",
             spec.name, slow_cycles, slow_cps, fast_cps, speedup
         );
+        if profile {
+            profile_run(&spec, mech);
+        }
         // The parallel engine only pays off where per-cycle work
         // dominates; the idle-heavy scenario is a fast-forward benchmark
         // and stays serial.
-        let decision =
-            bench_parallel.then(|| spec.engine_decision(&Mechanism::ccfit(), &cfg(false, threads)));
+        let decision = bench_parallel.then(|| spec.engine_decision(mech, &cfg(false, threads)));
         let (par_s, par_cycles) = if bench_parallel {
-            let (s, c) = time_run(&spec, false, threads);
+            let (s, c, _) = time_run(&spec, mech, false, threads);
             assert_eq!(
                 c, fast_cycles,
                 "{}: parallel engine simulated a different cycle count",
@@ -290,7 +387,7 @@ fn main() {
         }
         // The tracing-overhead leg rides the congestion-heavy scenario:
         // a busy network is where event emission is most frequent.
-        let traced_s = (trace && bench_parallel).then(|| time_traced(&spec));
+        let traced_s = (trace && bench_parallel).then(|| time_traced(&spec, mech));
         let traced_cps = traced_s.map(|s| fast_cycles as f64 / s.max(1e-12));
         if let (Some(s), Some(cps)) = (traced_s, traced_cps) {
             println!(
@@ -322,6 +419,12 @@ fn main() {
             traced_wall_s: traced_s,
             traced_cycles_per_sec: traced_cps,
             tracing_overhead_pct: traced_s.map(|s| (1.0 - fast_s.min(s) / s.max(1e-12)) * 100.0),
+            active_avg_switches: occupancy(&act).0,
+            active_max_switches: occupancy(&act).1,
+            active_avg_adapters: occupancy(&act).2,
+            active_max_adapters: occupancy(&act).3,
+            active_avg_links: occupancy(&act).4,
+            active_max_links: occupancy(&act).5,
         });
     }
 
@@ -331,10 +434,26 @@ fn main() {
     // reps are expensive and run-to-run noise is comparatively small.
     let (dur_ns, reps) = if smoke { (0.1e6, 1) } else { (0.5e6, 2) };
     let spec = scale_16ary3(dur_ns);
-    let (serial_s, serial_cycles) = time_run_n(&spec, false, 1, reps);
+    let (serial_s, serial_cycles, act) = time_run_n(&spec, mech, false, 1, reps);
     let serial_cps = serial_cycles as f64 / serial_s.max(1e-12);
-    let decision = spec.engine_decision(&Mechanism::ccfit(), &cfg(false, threads));
-    let (par_s, par_cycles) = time_run_n(&spec, false, threads, reps);
+    // The de-optimized leg runs a much shorter slice of the same
+    // scenario: `force_slow_path` at 4096 nodes is ~2 orders of
+    // magnitude slower, and cycles/sec is a rate, so a few hundred
+    // cycles anchor the speedup without a half-hour bench leg. One rep
+    // for the same reason.
+    let slow_spec = scale_16ary3(if smoke { 0.005e6 } else { 0.02e6 });
+    let (slow_s, slow_cycles, _) = time_run_n(&slow_spec, mech, true, 1, 1);
+    let slow_cps = slow_cycles as f64 / slow_s.max(1e-12);
+    let speedup = serial_cps / slow_cps;
+    println!(
+        "{:<17} {:>9} cycles | slow {:>12.0} cyc/s | fast {:>12.0} cyc/s | {:.2}x",
+        spec.name, slow_cycles, slow_cps, serial_cps, speedup
+    );
+    if profile {
+        profile_run(&spec, mech);
+    }
+    let decision = spec.engine_decision(mech, &cfg(false, threads));
+    let (par_s, par_cycles, _) = time_run_n(&spec, mech, false, threads, reps);
     assert_eq!(
         par_cycles, serial_cycles,
         "scale-16ary3: parallel engine simulated a different cycle count"
@@ -377,14 +496,27 @@ fn main() {
             decision.effective_threads,
         );
     }
+    // CI floor (`--min-quiet-cps`): catch a sparse-scheduler regression
+    // that re-couples per-cycle cost to network size.
+    if let Some(floor) = min_quiet_cps {
+        assert!(
+            serial_cps >= floor,
+            "scale-16ary3: fast serial throughput {serial_cps:.0} cyc/s fell below the \
+             pinned floor {floor:.0} cyc/s"
+        );
+        println!(
+            "{:<17} fast serial {:.0} cyc/s >= floor {:.0} cyc/s",
+            spec.name, serial_cps, floor
+        );
+    }
     entries.push(ScenarioResult {
         scenario: spec.name.clone(),
         simulated_cycles: serial_cycles,
-        slow_wall_s: None,
+        slow_wall_s: Some(slow_s),
         fast_wall_s: serial_s,
-        slow_cycles_per_sec: None,
+        slow_cycles_per_sec: Some(slow_cps),
         fast_cycles_per_sec: serial_cps,
-        speedup: None,
+        speedup: Some(speedup),
         threads: Some(threads),
         effective_threads: Some(decision.effective_threads),
         fallback: decision.fallback.map(|r| r.as_str().to_string()),
@@ -396,10 +528,16 @@ fn main() {
         traced_wall_s: None,
         traced_cycles_per_sec: None,
         tracing_overhead_pct: None,
+        active_avg_switches: occupancy(&act).0,
+        active_max_switches: occupancy(&act).1,
+        active_avg_adapters: occupancy(&act).2,
+        active_max_adapters: occupancy(&act).3,
+        active_avg_links: occupancy(&act).4,
+        active_max_links: occupancy(&act).5,
     });
     let doc = BenchDoc {
         bench: "engine".into(),
-        mechanism: "CCFIT".into(),
+        mechanism: mech.name().to_string(),
         reps_best_of: REPS,
         host_cpus,
         scenarios: entries,

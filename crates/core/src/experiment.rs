@@ -53,7 +53,15 @@ impl ExperimentSpec {
     }
 
     /// Run with a custom [`SimConfig`] (tests shrink bins/durations).
-    pub fn run_with(&self, mech: Mechanism, seed: u64, mut cfg: SimConfig) -> SimReport {
+    pub fn run_with(&self, mech: Mechanism, seed: u64, cfg: SimConfig) -> SimReport {
+        self.build_sim(mech, seed, cfg).run()
+    }
+
+    /// Assemble the simulator without running it, so callers that need
+    /// mid-run access — the bench harness's per-phase profiler and
+    /// active-set occupancy counters — can drive the tick loop
+    /// themselves.
+    pub fn build_sim(&self, mech: Mechanism, seed: u64, mut cfg: SimConfig) -> crate::Simulator {
         cfg.duration_ns = self.duration_ns;
         cfg.crossbar_bw_flits_per_cycle = self.crossbar_bw_flits_per_cycle;
         SimBuilder::new(self.topology.clone())
@@ -63,7 +71,6 @@ impl ExperimentSpec {
             .config(cfg)
             .seed(seed)
             .build()
-            .run()
     }
 
     /// Run with a dynamic network-event schedule on top of the workload

@@ -57,7 +57,9 @@ pub use params::{
     CongestionControl, DcqcnParams, DetectionPolicy, FeedbackPolicy, HpccParams, IsolationParams,
     Mechanism, QueueingScheme, ReactionPolicy, ThrottleParams,
 };
-pub use simulator::{BecnTransport, SimBuilder, SimConfig, Simulator};
+pub use simulator::{
+    ActiveSetStats, BecnTransport, PhaseProfile, SimBuilder, SimConfig, Simulator, PHASE_NAMES,
+};
 pub use trace::{PacketTrace, TraceLog};
 
 // Re-export the companion crates so downstream users need a single

@@ -273,6 +273,13 @@ pub(crate) struct ShardPlan {
     /// is one of the shard's switches, ascending by link index — the
     /// serial engine's per-switch delivery order.
     pub(crate) deliver_links: Vec<Vec<(u32, u32, u32)>>,
+    /// Shard owning each link's receiving switch (`u32::MAX` for
+    /// node-bound links, which stay serial). The sparse `Deliver` walks
+    /// the active-link list and keeps only its own links.
+    pub(crate) link_owner: Vec<u32>,
+    /// `(switch, port)` each switch-bound link delivers into (zeros for
+    /// node-bound links; never read for them).
+    pub(crate) link_sw_port: Vec<(u32, u32)>,
 }
 
 /// Split `weights` into `parts` contiguous ranges whose weight sums are
@@ -339,9 +346,14 @@ impl ShardPlan {
                 .expect("every switch is in exactly one shard")
         };
         let mut deliver_links = vec![Vec::new(); shards];
+        let mut link_owner = vec![u32::MAX; link_sw_dst.len()];
+        let mut link_sw_port = vec![(0u32, 0u32); link_sw_dst.len()];
         for (li, dst) in link_sw_dst.iter().enumerate() {
             if let Some((s, p)) = *dst {
-                deliver_links[shard_of_switch(s as usize)].push((li as u32, s, p));
+                let shard = shard_of_switch(s as usize);
+                deliver_links[shard].push((li as u32, s, p));
+                link_owner[li] = shard as u32;
+                link_sw_port[li] = (s, p);
             }
         }
         Self {
@@ -349,6 +361,8 @@ impl ShardPlan {
             switch_ranges,
             adapter_ranges,
             deliver_links,
+            link_owner,
+            link_sw_port,
         }
     }
 }
@@ -374,6 +388,9 @@ pub(crate) struct ShardOutbox {
     /// order (a packet makes at most one hop per cycle, so per-packet
     /// hop order is cycle order regardless of the shard layout).
     pub(crate) trace_hops: Vec<(PacketId, SwitchId, Cycle)>,
+    /// Sparse engine: switches this shard's `Deliver` drained a link
+    /// into, for the coordinator to fold into the active-switch set.
+    pub(crate) activated: Vec<u32>,
     /// Per-shard delivery drain scratch (no cross-tick state).
     deliveries: Vec<Delivery>,
     /// Per-shard arbitration release scratch.
@@ -417,6 +434,21 @@ pub(crate) struct TickCtx {
     /// — lets the Deliver phase apply the serial engine's sampling
     /// filter without touching the central `TraceLog`.
     pub(crate) trace_sample: u64,
+    /// Sparse scheduler in force: workers iterate their subrange of the
+    /// sorted member lists below instead of their whole shard range.
+    pub(crate) sparse: bool,
+    /// Sorted members of the simulator's active/ctrl sets, as
+    /// `(ptr, len)` (stable for the section: the coordinator rebuilds
+    /// the ctx after any mutation of a set).
+    pub(crate) act_links: (*const u32, usize),
+    pub(crate) act_sw: (*const u32, usize),
+    pub(crate) ctrl_sw: (*const u32, usize),
+    pub(crate) ctrl_nodes: (*const u32, usize),
+    pub(crate) act_nodes: (*const u32, usize),
+    /// SoA port-occupancy mirror (maintained by `Deliver` for the
+    /// shard's own switches — element-disjoint like the switches).
+    pub(crate) port_base: *const u32,
+    pub(crate) port_occ: *mut u32,
 }
 
 // SAFETY: the pointers are only dereferenced inside `run_shard`, whose
@@ -442,6 +474,69 @@ impl TickCtx {
     }
 }
 
+/// View a `(ptr, len)` member list captured in a [`TickCtx`].
+///
+/// # Safety
+/// The pointer must be live for the section (the coordinator rebuilds
+/// the ctx after any mutation of the underlying set).
+unsafe fn members<'a>(p: (*const u32, usize)) -> &'a [u32] {
+    std::slice::from_raw_parts(p.0, p.1)
+}
+
+/// The subrange of a sorted member list whose indices fall in `r` —
+/// shard `w`'s slice of an active set.
+fn range_members<'a>(m: &'a [u32], r: &Range<usize>) -> &'a [u32] {
+    let lo = m.partition_point(|&x| (x as usize) < r.start);
+    let hi = m.partition_point(|&x| (x as usize) < r.end);
+    &m[lo..hi]
+}
+
+/// Drain one switch-bound link into its receiving switch — the shared
+/// body of the dense and sparse `Deliver` iterations.
+///
+/// # Safety
+/// Same contract as [`run_shard`]; the switch in `sp` must belong to
+/// the calling shard's switch range.
+unsafe fn deliver_link(
+    ctx: &TickCtx,
+    links: &mut LinkSlice<'_>,
+    ob: &mut ShardOutbox,
+    scratch: &mut Vec<Delivery>,
+    voqnet: Option<&VoqNetCredits>,
+    li: usize,
+    (s, p): (u32, u32),
+) {
+    let now = ctx.now;
+    scratch.clear();
+    links[li].deliver_into(now, scratch);
+    let sw = &mut *ctx.switches.add(s as usize);
+    for d in scratch.drain(..) {
+        // Fault guard: consume stragglers the routing in
+        // force cannot deliver (see the serial phase 3).
+        if ctx.faults.is_some() && ctx.arrival_is_undeliverable(s, d.packet.dst.0) {
+            if d.packet.is_data() {
+                ob.purged_data += 1;
+            } else {
+                ob.purged_ctrl += 1;
+            }
+            links[li].return_credits(d.ready_at, d.packet.size_flits);
+            if let Some(vn) = voqnet {
+                vn.add(li as u32, d.packet.dst.0, d.packet.size_flits);
+            }
+            continue;
+        }
+        if ctx.trace_sample != 0
+            && d.packet.is_data()
+            && d.packet.id.0.is_multiple_of(ctx.trace_sample)
+        {
+            ob.trace_hops.push((d.packet.id, SwitchId(s), d.visible_at));
+        }
+        *ctx.port_occ
+            .add((*ctx.port_base.add(s as usize) + p) as usize) += d.packet.size_flits;
+        sw.accept_delivery(p as usize, d, &*ctx.routing);
+    }
+}
+
 /// Run shard `w`'s slice of `phase`.
 ///
 /// # Safety
@@ -457,36 +552,25 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
         PhaseKind::Deliver => {
             let ob = &mut *ctx.outboxes.add(w);
             let mut scratch = std::mem::take(&mut ob.deliveries);
-            for &(li, s, p) in &plan.deliver_links[w] {
-                let li = li as usize;
-                if !links[li].has_delivery(now) {
-                    continue;
-                }
-                scratch.clear();
-                links[li].deliver_into(now, &mut scratch);
-                let sw = &mut *ctx.switches.add(s as usize);
-                for d in scratch.drain(..) {
-                    // Fault guard: consume stragglers the routing in
-                    // force cannot deliver (see the serial phase 3).
-                    if ctx.faults.is_some() && ctx.arrival_is_undeliverable(s, d.packet.dst.0) {
-                        if d.packet.is_data() {
-                            ob.purged_data += 1;
-                        } else {
-                            ob.purged_ctrl += 1;
-                        }
-                        links[li].return_credits(d.ready_at, d.packet.size_flits);
-                        if let Some(vn) = voqnet {
-                            vn.add(li as u32, d.packet.dst.0, d.packet.size_flits);
-                        }
+            if ctx.sparse {
+                // Walk the active links, keeping this shard's. Receiving
+                // switches are reported for the coordinator to activate.
+                for &li32 in members(ctx.act_links) {
+                    let li = li32 as usize;
+                    if plan.link_owner[li] != w as u32 || !links[li].has_delivery(now) {
                         continue;
                     }
-                    if ctx.trace_sample != 0
-                        && d.packet.is_data()
-                        && d.packet.id.0.is_multiple_of(ctx.trace_sample)
-                    {
-                        ob.trace_hops.push((d.packet.id, SwitchId(s), d.visible_at));
+                    let (s, p) = plan.link_sw_port[li];
+                    ob.activated.push(s);
+                    deliver_link(ctx, &mut links, ob, &mut scratch, voqnet, li, (s, p));
+                }
+            } else {
+                for &(li, s, p) in &plan.deliver_links[w] {
+                    let li = li as usize;
+                    if !links[li].has_delivery(now) {
+                        continue;
                     }
-                    sw.accept_delivery(p as usize, d, &*ctx.routing);
+                    deliver_link(ctx, &mut links, ob, &mut scratch, voqnet, li, (s, p));
                 }
             }
             ob.deliveries = scratch;
@@ -494,8 +578,22 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
         PhaseKind::Ctrl => {
             {
                 let ob = &mut *ctx.outboxes.add(w);
-                for s in plan.switch_ranges[w].clone() {
-                    (*ctx.switches.add(s)).poll_output_ctrl_ls(now, &mut links, &mut ob.metrics);
+                if ctx.sparse {
+                    for &s in range_members(members(ctx.ctrl_sw), &plan.switch_ranges[w]) {
+                        (*ctx.switches.add(s as usize)).poll_output_ctrl_ls(
+                            now,
+                            &mut links,
+                            &mut ob.metrics,
+                        );
+                    }
+                } else {
+                    for s in plan.switch_ranges[w].clone() {
+                        (*ctx.switches.add(s)).poll_output_ctrl_ls(
+                            now,
+                            &mut links,
+                            &mut ob.metrics,
+                        );
+                    }
                 }
                 // Segment boundary: Ctrl/Iso/CstArb run back-to-back with
                 // no merge in between, so the coordinator replays this
@@ -505,19 +603,41 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
             }
             {
                 let ob = &mut *ctx.outboxes.add(plan.shards + w);
-                for a in plan.adapter_ranges[w].clone() {
-                    (*ctx.adapters.add(a)).poll_ctrl_ls(now, &mut links, &mut ob.metrics);
+                if ctx.sparse {
+                    for &a in range_members(members(ctx.ctrl_nodes), &plan.adapter_ranges[w]) {
+                        (*ctx.adapters.add(a as usize)).poll_ctrl_ls(
+                            now,
+                            &mut links,
+                            &mut ob.metrics,
+                        );
+                    }
+                } else {
+                    for a in plan.adapter_ranges[w].clone() {
+                        (*ctx.adapters.add(a)).poll_ctrl_ls(now, &mut links, &mut ob.metrics);
+                    }
                 }
             }
         }
         PhaseKind::Iso => {
             let ob = &mut *ctx.outboxes.add(w);
-            for s in plan.switch_ranges[w].clone() {
-                let sw = &mut *ctx.switches.add(s);
-                let run = !ctx.fast || !sw.is_quiescent();
-                *ctx.p5_ran.add(s) = run;
-                if run {
-                    sw.isolation_tick_ls(now, &*ctx.routing, &mut links, &mut ob.metrics);
+            if ctx.sparse {
+                for &s in range_members(members(ctx.act_sw), &plan.switch_ranges[w]) {
+                    let s = s as usize;
+                    let sw = &mut *ctx.switches.add(s);
+                    let run = !sw.is_quiescent();
+                    *ctx.p5_ran.add(s) = run;
+                    if run {
+                        sw.isolation_tick_ls(now, &*ctx.routing, &mut links, &mut ob.metrics);
+                    }
+                }
+            } else {
+                for s in plan.switch_ranges[w].clone() {
+                    let sw = &mut *ctx.switches.add(s);
+                    let run = !ctx.fast || !sw.is_quiescent();
+                    *ctx.p5_ran.add(s) = run;
+                    if run {
+                        sw.isolation_tick_ls(now, &*ctx.routing, &mut links, &mut ob.metrics);
+                    }
                 }
             }
             ob.metrics.mark();
@@ -525,41 +645,84 @@ pub(crate) unsafe fn run_shard(phase: PhaseKind, ctx: &TickCtx, w: usize) {
         PhaseKind::CstArb => {
             let ob = &mut *ctx.outboxes.add(w);
             let mut rel = std::mem::take(&mut ob.rel_scratch);
-            for s in plan.switch_ranges[w].clone() {
-                let sw = &mut *ctx.switches.add(s);
-                if *ctx.p5_ran.add(s) {
-                    sw.congestion_state_tick_ls(now, &links, &mut ob.metrics);
+            if ctx.sparse {
+                for &s in range_members(members(ctx.act_sw), &plan.switch_ranges[w]) {
+                    cst_arb_one(ctx, &mut links, ob, &mut rel, voqnet, s as usize, true);
                 }
-                if ctx.fast && !sw.has_buffered() {
-                    continue;
-                }
-                rel.clear();
-                sw.arbitrate_and_transmit_ls(
-                    now,
-                    &*ctx.routing,
-                    &mut links,
-                    voqnet,
-                    &mut ob.metrics,
-                    &mut rel,
-                );
-                for r in rel.drain(..) {
-                    ob.releases.push((s as u32, r));
+            } else {
+                for s in plan.switch_ranges[w].clone() {
+                    cst_arb_one(ctx, &mut links, ob, &mut rel, voqnet, s, ctx.fast);
                 }
             }
             ob.rel_scratch = rel;
         }
         PhaseKind::AdapterTick => {
             let ob = &mut *ctx.outboxes.add(plan.shards + w);
-            for a in plan.adapter_ranges[w].clone() {
-                let ad = &mut *ctx.adapters.add(a);
-                if ctx.fast && ad.is_quiet() && ad.armed_timer_count() == 0 {
-                    continue;
+            if ctx.sparse {
+                for &a in range_members(members(ctx.act_nodes), &plan.adapter_ranges[w]) {
+                    adapter_tick_one(ctx, &mut links, ob, voqnet, a as usize, true);
                 }
-                if let Some(r) = ad.tick_ls(now, &mut links, voqnet, &mut ob.metrics) {
-                    ob.adapter_releases.push((a as u32, r));
+            } else {
+                for a in plan.adapter_ranges[w].clone() {
+                    adapter_tick_one(ctx, &mut links, ob, voqnet, a, ctx.fast);
                 }
             }
         }
+    }
+}
+
+/// Congestion-state refresh + arbitration for one switch (shared body of
+/// the dense and sparse `CstArb` iterations). `arb_gate` applies the
+/// has-buffered skip (always on for sparse members, `ctx.fast` dense).
+///
+/// # Safety
+/// Same contract as [`run_shard`]; `s` must belong to the calling
+/// shard's switch range.
+unsafe fn cst_arb_one(
+    ctx: &TickCtx,
+    links: &mut LinkSlice<'_>,
+    ob: &mut ShardOutbox,
+    rel: &mut Vec<PendingRelease>,
+    voqnet: Option<&VoqNetCredits>,
+    s: usize,
+    arb_gate: bool,
+) {
+    let now = ctx.now;
+    let sw = &mut *ctx.switches.add(s);
+    if *ctx.p5_ran.add(s) {
+        sw.congestion_state_tick_ls(now, links, &mut ob.metrics);
+    }
+    if arb_gate && !sw.has_buffered() {
+        return;
+    }
+    rel.clear();
+    sw.arbitrate_and_transmit_ls(now, &*ctx.routing, links, voqnet, &mut ob.metrics, rel);
+    for r in rel.drain(..) {
+        ob.releases.push((s as u32, r));
+    }
+}
+
+/// Output work for one adapter (shared body of the dense and sparse
+/// `AdapterTick` iterations). `gate` applies the quiet-and-unarmed skip
+/// (always on for sparse members, `ctx.fast` dense).
+///
+/// # Safety
+/// Same contract as [`run_shard`]; `a` must belong to the calling
+/// shard's adapter range.
+unsafe fn adapter_tick_one(
+    ctx: &TickCtx,
+    links: &mut LinkSlice<'_>,
+    ob: &mut ShardOutbox,
+    voqnet: Option<&VoqNetCredits>,
+    a: usize,
+    gate: bool,
+) {
+    let ad = &mut *ctx.adapters.add(a);
+    if gate && ad.is_quiet() && ad.armed_timer_count() == 0 {
+        return;
+    }
+    if let Some(r) = ad.tick_ls(ctx.now, links, voqnet, &mut ob.metrics) {
+        ob.adapter_releases.push((a as u32, r));
     }
 }
 

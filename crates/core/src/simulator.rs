@@ -78,7 +78,16 @@ pub struct SimConfig {
     /// forcing the original exhaustive per-cycle iteration. Results are
     /// bit-identical either way (the determinism test enforces it); this
     /// exists as the baseline for the perf harness and as an escape hatch.
+    /// Also disables the sparse scheduler (it subsumes `sparse: false`).
     pub force_slow_path: bool,
+    /// Sparse activity-driven scheduling (DESIGN.md §12): phase loops
+    /// iterate per-cycle work-lists of active switches/adapters/links
+    /// maintained by the events that can make a component act, instead
+    /// of scanning the whole network in array order. On by default;
+    /// results are byte-identical with it off (`false` keeps the dense
+    /// iteration with the same per-component skip gates). Ignored when
+    /// `force_slow_path` is set.
+    pub sparse: bool,
     /// Sharded parallel-tick configuration (DESIGN.md §9). With
     /// `threads > 1`, [`Simulator::run`] ticks the network on a worker
     /// pool; results are byte-identical to the serial engine for every
@@ -113,6 +122,7 @@ impl Default for SimConfig {
             becn_transport: BecnTransport::InBand,
             trace_sample_every: None,
             force_slow_path: false,
+            sparse: true,
             parallel: ParallelConfig::default(),
             events: None,
             port_telemetry: false,
@@ -424,6 +434,15 @@ impl SimBuilder {
         self
     }
 
+    /// Toggle the sparse activity-driven scheduler (see
+    /// [`SimConfig::sparse`]). On by default; `false` restores the dense
+    /// per-cycle iteration with the same per-component skip gates.
+    /// Results are byte-identical either way.
+    pub fn sparse(mut self, on: bool) -> Self {
+        self.cfg.sparse = on;
+        self
+    }
+
     /// Record structured CC events with the given configuration
     /// (classes, sampling stride, ring capacity). See
     /// [`SimConfig::events`].
@@ -579,6 +598,109 @@ fn warn_fallback_once(d: &EngineDecision) {
     }
 }
 
+/// Who sends on a directed link. The reverse control channel of a link
+/// is consumed by its *sender* (Stop/Go/alloc events travel upstream),
+/// so the sparse phase-4 ctrl consumers are derived from this map.
+#[derive(Debug, Clone, Copy)]
+enum LinkSrc {
+    Switch(u32),
+    Node(u32),
+}
+
+/// Per-phase wall-time breakdown, accumulated by
+/// [`Simulator::tick_profiled`] (the `engine_bench --profile` output).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseProfile {
+    /// Nanoseconds spent per phase, indexed like [`PHASE_NAMES`].
+    pub nanos: [u64; 10],
+    /// Ticks accumulated into this profile.
+    pub ticks: u64,
+}
+
+/// Names of the [`PhaseProfile::nanos`] slots, in phase order.
+pub const PHASE_NAMES: [&str; 10] = [
+    "faults",
+    "releases",
+    "credits",
+    "deliver",
+    "ctrl",
+    "iso+congestion",
+    "arbitration",
+    "becn",
+    "nodes",
+    "gauges+advance",
+];
+
+/// Timer helper for [`PhaseProfile`]: a no-op (one predictable branch
+/// per lap) when profiling is off, so `tick()` pays nothing for it.
+struct PhaseTimer(Option<std::time::Instant>);
+
+impl PhaseTimer {
+    fn start(on: bool) -> Self {
+        Self(on.then(std::time::Instant::now))
+    }
+
+    #[inline]
+    fn lap(&mut self, prof: &mut Option<&mut PhaseProfile>, idx: usize) {
+        if let Some(t0) = self.0.as_mut() {
+            let t1 = std::time::Instant::now();
+            if let Some(p) = prof.as_mut() {
+                p.nanos[idx] += t1.duration_since(*t0).as_nanos() as u64;
+            }
+            *t0 = t1;
+        }
+    }
+}
+
+/// Active-set occupancy statistics (sparse scheduler only): how many
+/// switches / adapters / links were on the per-cycle work-lists, summed
+/// and maxed over ticks. Surfaced in `BENCH_engine.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActiveSetStats {
+    /// Ticks recorded.
+    pub ticks: u64,
+    /// Sum over ticks of active-switch counts.
+    pub sw_sum: u64,
+    /// Max over ticks of active-switch counts.
+    pub sw_max: u32,
+    /// Sum over ticks of active-adapter counts.
+    pub node_sum: u64,
+    /// Max over ticks of active-adapter counts.
+    pub node_max: u32,
+    /// Sum over ticks of active-link counts.
+    pub link_sum: u64,
+    /// Max over ticks of active-link counts.
+    pub link_max: u32,
+}
+
+impl ActiveSetStats {
+    #[inline]
+    fn record(&mut self, sw: usize, nodes: usize, links: usize) {
+        self.ticks += 1;
+        self.sw_sum += sw as u64;
+        self.sw_max = self.sw_max.max(sw as u32);
+        self.node_sum += nodes as u64;
+        self.node_max = self.node_max.max(nodes as u32);
+        self.link_sum += links as u64;
+        self.link_max = self.link_max.max(links as u32);
+    }
+
+    /// Mean active switches per recorded tick.
+    pub fn avg_switches(&self) -> f64 {
+        self.sw_sum as f64 / (self.ticks.max(1)) as f64
+    }
+
+    /// Mean active adapters per recorded tick.
+    pub fn avg_adapters(&self) -> f64 {
+        self.node_sum as f64 / (self.ticks.max(1)) as f64
+    }
+
+    /// Mean active links per recorded tick.
+    pub fn avg_links(&self) -> f64 {
+        self.link_sum as f64 / (self.ticks.max(1)) as f64
+    }
+}
+
 /// The assembled network, ready to run.
 pub struct Simulator {
     cfg: SimConfig,
@@ -627,6 +749,35 @@ pub struct Simulator {
     /// mechanisms' counter sets — pinned by golden snapshots — never
     /// change).
     cc_wire: bool,
+    /// Sender of each directed link (sparse phase-4 ctrl consumers).
+    link_src: Vec<LinkSrc>,
+    /// Global-port-id base of each switch into `port_occ`.
+    port_base: Vec<u32>,
+    /// SoA mirror of per-input-port RAM occupancy in flits, indexed by
+    /// global port id (`port_base[sw] + port`). Maintained in every
+    /// engine mode so the gauge scan is one cache-linear sum instead of
+    /// a pointer chase through all switch structs.
+    port_occ: Vec<u32>,
+    /// The sparse scheduler is in force (`cfg.sparse` and not
+    /// `force_slow_path`).
+    sparse_on: bool,
+    /// Links with events in flight (deliveries, ctrl, credit returns).
+    act_links: ccfit_engine::ActiveSet,
+    /// Switches that may act this cycle / next cycle.
+    act_sw: ccfit_engine::ActiveSet,
+    act_sw_next: ccfit_engine::ActiveSet,
+    /// Adapters (node indices) that may act this cycle / next cycle.
+    act_nodes: ccfit_engine::ActiveSet,
+    act_nodes_next: ccfit_engine::ActiveSet,
+    /// Phase-4 scratch: ctrl consumers derived from `act_links`.
+    ctrl_sw: ccfit_engine::ActiveSet,
+    ctrl_nodes: ccfit_engine::ActiveSet,
+    /// Parked quiet nodes' future wake-ups: CC-timer deadlines and
+    /// generator activation edges, as `(cycle, node)`. Stale entries are
+    /// harmless (a woken node that turns out quiet is a gated no-op).
+    node_wake: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Active-set occupancy counters for the bench output.
+    act_stats: ActiveSetStats,
 }
 
 impl Simulator {
@@ -793,6 +944,24 @@ impl Simulator {
             .map(|l| l.expect("every node has a reception link"))
             .collect();
 
+        // Sender of each directed link: every switch out-link (trunk or
+        // reception) is transmitted by that switch, injection links by
+        // their node. The sparse scheduler derives phase-4 ctrl
+        // consumers from this (ctrl events travel to the sender).
+        let mut link_src: Vec<Option<LinkSrc>> = vec![None; links.len()];
+        for s in topo.switch_ids() {
+            for l in out_link[s.index()].iter().flatten() {
+                link_src[l.index()] = Some(LinkSrc::Switch(s.0));
+            }
+        }
+        for (n, l) in inject_link.iter().enumerate() {
+            link_src[l.index()] = Some(LinkSrc::Node(n as u32));
+        }
+        let link_src: Vec<LinkSrc> = link_src
+            .into_iter()
+            .map(|s| s.expect("every link has a sender"))
+            .collect();
+
         // ---- VOQnet per-destination reserved credits ----
         let voqnet = match mech.queueing() {
             QueueingScheme::PerDest => {
@@ -885,6 +1054,32 @@ impl Simulator {
         let trace = cfg.trace_sample_every.map(crate::trace::TraceLog::new);
         let faults = faults.map(|(schedule, fcfg)| FaultRuntime::new(schedule, fcfg, &topo));
         let cc_wire = dcqcn_cfg.is_some() || hpcc_cfg.is_some();
+
+        // ---- sparse scheduler state (DESIGN.md §12) ----
+        // SoA port-occupancy mirror: one contiguous u32 per input port,
+        // indexed by global port id.
+        let mut port_base: Vec<u32> = Vec::with_capacity(num_switches);
+        let mut total_ports = 0u32;
+        for sw in &switches {
+            port_base.push(total_ports);
+            total_ports += sw.inputs.len() as u32;
+        }
+        let port_occ = vec![0u32; total_ports as usize];
+        let sparse_on = cfg.sparse && !cfg.force_slow_path;
+        for sw in switches.iter_mut() {
+            sw.set_record_touched(sparse_on);
+        }
+        let mut act_links = ccfit_engine::ActiveSet::new(links.len());
+        let mut act_sw = ccfit_engine::ActiveSet::new(num_switches);
+        let mut act_nodes = ccfit_engine::ActiveSet::new(num_nodes);
+        if sparse_on {
+            // Seed-all at cycle 0: every component proves itself quiet
+            // once before dropping off the work-lists.
+            act_links.fill_all();
+            act_sw.fill_all();
+            act_nodes.fill_all();
+        }
+
         Simulator {
             cfg,
             topo,
@@ -917,6 +1112,19 @@ impl Simulator {
             node_sink_credits,
             faults,
             cc_wire,
+            link_src,
+            port_base,
+            port_occ,
+            sparse_on,
+            act_links,
+            act_sw,
+            act_sw_next: ccfit_engine::ActiveSet::new(num_switches),
+            act_nodes,
+            act_nodes_next: ccfit_engine::ActiveSet::new(num_nodes),
+            ctrl_sw: ccfit_engine::ActiveSet::new(num_switches),
+            ctrl_nodes: ccfit_engine::ActiveSet::new(num_nodes),
+            node_wake: BinaryHeap::new(),
+            act_stats: ActiveSetStats::default(),
         }
     }
 
@@ -966,9 +1174,10 @@ impl Simulator {
                 .sum::<usize>()
     }
 
-    /// CFQs currently allocated network-wide (scalability introspection).
+    /// CFQs currently allocated network-wide (scalability introspection;
+    /// O(switches) via each switch's incremental counter).
     pub fn cfqs_allocated(&self) -> usize {
-        self.switches.iter().map(|s| s.cfqs_allocated()).sum()
+        self.switches.iter().map(|s| s.cfq_count()).sum()
     }
 
     /// Live access to a metrics counter.
@@ -995,22 +1204,51 @@ impl Simulator {
 
     /// Advance one cycle through the deterministic phase order.
     pub fn tick(&mut self) {
+        if self.sparse_on {
+            self.tick_sparse(None);
+        } else {
+            self.tick_dense(None);
+        }
+    }
+
+    /// [`Self::tick`] with a per-phase wall-time breakdown accumulated
+    /// into `prof` (the `engine_bench --profile` path). Identical
+    /// results; the only extra work is one monotonic-clock read per
+    /// phase.
+    pub fn tick_profiled(&mut self, prof: &mut PhaseProfile) {
+        prof.ticks += 1;
+        if self.sparse_on {
+            self.tick_sparse(Some(prof));
+        } else {
+            self.tick_dense(Some(prof));
+        }
+    }
+
+    /// The dense engine: every phase scans the whole component array and
+    /// relies on per-component skip gates (`force_slow_path` disables
+    /// even those). Kept as the byte-identity baseline for the sparse
+    /// scheduler.
+    fn tick_dense(&mut self, mut prof: Option<&mut PhaseProfile>) {
         let now = self.now;
         let fast = !self.cfg.force_slow_path;
+        let mut timer = PhaseTimer::start(prof.is_some());
 
         // Phase 0: dynamic network events (fault injection) and pending
         // routing recomputations.
         if self.faults.is_some() {
             self.apply_fault_events(now);
         }
+        timer.lap(&mut prof, 0);
 
         // Phase 1: scheduled RAM releases + credit returns.
         self.drain_releases(now);
+        timer.lap(&mut prof, 1);
 
         // Phase 2: senders absorb returned credits.
         for l in &mut self.links {
             l.poll_credits(now);
         }
+        timer.lap(&mut prof, 2);
 
         // Phase 3: link deliveries (drained into a persistent scratch
         // buffer so the hot path never allocates).
@@ -1044,6 +1282,8 @@ impl Simulator {
                                 tr.switch_hop(d.packet.id, s, d.visible_at);
                             }
                         }
+                        self.port_occ[self.port_base[s.index()] as usize + p.index()] +=
+                            d.packet.size_flits;
                         self.switches[s.index()].accept_delivery(p.index(), d, &self.routing);
                     }
                 }
@@ -1055,6 +1295,7 @@ impl Simulator {
             }
         }
         self.delivery_scratch = deliveries;
+        timer.lap(&mut prof, 3);
 
         // Phase 4: congestion-information control traffic.
         for sw in &mut self.switches {
@@ -1063,6 +1304,7 @@ impl Simulator {
         for a in &mut self.adapters {
             a.poll_ctrl(now, &mut self.links, &mut self.metrics);
         }
+        timer.lap(&mut prof, 4);
 
         // Phase 5: post-processing (detection, isolation, Stop/Go,
         // deallocation) and congestion-state update. Quiescent switches
@@ -1074,6 +1316,7 @@ impl Simulator {
             sw.isolation_tick(now, &self.routing, &mut self.links, &mut self.metrics);
             sw.congestion_state_tick(now, &self.links, &mut self.metrics);
         }
+        timer.lap(&mut prof, 5);
 
         // Phase 6: crossbar scheduling and transmission. Switches with
         // nothing buffered cannot match or transmit anything.
@@ -1104,9 +1347,11 @@ impl Simulator {
             }
         }
         self.release_scratch = releases;
+        timer.lap(&mut prof, 6);
 
         // Phase 7: BECN arrivals throttle their sources.
         self.drain_becns(now);
+        timer.lap(&mut prof, 7);
 
         // Phase 8: traffic generation and adapter work. A generator with
         // no flow in its active window injects nothing and draws no
@@ -1134,6 +1379,7 @@ impl Simulator {
                 );
             }
         }
+        timer.lap(&mut prof, 8);
 
         // Gauge sampling: congestion-tree size over time.
         self.sample_gauges(now);
@@ -1143,6 +1389,410 @@ impl Simulator {
         } else {
             now + 1
         };
+        timer.lap(&mut prof, 9);
+    }
+
+    // SPARSE-REGION-BEGIN: phase loops below must iterate active-set
+    // members, never whole component arrays (enforced by the
+    // `no_dense_iteration_in_sparse_tick` lint test).
+
+    /// The sparse engine (DESIGN.md §12): each phase walks a work-list
+    /// of components that *may* act, maintained by the events that can
+    /// activate them. Every dense skip gate is preserved inside the
+    /// member loops, so a conservative (stale) member is a no-op and the
+    /// results are byte-identical to [`Self::tick_dense`] — the
+    /// determinism matrix and golden snapshots enforce it.
+    ///
+    /// Activation rules (who inserts whom):
+    /// * `act_links` — senders: switch transmits (data phase 6, ctrl
+    ///   phase 5) via `Switch::drain_touched_links`, adapter ticks
+    ///   (its injection link), credit returns in `drain_releases`.
+    ///   Links leave the set when idle (nothing in flight, no pending
+    ///   credits/ctrl).
+    /// * `act_sw` — deliveries (phase 3), ctrl consumers (phase 4),
+    ///   plus a carry while `!is_quiescent()`.
+    /// * `act_nodes` — deliveries to the node (phase 3), ctrl on the
+    ///   injection link (phase 4), BECN arrivals (phase 7), CC-timer /
+    ///   generator wake-ups (`node_wake`), plus a carry while the
+    ///   adapter is not quiet or the generator has a full packet of
+    ///   budget banked. A generator merely accruing tokens parks at a
+    ///   lower bound of its next emission and replays the skipped
+    ///   accrual on wake (see `NodeGenerator::next_park_wake`).
+    /// * fault events re-activate everything (`activate_all`).
+    fn tick_sparse(&mut self, mut prof: Option<&mut PhaseProfile>) {
+        let now = self.now;
+        let mut timer = PhaseTimer::start(prof.is_some());
+
+        // Wake parked nodes whose CC-timer deadline or generator
+        // activation edge is due. Stale (superseded) entries wake a
+        // quiet node into a gated no-op tick — harmless.
+        while let Some(&Reverse((at, n))) = self.node_wake.peek() {
+            if at > now {
+                break;
+            }
+            self.node_wake.pop();
+            self.act_nodes.insert(n);
+        }
+
+        #[cfg(debug_assertions)]
+        self.assert_sparse_invariants(now);
+
+        // Phase 0: fault events re-activate the whole network (they can
+        // purge/reroute/restore arbitrary components) and resync the
+        // SoA port-occupancy mirror after purges.
+        if self.faults.is_some() {
+            self.apply_fault_events(now);
+        }
+        timer.lap(&mut prof, 0);
+
+        // Phase 1: releases also re-activate the credited links so the
+        // same-cycle phase-2 absorption below still sees them.
+        self.drain_releases(now);
+        timer.lap(&mut prof, 1);
+
+        // Phase 2: only links with events in flight can have credits to
+        // absorb. Sorted so phases 2–4 walk links in dense order.
+        self.act_links.sort();
+        let n_links_act = self.act_links.len();
+        for i in 0..n_links_act {
+            let li = self.act_links.member(i) as usize;
+            self.links[li].poll_credits(now);
+        }
+        timer.lap(&mut prof, 2);
+
+        // Phase 3: link deliveries, in ascending link order (the member
+        // list is sorted above and phases 3–8 only append via
+        // insert-after-sort paths that are not iterated here).
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        for i in 0..n_links_act {
+            let li = self.act_links.member(i) as usize;
+            if !self.links[li].has_delivery(now) {
+                continue;
+            }
+            deliveries.clear();
+            self.links[li].deliver_into(now, &mut deliveries);
+            match self.link_dst[li] {
+                LinkDst::SwitchIn(s, p) => {
+                    // A delivery activates the receiving switch for this
+                    // cycle's phases 5/6.
+                    self.act_sw.insert(s.0);
+                    for d in deliveries.drain(..) {
+                        // Fault guard — see `tick_dense`.
+                        if let Some(frt) = self.faults.as_mut() {
+                            if frt.arrival_is_undeliverable(s, d.packet.dst) {
+                                frt.note_purged(d.packet.is_data());
+                                self.links[li].return_credits(d.ready_at, d.packet.size_flits);
+                                if let Some(vn) = self.voqnet.as_mut() {
+                                    vn.add(li as u32, d.packet.dst.0, d.packet.size_flits);
+                                }
+                                continue;
+                            }
+                        }
+                        if let Some(tr) = &mut self.trace {
+                            if d.packet.is_data() && tr.wants(d.packet.id) {
+                                tr.switch_hop(d.packet.id, s, d.visible_at);
+                            }
+                        }
+                        self.port_occ[self.port_base[s.index()] as usize + p.index()] +=
+                            d.packet.size_flits;
+                        self.switches[s.index()].accept_delivery(p.index(), d, &self.routing);
+                    }
+                }
+                LinkDst::NodeRecv(n) => {
+                    for d in deliveries.drain(..) {
+                        // `deliver_to_node` activates the node.
+                        self.deliver_to_node(n, li, d);
+                    }
+                }
+            }
+        }
+        self.delivery_scratch = deliveries;
+        timer.lap(&mut prof, 3);
+
+        // Phase 4: ctrl consumers are the *senders* of links carrying a
+        // due ctrl event (Stop/Go/alloc travel upstream). A component
+        // without such a link provably does nothing in its poll (the
+        // polls early-return without pending ctrl and emit nothing).
+        // Consumers are conservatively activated for phases 5/6/8 too:
+        // absorbed ctrl (Stop, CFQ alloc, CNP/ACK) feeds switch
+        // isolation state and can un-quiet an adapter.
+        self.derive_ctrl_sets(now);
+        for i in 0..self.ctrl_sw.len() {
+            let s = self.ctrl_sw.member(i);
+            self.act_sw.insert(s);
+            self.switches[s as usize].poll_output_ctrl(now, &mut self.links, &mut self.metrics);
+        }
+        for i in 0..self.ctrl_nodes.len() {
+            let n = self.ctrl_nodes.member(i);
+            self.act_nodes.insert(n);
+            self.adapters[n as usize].poll_ctrl(now, &mut self.links, &mut self.metrics);
+        }
+        timer.lap(&mut prof, 4);
+
+        // Phase 5: isolation + congestion state over active switches,
+        // dense gate preserved.
+        self.act_sw.sort();
+        let n_sw_act = self.act_sw.len();
+        for i in 0..n_sw_act {
+            let si = self.act_sw.member(i) as usize;
+            if self.switches[si].is_quiescent() {
+                continue;
+            }
+            self.switches[si].isolation_tick(
+                now,
+                &self.routing,
+                &mut self.links,
+                &mut self.metrics,
+            );
+            self.switches[si].congestion_state_tick(now, &self.links, &mut self.metrics);
+        }
+        timer.lap(&mut prof, 5);
+
+        // Phase 6: arbitration over the same member list (is_quiescent
+        // implies !has_buffered, so one switch set serves both phases);
+        // afterwards each member activates the links it sent on (ctrl in
+        // phase 5 or data here) and carries itself while non-quiescent.
+        let mut releases = std::mem::take(&mut self.release_scratch);
+        for i in 0..n_sw_act {
+            let si = self.act_sw.member(i) as usize;
+            if self.switches[si].has_buffered() {
+                releases.clear();
+                self.switches[si].arbitrate_and_transmit_into(
+                    now,
+                    &self.routing,
+                    &mut self.links,
+                    self.voqnet.as_ref(),
+                    &mut self.metrics,
+                    &mut releases,
+                );
+                for r in releases.drain(..) {
+                    self.release_q.push(
+                        r.at,
+                        Release::SwitchPort {
+                            sw: si as u32,
+                            port: r.port as u16,
+                            flits: r.flits,
+                            dst: r.dst.0,
+                        },
+                    );
+                }
+            }
+            self.switches[si].drain_touched_links(&mut self.act_links);
+            if !self.switches[si].is_quiescent() {
+                self.act_sw_next.insert(si as u32);
+            }
+        }
+        self.release_scratch = releases;
+        timer.lap(&mut prof, 6);
+
+        // Phase 7: BECN arrivals (drain_becns activates the throttled
+        // nodes before their phase-8 tick).
+        self.drain_becns(now);
+        timer.lap(&mut prof, 7);
+
+        // Phase 8: generation + adapter work over active nodes, dense
+        // gates preserved. A ticked adapter may send on its injection
+        // link; a node leaving the set parks its future wake-ups
+        // (CC-timer deadline, generator activation edge) in `node_wake`.
+        self.act_nodes.sort();
+        let n_nodes_act = self.act_nodes.len();
+        for i in 0..n_nodes_act {
+            let n = self.act_nodes.member(i) as usize;
+            if self.gens[n].any_active(now) {
+                self.gen_node(n, now);
+            }
+            if !(self.adapters[n].is_quiet() && self.adapters[n].armed_timer_count() == 0) {
+                if let Some(rel) = self.adapters[n].tick(
+                    now,
+                    &mut self.links,
+                    self.voqnet.as_ref(),
+                    &mut self.metrics,
+                ) {
+                    self.release_q.push(
+                        rel.at,
+                        Release::Node {
+                            node: n as u32,
+                            flits: rel.flits,
+                        },
+                    );
+                }
+                self.act_links.insert(self.inject_link[n].0);
+            }
+            // Park unless the adapter still has work or the generator
+            // has a full packet banked (emission / backpressure retry
+            // next cycle). A parked generator mid-flow wakes at a
+            // conservative lower bound of its next emission or ON/OFF
+            // boundary and replays the skipped accrual cycles on wake
+            // (`NodeGenerator::next_park_wake`), so skipping its ticks
+            // is byte-identical.
+            let gen_wake = self.gens[n].next_park_wake(now);
+            match gen_wake {
+                None => {
+                    self.act_nodes_next.insert(n as u32);
+                }
+                Some(at) => {
+                    if !self.adapters[n].is_quiet() {
+                        self.act_nodes_next.insert(n as u32);
+                    } else {
+                        let dl = self.adapters[n].next_timer_deadline();
+                        if dl != Cycle::MAX {
+                            self.node_wake.push(Reverse((dl, n as u32)));
+                        }
+                        if at != Cycle::MAX {
+                            self.node_wake.push(Reverse((at, n as u32)));
+                        }
+                    }
+                }
+            }
+        }
+        timer.lap(&mut prof, 8);
+
+        self.act_stats.record(n_sw_act, n_nodes_act, n_links_act);
+
+        // Gauge sampling: congestion-tree size over time.
+        self.sample_gauges(now);
+
+        // Swap in next cycle's work-lists and retire idle links.
+        std::mem::swap(&mut self.act_sw, &mut self.act_sw_next);
+        self.act_sw_next.clear();
+        std::mem::swap(&mut self.act_nodes, &mut self.act_nodes_next);
+        self.act_nodes_next.clear();
+        let links = &self.links;
+        self.act_links.retain(|li| !links[li as usize].is_idle());
+
+        self.now = self.sparse_jump_target(now);
+        timer.lap(&mut prof, 9);
+    }
+
+    /// Fill `ctrl_sw` / `ctrl_nodes` with the senders of active links
+    /// carrying a control event due at `now`, sorted ascending.
+    fn derive_ctrl_sets(&mut self, now: Cycle) {
+        let mut ctrl_sw = std::mem::take(&mut self.ctrl_sw);
+        let mut ctrl_nodes = std::mem::take(&mut self.ctrl_nodes);
+        ctrl_sw.clear();
+        ctrl_nodes.clear();
+        for &li in self.act_links.members() {
+            if !self.links[li as usize].has_ctrl(now) {
+                continue;
+            }
+            match self.link_src[li as usize] {
+                LinkSrc::Switch(s) => {
+                    ctrl_sw.insert(s);
+                }
+                LinkSrc::Node(n) => {
+                    ctrl_nodes.insert(n);
+                }
+            }
+        }
+        ctrl_sw.sort();
+        ctrl_nodes.sort();
+        self.ctrl_sw = ctrl_sw;
+        self.ctrl_nodes = ctrl_nodes;
+    }
+
+    /// Where the clock may jump to after a sparse cycle. Empty
+    /// work-lists mean every component is provably unable to act before
+    /// its next pending event (carries keep every non-quiescent switch
+    /// / non-quiet node in the sets, and non-members satisfy the debug
+    /// invariant) — this is *stronger* than the dense engine's
+    /// network-quiet predicate, because generator parking lets the
+    /// lists drain even mid-flow, between emissions. The jump is still
+    /// observably identical: `node_wake` holds a conservative lower
+    /// bound of every parked node's next action (emission, ON/OFF
+    /// boundary, CC-timer, activation edge), skipped generator accrual
+    /// is replayed on wake, and an early landing on a quiet cycle is a
+    /// no-op tick that re-jumps.
+    fn sparse_jump_target(&self, now: Cycle) -> Cycle {
+        let step = now + 1;
+        if !self.act_sw.is_empty() || !self.act_nodes.is_empty() {
+            return step;
+        }
+        let mut target = (now / self.gauge_every + 1) * self.gauge_every;
+        if let Some(at) = self.release_q.next_at() {
+            target = target.min(at);
+        }
+        if let Some(&Reverse((at, _, _, _))) = self.becn_q.peek() {
+            target = target.min(at);
+        }
+        for &li in self.act_links.members() {
+            if let Some(at) = self.links[li as usize].next_event_at() {
+                target = target.min(at);
+            }
+        }
+        if let Some(&Reverse((at, _))) = self.node_wake.peek() {
+            target = target.min(at);
+        }
+        if let Some(frt) = &self.faults {
+            if let Some(ev) = frt.schedule.events().get(frt.next) {
+                target = target.min(ev.at);
+            }
+            if let Some(at) = frt.routing_update_at {
+                target = target.min(at);
+            }
+        }
+        target.min(self.end).max(step)
+    }
+
+    // SPARSE-REGION-END
+
+    /// Debug-mode conservativeness cross-check: at the top of a sparse
+    /// tick, every component *not* on its work-list must be provably
+    /// unable to act this cycle — the exact predicates the dense gates
+    /// use. A violation means an activation rule missed an event.
+    #[cfg(debug_assertions)]
+    fn assert_sparse_invariants(&self, now: Cycle) {
+        for (i, sw) in self.switches.iter().enumerate() {
+            debug_assert!(
+                self.act_sw.contains(i as u32) || sw.is_quiescent(),
+                "switch {i} is active but not in act_sw at cycle {now}"
+            );
+        }
+        let parked: std::collections::HashSet<u32> =
+            self.node_wake.iter().map(|&Reverse((_, n))| n).collect();
+        for (i, a) in self.adapters.iter().enumerate() {
+            // A non-member node must be quiet and its generator either
+            // must-tick-never (`Some`: no banked packet) with a pending
+            // wake entry covering any finite next action, or inert.
+            let gen_ok = match self.gens[i].next_park_wake(now) {
+                None => false,
+                Some(Cycle::MAX) => true,
+                Some(_) => parked.contains(&(i as u32)),
+            };
+            debug_assert!(
+                self.act_nodes.contains(i as u32) || (a.is_quiet() && gen_ok),
+                "node {i} is active but not in act_nodes at cycle {now}"
+            );
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            debug_assert!(
+                self.act_links.contains(i as u32) || l.is_idle(),
+                "link {i} has events in flight but is not in act_links at cycle {now}"
+            );
+        }
+    }
+
+    /// Re-activate every component (fault events can purge, reroute or
+    /// restore arbitrary hardware; everything re-proves quietness).
+    fn activate_all(&mut self) {
+        self.act_links.fill_all();
+        self.act_sw.fill_all();
+        self.act_nodes.fill_all();
+    }
+
+    /// Rebuild the SoA port-occupancy mirror from the switches' RAMs
+    /// (after fault events, which purge RAM outside the phase loops).
+    fn resync_port_occ(&mut self) {
+        for (si, sw) in self.switches.iter().enumerate() {
+            let base = self.port_base[si] as usize;
+            for (p, inp) in sw.inputs.iter().enumerate() {
+                self.port_occ[base + p] = inp.ram.used();
+            }
+        }
+    }
+
+    /// Active-set occupancy statistics (all-zero for dense runs).
+    pub fn active_set_stats(&self) -> ActiveSetStats {
+        self.act_stats
     }
 
     /// Phase 1: apply every RAM release / credit return due at `now`.
@@ -1157,9 +1807,15 @@ impl Simulator {
                 } => {
                     let sw_idx = sw as usize;
                     let port_idx = port as usize;
+                    self.port_occ[self.port_base[sw_idx] as usize + port_idx] -= flits;
                     self.switches[sw_idx].release_ram(port_idx, flits);
                     if let Some(link) = self.switches[sw_idx].inputs[port_idx].in_link {
                         self.links[link.index()].return_credits(now, flits);
+                        if self.sparse_on {
+                            // The credited link must be polled by this
+                            // cycle's phase 2 (dense absorbs same-cycle).
+                            self.act_links.insert(link.0);
+                        }
                         if let Some(vn) = self.voqnet.as_ref() {
                             vn.add(link.0, dst, flits);
                         }
@@ -1179,6 +1835,11 @@ impl Simulator {
                 break;
             }
             self.becn_q.pop();
+            if self.sparse_on {
+                // A throttle update can arm timers / stretch gaps: the
+                // node must run this cycle's phase 8.
+                self.act_nodes.insert(node);
+            }
             self.adapters[node as usize].on_becn(now, NodeId(congested_dst), &mut self.metrics);
         }
     }
@@ -1233,11 +1894,17 @@ impl Simulator {
             return;
         }
         let at_ns = self.cfg.units.cycles_to_ns(now);
-        let buffered: u32 = self
-            .switches
-            .iter()
-            .flat_map(|sw| sw.inputs.iter().map(|i| i.ram.used()))
-            .sum();
+        // Cache-linear SoA sum instead of a pointer chase through every
+        // switch struct (the mirror is maintained in all engine modes).
+        let buffered: u32 = self.port_occ.iter().sum();
+        debug_assert_eq!(
+            buffered,
+            self.switches
+                .iter()
+                .flat_map(|sw| sw.inputs.iter().map(|i| i.ram.used()))
+                .sum::<u32>(),
+            "SoA port-occupancy mirror diverged from the switch RAMs"
+        );
         self.metrics
             .gauge("network_buffered_flits", at_ns, buffered as f64);
         self.metrics
@@ -1331,6 +1998,8 @@ impl Simulator {
     /// simulator freely.
     fn apply_fault_events(&mut self, now: Cycle) {
         let mut frt = self.faults.take().expect("caller checked");
+        let applied_before = frt.events_applied;
+        let reroutes_before = frt.reroutes;
         while let Some(ev) = frt.schedule.events().get(frt.next).copied() {
             if ev.at > now {
                 break;
@@ -1364,7 +2033,17 @@ impl Simulator {
             frt.routing_update_at = None;
             self.complete_reroute(now, &mut frt);
         }
+        let changed = frt.events_applied != applied_before || frt.reroutes != reroutes_before;
         self.faults = Some(frt);
+        if changed {
+            // Events and re-route completions purge RAM / reset links /
+            // re-route packets outside the phase loops: rebuild the SoA
+            // occupancy mirror and re-activate everything.
+            self.resync_port_occ();
+            if self.sparse_on {
+                self.activate_all();
+            }
+        }
     }
 
     fn apply_network_event(&mut self, now: Cycle, frt: &mut FaultRuntime, event: NetworkEvent) {
@@ -1765,6 +2444,12 @@ impl Simulator {
     }
 
     fn deliver_to_node(&mut self, node: NodeId, link_idx: usize, d: ccfit_engine::link::Delivery) {
+        if self.sparse_on {
+            // Any arrival (data completion, BECN/CNP/ACK feedback) can
+            // change the adapter's state: it must run this cycle's
+            // phase 8.
+            self.act_nodes.insert(node.0);
+        }
         // Ideal sink: space is freed the moment the tail lands.
         self.links[link_idx].return_credits(d.ready_at, d.packet.size_flits);
         match d.packet.kind {
@@ -2040,6 +2725,14 @@ impl Simulator {
             p5_ran: p5_ran.as_mut_ptr(),
             plan,
             trace_sample: self.trace.as_ref().map_or(0, |t| t.sample_every()),
+            sparse: self.sparse_on,
+            act_links: (self.act_links.members().as_ptr(), self.act_links.len()),
+            act_sw: (self.act_sw.members().as_ptr(), self.act_sw.len()),
+            ctrl_sw: (self.ctrl_sw.members().as_ptr(), self.ctrl_sw.len()),
+            ctrl_nodes: (self.ctrl_nodes.members().as_ptr(), self.ctrl_nodes.len()),
+            act_nodes: (self.act_nodes.members().as_ptr(), self.act_nodes.len()),
+            port_base: self.port_base.as_ptr(),
+            port_occ: self.port_occ.as_mut_ptr(),
             faults: self.faults.as_ref().map(|frt| FaultView {
                 comp: frt.comp.as_ptr(),
                 node_comp: frt.node_comp.as_ptr(),
@@ -2073,6 +2766,20 @@ impl Simulator {
         p5_ran: &mut [bool],
     ) {
         let now = self.now;
+        let sparse = self.sparse_on;
+
+        // Wake parked nodes (see `tick_sparse`).
+        if sparse {
+            while let Some(&Reverse((at, n))) = self.node_wake.peek() {
+                if at > now {
+                    break;
+                }
+                self.node_wake.pop();
+                self.act_nodes.insert(n);
+            }
+            #[cfg(debug_assertions)]
+            self.assert_sparse_invariants(now);
+        }
 
         // Phase 0 + 1 + 2 (serial): fault events, RAM releases, credit
         // absorption.
@@ -2080,14 +2787,31 @@ impl Simulator {
             self.apply_fault_events(now);
         }
         self.drain_releases(now);
-        for l in &mut self.links {
-            l.poll_credits(now);
+        if sparse {
+            self.act_links.sort();
+            for i in 0..self.act_links.len() {
+                let li = self.act_links.member(i) as usize;
+                self.links[li].poll_credits(now);
+            }
+        } else {
+            for l in &mut self.links {
+                l.poll_credits(now);
+            }
         }
 
         // Phase 3a (parallel): drain switch-bound links into their
         // receiving switches.
         let ctx = self.make_ctx(now, plan, outboxes, p5_ran);
         pool.run_step(&[PhaseKind::Deliver], &ctx);
+        // Switches the shards delivered into join the active set (the
+        // serial engine inserts them inline in phase 3).
+        if sparse {
+            for ob in outboxes[..plan.shards].iter_mut() {
+                for s in ob.activated.drain(..) {
+                    self.act_sw.insert(s);
+                }
+            }
+        }
         if let Some(frt) = self.faults.as_mut() {
             for ob in outboxes[..plan.shards].iter_mut() {
                 frt.packets_purged += ob.purged_data;
@@ -2111,9 +2835,19 @@ impl Simulator {
         // Phase 3b (serial): node-bound deliveries — these touch the
         // global delivery metrics, the delivered counter, and the BECN
         // generation sequence, all of which must accumulate in link
-        // order.
+        // order (the active-link list is sorted above).
         let mut deliveries = std::mem::take(&mut self.delivery_scratch);
-        for li in 0..self.links.len() {
+        let n_links_act = if sparse {
+            self.act_links.len()
+        } else {
+            self.links.len()
+        };
+        for i in 0..n_links_act {
+            let li = if sparse {
+                self.act_links.member(i) as usize
+            } else {
+                i
+            };
             let LinkDst::NodeRecv(n) = self.link_dst[li] else {
                 continue;
             };
@@ -2127,6 +2861,22 @@ impl Simulator {
             }
         }
         self.delivery_scratch = deliveries;
+
+        // Sparse phase-4 prep: derive ctrl consumers from the active
+        // links and conservatively activate them (see `tick_sparse`);
+        // the member lists the workers slice must be sorted.
+        if sparse {
+            self.derive_ctrl_sets(now);
+            for i in 0..self.ctrl_sw.len() {
+                let s = self.ctrl_sw.member(i);
+                self.act_sw.insert(s);
+            }
+            for i in 0..self.ctrl_nodes.len() {
+                let n = self.ctrl_nodes.member(i);
+                self.act_nodes.insert(n);
+            }
+            self.act_sw.sort();
+        }
 
         // Phases 4 + 5a + 5b/6 (parallel, chained): control polling,
         // isolation, congestion-state + arbitration run as one step
@@ -2173,6 +2923,17 @@ impl Simulator {
                 );
             }
         }
+        // Active switches hand over the links they sent on and carry
+        // themselves while non-quiescent (see `tick_sparse` phase 6).
+        if sparse {
+            for i in 0..self.act_sw.len() {
+                let si = self.act_sw.member(i) as usize;
+                self.switches[si].drain_touched_links(&mut self.act_links);
+                if !self.switches[si].is_quiescent() {
+                    self.act_sw_next.insert(si as u32);
+                }
+            }
+        }
 
         // Phase 7 (serial): BECN arrivals.
         self.drain_becns(now);
@@ -2183,9 +2944,19 @@ impl Simulator {
         // serial interleave: a generator only touches its own adapter
         // (pre-tick state in both engines) and the global id counters,
         // which no adapter tick reads.
-        for n in 0..self.adapters.len() {
-            if self.gens[n].any_active(now) {
-                self.gen_node(n, now);
+        if sparse {
+            self.act_nodes.sort();
+            for i in 0..self.act_nodes.len() {
+                let n = self.act_nodes.member(i) as usize;
+                if self.gens[n].any_active(now) {
+                    self.gen_node(n, now);
+                }
+            }
+        } else {
+            for n in 0..self.adapters.len() {
+                if self.gens[n].any_active(now) {
+                    self.gen_node(n, now);
+                }
             }
         }
 
@@ -2205,8 +2976,55 @@ impl Simulator {
             }
         }
 
+        // Node carries / parking and work-list swap (see `tick_sparse`
+        // phase 8 + advance). Injection links of every ticked-or-member
+        // node are conservatively activated; idle ones retire in the
+        // retain below.
+        if sparse {
+            let n_nodes_act = self.act_nodes.len();
+            for i in 0..n_nodes_act {
+                let n = self.act_nodes.member(i) as usize;
+                self.act_links.insert(self.inject_link[n].0);
+                // Same parking rule as `tick_sparse` phase 8: only an
+                // adapter with work or a generator with a banked packet
+                // keeps the node on the list; emission-idle generators
+                // park at a conservative wake and replay on wake-up.
+                match self.gens[n].next_park_wake(now) {
+                    None => {
+                        self.act_nodes_next.insert(n as u32);
+                    }
+                    Some(at) => {
+                        if !self.adapters[n].is_quiet() {
+                            self.act_nodes_next.insert(n as u32);
+                        } else {
+                            let dl = self.adapters[n].next_timer_deadline();
+                            if dl != Cycle::MAX {
+                                self.node_wake.push(Reverse((dl, n as u32)));
+                            }
+                            if at != Cycle::MAX {
+                                self.node_wake.push(Reverse((at, n as u32)));
+                            }
+                        }
+                    }
+                }
+            }
+            self.act_stats
+                .record(self.act_sw.len(), n_nodes_act, n_links_act);
+        }
+
         self.sample_gauges(now);
-        self.now = self.quiet_jump_target(now);
+
+        if sparse {
+            std::mem::swap(&mut self.act_sw, &mut self.act_sw_next);
+            self.act_sw_next.clear();
+            std::mem::swap(&mut self.act_nodes, &mut self.act_nodes_next);
+            self.act_nodes_next.clear();
+            let links = &self.links;
+            self.act_links.retain(|li| !links[li as usize].is_idle());
+            self.now = self.sparse_jump_target(now);
+        } else {
+            self.now = self.quiet_jump_target(now);
+        }
     }
 
     /// Run `cycles` more cycles (tests drive the simulator piecewise).
@@ -2319,6 +3137,41 @@ mod tests {
             "tiny",
             vec![FlowSpec::hotspot(0, NodeId(0), NodeId(3), 0.0, None)],
         )
+    }
+
+    /// Source lint: the sparse tick (between the SPARSE-REGION markers)
+    /// must never fall back to whole-component-array iteration — that is
+    /// exactly the O(network-size) cost the scheduler exists to remove,
+    /// and an accidental dense loop would pass every byte-identity test
+    /// while silently reverting the perf win.
+    #[test]
+    fn sparse_region_has_no_dense_iteration() {
+        let src = include_str!("simulator.rs");
+        let begin = src
+            .find("// SPARSE-REGION-BEGIN")
+            .expect("sparse region begin marker");
+        let end = src[begin..]
+            .find("// SPARSE-REGION-END")
+            .map(|i| begin + i)
+            .expect("sparse region end marker");
+        let region = &src[begin..end];
+        for banned in [
+            "for l in &mut self.links",
+            "for l in &self.links",
+            "for sw in &mut self.switches",
+            "for sw in &self.switches",
+            "for a in &mut self.adapters",
+            "for a in &self.adapters",
+            "0..self.links.len()",
+            "0..self.switches.len()",
+            "0..self.adapters.len()",
+            "0..self.gens.len()",
+        ] {
+            assert!(
+                !region.contains(banned),
+                "dense iteration {banned:?} inside the sparse tick region"
+            );
+        }
     }
 
     #[test]

@@ -356,6 +356,12 @@ pub struct Switch {
     arb: ArbScratch,
     /// Per-call control-event scratch.
     ctrl_scratch: Vec<CtrlEvent>,
+    /// When set, every link this switch sends on (ctrl or data) is noted
+    /// in `touched_links` so the sparse scheduler can activate it
+    /// (DESIGN.md §12). Off on the dense paths: zero hot-path cost.
+    record_touched: bool,
+    /// Links sent on since the last [`Self::drain_touched_links`].
+    touched_links: Vec<u32>,
 }
 
 /// Reusable buffers for `arbitrate_and_transmit` so the per-cycle hot
@@ -435,6 +441,8 @@ impl Switch {
                 matches: Vec::new(),
             },
             ctrl_scratch: Vec::new(),
+            record_touched: false,
+            touched_links: Vec::new(),
         }
     }
 
@@ -836,7 +844,12 @@ impl Switch {
                 // Congestion-information propagation upstream.
                 if let Some(link) = in_link {
                     if !st.alloc_sent && occ >= propagate_flits {
-                        links[link.index()].send_ctrl(now, CtrlEvent::CfqAlloc { dst: st.dst });
+                        self.send_ctrl_noting(
+                            links,
+                            link,
+                            now,
+                            CtrlEvent::CfqAlloc { dst: st.dst },
+                        );
                         st.alloc_sent = true;
                         metrics.count("allocs_propagated", 1);
                         if metrics.wants_events(EventClass::CFQ) {
@@ -852,10 +865,15 @@ impl Switch {
                     }
                     if !st.stop_sent && occ >= stop_flits {
                         if !st.alloc_sent {
-                            links[link.index()].send_ctrl(now, CtrlEvent::CfqAlloc { dst: st.dst });
+                            self.send_ctrl_noting(
+                                links,
+                                link,
+                                now,
+                                CtrlEvent::CfqAlloc { dst: st.dst },
+                            );
                             st.alloc_sent = true;
                         }
-                        links[link.index()].send_ctrl(now, CtrlEvent::Stop { dst: st.dst });
+                        self.send_ctrl_noting(links, link, now, CtrlEvent::Stop { dst: st.dst });
                         st.stop_sent = true;
                         metrics.count("stops_sent", 1);
                         if metrics.wants_events(EventClass::STOP_GO) {
@@ -870,7 +888,7 @@ impl Switch {
                         }
                     }
                     if st.stop_sent && occ <= go_flits {
-                        links[link.index()].send_ctrl(now, CtrlEvent::Go { dst: st.dst });
+                        self.send_ctrl_noting(links, link, now, CtrlEvent::Go { dst: st.dst });
                         st.stop_sent = false;
                         metrics.count("gos_sent", 1);
                         if metrics.wants_events(EventClass::STOP_GO) {
@@ -935,11 +953,20 @@ impl Switch {
                     if occ == 0 && lingered && !stopped_down {
                         if let Some(link) = in_link {
                             if st.stop_sent {
-                                links[link.index()].send_ctrl(now, CtrlEvent::Go { dst: st.dst });
+                                self.send_ctrl_noting(
+                                    links,
+                                    link,
+                                    now,
+                                    CtrlEvent::Go { dst: st.dst },
+                                );
                             }
                             if st.alloc_sent {
-                                links[link.index()]
-                                    .send_ctrl(now, CtrlEvent::CfqDealloc { dst: st.dst });
+                                self.send_ctrl_noting(
+                                    links,
+                                    link,
+                                    now,
+                                    CtrlEvent::CfqDealloc { dst: st.dst },
+                                );
                             }
                         }
                         if st.over_high {
@@ -1458,6 +1485,9 @@ impl Switch {
                 .out_link
                 .expect("matched output is cabled");
             let wire_done = links[link_id.index()].send(now, entry.packet);
+            if self.record_touched {
+                self.touched_links.push(link_id.0);
+            }
             // The input port is occupied for the crossbar-transfer time
             // (shorter than wire serialization when the crossbar has
             // speedup), but virtual cut-through forwarding cannot
@@ -1486,6 +1516,45 @@ impl Switch {
     /// is the simulator's job since it owns the links).
     pub fn release_ram(&mut self, port: usize, flits: u32) {
         self.inputs[port].ram.release(flits);
+    }
+
+    /// Send a control event, noting the link as touched when the sparse
+    /// scheduler is recording, so the event's consumer gets activated
+    /// (DESIGN.md §12).
+    fn send_ctrl_noting(
+        &mut self,
+        links: &mut LinkSlice<'_>,
+        link: LinkId,
+        now: Cycle,
+        ev: CtrlEvent,
+    ) {
+        links[link.index()].send_ctrl(now, ev);
+        if self.record_touched {
+            self.touched_links.push(link.0);
+        }
+    }
+
+    /// Toggle touched-link recording (on for sparse-scheduled runs).
+    pub fn set_record_touched(&mut self, on: bool) {
+        self.record_touched = on;
+        if !on {
+            self.touched_links.clear();
+        }
+    }
+
+    /// Move the links sent on since the last drain into `set`,
+    /// activating them for the sparse scheduler's link phases.
+    pub fn drain_touched_links(&mut self, set: &mut ccfit_engine::ActiveSet) {
+        for l in self.touched_links.drain(..) {
+            set.insert(l);
+        }
+    }
+
+    /// CFQs currently allocated, O(1) (incremental mirror of
+    /// [`Self::cfqs_allocated`]).
+    pub fn cfq_count(&self) -> usize {
+        debug_assert_eq!(self.cfq_count, self.cfqs_allocated());
+        self.cfq_count
     }
 
     /// Fault subsystem: the whole switch failed. Wipe every queue, RAM

@@ -1,0 +1,194 @@
+//! Epoch-stamped dense active set for the sparse activity-driven
+//! scheduler (DESIGN.md §12).
+//!
+//! An [`ActiveSet`] tracks which components (switches, adapters, links —
+//! anything indexable by a dense `u32`) may have work to do in the
+//! current cycle. Membership is a *conservative over-approximation*: the
+//! phase loops still apply their per-component skip gates, so a stale
+//! member is a cheap no-op while a missed activation would change
+//! results. Clearing is O(1) (an epoch bump), insertion is O(1)
+//! (a stamp compare), and iteration touches only the members — the whole
+//! point of the structure is that a quiet 4096-node network pays for its
+//! handful of active components, not for its size.
+
+/// Dense set over `0..capacity` with O(1) insert/clear and
+/// member-only iteration.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSet {
+    /// `stamp[i] == epoch` ⇔ `i` is a member.
+    stamp: Vec<u32>,
+    /// Current epoch; bumping it empties the set without touching
+    /// `stamp`.
+    epoch: u32,
+    /// Members in insertion order (sorted on demand by [`Self::sort`]).
+    members: Vec<u32>,
+}
+
+impl ActiveSet {
+    /// An empty set over the index space `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            stamp: vec![0; capacity],
+            epoch: 1,
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `i` is a member.
+    pub fn contains(&self, i: u32) -> bool {
+        self.stamp[i as usize] == self.epoch
+    }
+
+    /// Insert `i`; duplicate inserts are free. Returns whether the
+    /// member is new.
+    pub fn insert(&mut self, i: u32) -> bool {
+        if self.stamp[i as usize] == self.epoch {
+            return false;
+        }
+        self.stamp[i as usize] = self.epoch;
+        self.members.push(i);
+        true
+    }
+
+    /// Empty the set in O(1) (epoch bump; stamps are only rewritten on
+    /// the rare epoch wrap).
+    pub fn clear(&mut self) {
+        self.members.clear();
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Insert every index in `0..capacity` (seed-all: cycle 0, fault
+    /// events, re-routes).
+    pub fn fill_all(&mut self) {
+        self.clear();
+        self.members.extend(0..self.stamp.len() as u32);
+        self.stamp.fill(self.epoch);
+    }
+
+    /// Sort the members ascending, so member-order iteration reproduces
+    /// the dense loops' component-index order exactly.
+    pub fn sort(&mut self) {
+        self.members.sort_unstable();
+    }
+
+    /// The members, in insertion order (ascending after [`Self::sort`]).
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Member at `idx` (index-based iteration lets callers mutate other
+    /// state while walking the set).
+    pub fn member(&self, idx: usize) -> u32 {
+        self.members[idx]
+    }
+
+    /// Drop every member for which `keep` returns false.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        let epoch = self.epoch;
+        let stamp = &mut self.stamp;
+        self.members.retain(|&i| {
+            if keep(i) {
+                true
+            } else {
+                stamp[i as usize] = epoch.wrapping_sub(1);
+                false
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_iterates_members_only() {
+        let mut s = ActiveSet::new(10);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(s.insert(7));
+        assert!(!s.insert(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(7) && !s.contains(4));
+        assert_eq!(s.members(), &[3, 7]);
+    }
+
+    #[test]
+    fn clear_is_epoch_bump() {
+        let mut s = ActiveSet::new(4);
+        s.insert(1);
+        s.insert(2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(1));
+        assert!(s.insert(1));
+        assert_eq!(s.members(), &[1]);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        let mut s = ActiveSet::new(3);
+        s.epoch = u32::MAX - 1;
+        s.insert(0);
+        s.clear(); // epoch -> MAX
+        s.insert(1);
+        s.clear(); // wrap: stamps zeroed, epoch back to 1
+        assert!(!s.contains(0) && !s.contains(1));
+        assert!(s.insert(1));
+        assert!(s.contains(1));
+    }
+
+    #[test]
+    fn sort_orders_members_ascending() {
+        let mut s = ActiveSet::new(10);
+        for i in [9, 1, 5, 0] {
+            s.insert(i);
+        }
+        s.sort();
+        assert_eq!(s.members(), &[0, 1, 5, 9]);
+    }
+
+    #[test]
+    fn fill_all_contains_everything() {
+        let mut s = ActiveSet::new(5);
+        s.insert(2);
+        s.fill_all();
+        assert_eq!(s.members(), &[0, 1, 2, 3, 4]);
+        assert!((0..5).all(|i| s.contains(i)));
+        assert!(!s.insert(4));
+    }
+
+    #[test]
+    fn retain_unstamps_dropped_members() {
+        let mut s = ActiveSet::new(10);
+        for i in [2, 4, 6, 8] {
+            s.insert(i);
+        }
+        s.retain(|i| i % 4 == 0);
+        assert_eq!(s.members(), &[4, 8]);
+        assert!(!s.contains(2) && s.contains(4));
+        assert!(s.insert(2)); // re-insertable after retain dropped it
+    }
+
+    #[test]
+    fn default_is_empty_zero_capacity() {
+        let s = ActiveSet::default();
+        assert!(s.is_empty());
+        assert_eq!(s.members(), &[] as &[u32]);
+    }
+}

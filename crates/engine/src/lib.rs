@@ -26,6 +26,7 @@
 //!
 //! [`ccfit`]: https://example.org/ccfit-rs
 
+pub mod active;
 pub mod calq;
 pub mod cam;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod ram;
 pub mod rng;
 pub mod units;
 
+pub use active::ActiveSet;
 pub use calq::CalendarQueue;
 pub use cam::{Cam, CamLine};
 pub use error::EngineError;

@@ -77,6 +77,11 @@ pub struct NodeGenerator {
     node: NodeId,
     num_nodes: usize,
     flows: Vec<FlowState>,
+    /// Last cycle [`Self::tick`] ran, `Cycle::MAX` before the first
+    /// tick. The sparse engine parks emission-idle nodes and skips
+    /// their ticks; the gap is replayed cycle-by-cycle on the next
+    /// tick so the token trajectory stays byte-identical.
+    last_tick: Cycle,
 }
 
 impl NodeGenerator {
@@ -130,6 +135,7 @@ impl NodeGenerator {
             node,
             num_nodes,
             flows,
+            last_tick: Cycle::MAX,
         }
     }
 
@@ -163,11 +169,115 @@ impl NodeGenerator {
             .min()
     }
 
+    /// Sparse-engine parking contract (DESIGN.md §12): the earliest
+    /// future cycle at which ticking this generator could observably
+    /// act — emit a packet (an offer to the sink, which may draw
+    /// destination randomness and is refusable) or cross an ON/OFF
+    /// phase boundary (which draws the next phase length from the flow
+    /// RNG at the crossing cycle). Until then every tick is pure token
+    /// accrual, which [`Self::tick`] replays on wake-up, so the engine
+    /// may park the node and skip its ticks entirely.
+    ///
+    /// Returns `None` when the node must tick next cycle (a full
+    /// packet's budget is already banked — an emission or backpressure
+    /// retry is pending), and `Some(Cycle::MAX)` when no flow can ever
+    /// act again. The wake is a conservative *lower* bound: waking
+    /// early is a gated no-op that re-parks, while waking late would
+    /// skip an emission and break byte-identity — so the estimate backs
+    /// off from the closed-form float division far enough to absorb any
+    /// rounding drift versus the replayed per-cycle accrual.
+    pub fn next_park_wake(&self, now: Cycle) -> Option<Cycle> {
+        let mut wake = Cycle::MAX;
+        for f in &self.flows {
+            if f.end.is_some_and(|e| now >= e) {
+                continue;
+            }
+            if f.start > now {
+                wake = wake.min(f.start);
+                continue;
+            }
+            if f.tokens >= f.packet_flits as f64 {
+                return None;
+            }
+            let accrual = match &f.onoff {
+                None => f.flits_per_cycle,
+                Some(st) => {
+                    debug_assert!(st.phase_ends > now, "un-ticked active ON/OFF flow");
+                    wake = wake.min(st.phase_ends);
+                    if st.on {
+                        f.link_bw
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if accrual > 0.0 {
+                let k = ((f.packet_flits as f64 - f.tokens) / accrual).floor() as Cycle;
+                let margin = 2 + (k >> 16);
+                wake = wake.min(now + k.saturating_sub(margin).max(1));
+            }
+        }
+        Some(wake)
+    }
+
+    /// Replay the cycles in `(last_tick, now)` skipped while the node
+    /// was parked. Byte-identity demands the exact per-cycle float
+    /// trajectory (accrual is capped each cycle, so a closed-form
+    /// multiply would round differently) — each skipped cycle performs
+    /// the same arithmetic a real tick would have. Parking guarantees
+    /// no emission or ON/OFF boundary falls inside a gap
+    /// (debug-asserted); stretches where no flow is active are
+    /// leapfrogged, matching the engine's dense gate which skips the
+    /// tick outright on those cycles.
+    fn replay_to(&mut self, now: Cycle) {
+        let mut c = match self.last_tick {
+            Cycle::MAX => 0,
+            t => t + 1,
+        };
+        while c < now {
+            if !self.any_active(c) {
+                match self.next_activation(c) {
+                    Some(at) if at < now => c = at,
+                    _ => break,
+                }
+                continue;
+            }
+            for f in &mut self.flows {
+                let active = c >= f.start && f.end.is_none_or(|e| c < e);
+                if !active {
+                    f.tokens = 0.0;
+                    continue;
+                }
+                let accrual = match &f.onoff {
+                    None => f.flits_per_cycle,
+                    Some(st) => {
+                        debug_assert!(c < st.phase_ends, "parked across an ON/OFF boundary");
+                        if st.on {
+                            f.link_bw
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                f.tokens = (f.tokens + accrual).min(BURST_CAP_PACKETS * f.packet_flits as f64);
+                debug_assert!(
+                    f.tokens < f.packet_flits as f64,
+                    "parked across an emission"
+                );
+            }
+            c += 1;
+        }
+    }
+
     /// Advance one cycle: accrue budget and offer ready packets to the
     /// sink. Offers at most one packet per flow per cycle (a node cannot
     /// source faster than its flows' combined budget anyway; the cap
     /// bounds worst-case work per cycle).
     pub fn tick(&mut self, now: Cycle, sink: &mut impl InjectSink) {
+        if self.last_tick == Cycle::MAX || now > self.last_tick + 1 {
+            self.replay_to(now);
+        }
+        self.last_tick = now;
         for f in &mut self.flows {
             let active = now >= f.start && f.end.is_none_or(|e| now < e);
             if !active {
@@ -369,6 +479,85 @@ mod tests {
         ];
         let g = gen_for(&specs, 0);
         assert_eq!(g.num_flows(), 1);
+    }
+
+    /// Drive a generator the way the sparse engine does — tick only at
+    /// `next_park_wake` cycles (replaying gaps internally) — and
+    /// compare every emission (cycle + packet) against a densely
+    /// ticked twin. Byte-identity of the parking contract in a bottle.
+    fn assert_parked_matches_dense(specs: &[FlowSpec], cycles: u64) {
+        let mut dense = gen_for(specs, 0);
+        let mut dense_got = Vec::new();
+        for now in 0..cycles {
+            if dense.any_active(now) {
+                let mut sink = |p: GenPacket| {
+                    dense_got.push((now, p));
+                    true
+                };
+                dense.tick(now, &mut sink);
+            }
+        }
+        let mut parked = gen_for(specs, 0);
+        let mut parked_got = Vec::new();
+        let mut now = 0u64;
+        while now < cycles {
+            if parked.any_active(now) {
+                let mut sink = |p: GenPacket| {
+                    parked_got.push((now, p));
+                    true
+                };
+                parked.tick(now, &mut sink);
+            }
+            now = match parked.next_park_wake(now) {
+                None => now + 1,
+                Some(Cycle::MAX) => break,
+                Some(at) => at.max(now + 1),
+            };
+        }
+        assert_eq!(dense_got, parked_got);
+        assert!(!dense_got.is_empty(), "vacuous: no emissions at all");
+    }
+
+    #[test]
+    fn parked_smooth_flow_emits_identically() {
+        let mut spec = FlowSpec::uniform(0, NodeId(0), 0.0, None);
+        spec.rate = 0.37;
+        assert_parked_matches_dense(&[spec], 20_000);
+    }
+
+    #[test]
+    fn parked_windowed_flows_emit_identically() {
+        let u = units();
+        let mut a = FlowSpec::hotspot(0, NodeId(0), NodeId(4), 500.0 * u.cycle_ns, None);
+        a.rate = 0.11;
+        let b = FlowSpec::uniform(1, NodeId(0), 3000.0 * u.cycle_ns, Some(9000.0 * u.cycle_ns));
+        assert_parked_matches_dense(&[a, b], 20_000);
+    }
+
+    #[test]
+    fn parked_onoff_flow_emits_identically() {
+        // Phase boundaries draw RNG at the crossing cycle, so a parked
+        // node must wake exactly on (or before) them.
+        let spec = FlowSpec::bursty_uniform(0, NodeId(0), 0.4, 300.0 * units().cycle_ns);
+        assert_parked_matches_dense(&[spec], 60_000);
+    }
+
+    #[test]
+    fn banked_packet_forbids_parking() {
+        let specs = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(4), 0.0, None)];
+        let mut g = gen_for(&specs, 0);
+        let mut refuse = |_: GenPacket| false;
+        for now in 0..100u64 {
+            g.tick(now, &mut refuse);
+        }
+        // Backpressure banked a full packet: must retry every cycle.
+        assert_eq!(g.next_park_wake(99), None);
+        // Accepting the retry drains the bank and parking resumes.
+        let mut accept = |_: GenPacket| true;
+        g.tick(100, &mut accept);
+        g.tick(101, &mut accept);
+        let wake = g.next_park_wake(101).expect("parkable again");
+        assert!(wake > 101 && wake < Cycle::MAX);
     }
 
     #[test]

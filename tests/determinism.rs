@@ -38,6 +38,95 @@ fn cfg_threads(threads: usize) -> SimConfig {
     cfg_batch(threads, 0)
 }
 
+/// Fast-path config with the sparse activity-driven scheduler
+/// (DESIGN.md §12) explicitly on or off; `off` is the dense fast path,
+/// which shares the skip gates but iterates whole component arrays.
+fn cfg_sparse(on: bool) -> SimConfig {
+    let mut c = cfg(false);
+    c.sparse = on;
+    c
+}
+
+/// The sparse activity-driven scheduler must be byte-identical to the
+/// dense fast path across all three paper configurations, serially and
+/// on every sharded thread count (the parallel engine also rides the
+/// active sets; DESIGN.md §12).
+#[test]
+fn sparse_scheduler_is_bit_identical_across_configs_and_thread_counts() {
+    let specs = [
+        config1_case1_scaled(0.02),
+        config2_case2_scaled(0.02),
+        config3_case4_scaled(1, 0.01),
+    ];
+    for spec in &specs {
+        let dense = spec
+            .run_with(Mechanism::ccfit(), 3, cfg_sparse(false))
+            .to_json();
+        let sparse = spec
+            .run_with(Mechanism::ccfit(), 3, cfg_sparse(true))
+            .to_json();
+        assert_eq!(
+            sparse, dense,
+            "{}: serial sparse scheduler diverges from the dense fast path",
+            spec.name
+        );
+        for threads in [1usize, 2, 4] {
+            let par = spec
+                .run_with(Mechanism::ccfit(), 3, cfg_threads(threads))
+                .to_json();
+            assert_eq!(
+                par, dense,
+                "{}: sparse parallel threads={threads} diverges from the dense fast path",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Sparse byte-identity with a dynamic fault schedule in play: fault
+/// events invalidate every activation assumption, so the scheduler
+/// re-seeds all work-lists (and resyncs the SoA occupancy mirror) —
+/// serial and parallel alike must still match the dense fast path.
+#[test]
+fn sparse_scheduler_is_bit_identical_under_faults() {
+    let spec = config2_case2_scaled(0.04);
+    let leaf = spec.topology.node_attachment(NodeId(7)).0;
+    let trunk = spec
+        .topology
+        .switch(leaf)
+        .connected()
+        .find(|&p| matches!(spec.topology.peer(leaf, p), Some((Endpoint::Switch(..), _))))
+        .expect("leaf has an up-link");
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .link_down(40_000, leaf, trunk, FaultPolicy::FailStop)
+        .link_up(120_000, leaf, trunk);
+
+    let run = |c: SimConfig| {
+        spec.run_with_faults(
+            Mechanism::ccfit(),
+            9,
+            c,
+            schedule.clone(),
+            FaultConfig::default(),
+        )
+        .to_json()
+    };
+    let dense = run(cfg_sparse(false));
+    assert_eq!(
+        run(cfg_sparse(true)),
+        dense,
+        "serial sparse scheduler diverges from the dense fast path under faults"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(
+            run(cfg_threads(threads)),
+            dense,
+            "sparse parallel threads={threads} diverges from the dense fast path under faults"
+        );
+    }
+}
+
 /// Same guarantee with a dynamic fault schedule in play: the Phase-0
 /// event queue, the purges, and the re-route must be just as
 /// deterministic as the steady-state machinery — same seed + same

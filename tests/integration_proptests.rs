@@ -161,6 +161,43 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sparse scheduler's activation rules are conservative for any
+    /// workload/mechanism/seed: a component never acts in a cycle where
+    /// it was off the work-list. Two layers check this — in debug builds
+    /// the sparse tick asserts every non-member is inert (quiescent
+    /// switch / quiet adapter / idle link) at every cycle, and the
+    /// resulting report must still be byte-identical to the dense fast
+    /// path, which iterates everything.
+    #[test]
+    fn sparse_activation_rules_are_conservative(
+        mech in mechanism_strategy(),
+        pattern in pattern_strategy(8),
+        seed in 0u64..1000,
+    ) {
+        let run = |sparse: bool| {
+            let tree = KAryNTree::new(2, 3);
+            SimBuilder::new(tree.build(LinkParams::default()))
+                .routing(tree.det_routing())
+                .mechanism(mech.clone())
+                .crossbar_bw(1)
+                .traffic(pattern.clone())
+                .duration_ns(500_000.0)
+                .config(SimConfig {
+                    metrics_bin_ns: 50_000.0,
+                    ..SimConfig::default()
+                })
+                .sparse(sparse)
+                .seed(seed)
+                .build()
+                .run()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
+
+proptest! {
     /// The parallel engine's weighted shard partition covers the
     /// component index space exactly once: contiguous ranges, in order,
     /// whose concatenation is `0..n` — no component simulated twice or
