@@ -12,53 +12,95 @@
 //!
 //! Each sweep runs a compressed Config #1 Case #1 (fairness-sensitive) or
 //! Config #3 Case #4 storm (resource-sensitive) and prints the metric the
-//! design choice trades off.
+//! design choice trades off. Every point goes through the orchestrator's
+//! result cache, so repeating a sweep (or `ablate all` after individual
+//! sweeps) re-reads instead of re-simulating.
 
-use ccfit::experiment::{config1_case1_scaled, config3_case4};
 use ccfit::params::{CctProfile, IsolationParams, ThrottleParams};
-use ccfit::{Mechanism, SimConfig};
+use ccfit::{ConfigId, Mechanism};
+use ccfit_bench::harness::{run_specs, RunCtx};
+use ccfit_bench::RunOutput;
 use ccfit_engine::ids::FlowId;
+use ccfit_orchestrator::RunSpec;
 
-fn cfg() -> SimConfig {
-    SimConfig {
-        metrics_bin_ns: 100_000.0,
-        ..SimConfig::default()
+const BIN_NS: f64 = 100_000.0;
+
+fn fairness_config() -> ConfigId {
+    ConfigId::Config1Case1 { scale: 0.3 }
+}
+
+fn storm_config() -> ConfigId {
+    ConfigId::Config3Case4 {
+        hotspots: 4,
+        duration_ms: 3.0,
+        scale: 1.0,
     }
 }
 
-fn sweep_cfqs() {
+/// Run one mechanism per sweep point through the cache-backed runner.
+fn run_points(config: &ConfigId, mechanisms: Vec<Mechanism>, ctx: &RunCtx) -> Vec<RunOutput> {
+    let specs: Vec<RunSpec> = mechanisms
+        .into_iter()
+        .map(|m| RunSpec::new(config.clone(), m, 1, BIN_NS))
+        .collect();
+    run_specs(&specs, ctx)
+}
+
+fn sweep_cfqs(ctx: &RunCtx) {
     println!("-- CFQ count sweep (Config #3, 4-tree storm, burst window) --");
     println!("cfqs  FBICM  CCFIT   (normalized throughput during [1,2] ms)");
-    let spec = config3_case4(4, 3.0);
-    for n in [1usize, 2, 4, 8] {
-        let iso = IsolationParams {
-            num_cfqs: n,
-            out_cam_lines: 2 * n,
-            ..IsolationParams::default()
-        };
-        let f = spec.run_with(Mechanism::Fbicm(iso), 1, cfg());
-        let c = spec.run_with(Mechanism::Ccfit(iso, ThrottleParams::default()), 1, cfg());
+    let counts = [1usize, 2, 4, 8];
+    let mechs: Vec<Mechanism> = counts
+        .iter()
+        .flat_map(|&n| {
+            let iso = IsolationParams {
+                num_cfqs: n,
+                out_cam_lines: 2 * n,
+                ..IsolationParams::default()
+            };
+            [
+                Mechanism::Fbicm(iso),
+                Mechanism::Ccfit(iso, ThrottleParams::default()),
+            ]
+        })
+        .collect();
+    let runs = run_points(&storm_config(), mechs, ctx);
+    for (i, n) in counts.iter().enumerate() {
         println!(
             "{n:>4}  {:.3}  {:.3}",
-            f.mean_normalized_throughput(1.1e6, 2.0e6),
-            c.mean_normalized_throughput(1.1e6, 2.0e6)
+            runs[2 * i].report.mean_normalized_throughput(1.1e6, 2.0e6),
+            runs[2 * i + 1]
+                .report
+                .mean_normalized_throughput(1.1e6, 2.0e6)
         );
     }
 }
 
-fn sweep_marking() {
+fn sweep_marking(ctx: &RunCtx) {
     println!("-- Marking_Rate sweep (Config #1, victim bandwidth + contributor fairness) --");
     println!("rate   ITh victim  ITh Jain   CCFIT victim  CCFIT Jain");
-    let spec = config1_case1_scaled(0.3);
+    let config = fairness_config();
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
-    let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
-    for rate in [0.1f64, 0.25, 0.5, 0.85, 1.0] {
-        let thr = ThrottleParams {
-            marking_rate: rate,
-            ..ThrottleParams::default()
-        };
-        let i = spec.run_with(Mechanism::Ith(thr.clone()), 1, cfg());
-        let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
+    let duration_ns = config.resolve().duration_ns;
+    let (w0, w1) = (0.65 * duration_ns, duration_ns);
+    let rates = [0.1f64, 0.25, 0.5, 0.85, 1.0];
+    let mechs: Vec<Mechanism> = rates
+        .iter()
+        .flat_map(|&rate| {
+            let thr = ThrottleParams {
+                marking_rate: rate,
+                ..ThrottleParams::default()
+            };
+            [
+                Mechanism::Ith(thr.clone()),
+                Mechanism::Ccfit(IsolationParams::default(), thr),
+            ]
+        })
+        .collect();
+    let runs = run_points(&config, mechs, ctx);
+    for (idx, rate) in rates.iter().enumerate() {
+        let i = &runs[2 * idx].report;
+        let c = &runs[2 * idx + 1].report;
         println!(
             "{rate:>4.2}   {:>10.2}  {:>8.3}   {:>12.2}  {:>10.3}",
             i.flow_mean_bandwidth_gbps(FlowId(0), w0, w1),
@@ -69,18 +111,27 @@ fn sweep_marking() {
     }
 }
 
-fn sweep_timer() {
+fn sweep_timer(ctx: &RunCtx) {
     println!("-- CCTI_Timer sweep (Config #1, contributor throughput vs fairness) --");
     println!("timer_ns  victim  contrib_total  Jain   (CCFIT)");
-    let spec = config1_case1_scaled(0.3);
+    let config = fairness_config();
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
-    let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
-    for timer in [2000.0f64, 4000.0, 8000.0, 16000.0, 32000.0] {
-        let thr = ThrottleParams {
-            ccti_timer_ns: timer,
-            ..ThrottleParams::default()
-        };
-        let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
+    let duration_ns = config.resolve().duration_ns;
+    let (w0, w1) = (0.65 * duration_ns, duration_ns);
+    let timers = [2000.0f64, 4000.0, 8000.0, 16000.0, 32000.0];
+    let mechs: Vec<Mechanism> = timers
+        .iter()
+        .map(|&timer| {
+            let thr = ThrottleParams {
+                ccti_timer_ns: timer,
+                ..ThrottleParams::default()
+            };
+            Mechanism::Ccfit(IsolationParams::default(), thr)
+        })
+        .collect();
+    let runs = run_points(&config, mechs, ctx);
+    for (idx, timer) in timers.iter().enumerate() {
+        let c = &runs[idx].report;
         let total: f64 = contributors
             .iter()
             .map(|&f| c.flow_mean_bandwidth_gbps(f, w0, w1))
@@ -94,19 +145,27 @@ fn sweep_timer() {
     }
 }
 
-fn sweep_stopgo() {
+fn sweep_stopgo(ctx: &RunCtx) {
     println!("-- Stop/Go threshold sweep (Config #1, FBICM victim + buffering) --");
     println!("stop  go   victim  contrib_total");
-    let spec = config1_case1_scaled(0.3);
+    let config = fairness_config();
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
-    let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
-    for (stop, go) in [(6u32, 2u32), (10, 4), (10, 8), (16, 4), (24, 8)] {
-        let iso = IsolationParams {
-            stop_mtus: stop,
-            go_mtus: go,
-            ..IsolationParams::default()
-        };
-        let f = spec.run_with(Mechanism::Fbicm(iso), 1, cfg());
+    let duration_ns = config.resolve().duration_ns;
+    let (w0, w1) = (0.65 * duration_ns, duration_ns);
+    let points = [(6u32, 2u32), (10, 4), (10, 8), (16, 4), (24, 8)];
+    let mechs: Vec<Mechanism> = points
+        .iter()
+        .map(|&(stop, go)| {
+            Mechanism::Fbicm(IsolationParams {
+                stop_mtus: stop,
+                go_mtus: go,
+                ..IsolationParams::default()
+            })
+        })
+        .collect();
+    let runs = run_points(&config, mechs, ctx);
+    for (idx, (stop, go)) in points.iter().enumerate() {
+        let f = &runs[idx].report;
         let total: f64 = contributors
             .iter()
             .map(|&fl| f.flow_mean_bandwidth_gbps(fl, w0, w1))
@@ -119,16 +178,25 @@ fn sweep_stopgo() {
     }
 }
 
-fn sweep_detect() {
+fn sweep_detect(ctx: &RunCtx) {
     println!("-- Detection threshold sweep (Config #3 storm, CCFIT burst throughput) --");
     println!("detect_mtus  burst_nt  cfq_allocated");
-    let spec = config3_case4(4, 3.0);
-    for detect in [2u32, 4, 8, 16, 24] {
-        let iso = IsolationParams {
-            detect_threshold_mtus: detect,
-            ..IsolationParams::default()
-        };
-        let c = spec.run_with(Mechanism::Ccfit(iso, ThrottleParams::default()), 1, cfg());
+    let thresholds = [2u32, 4, 8, 16, 24];
+    let mechs: Vec<Mechanism> = thresholds
+        .iter()
+        .map(|&detect| {
+            Mechanism::Ccfit(
+                IsolationParams {
+                    detect_threshold_mtus: detect,
+                    ..IsolationParams::default()
+                },
+                ThrottleParams::default(),
+            )
+        })
+        .collect();
+    let runs = run_points(&storm_config(), mechs, ctx);
+    for (idx, detect) in thresholds.iter().enumerate() {
+        let c = &runs[idx].report;
         println!(
             "{detect:>11}  {:>8.3}  {:>13}",
             c.mean_normalized_throughput(1.1e6, 2.0e6),
@@ -137,24 +205,34 @@ fn sweep_detect() {
     }
 }
 
-fn sweep_cct() {
+fn sweep_cct(ctx: &RunCtx) {
     println!("-- CCT profile sweep (Config #1, CCFIT victim + contributor total) --");
     println!("profile        victim  contrib_total  Jain");
-    let spec = config1_case1_scaled(0.3);
+    let config = fairness_config();
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
-    let (w0, w1) = (0.65 * spec.duration_ns, spec.duration_ns);
+    let duration_ns = config.resolve().duration_ns;
+    let (w0, w1) = (0.65 * duration_ns, duration_ns);
     let profiles: Vec<(&str, CctProfile)> = vec![
         ("linear", CctProfile::Linear),
         ("exp/4", CctProfile::Exponential { period: 4 }),
         ("exp/8", CctProfile::Exponential { period: 8 }),
         ("exp/16", CctProfile::Exponential { period: 16 }),
     ];
-    for (name, profile) in profiles {
-        let thr = ThrottleParams {
-            cct_profile: profile,
-            ..ThrottleParams::default()
-        };
-        let c = spec.run_with(Mechanism::Ccfit(IsolationParams::default(), thr), 1, cfg());
+    let mechs: Vec<Mechanism> = profiles
+        .iter()
+        .map(|(_, profile)| {
+            Mechanism::Ccfit(
+                IsolationParams::default(),
+                ThrottleParams {
+                    cct_profile: *profile,
+                    ..ThrottleParams::default()
+                },
+            )
+        })
+        .collect();
+    let runs = run_points(&config, mechs, ctx);
+    for (idx, (name, _)) in profiles.iter().enumerate() {
+        let c = &runs[idx].report;
         let total: f64 = contributors
             .iter()
             .map(|&f| c.flow_mean_bandwidth_gbps(f, w0, w1))
@@ -169,26 +247,28 @@ fn sweep_cct() {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match which.as_str() {
-        "cfqs" => sweep_cfqs(),
-        "marking" => sweep_marking(),
-        "timer" => sweep_timer(),
-        "stopgo" => sweep_stopgo(),
-        "detect" => sweep_detect(),
-        "cct" => sweep_cct(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let ctx = RunCtx::from_args(&args);
+    match which {
+        "cfqs" => sweep_cfqs(&ctx),
+        "marking" => sweep_marking(&ctx),
+        "timer" => sweep_timer(&ctx),
+        "stopgo" => sweep_stopgo(&ctx),
+        "detect" => sweep_detect(&ctx),
+        "cct" => sweep_cct(&ctx),
         _ => {
-            sweep_cfqs();
+            sweep_cfqs(&ctx);
             println!();
-            sweep_marking();
+            sweep_marking(&ctx);
             println!();
-            sweep_timer();
+            sweep_timer(&ctx);
             println!();
-            sweep_stopgo();
+            sweep_stopgo(&ctx);
             println!();
-            sweep_detect();
+            sweep_detect(&ctx);
             println!();
-            sweep_cct();
+            sweep_cct(&ctx);
         }
     }
 }

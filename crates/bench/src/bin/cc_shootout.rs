@@ -19,12 +19,13 @@
 //!   registered scheme still assembles, runs and reports
 //! * `--mech`  — narrow the set by registry display name
 //! * `--out`   — JSON path (default `BENCH_cc.json`)
+//!
+//! Runs read through the orchestrator's result cache; `wall_s` in the
+//! JSON is near-zero for cache hits (`--no-cache` to force fresh runs).
 
-use ccfit::experiment::{
-    config1_case1_scaled, config2_case2_scaled, config3_case4_scaled, ExperimentSpec,
-};
-use ccfit::{Mechanism, SimConfig};
-use ccfit_bench::harness::mechanisms_from_args;
+use ccfit::experiment::ExperimentSpec;
+use ccfit::{ConfigId, Mechanism};
+use ccfit_bench::harness::{mechanisms_from_args, run_all, RunCtx};
 use ccfit_engine::ids::FlowId;
 use ccfit_metrics::SimReport;
 use serde::Serialize;
@@ -55,7 +56,7 @@ enum Victim {
 /// One benchmark scenario plus the measurement windows, all expressed
 /// as fractions of the run so the same shape works at any time scale.
 struct Panel {
-    spec: ExperimentSpec,
+    config: ConfigId,
     /// Throughput/fairness window: full congestion, every contributor on.
     congested: (f64, f64),
     /// Victim baseline window is `[0, baseline_to)`.
@@ -71,7 +72,7 @@ fn panels(smoke: bool) -> Vec<Panel> {
     if smoke {
         // CI shape: the Config #1 hotspot compressed to 0.2 ms.
         return vec![Panel {
-            spec: config1_case1_scaled(0.02),
+            config: ConfigId::Config1Case1 { scale: 0.02 },
             congested: (0.65, 1.0),
             baseline_to: 0.2,
             recover_from: 0.2,
@@ -83,7 +84,7 @@ fn panels(smoke: bool) -> Vec<Panel> {
         // Config #1 / Case #1 at 2 ms: victim F0 vs staggered
         // contributors converging on node 4 (onset at 20 % of the run).
         Panel {
-            spec: config1_case1_scaled(0.2),
+            config: ConfigId::Config1Case1 { scale: 0.2 },
             congested: (0.65, 1.0),
             baseline_to: 0.2,
             recover_from: 0.2,
@@ -93,7 +94,7 @@ fn panels(smoke: bool) -> Vec<Panel> {
         // Config #2 / Case #2 at 2 ms: five flows converging on node 7;
         // the established flow from node 1 plays the victim role.
         Panel {
-            spec: config2_case2_scaled(0.2),
+            config: ConfigId::Config2Case2 { scale: 0.2 },
             congested: (0.65, 1.0),
             baseline_to: 0.2,
             recover_from: 0.2,
@@ -104,7 +105,11 @@ fn panels(smoke: bool) -> Vec<Panel> {
         // one-tree hotspot storm in the middle half-window; recovery of
         // aggregate throughput is measured from the burst's end.
         Panel {
-            spec: config3_case4_scaled(1, 0.1),
+            config: ConfigId::Config3Case4 {
+                hotspots: 1,
+                duration_ms: 4.0,
+                scale: 0.1,
+            },
             congested: (0.25, 0.5),
             baseline_to: 0.25,
             recover_from: 0.5,
@@ -168,7 +173,7 @@ struct MechResult {
     /// Jain's index over the panel's competing-flow set, congested window.
     jain: f64,
     delivered_packets: u64,
-    /// Wall-clock seconds for the simulation.
+    /// Wall-clock seconds for the simulation (near-zero on cache hits).
     wall_s: f64,
     /// The congestion-control counters the run produced (feedback
     /// volumes, wire overhead, throttling activity) — empty for the
@@ -176,7 +181,13 @@ struct MechResult {
     cc_counters: BTreeMap<String, u64>,
 }
 
-fn score(panel: &Panel, mech: &Mechanism, report: &SimReport, wall_s: f64) -> MechResult {
+fn score(
+    panel: &Panel,
+    spec: &ExperimentSpec,
+    mechanism: String,
+    report: &SimReport,
+    wall_s: f64,
+) -> MechResult {
     let d = report.duration_ns;
     let (cw_from, cw_to) = (panel.congested.0 * d, panel.congested.1 * d);
     let throughput = report.mean_normalized_throughput(cw_from, cw_to);
@@ -192,8 +203,7 @@ fn score(panel: &Panel, mech: &Mechanism, report: &SimReport, wall_s: f64) -> Me
     let bin_ns = report.bin_ns;
     let victim_series: Option<Vec<f64>> = match panel.victim {
         Victim::Network => Some(report.network_throughput_normalized()),
-        Victim::Flow => panel
-            .spec
+        Victim::Flow => spec
             .pattern
             .flows
             .iter()
@@ -204,8 +214,7 @@ fn score(panel: &Panel, mech: &Mechanism, report: &SimReport, wall_s: f64) -> Me
         .as_ref()
         .and_then(|s| recovery_ns(s, bin_ns, panel.baseline_to * d, panel.recover_from * d));
 
-    let jain_flows: Vec<FlowId> = panel
-        .spec
+    let jain_flows: Vec<FlowId> = spec
         .pattern
         .flows
         .iter()
@@ -228,7 +237,7 @@ fn score(panel: &Panel, mech: &Mechanism, report: &SimReport, wall_s: f64) -> Me
         .collect();
 
     MechResult {
-        mechanism: mech.name().to_string(),
+        mechanism,
         throughput,
         mean_latency_ns,
         p50_ns,
@@ -278,26 +287,23 @@ fn main() {
         ]
     };
     let mechs = mechanisms_from_args(&args, default_set);
+    let ctx = RunCtx::from_args(&args);
     let seed = 0xCC5;
 
     let mut results = Vec::new();
     for panel in panels(smoke) {
-        let d = panel.spec.duration_ns;
-        // ~100 bins per run regardless of time scale.
-        let cfg = SimConfig {
-            metrics_bin_ns: d / 100.0,
-            ..SimConfig::default()
-        };
-        println!("=== {} ({:.2} ms simulated) ===", panel.spec.name, d / 1e6);
+        let spec = panel.config.resolve();
+        let d = spec.duration_ns;
+        println!("=== {} ({:.2} ms simulated) ===", spec.name, d / 1e6);
         println!(
             "{:<8} {:>7} {:>12} {:>10} {:>10} {:>12} {:>7} {:>8}",
             "mech", "thput", "mean lat ns", "p95 ns", "p99 ns", "recovery ns", "jain", "wall s"
         );
+        // ~100 bins per run regardless of time scale.
+        let runs = run_all(&panel.config, &mechs, seed, d / 100.0, &ctx);
         let mut per_mech = Vec::new();
-        for mech in &mechs {
-            let t0 = std::time::Instant::now();
-            let report = panel.spec.run_with(mech.clone(), seed, cfg.clone());
-            let r = score(&panel, mech, &report, t0.elapsed().as_secs_f64());
+        for out in runs {
+            let r = score(&panel, &spec, out.mechanism, &out.report, out.wall_s);
             println!(
                 "{:<8} {:>7.4} {:>12.0} {:>10.0} {:>10.0} {:>12} {:>7.4} {:>8.2}",
                 r.mechanism,
@@ -314,7 +320,7 @@ fn main() {
         }
         println!();
         results.push(PanelResult {
-            config: panel.spec.name.clone(),
+            config: spec.name.clone(),
             duration_ns: d,
             mechanisms: per_mech,
         });

@@ -48,49 +48,69 @@ struct ScenarioResult {
     simulated_cycles: u64,
     /// Serial wall time with `force_slow_path` (single rep for the
     /// scale scenario, which is expensive de-optimized).
+    #[serde(skip_serializing_if = "Option::is_none")]
     slow_wall_s: Option<f64>,
     fast_wall_s: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
     slow_cycles_per_sec: Option<f64>,
     fast_cycles_per_sec: f64,
     /// Fast-serial throughput over slow-serial throughput.
+    #[serde(skip_serializing_if = "Option::is_none")]
     speedup: Option<f64>,
     /// Worker threads used for the parallel engine run (null when the
     /// scenario was not benchmarked in parallel).
+    #[serde(skip_serializing_if = "Option::is_none")]
     threads: Option<usize>,
     /// Threads the engine actually used after the auto-fallback
     /// decision (DESIGN.md §9) — 1 means the parallel leg measured the
     /// serial engine.
+    #[serde(skip_serializing_if = "Option::is_none")]
     effective_threads: Option<usize>,
     /// Why the parallel request was degraded (`single-cpu`,
     /// `oversubscribed`, `tiny-shards`), or null for an honest run.
+    #[serde(skip_serializing_if = "Option::is_none")]
     fallback: Option<String>,
+    #[serde(skip_serializing_if = "Option::is_none")]
     parallel_wall_s: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
     parallel_cycles_per_sec: Option<f64>,
     /// Parallel throughput over fast-serial throughput.
+    #[serde(skip_serializing_if = "Option::is_none")]
     parallel_speedup: Option<f64>,
     /// Peak resident set (`VmHWM`) after the scenario finished, bytes
     /// (scale scenario only).
+    #[serde(skip_serializing_if = "Option::is_none")]
     peak_rss_bytes: Option<u64>,
     /// Peak RSS divided by the node count — the engine's memory
     /// footprint per simulated node (scale scenario only).
+    #[serde(skip_serializing_if = "Option::is_none")]
     mem_per_node_bytes: Option<u64>,
     /// Wall time with the full observability layer on (`--trace` only).
+    #[serde(skip_serializing_if = "Option::is_none")]
     traced_wall_s: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
     traced_cycles_per_sec: Option<f64>,
     /// Percent throughput lost to full tracing vs the fast serial run.
+    #[serde(skip_serializing_if = "Option::is_none")]
     tracing_overhead_pct: Option<f64>,
     /// Mean switches on the sparse scheduler's per-cycle work-list
     /// during the fast serial run (null when the sparse path was off).
+    #[serde(skip_serializing_if = "Option::is_none")]
     active_avg_switches: Option<f64>,
     /// Peak of the same work-list.
+    #[serde(skip_serializing_if = "Option::is_none")]
     active_max_switches: Option<u32>,
     /// Mean adapters on the per-cycle work-list.
+    #[serde(skip_serializing_if = "Option::is_none")]
     active_avg_adapters: Option<f64>,
     /// Peak adapters on the per-cycle work-list.
+    #[serde(skip_serializing_if = "Option::is_none")]
     active_max_adapters: Option<u32>,
     /// Mean links on the per-cycle work-list.
+    #[serde(skip_serializing_if = "Option::is_none")]
     active_avg_links: Option<f64>,
     /// Peak links on the per-cycle work-list.
+    #[serde(skip_serializing_if = "Option::is_none")]
     active_max_links: Option<u32>,
 }
 

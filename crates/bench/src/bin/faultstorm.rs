@@ -18,15 +18,19 @@
 //! the fault, injections refused while the victim subtree was cut off,
 //! node-unreachable and stale-routing time, and the post-repair
 //! recovery time derived from the delivered-throughput series.
+//!
+//! The fault schedule is part of the orchestrator's cache key, so a
+//! repeated faultstorm reads its reports back from the result cache
+//! while a changed schedule re-simulates (`--no-cache` to force).
 
-use ccfit::experiment::{config3_case4, config3_case4_scaled, ExperimentSpec};
-use ccfit::{FaultConfig, FaultPolicy, FaultSchedule, Mechanism, SimConfig};
-use ccfit_bench::harness::{archive, csv_dir_from_args, mechanisms_from_args, RunOutput};
+use ccfit::experiment::ExperimentSpec;
+use ccfit::{ConfigId, FaultPolicy, FaultSchedule, Mechanism};
+use ccfit_bench::harness::{archive, csv_dir_from_args, mechanisms_from_args, run_specs, RunCtx};
 use ccfit_bench::series_table;
 use ccfit_engine::ids::{NodeId, PortId, SwitchId};
 use ccfit_engine::units::UnitModel;
+use ccfit_orchestrator::RunSpec;
 use ccfit_topology::Endpoint;
-use std::sync::Mutex;
 
 /// The first trunk (switch-to-switch) cable of node 0's leaf switch —
 /// an up-link that carries real traffic in every case-4 run.
@@ -43,34 +47,38 @@ fn victim_cable(spec: &ExperimentSpec) -> (SwitchId, PortId) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let threads: usize = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let ctx = RunCtx::from_args(&args);
     let csv = csv_dir_from_args(&args);
     let units = UnitModel::default();
 
     // Burst window is [1, 2] ms in the full run; the smoke run
     // compresses the whole schedule 10x.
-    let (spec, fail_ns, repair_ns, bin_ns) = if smoke {
-        (config3_case4_scaled(1, 0.1), 120_000.0, 220_000.0, 10_000.0)
+    let (config, fail_ns, repair_ns, bin_ns) = if smoke {
+        (
+            ConfigId::Config3Case4 {
+                hotspots: 1,
+                duration_ms: 4.0,
+                scale: 0.1,
+            },
+            120_000.0,
+            220_000.0,
+            10_000.0,
+        )
     } else {
-        (config3_case4(1, 4.0), 1_200_000.0, 2_200_000.0, 100_000.0)
+        (
+            ConfigId::config3_case4(1),
+            1_200_000.0,
+            2_200_000.0,
+            100_000.0,
+        )
     };
+    let spec = config.resolve();
     let (s, p) = victim_cable(&spec);
     let mut schedule = FaultSchedule::new();
     schedule
         .link_down(units.ns_to_cycles(fail_ns), s, p, FaultPolicy::FailStop)
         .link_up(units.ns_to_cycles(repair_ns), s, p);
-    let fault_cfg = FaultConfig::default();
 
-    let mut cfg = SimConfig {
-        metrics_bin_ns: bin_ns,
-        ..SimConfig::default()
-    };
-    cfg.parallel.threads = threads;
     let mechanisms = mechanisms_from_args(&args, Mechanism::paper_set());
 
     println!(
@@ -80,34 +88,20 @@ fn main() {
         repair_ns / 1e6,
         if smoke { " (smoke)" } else { "" },
     );
-    if threads > 1 {
-        println!("(parallel tick engine, {threads} threads per simulation)");
+    if ctx.engine.threads > 1 {
+        println!(
+            "(parallel tick engine, {} threads per simulation)",
+            ctx.engine.threads
+        );
     }
 
-    // One OS thread per mechanism (independent single-threaded sims).
-    let results: Mutex<Vec<Option<RunOutput>>> =
-        Mutex::new((0..mechanisms.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for (i, mech) in mechanisms.iter().enumerate() {
-            let (results, spec, cfg) = (&results, &spec, cfg.clone());
-            let schedule = schedule.clone();
-            scope.spawn(move || {
-                let warning = spec.engine_decision(mech, &cfg).warning();
-                let t0 = std::time::Instant::now();
-                let report = spec.run_with_faults(mech.clone(), 0xFA_017, cfg, schedule, fault_cfg);
-                let out =
-                    RunOutput::new(mech.name().to_string(), report, t0.elapsed().as_secs_f64())
-                        .with_parallel_warning(warning);
-                results.lock().unwrap()[i] = Some(out);
-            });
-        }
-    });
-    let runs: Vec<RunOutput> = results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("every mechanism produced a report"))
+    let specs: Vec<RunSpec> = mechanisms
+        .iter()
+        .map(|m| {
+            RunSpec::new(config.clone(), m.clone(), 0xFA_017, bin_ns).with_faults(schedule.clone())
+        })
         .collect();
+    let runs = run_specs(&specs, &ctx);
 
     print!("{}", series_table(&runs));
     println!("-- fault damage & availability --");

@@ -7,23 +7,20 @@
 //! best raw throughput but dominant unfairness; CCFIT combines the best
 //! throughput with the highest fairness (the paper's Fig. 10d claim).
 
-use ccfit::experiment::{config2_case2, paper_mechanisms};
-use ccfit::SimConfig;
+use ccfit::experiment::paper_mechanisms;
+use ccfit::ConfigId;
 use ccfit_bench::chart::flow_table;
-use ccfit_bench::harness::{archive, csv_dir_from_args, run_all};
+use ccfit_bench::harness::{archive, csv_dir_from_args, run_all, RunCtx};
 use ccfit_engine::ids::FlowId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = csv_dir_from_args(&args);
-    let cfg = SimConfig {
-        metrics_bin_ns: 250_000.0,
-        ..SimConfig::default()
-    };
-    let spec = config2_case2(10.0);
+    let ctx = RunCtx::from_args(&args);
+    let config = ConfigId::config2_case2();
     let flows = [FlowId(0), FlowId(1), FlowId(2), FlowId(3), FlowId(4)];
 
-    let runs = run_all(&spec, &paper_mechanisms(), 0xF10, &cfg);
+    let runs = run_all(&config, &paper_mechanisms(), 0xF10, 250_000.0, &ctx);
     for r in &runs {
         print!("{}", flow_table(r, &flows));
         let jain = r.report.jain_over(&flows, 6.5e6, 10e6);

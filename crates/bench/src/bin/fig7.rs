@@ -10,38 +10,39 @@
 //! shape: the three CC techniques track each other closely while 1Q
 //! collapses as soon as congestion appears; ITh shows a transient dip in
 //! 7a when the left switch detects congestion, and lags in 7c.
+//!
+//! Runs read through the orchestrator's result cache (`--no-cache`,
+//! `--cache-dir <dir>` to control it), so re-printing a figure whose
+//! runs are cached is instant.
 
-use ccfit::experiment::{config1_case1, config2_case2, config2_case3, paper_mechanisms};
-use ccfit::SimConfig;
-use ccfit_bench::harness::{archive, csv_dir_from_args, run_all};
+use ccfit::experiment::paper_mechanisms;
+use ccfit::ConfigId;
+use ccfit_bench::harness::{archive, csv_dir_from_args, run_all, RunCtx};
 use ccfit_bench::{chart, series_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let csv = csv_dir_from_args(&args);
-    let cfg = SimConfig {
-        metrics_bin_ns: 250_000.0,
-        ..SimConfig::default()
-    };
+    let ctx = RunCtx::from_args(&args);
 
-    let panels: Vec<(&str, ccfit::experiment::ExperimentSpec)> = match which {
-        "a" => vec![("fig7a", config1_case1(10.0))],
-        "b" => vec![("fig7b", config2_case2(10.0))],
-        "c" => vec![("fig7c", config2_case3(10.0))],
+    let panels: Vec<(&str, ConfigId)> = match which {
+        "a" => vec![("fig7a", ConfigId::config1_case1())],
+        "b" => vec![("fig7b", ConfigId::config2_case2())],
+        "c" => vec![("fig7c", ConfigId::config2_case3())],
         _ => vec![
-            ("fig7a", config1_case1(10.0)),
-            ("fig7b", config2_case2(10.0)),
-            ("fig7c", config2_case3(10.0)),
+            ("fig7a", ConfigId::config1_case1()),
+            ("fig7b", ConfigId::config2_case2()),
+            ("fig7c", ConfigId::config2_case3()),
         ],
     };
 
-    for (name, spec) in panels {
+    for (name, config) in panels {
         println!(
             "=== {name}: {} (normalized network throughput vs time) ===",
-            spec.name
+            config.resolve().name
         );
-        let runs = run_all(&spec, &paper_mechanisms(), 0xF17, &cfg);
+        let runs = run_all(&config, &paper_mechanisms(), 0xF17, 250_000.0, &ctx);
         print!("{}", series_table(&runs));
         println!("-- steady congested window [6.5, 10] ms --");
         for r in &runs {

@@ -13,20 +13,20 @@
 //! and recovers slowly; FBICM dips once the trees exceed its 2 CFQs per
 //! port; CCFIT stays near the ceiling because throttling releases the
 //! isolation resources before they run out.
+//!
+//! Runs read through the orchestrator's result cache (`--no-cache`,
+//! `--cache-dir <dir>` to control it).
 
-use ccfit::experiment::{config3_case4, paper_mechanisms};
-use ccfit::{Mechanism, SimConfig};
-use ccfit_bench::harness::{archive, csv_dir_from_args, run_all};
+use ccfit::experiment::paper_mechanisms;
+use ccfit::{ConfigId, Mechanism};
+use ccfit_bench::harness::{archive, csv_dir_from_args, run_all, RunCtx};
 use ccfit_bench::{chart, series_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let csv = csv_dir_from_args(&args);
-    let cfg = SimConfig {
-        metrics_bin_ns: 100_000.0,
-        ..SimConfig::default()
-    };
+    let ctx = RunCtx::from_args(&args);
     let mut mechanisms = paper_mechanisms();
     mechanisms.push(Mechanism::voqnet());
 
@@ -37,9 +37,9 @@ fn main() {
         _ => vec![1, 4, 6],
     };
     for h in hs {
-        let spec = config3_case4(h, 4.0);
-        println!("=== fig8 (H={h}): {} ===", spec.name);
-        let runs = run_all(&spec, &mechanisms, 0xF18, &cfg);
+        let config = ConfigId::config3_case4(h);
+        println!("=== fig8 (H={h}): {} ===", config.resolve().name);
+        let runs = run_all(&config, &mechanisms, 0xF18, 100_000.0, &ctx);
         print!("{}", series_table(&runs));
         println!("-- burst window [1, 2] ms --");
         for r in &runs {

@@ -14,24 +14,21 @@
 //!   parking lot persists among contributors.
 //! * **CCFIT** — victim protected *and* contributors fair.
 
-use ccfit::experiment::{config1_case1, paper_mechanisms};
-use ccfit::SimConfig;
+use ccfit::experiment::paper_mechanisms;
+use ccfit::ConfigId;
 use ccfit_bench::chart::flow_table;
-use ccfit_bench::harness::{archive, csv_dir_from_args, run_all};
+use ccfit_bench::harness::{archive, csv_dir_from_args, run_all, RunCtx};
 use ccfit_engine::ids::FlowId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = csv_dir_from_args(&args);
-    let cfg = SimConfig {
-        metrics_bin_ns: 250_000.0,
-        ..SimConfig::default()
-    };
-    let spec = config1_case1(10.0);
+    let ctx = RunCtx::from_args(&args);
+    let config = ConfigId::config1_case1();
     let flows = [FlowId(0), FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
     let contributors = [FlowId(1), FlowId(2), FlowId(5), FlowId(6)];
 
-    let runs = run_all(&spec, &paper_mechanisms(), 0xF19, &cfg);
+    let runs = run_all(&config, &paper_mechanisms(), 0xF19, 250_000.0, &ctx);
     for r in &runs {
         print!("{}", flow_table(r, &flows));
         let jain = r.report.jain_over(&contributors, 6.5e6, 10e6);

@@ -13,77 +13,68 @@
 //! * `mesh`    — 4×4 2D mesh with XY dimension-order routing
 //!
 //! The default mechanism set is the full registry ([`Mechanism::all`]);
-//! `--mech` narrows it by registry display name.
+//! `--mech` narrows it by registry display name. The (mechanism, load)
+//! grid goes through the orchestrator, so points are cached and a repeat
+//! sweep is read back instead of re-simulated (`--no-cache` to force).
 
-use ccfit::{Mechanism, SimBuilder, SimConfig};
-use ccfit_bench::harness::{csv_dir_from_args, mechanisms_from_args};
-use ccfit_metrics::SimReport;
-use ccfit_topology::{KAryNTree, LinkParams, Mesh2D, RoutingTable, Topology};
-use ccfit_traffic::uniform_all;
-use std::sync::Mutex;
+use ccfit::{ConfigId, Mechanism};
+use ccfit_bench::harness::{csv_dir_from_args, mechanisms_from_args, run_specs, RunCtx};
+use ccfit_orchestrator::RunSpec;
 
 const LOADS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0];
+const DURATION_NS: f64 = 600_000.0;
 
-fn run_point(topo: &Topology, routing: &RoutingTable, mech: &Mechanism, load: f64) -> SimReport {
-    SimBuilder::new(topo.clone())
-        .routing(routing.clone())
-        .mechanism(mech.clone())
-        .traffic(uniform_all(topo.num_nodes(), load))
-        .duration_ns(600_000.0)
-        .config(SimConfig {
-            metrics_bin_ns: 100_000.0,
-            ..SimConfig::default()
-        })
-        .seed(0x5EE9)
-        .build()
-        .run()
+fn config_for(which: &str, load: f64) -> ConfigId {
+    match which {
+        "mesh" => ConfigId::UniformMesh {
+            width: 4,
+            height: 4,
+            load,
+            duration_ns: DURATION_NS,
+        },
+        "config3" => ConfigId::UniformTree {
+            ary: 4,
+            levels: 3,
+            load,
+            duration_ns: DURATION_NS,
+        },
+        _ => ConfigId::UniformTree {
+            ary: 2,
+            levels: 3,
+            load,
+            duration_ns: DURATION_NS,
+        },
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("tree");
     let csv = csv_dir_from_args(&args);
+    let ctx = RunCtx::from_args(&args);
 
-    let (topo, routing) = match which {
-        "mesh" => {
-            let m = Mesh2D::new(4, 4);
-            (m.build(LinkParams::default()), m.xy_routing())
-        }
-        "config3" => {
-            let t = KAryNTree::new(4, 3);
-            (t.build(LinkParams::default()), t.det_routing())
-        }
-        _ => {
-            let t = KAryNTree::new(2, 3);
-            (t.build(LinkParams::default()), t.det_routing())
-        }
-    };
+    let sample = config_for(which, LOADS[0]).resolve();
     println!(
         "uniform-load sweep on {} ({} nodes): accepted normalized throughput (upper)\n\
          and mean packet latency in ns (lower) per offered load\n",
-        topo.name(),
-        topo.num_nodes()
+        sample.topology.name(),
+        sample.topology.num_nodes()
     );
 
     let mechs = mechanisms_from_args(&args, Mechanism::all());
-    // One thread per (mechanism, load) point; points are independent
-    // simulations.
-    let results: Mutex<Vec<Vec<Option<SimReport>>>> =
-        Mutex::new(vec![vec![None; LOADS.len()]; mechs.len()]);
-    std::thread::scope(|scope| {
-        for (mi, mech) in mechs.iter().enumerate() {
-            for (li, &load) in LOADS.iter().enumerate() {
-                let topo = &topo;
-                let routing = &routing;
-                let results = &results;
-                scope.spawn(move || {
-                    let r = run_point(topo, routing, mech, load);
-                    results.lock().unwrap()[mi][li] = Some(r);
-                });
-            }
-        }
-    });
-    let results = results.into_inner().unwrap();
+    // The grid is mechanism-major so results[mi * LOADS.len() + li] is
+    // the (mechanism, load) point; the orchestrator parallelizes and
+    // caches the independent simulations.
+    let specs: Vec<RunSpec> = mechs
+        .iter()
+        .flat_map(|m| {
+            LOADS
+                .iter()
+                .map(|&load| RunSpec::new(config_for(which, load), m.clone(), 0x5EE9, 100_000.0))
+        })
+        .collect();
+    let runs = run_specs(&specs, &ctx);
+    let point = |mi: usize, li: usize| &runs[mi * LOADS.len() + li].report;
 
     print!("{:<8}", "load");
     for m in &mechs {
@@ -92,11 +83,10 @@ fn main() {
     println!();
     for (li, &load) in LOADS.iter().enumerate() {
         print!("{load:<8.2}");
-        for row in &results {
-            let r = row[li].as_ref().unwrap();
+        for mi in 0..mechs.len() {
             print!(
                 " {:>8.3}",
-                r.mean_normalized_throughput(200_000.0, 600_000.0)
+                point(mi, li).mean_normalized_throughput(200_000.0, 600_000.0)
             );
         }
         println!();
@@ -109,9 +99,8 @@ fn main() {
     println!("   (mean latency, ns)");
     for (li, &load) in LOADS.iter().enumerate() {
         print!("{load:<8.2}");
-        for row in &results {
-            let r = row[li].as_ref().unwrap();
-            let lat = r.mean_latency_ns_per_bin();
+        for mi in 0..mechs.len() {
+            let lat = point(mi, li).mean_latency_ns_per_bin();
             let tail: Vec<f64> = lat.iter().skip(2).copied().filter(|&v| v > 0.0).collect();
             let mean = if tail.is_empty() {
                 0.0
@@ -128,7 +117,7 @@ fn main() {
         let mut out = String::from("load,mechanism,throughput,latency_ns\n");
         for (mi, m) in mechs.iter().enumerate() {
             for (li, &load) in LOADS.iter().enumerate() {
-                let r = results[mi][li].as_ref().unwrap();
+                let r = point(mi, li);
                 let lat = r.mean_latency_ns_per_bin();
                 let tail: Vec<f64> = lat.iter().skip(2).copied().filter(|&v| v > 0.0).collect();
                 let mean = if tail.is_empty() {

@@ -102,17 +102,17 @@ pub fn latency_line(run: &RunOutput) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::run_all;
-    use ccfit::experiment::config1_case1_scaled;
-    use ccfit::{Mechanism, SimConfig};
+    use crate::harness::{run_all, RunCtx};
+    use ccfit::{ConfigId, Mechanism, SimConfig};
 
     fn sample_runs() -> Vec<RunOutput> {
-        let spec = config1_case1_scaled(0.02);
+        let config = ConfigId::Config1Case1 { scale: 0.02 };
         run_all(
-            &spec,
+            &config,
             &[Mechanism::OneQ, Mechanism::ccfit()],
             3,
-            &SimConfig::default(),
+            SimConfig::default().metrics_bin_ns,
+            &RunCtx::uncached(),
         )
     }
 

@@ -1,10 +1,18 @@
 //! Parallel experiment execution and result archiving.
+//!
+//! Since the orchestrator landed (DESIGN.md §13), every figure binary
+//! funnels its runs through [`run_all`]/[`run_specs`], which read
+//! through the content-hashed result cache: re-generating a figure
+//! whose runs are already cached costs a directory scan, not a
+//! re-simulation. `--no-cache` and `--cache-dir <dir>` (parsed by
+//! [`RunCtx::from_args`]) control the cache from every binary.
 
-use ccfit::experiment::ExperimentSpec;
-use ccfit::{Mechanism, SimConfig};
+use ccfit::{ConfigId, Mechanism, ParallelConfig, SimConfig};
 use ccfit_metrics::SimReport;
+use ccfit_orchestrator::{
+    cache_from_args, run_matrix, Cache, EngineKnobs, ExecMode, RunSpec, RunnerOptions,
+};
 use std::path::Path;
-use std::sync::Mutex;
 
 /// One mechanism's result within a figure.
 #[derive(Debug, Clone)]
@@ -47,40 +55,102 @@ impl RunOutput {
     }
 }
 
-/// Run `spec` under every mechanism in parallel (one OS thread per
-/// mechanism — simulations are single-threaded and independent, so this
-/// is an embarrassingly parallel sweep; results come back in input
-/// order).
+/// Shared execution context for the figure binaries: the result cache
+/// and the (result-neutral) engine knobs, both CLI-controlled.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// The orchestrator's content-hashed result cache.
+    pub cache: Cache,
+    /// Engine knobs applied to cache misses (`--threads <n>`).
+    pub engine: EngineKnobs,
+}
+
+impl RunCtx {
+    /// Parse `--no-cache`, `--cache-dir <dir>` and `--threads <n>`.
+    pub fn from_args(args: &[String]) -> Self {
+        let threads = args
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        RunCtx {
+            cache: cache_from_args(args),
+            engine: EngineKnobs {
+                threads,
+                batch_cycles: 0,
+            },
+        }
+    }
+
+    /// A context that always simulates (tests and microbenches).
+    pub fn uncached() -> Self {
+        RunCtx {
+            cache: Cache::disabled(),
+            engine: EngineKnobs::default(),
+        }
+    }
+}
+
+/// Run every spec through the orchestrator (in-process worker threads,
+/// cache read-through; one job per spec — simulations are independent,
+/// so this is an embarrassingly parallel sweep). Results come back in
+/// input order.
+pub fn run_specs(specs: &[RunSpec], ctx: &RunCtx) -> Vec<RunOutput> {
+    let opts = RunnerOptions {
+        jobs: specs.len().max(1),
+        mode: ExecMode::Threads,
+        cache: ctx.cache.clone(),
+        engine: ctx.engine.clone(),
+        quiet: true,
+    };
+    let run = run_matrix(specs, &opts).unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(1);
+    });
+    run.outputs
+        .into_iter()
+        .map(|o| {
+            // The fallback advisory qualifies *measured* wall time; a
+            // cache hit measured nothing, and a serial request never
+            // warns, so only freshly-simulated parallel runs check.
+            let warning = if !o.cached && ctx.engine.threads > 1 {
+                let cfg = SimConfig {
+                    parallel: ParallelConfig {
+                        threads: ctx.engine.threads,
+                        batch_cycles: ctx.engine.batch_cycles,
+                        ..ParallelConfig::default()
+                    },
+                    ..SimConfig::default()
+                };
+                o.spec
+                    .config
+                    .resolve()
+                    .engine_decision(&o.spec.mechanism, &cfg)
+                    .warning()
+            } else {
+                None
+            };
+            RunOutput::new(o.spec.mechanism.name().to_string(), o.report, o.wall_s)
+                .with_parallel_warning(warning)
+        })
+        .collect()
+}
+
+/// Run `config` under every mechanism — the one shared entry point the
+/// `fig`/`sweep`/`ablate` binaries use instead of private run loops.
 pub fn run_all(
-    spec: &ExperimentSpec,
+    config: &ConfigId,
     mechanisms: &[Mechanism],
     seed: u64,
-    cfg: &SimConfig,
+    metrics_bin_ns: f64,
+    ctx: &RunCtx,
 ) -> Vec<RunOutput> {
-    let results: Mutex<Vec<Option<RunOutput>>> =
-        Mutex::new((0..mechanisms.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for (i, mech) in mechanisms.iter().enumerate() {
-            let results = &results;
-            let spec = &spec;
-            let cfg = cfg.clone();
-            scope.spawn(move || {
-                let warning = spec.engine_decision(mech, &cfg).warning();
-                let t0 = std::time::Instant::now();
-                let report = spec.run_with(mech.clone(), seed, cfg);
-                let out =
-                    RunOutput::new(mech.name().to_string(), report, t0.elapsed().as_secs_f64())
-                        .with_parallel_warning(warning);
-                results.lock().unwrap()[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("every mechanism produced a report"))
-        .collect()
+    let specs: Vec<RunSpec> = mechanisms
+        .iter()
+        .map(|m| RunSpec::new(config.clone(), m.clone(), seed, metrics_bin_ns))
+        .collect();
+    run_specs(&specs, ctx)
 }
 
 /// Parse a `--csv <dir>` argument pair from the command line, if present.
@@ -142,6 +212,10 @@ mod tests {
     use super::*;
     use ccfit::experiment::config1_case1_scaled;
 
+    fn small_config() -> ConfigId {
+        ConfigId::Config1Case1 { scale: 0.02 }
+    }
+
     #[test]
     fn mech_filter_parses_registry_names_case_insensitively() {
         let args: Vec<String> = ["x", "--mech", "ccfit,hpcc,1q"]
@@ -160,9 +234,14 @@ mod tests {
 
     #[test]
     fn run_all_preserves_mechanism_order() {
-        let spec = config1_case1_scaled(0.02);
         let mechs = vec![Mechanism::OneQ, Mechanism::ccfit()];
-        let runs = run_all(&spec, &mechs, 1, &SimConfig::default());
+        let runs = run_all(
+            &small_config(),
+            &mechs,
+            1,
+            SimConfig::default().metrics_bin_ns,
+            &RunCtx::uncached(),
+        );
         assert_eq!(runs.len(), 2);
         assert_eq!(runs[0].mechanism, "1Q");
         assert_eq!(runs[1].mechanism, "CCFIT");
@@ -170,19 +249,41 @@ mod tests {
     }
 
     #[test]
-    fn parallel_runs_match_sequential_runs() {
-        let spec = config1_case1_scaled(0.02);
+    fn orchestrated_runs_match_direct_runs() {
         let mechs = vec![Mechanism::fbicm(), Mechanism::ith()];
-        let par = run_all(&spec, &mechs, 7, &SimConfig::default());
+        let par = run_all(
+            &small_config(),
+            &mechs,
+            7,
+            SimConfig::default().metrics_bin_ns,
+            &RunCtx::uncached(),
+        );
+        let spec = config1_case1_scaled(0.02);
         for (mech, out) in mechs.iter().zip(&par) {
             let seq = spec.run_with(mech.clone(), 7, SimConfig::default());
             assert_eq!(
                 seq,
                 out.report,
-                "{} diverged under parallel execution",
+                "{} diverged under orchestrated execution",
                 mech.name()
             );
         }
+    }
+
+    #[test]
+    fn cached_rerun_returns_identical_reports() {
+        let dir = std::env::temp_dir().join(format!("ccfit-harness-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = RunCtx {
+            cache: Cache::new(&dir),
+            engine: EngineKnobs::default(),
+        };
+        let mechs = vec![Mechanism::OneQ];
+        let bin = SimConfig::default().metrics_bin_ns;
+        let cold = run_all(&small_config(), &mechs, 3, bin, &ctx);
+        let warm = run_all(&small_config(), &mechs, 3, bin, &ctx);
+        assert_eq!(cold[0].report, warm[0].report);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -198,8 +299,13 @@ mod tests {
 
     #[test]
     fn archive_writes_expected_files() {
-        let spec = config1_case1_scaled(0.02);
-        let runs = run_all(&spec, &[Mechanism::OneQ], 1, &SimConfig::default());
+        let runs = run_all(
+            &small_config(),
+            &[Mechanism::OneQ],
+            1,
+            SimConfig::default().metrics_bin_ns,
+            &RunCtx::uncached(),
+        );
         let dir = std::env::temp_dir().join("ccfit-archive-test");
         let dir = dir.to_str().unwrap();
         archive(dir, "figX", &runs).unwrap();

@@ -20,4 +20,4 @@ pub mod chart;
 pub mod harness;
 
 pub use chart::{flow_table, series_table};
-pub use harness::{run_all, RunOutput};
+pub use harness::{run_all, run_specs, RunCtx, RunOutput};

@@ -11,8 +11,9 @@ use crate::params::Mechanism;
 use crate::simulator::{SimBuilder, SimConfig};
 use ccfit_engine::ids::SwitchId;
 use ccfit_metrics::SimReport;
-use ccfit_topology::{config1_topology, KAryNTree, LinkParams, RoutingTable, Topology};
-use ccfit_traffic::{case1, case2, case3, case4, TrafficPattern};
+use ccfit_topology::{config1_topology, KAryNTree, LinkParams, Mesh2D, RoutingTable, Topology};
+use ccfit_traffic::{case1, case2, case3, case4, uniform_all, TrafficPattern};
+use serde::{Deserialize, Serialize};
 
 /// A fully specified experiment minus the mechanism.
 #[derive(Debug, Clone)]
@@ -73,6 +74,23 @@ impl ExperimentSpec {
             .build()
     }
 
+    /// Compress the whole schedule (flow activations, deactivations and
+    /// the run duration) by `scale`. `scale = 1.0` is an exact identity
+    /// (`x * 1.0 == x` for every finite `f64`), so a "scaled to 1"
+    /// spec is byte-identical to the unscaled one — the experiment
+    /// orchestrator's declarative configs rely on this.
+    #[must_use]
+    pub fn scaled(mut self, scale: f64) -> Self {
+        for f in &mut self.pattern.flows {
+            f.start_ns *= scale;
+            if let Some(e) = &mut f.end_ns {
+                *e *= scale;
+            }
+        }
+        self.duration_ns *= scale;
+        self
+    }
+
     /// Run with a dynamic network-event schedule on top of the workload
     /// (mid-run link/switch failures; see `ccfit_faults`).
     pub fn run_with_faults(
@@ -119,20 +137,7 @@ pub fn config1_case1(end_ms: f64) -> ExperimentSpec {
 /// `scale` (e.g. `scale = 0.1` activates flows at 0.2/0.4/0.6 ms and
 /// runs 1 ms) — same shape, test-friendly runtimes.
 pub fn config1_case1_scaled(scale: f64) -> ExperimentSpec {
-    let mut spec = config1_case1(10.0);
-    scale_pattern(&mut spec, scale);
-    spec
-}
-
-/// Compress an experiment's schedule and duration by `scale`.
-fn scale_pattern(spec: &mut ExperimentSpec, scale: f64) {
-    for f in &mut spec.pattern.flows {
-        f.start_ns *= scale;
-        if let Some(e) = &mut f.end_ns {
-            *e *= scale;
-        }
-    }
-    spec.duration_ns *= scale;
+    config1_case1(10.0).scaled(scale)
 }
 
 fn config2_parts() -> (Topology, RoutingTable) {
@@ -158,9 +163,7 @@ pub fn config2_case2(end_ms: f64) -> ExperimentSpec {
 
 /// Config #2 / Case #2 with the schedule compressed by `scale`.
 pub fn config2_case2_scaled(scale: f64) -> ExperimentSpec {
-    let mut spec = config2_case2(10.0);
-    scale_pattern(&mut spec, scale);
-    spec
+    config2_case2(10.0).scaled(scale)
 }
 
 /// Config #2 / Case #3: Case #2 plus uniform background from nodes 5–7
@@ -200,9 +203,183 @@ pub fn config3_case4(hotspots: usize, duration_ms: f64) -> ExperimentSpec {
 /// paper's 4 ms horizon shrinks accordingly) — same shape,
 /// test-friendly runtimes.
 pub fn config3_case4_scaled(hotspots: usize, scale: f64) -> ExperimentSpec {
-    let mut spec = config3_case4(hotspots, 4.0);
-    scale_pattern(&mut spec, scale);
-    spec
+    config3_case4(hotspots, 4.0).scaled(scale)
+}
+
+/// A declarative, serializable name for one of the repo's experiment
+/// setups: everything the figure harness runs, minus the mechanism and
+/// the seed. Where [`ExperimentSpec`] holds the *assembled* network
+/// (topology, routing tables, flow list), a `ConfigId` holds only the
+/// handful of parameters that generate it — which makes it cheap to
+/// hash, compare and archive. [`ConfigId::resolve`] rebuilds the exact
+/// `ExperimentSpec` the figure binaries used to construct by hand; the
+/// orchestrator's content-addressed run cache keys off this (plus
+/// mechanism, seed and metric knobs), relying on the determinism suite's
+/// guarantee that equal specs produce byte-identical reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConfigId {
+    /// Config #1 / Case #1 (Figs. 7a, 9) with the 10 ms schedule
+    /// compressed by `scale` (1.0 = the paper's shape).
+    Config1Case1 {
+        /// Schedule compression factor.
+        scale: f64,
+    },
+    /// Config #2 / Case #2 (Figs. 7b, 10), 10 ms compressed by `scale`.
+    Config2Case2 {
+        /// Schedule compression factor.
+        scale: f64,
+    },
+    /// Config #2 / Case #3 (Fig. 7c), 10 ms compressed by `scale`.
+    Config2Case3 {
+        /// Schedule compression factor.
+        scale: f64,
+    },
+    /// Config #3 / Case #4 (Fig. 8): `hotspots` congestion trees, a
+    /// `duration_ms` horizon (the paper plots 4 ms), compressed by
+    /// `scale`.
+    Config3Case4 {
+        /// Number of simultaneous congestion trees (1/4/6 in Fig. 8).
+        hotspots: usize,
+        /// Uncompressed horizon in milliseconds.
+        duration_ms: f64,
+        /// Schedule compression factor.
+        scale: f64,
+    },
+    /// Uniform traffic from every node on a k-ary n-tree — the
+    /// offered-load sweep scenario.
+    UniformTree {
+        /// Tree arity (k).
+        ary: usize,
+        /// Tree levels (n).
+        levels: usize,
+        /// Offered load per node, fraction of line rate.
+        load: f64,
+        /// Simulated time in nanoseconds.
+        duration_ns: f64,
+    },
+    /// Uniform traffic on a 2-D mesh with XY dimension-order routing.
+    UniformMesh {
+        /// Mesh width.
+        width: usize,
+        /// Mesh height.
+        height: usize,
+        /// Offered load per node, fraction of line rate.
+        load: f64,
+        /// Simulated time in nanoseconds.
+        duration_ns: f64,
+    },
+}
+
+impl ConfigId {
+    /// The paper configs at their full (Figs. 7–10) time scale.
+    pub fn config1_case1() -> Self {
+        ConfigId::Config1Case1 { scale: 1.0 }
+    }
+
+    /// Config #2 / Case #2 at full scale.
+    pub fn config2_case2() -> Self {
+        ConfigId::Config2Case2 { scale: 1.0 }
+    }
+
+    /// Config #2 / Case #3 at full scale.
+    pub fn config2_case3() -> Self {
+        ConfigId::Config2Case3 { scale: 1.0 }
+    }
+
+    /// Config #3 / Case #4 with the paper's 4 ms horizon at full scale.
+    pub fn config3_case4(hotspots: usize) -> Self {
+        ConfigId::Config3Case4 {
+            hotspots,
+            duration_ms: 4.0,
+            scale: 1.0,
+        }
+    }
+
+    /// The kind string used by matrix files and display names.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ConfigId::Config1Case1 { .. } => "config1/case1",
+            ConfigId::Config2Case2 { .. } => "config2/case2",
+            ConfigId::Config2Case3 { .. } => "config2/case3",
+            ConfigId::Config3Case4 { .. } => "config3/case4",
+            ConfigId::UniformTree { .. } => "uniform-tree",
+            ConfigId::UniformMesh { .. } => "uniform-mesh",
+        }
+    }
+
+    /// Human-readable label: the kind plus the distinguishing
+    /// parameters (`config3/case4-h4@0.1`, `uniform-tree-2x3@0.50`).
+    pub fn label(&self) -> String {
+        match *self {
+            ConfigId::Config1Case1 { scale }
+            | ConfigId::Config2Case2 { scale }
+            | ConfigId::Config2Case3 { scale } => format!("{}@{scale}", self.kind()),
+            ConfigId::Config3Case4 {
+                hotspots,
+                duration_ms,
+                scale,
+            } => format!("{}-h{hotspots}/{duration_ms}ms@{scale}", self.kind()),
+            ConfigId::UniformTree {
+                ary, levels, load, ..
+            } => format!("{}-{ary}x{levels}@{load:.2}", self.kind()),
+            ConfigId::UniformMesh {
+                width,
+                height,
+                load,
+                ..
+            } => format!("{}-{width}x{height}@{load:.2}", self.kind()),
+        }
+    }
+
+    /// Assemble the concrete experiment this id names. Equal ids resolve
+    /// to equal specs; the determinism suite then guarantees equal
+    /// reports for equal (spec, mechanism, seed, knobs).
+    pub fn resolve(&self) -> ExperimentSpec {
+        match *self {
+            ConfigId::Config1Case1 { scale } => config1_case1(10.0).scaled(scale),
+            ConfigId::Config2Case2 { scale } => config2_case2(10.0).scaled(scale),
+            ConfigId::Config2Case3 { scale } => config2_case3(10.0).scaled(scale),
+            ConfigId::Config3Case4 {
+                hotspots,
+                duration_ms,
+                scale,
+            } => config3_case4(hotspots, duration_ms).scaled(scale),
+            ConfigId::UniformTree {
+                ary,
+                levels,
+                load,
+                duration_ns,
+            } => {
+                let tree = KAryNTree::new(ary as u32, levels as u32);
+                let topology = tree.build(LinkParams::default());
+                ExperimentSpec {
+                    name: format!("uniform-tree-{ary}x{levels}"),
+                    routing: tree.det_routing(),
+                    pattern: uniform_all(topology.num_nodes(), load),
+                    topology,
+                    duration_ns,
+                    crossbar_bw_flits_per_cycle: 1,
+                }
+            }
+            ConfigId::UniformMesh {
+                width,
+                height,
+                load,
+                duration_ns,
+            } => {
+                let mesh = Mesh2D::new(width, height);
+                let topology = mesh.build(LinkParams::default());
+                ExperimentSpec {
+                    name: format!("uniform-mesh-{width}x{height}"),
+                    routing: mesh.xy_routing(),
+                    pattern: uniform_all(topology.num_nodes(), load),
+                    topology,
+                    duration_ns,
+                    crossbar_bw_flits_per_cycle: 1,
+                }
+            }
+        }
+    }
 }
 
 /// The mechanisms of the paper's Fig. 7/9/10 panels, in plotting order.
@@ -294,6 +471,73 @@ mod tests {
         assert!(t.contains("Config #1"));
         assert!(t.contains("4-ary 3-tree"));
         assert!(t.contains("iSLIP"));
+    }
+
+    #[test]
+    fn config_ids_resolve_to_the_hand_built_specs() {
+        let pairs: Vec<(ConfigId, ExperimentSpec)> = vec![
+            (ConfigId::config1_case1(), config1_case1(10.0)),
+            (
+                ConfigId::Config1Case1 { scale: 0.3 },
+                config1_case1_scaled(0.3),
+            ),
+            (ConfigId::config2_case2(), config2_case2(10.0)),
+            (ConfigId::config2_case3(), config2_case3(10.0)),
+            (ConfigId::config3_case4(4), config3_case4(4, 4.0)),
+            (
+                ConfigId::Config3Case4 {
+                    hotspots: 1,
+                    duration_ms: 4.0,
+                    scale: 0.1,
+                },
+                config3_case4_scaled(1, 0.1),
+            ),
+        ];
+        for (id, want) in pairs {
+            let got = id.resolve();
+            assert_eq!(got.name, want.name, "{}", id.label());
+            assert_eq!(got.duration_ns, want.duration_ns, "{}", id.label());
+            assert_eq!(
+                got.pattern.flows,
+                want.pattern.flows,
+                "{}: flow schedules diverged",
+                id.label()
+            );
+            assert_eq!(
+                got.crossbar_bw_flits_per_cycle,
+                want.crossbar_bw_flits_per_cycle
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_config_ids_resolve() {
+        let tree = ConfigId::UniformTree {
+            ary: 2,
+            levels: 3,
+            load: 0.5,
+            duration_ns: 600_000.0,
+        }
+        .resolve();
+        assert_eq!(tree.topology.num_nodes(), 8);
+        tree.routing.verify_delivers_all(&tree.topology).unwrap();
+        let mesh = ConfigId::UniformMesh {
+            width: 4,
+            height: 4,
+            load: 0.5,
+            duration_ns: 600_000.0,
+        }
+        .resolve();
+        assert_eq!(mesh.topology.num_nodes(), 16);
+        mesh.routing.verify_delivers_all(&mesh.topology).unwrap();
+    }
+
+    #[test]
+    fn scaled_by_one_is_identity() {
+        let a = config1_case1(10.0);
+        let b = config1_case1(10.0).scaled(1.0);
+        assert_eq!(a.duration_ns, b.duration_ns);
+        assert_eq!(a.pattern.flows, b.pattern.flows);
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Declarative sweep matrices: TOML in, `Vec<RunSpec>` out.
+//!
+//! A matrix file names the cross-product of configurations ×
+//! mechanisms × seeds, one metrics bin width, optional engine knobs
+//! and an optional fault schedule applied to every run:
+//!
+//! ```toml
+//! [matrix]
+//! name = "paper-figures"
+//! mechanisms = ["1Q", "VOQsw", "FBICM", "ITh", "CCFIT"]
+//! seeds = [1]
+//! metrics_bin_ns = 100000.0
+//!
+//! [matrix.engine]        # optional, result-neutral
+//! threads = 2
+//! batch_cycles = 0
+//!
+//! [[matrix.config]]
+//! kind = "config1/case1" # ConfigId::kind() strings
+//! scale = 1.0
+//!
+//! [[matrix.config]]
+//! kind = "config3/case4"
+//! hotspots = 4
+//! duration_ms = 4.0
+//!
+//! [[matrix.event]]       # optional fault schedule (cycles)
+//! kind = "link_down"
+//! at = 120000
+//! switch = 0
+//! port = 4
+//! policy = "fail-stop"
+//! ```
+
+use ccfit::engine::ids::{PortId, SwitchId};
+use ccfit::faults::{FaultPolicy, FaultSchedule};
+use ccfit::{ConfigId, Mechanism};
+use serde::Value;
+
+use crate::spec::{EngineKnobs, RunSpec};
+use crate::toml;
+
+/// A resolved sweep matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentMatrix {
+    /// Matrix name (labels progress output and BENCH files).
+    pub name: String,
+    /// Configurations to sweep.
+    pub configs: Vec<ConfigId>,
+    /// Mechanisms to sweep.
+    pub mechanisms: Vec<Mechanism>,
+    /// Seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Metrics bin width shared by every run.
+    pub metrics_bin_ns: f64,
+    /// Fault schedule applied to every run (empty = fault-free).
+    pub faults: Option<FaultSchedule>,
+    /// Result-neutral engine knobs.
+    pub engine: EngineKnobs,
+}
+
+impl ExperimentMatrix {
+    /// Parse a TOML matrix file (see the module docs for the format).
+    pub fn from_toml_str(text: &str) -> Result<Self, String> {
+        let doc = toml::parse(text)?;
+        let m = doc
+            .get("matrix")
+            .ok_or("missing [matrix] table".to_string())?;
+        let name = get_str(m, "name")?;
+        let mechanisms = get_array(m, "mechanisms")?
+            .iter()
+            .map(|v| {
+                let s = as_str(v, "mechanisms entry")?;
+                Mechanism::parse(s).ok_or_else(|| {
+                    let known: Vec<&str> = Mechanism::all().iter().map(|m| m.name()).collect();
+                    format!("unknown mechanism {s:?}; known: {}", known.join(", "))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let seeds = get_array(m, "seeds")?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| format!("bad seed {v:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let metrics_bin_ns = m
+            .get("metrics_bin_ns")
+            .and_then(Value::as_f64)
+            .ok_or("missing or non-numeric matrix.metrics_bin_ns".to_string())?;
+        let configs = match m.get("config") {
+            Some(Value::Array(tables)) => tables
+                .iter()
+                .map(parse_config)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(other) => {
+                return Err(format!(
+                    "matrix.config must be [[matrix.config]] tables, found {other:?}"
+                ))
+            }
+            None => return Err("no [[matrix.config]] tables".to_string()),
+        };
+        let faults = match m.get("event") {
+            Some(Value::Array(tables)) => Some(parse_events(tables)?),
+            Some(other) => {
+                return Err(format!(
+                    "matrix.event must be [[matrix.event]] tables, found {other:?}"
+                ))
+            }
+            None => None,
+        };
+        let engine = match m.get("engine") {
+            Some(e) => EngineKnobs {
+                threads: opt_usize(e, "threads")?.unwrap_or(1),
+                batch_cycles: opt_usize(e, "batch_cycles")?.unwrap_or(0),
+            },
+            None => EngineKnobs::default(),
+        };
+        if mechanisms.is_empty() || seeds.is_empty() || configs.is_empty() {
+            return Err("matrix resolves to zero runs".to_string());
+        }
+        Ok(ExperimentMatrix {
+            name,
+            configs,
+            mechanisms,
+            seeds,
+            metrics_bin_ns,
+            faults,
+            engine,
+        })
+    }
+
+    /// The full cross-product, in config-major, mechanism-middle,
+    /// seed-minor order.
+    pub fn resolve(&self) -> Vec<RunSpec> {
+        let mut specs =
+            Vec::with_capacity(self.configs.len() * self.mechanisms.len() * self.seeds.len());
+        for config in &self.configs {
+            for mech in &self.mechanisms {
+                for &seed in &self.seeds {
+                    let mut spec =
+                        RunSpec::new(config.clone(), mech.clone(), seed, self.metrics_bin_ns);
+                    if let Some(f) = &self.faults {
+                        spec = spec.with_faults(f.clone());
+                    }
+                    specs.push(spec);
+                }
+            }
+        }
+        specs
+    }
+}
+
+fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, String> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(format!("{what} must be a string, found {other:?}")),
+    }
+}
+
+fn get_str(table: &Value, key: &str) -> Result<String, String> {
+    table
+        .get(key)
+        .ok_or_else(|| format!("missing `{key}`"))
+        .and_then(|v| as_str(v, key).map(str::to_string))
+}
+
+fn get_array<'a>(table: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    match table.get(key) {
+        Some(Value::Array(items)) => Ok(items),
+        Some(other) => Err(format!("`{key}` must be an array, found {other:?}")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn opt_usize(table: &Value, key: &str) -> Result<Option<usize>, String> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|u| Some(u as usize))
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn req_u64(table: &Value, key: &str, what: &str) -> Result<u64, String> {
+    table
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{what}: missing or non-integer `{key}`"))
+}
+
+fn req_f64(table: &Value, key: &str, what: &str) -> Result<f64, String> {
+    table
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{what}: missing or non-numeric `{key}`"))
+}
+
+fn opt_f64_or(table: &Value, key: &str, default: f64) -> Result<f64, String> {
+    match table.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| format!("`{key}` must be numeric")),
+    }
+}
+
+/// One `[[matrix.config]]` table → [`ConfigId`], keyed by `kind` using
+/// the [`ConfigId::kind`] strings.
+fn parse_config(table: &Value) -> Result<ConfigId, String> {
+    let kind = get_str(table, "kind")?;
+    let what = format!("[[matrix.config]] kind={kind}");
+    match kind.as_str() {
+        "config1/case1" => Ok(ConfigId::Config1Case1 {
+            scale: opt_f64_or(table, "scale", 1.0)?,
+        }),
+        "config2/case2" => Ok(ConfigId::Config2Case2 {
+            scale: opt_f64_or(table, "scale", 1.0)?,
+        }),
+        "config2/case3" => Ok(ConfigId::Config2Case3 {
+            scale: opt_f64_or(table, "scale", 1.0)?,
+        }),
+        "config3/case4" => Ok(ConfigId::Config3Case4 {
+            hotspots: req_u64(table, "hotspots", &what)? as usize,
+            duration_ms: opt_f64_or(table, "duration_ms", 4.0)?,
+            scale: opt_f64_or(table, "scale", 1.0)?,
+        }),
+        "uniform-tree" => Ok(ConfigId::UniformTree {
+            ary: req_u64(table, "ary", &what)? as usize,
+            levels: req_u64(table, "levels", &what)? as usize,
+            load: req_f64(table, "load", &what)?,
+            duration_ns: req_f64(table, "duration_ns", &what)?,
+        }),
+        "uniform-mesh" => Ok(ConfigId::UniformMesh {
+            width: req_u64(table, "width", &what)? as usize,
+            height: req_u64(table, "height", &what)? as usize,
+            load: req_f64(table, "load", &what)?,
+            duration_ns: req_f64(table, "duration_ns", &what)?,
+        }),
+        other => Err(format!(
+            "unknown config kind {other:?}; known: config1/case1, config2/case2, \
+             config2/case3, config3/case4, uniform-tree, uniform-mesh"
+        )),
+    }
+}
+
+/// `[[matrix.event]]` tables → one [`FaultSchedule`].
+fn parse_events(tables: &[Value]) -> Result<FaultSchedule, String> {
+    let mut schedule = FaultSchedule::new();
+    for table in tables {
+        let kind = get_str(table, "kind")?;
+        let what = format!("[[matrix.event]] kind={kind}");
+        let at = req_u64(table, "at", &what)?;
+        let switch = SwitchId(req_u64(table, "switch", &what)? as u32);
+        let policy = match table.get("policy") {
+            None => FaultPolicy::FailStop,
+            Some(v) => match as_str(v, "policy")? {
+                "fail-stop" => FaultPolicy::FailStop,
+                "graceful" => FaultPolicy::Graceful,
+                other => return Err(format!("{what}: unknown policy {other:?}")),
+            },
+        };
+        match kind.as_str() {
+            "link_down" => {
+                schedule.link_down(
+                    at,
+                    switch,
+                    PortId(req_u64(table, "port", &what)? as u16),
+                    policy,
+                );
+            }
+            "link_up" => {
+                schedule.link_up(at, switch, PortId(req_u64(table, "port", &what)? as u16));
+            }
+            "switch_down" => {
+                schedule.switch_down(at, switch, policy);
+            }
+            "switch_up" => {
+                schedule.switch_up(at, switch);
+            }
+            other => {
+                return Err(format!(
+                "unknown event kind {other:?}; known: link_down, link_up, switch_down, switch_up"
+            ))
+            }
+        }
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+[matrix]
+name = "demo"
+mechanisms = ["1Q", "CCFIT"]
+seeds = [1, 2]
+metrics_bin_ns = 100000.0
+
+[matrix.engine]
+threads = 2
+
+[[matrix.config]]
+kind = "config1/case1"
+scale = 0.5
+
+[[matrix.config]]
+kind = "uniform-tree"
+ary = 2
+levels = 3
+load = 0.6
+duration_ns = 600000.0
+"#;
+
+    #[test]
+    fn parses_and_resolves_the_cross_product() {
+        let matrix = ExperimentMatrix::from_toml_str(DOC).unwrap();
+        assert_eq!(matrix.name, "demo");
+        assert_eq!(matrix.engine.threads, 2);
+        let specs = matrix.resolve();
+        assert_eq!(specs.len(), 2 * 2 * 2);
+        // config-major, mechanism-middle, seed-minor.
+        assert_eq!(specs[0].config, ConfigId::Config1Case1 { scale: 0.5 });
+        assert_eq!(specs[0].mechanism.name(), "1Q");
+        assert_eq!(specs[0].seed, 1);
+        assert_eq!(specs[1].seed, 2);
+        assert_eq!(specs[2].mechanism.name(), "CCFIT");
+        assert!(matches!(specs[4].config, ConfigId::UniformTree { .. }));
+        // All keys distinct.
+        let mut keys: Vec<String> = specs.iter().map(RunSpec::cache_key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), specs.len());
+    }
+
+    #[test]
+    fn events_build_a_schedule() {
+        let doc = format!(
+            "{DOC}\n[[matrix.event]]\nkind = \"link_down\"\nat = 120000\nswitch = 0\nport = 4\n\
+             policy = \"graceful\"\n\n[[matrix.event]]\nkind = \"link_up\"\nat = 220000\n\
+             switch = 0\nport = 4\n"
+        );
+        let matrix = ExperimentMatrix::from_toml_str(&doc).unwrap();
+        let mut expected = FaultSchedule::new();
+        expected
+            .link_down(120000, SwitchId(0), PortId(4), FaultPolicy::Graceful)
+            .link_up(220000, SwitchId(0), PortId(4));
+        assert_eq!(matrix.faults, Some(expected));
+        assert!(matrix.resolve().iter().all(|s| s.faults.is_some()));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        for (mutation, needle) in [
+            ("mechanisms = [\"1Q\", \"CCFIT\"]", "unknown mechanism"),
+            ("kind = \"config1/case1\"", "unknown config kind"),
+            ("metrics_bin_ns = 100000.0", "metrics_bin_ns"),
+        ] {
+            let broken = match mutation {
+                m if m.starts_with("mechanisms") => DOC.replace(m, "mechanisms = [\"NOPE\"]"),
+                m if m.starts_with("kind") => DOC.replace(m, "kind = \"nope\""),
+                m => DOC.replace(m, ""),
+            };
+            let err = ExperimentMatrix::from_toml_str(&broken).unwrap_err();
+            assert!(err.contains(needle), "{needle}: {err}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The atomic unit of orchestration: one fully-specified run.
+//!
+//! A [`RunSpec`] is everything that determines a run's *report* —
+//! configuration, mechanism (with every parameter), seed, metrics bin
+//! width and optional fault schedule — and nothing that doesn't.
+//! Engine knobs (thread count, batch size, sparse/dense scheduling) are
+//! deliberately **excluded**: the determinism suite proves they are
+//! byte-neutral, so including them would only fragment the cache.
+//!
+//! The cache key is `SHA-256(canonical_bytes ++ "\n" ++ ENGINE_SALT)`
+//! where `canonical_bytes` is the compact JSON rendering of the spec.
+//! The vendored `serde` derive emits object fields in declaration
+//! order and renders floats with the shortest round-trippable form, so
+//! the bytes are a canonical, field-order-stable function of the spec's
+//! value — two equal specs always produce identical bytes (pinned by
+//! the proptest in `tests/cache_keys.rs`).
+
+use ccfit::{ConfigId, FaultConfig, FaultSchedule, Mechanism, ParallelConfig, SimConfig};
+use ccfit_metrics::SimReport;
+use serde::{Deserialize, Serialize};
+
+use crate::hash::sha256_hex;
+
+/// Spec schema version; embedded in the hashed bytes so a field
+/// addition can never collide with keys minted by an older layout.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Engine-version salt folded into every cache key.
+///
+/// Bump this string whenever a change may alter simulation *output*
+/// (routing, arbitration, CC state machines, metrics accounting, RNG
+/// streams, …). Old entries then simply never match again and
+/// `ccfit-sweep gc` can prune them. Perf-only changes proven
+/// byte-neutral by `tests/determinism.rs` do not need a bump.
+pub const ENGINE_SALT: &str = "ccfit-engine/v9";
+
+/// Result-neutral execution knobs.
+///
+/// These shape *how fast* a run executes, never *what it reports*
+/// (byte-identity is pinned by the determinism matrix), so they ride
+/// next to a [`RunSpec`] instead of inside it and stay out of the
+/// cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineKnobs {
+    /// OS threads for the sharded tick engine (1 = serial).
+    pub threads: usize,
+    /// Cycles per pool dispatch (0 = engine default).
+    pub batch_cycles: usize,
+}
+
+impl Default for EngineKnobs {
+    fn default() -> Self {
+        EngineKnobs {
+            threads: 1,
+            batch_cycles: 0,
+        }
+    }
+}
+
+/// One fully-specified, cacheable simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Layout version of this struct ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// The (configuration, traffic case) pair.
+    pub config: ConfigId,
+    /// Congestion-management mechanism, parameters included.
+    pub mechanism: Mechanism,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Metrics bin width in nanoseconds.
+    pub metrics_bin_ns: f64,
+    /// Dynamic network-event schedule, if the run injects faults.
+    pub faults: Option<FaultSchedule>,
+}
+
+impl RunSpec {
+    /// A fault-free run of `config` under `mechanism`.
+    pub fn new(config: ConfigId, mechanism: Mechanism, seed: u64, metrics_bin_ns: f64) -> Self {
+        RunSpec {
+            schema: SCHEMA_VERSION,
+            config,
+            mechanism,
+            seed,
+            metrics_bin_ns,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The canonical serialization the cache key is computed over:
+    /// compact JSON with fields in declaration order.
+    pub fn canonical_bytes(&self) -> String {
+        serde_json::to_string(self).expect("RunSpec serializes infallibly")
+    }
+
+    /// Content hash naming this run's cache entry (64 hex chars).
+    pub fn cache_key(&self) -> String {
+        let mut bytes = self.canonical_bytes().into_bytes();
+        bytes.push(b'\n');
+        bytes.extend_from_slice(ENGINE_SALT.as_bytes());
+        sha256_hex(&bytes)
+    }
+
+    /// Short human label for progress lines, e.g.
+    /// `config1/case1@1 CCFIT seed=1`.
+    pub fn label(&self) -> String {
+        let faults = if self.faults.is_some() {
+            " +faults"
+        } else {
+            ""
+        };
+        format!(
+            "{} {} seed={}{faults}",
+            self.config.label(),
+            self.mechanism.name(),
+            self.seed
+        )
+    }
+
+    /// Simulate this spec and return the report. `knobs` select the
+    /// execution engine only; the report is identical for every value.
+    pub fn execute(&self, knobs: &EngineKnobs) -> SimReport {
+        let experiment = self.config.resolve();
+        let cfg = SimConfig {
+            metrics_bin_ns: self.metrics_bin_ns,
+            parallel: ParallelConfig {
+                threads: knobs.threads,
+                batch_cycles: knobs.batch_cycles,
+                ..ParallelConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        match &self.faults {
+            Some(schedule) => experiment.run_with_faults(
+                self.mechanism.clone(),
+                self.seed,
+                cfg,
+                schedule.clone(),
+                FaultConfig::default(),
+            ),
+            None => experiment.run_with(self.mechanism.clone(), self.seed, cfg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RunSpec {
+        RunSpec::new(ConfigId::config1_case1(), Mechanism::ccfit(), 1, 250_000.0)
+    }
+
+    #[test]
+    fn canonical_bytes_are_stable_within_a_process() {
+        assert_eq!(spec().canonical_bytes(), spec().canonical_bytes());
+        assert_eq!(spec().cache_key(), spec().cache_key());
+        assert_eq!(spec().cache_key().len(), 64);
+    }
+
+    #[test]
+    fn key_depends_on_the_salt() {
+        let base = spec();
+        let mut bytes = base.canonical_bytes().into_bytes();
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"some-other-salt");
+        assert_ne!(base.cache_key(), crate::hash::sha256_hex(&bytes));
+    }
+
+    #[test]
+    fn spec_roundtrips_through_canonical_json() {
+        let s = spec().with_faults(FaultSchedule::new());
+        let back: RunSpec = serde_json::from_str(&s.canonical_bytes()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.cache_key(), s.cache_key());
+    }
+}

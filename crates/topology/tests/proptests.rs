@@ -42,7 +42,7 @@ proptest! {
         prop_assume!(src != dst);
         let routing = t.det_routing();
         let hops = routing.hops(&topo, src, dst);
-        prop_assert!(hops <= 2 * n as usize - 1);
+        prop_assert!(hops < 2 * n as usize);
         if src.index() / k as usize == dst.index() / k as usize {
             prop_assert_eq!(hops, 1, "same leaf switch");
         }

@@ -118,6 +118,15 @@ pub fn de_field<T: Deserialize>(v: &Value, field: &str) -> Result<T, Error> {
     }
 }
 
+/// Like [`de_field`] but a missing field yields `T::default()` — the
+/// deserialization side of `#[serde(skip_serializing_if = "...")]`.
+pub fn de_field_or_default<T: Deserialize + Default>(v: &Value, field: &str) -> Result<T, Error> {
+    match v.get(field) {
+        Some(fv) => T::from_value(fv).map_err(|e| Error(format!("field `{field}`: {}", e.0))),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
@@ -190,6 +199,18 @@ impl Deserialize for bool {
             Value::Bool(b) => Ok(*b),
             _ => Err(Error(format!("expected bool, found {v:?}"))),
         }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
     }
 }
 

@@ -2,15 +2,27 @@
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
 //! the shapes this workspace uses — non-generic structs (named, tuple,
-//! unit) and enums (unit, tuple and struct variants) without `#[serde]`
-//! attributes — by walking the raw `proc_macro::TokenStream` (no `syn`
-//! or `quote`, which are unavailable offline). The generated impls build
-//! or consume the `serde::Value` JSON tree following serde's
-//! externally-tagged conventions: a unit variant serializes as its name,
-//! a data variant as a single-key object, a newtype struct as its inner
-//! value.
+//! unit) and enums (unit, tuple and struct variants) — by walking the
+//! raw `proc_macro::TokenStream` (no `syn` or `quote`, which are
+//! unavailable offline). The generated impls build or consume the
+//! `serde::Value` JSON tree following serde's externally-tagged
+//! conventions: a unit variant serializes as its name, a data variant
+//! as a single-key object, a newtype struct as its inner value.
+//!
+//! One field attribute is supported, on named-struct fields only:
+//! `#[serde(skip_serializing_if = "path")]` omits the field from the
+//! serialized object when `path(&field)` is true, and deserializes a
+//! missing field to `Default::default()` — exactly the real serde's
+//! contract for the `skip_serializing_if` + `default` pairing the bench
+//! documents rely on to keep always-`null` legs out of their JSON.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `skip_serializing_if` predicate path, if the field carries one.
+    skip_if: Option<String>,
+}
 
 struct Variant {
     name: String,
@@ -26,7 +38,7 @@ enum VariantKind {
 enum Shape {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -42,13 +54,13 @@ enum Shape {
 }
 
 /// Derive `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     gen_serialize(&parse_shape(input)).parse().unwrap()
 }
 
 /// Derive `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     gen_deserialize(&parse_shape(input)).parse().unwrap()
 }
@@ -158,10 +170,62 @@ fn leading_ident(chunk: &[TokenTree]) -> (String, usize) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// The `skip_serializing_if = "path"` predicate from a field chunk's
+/// `#[serde(...)]` attributes, if present.
+fn skip_serializing_if(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let TokenTree::Group(attr) = &chunk[i + 1] else {
+                    panic!("serde derive: `#` not followed by an attribute group");
+                };
+                let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+                match (toks.first(), toks.get(1)) {
+                    (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+                        if id.to_string() == "serde" =>
+                    {
+                        let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+                        match (inner.first(), inner.get(1), inner.get(2)) {
+                            (
+                                Some(TokenTree::Ident(key)),
+                                Some(TokenTree::Punct(eq)),
+                                Some(TokenTree::Literal(lit)),
+                            ) if key.to_string() == "skip_serializing_if"
+                                && eq.as_char() == '=' =>
+                            {
+                                let s = lit.to_string();
+                                let path = s
+                                    .strip_prefix('"')
+                                    .and_then(|s| s.strip_suffix('"'))
+                                    .unwrap_or_else(|| {
+                                        panic!("serde derive: expected a string literal, got {s}")
+                                    });
+                                return Some(path.to_string());
+                            }
+                            _ => panic!(
+                                "serde derive (vendored): only \
+                                 `#[serde(skip_serializing_if = \"path\")]` is supported"
+                            ),
+                        }
+                    }
+                    _ => {} // doc comment or non-serde attribute
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level(stream)
         .iter()
-        .map(|chunk| leading_ident(chunk).0)
+        .map(|chunk| Field {
+            name: leading_ident(chunk).0,
+            skip_if: skip_serializing_if(chunk),
+        })
         .collect()
 }
 
@@ -176,7 +240,13 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
             let (name, at) = leading_ident(chunk);
             let kind = match chunk.get(at + 1) {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                    VariantKind::Struct(parse_named_fields(g.stream()))
+                    // Field attrs are not supported on enum variants.
+                    VariantKind::Struct(
+                        parse_named_fields(g.stream())
+                            .into_iter()
+                            .map(|f| f.name)
+                            .collect(),
+                    )
                 }
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                     VariantKind::Tuple(count_tuple_fields(g.stream()))
@@ -193,19 +263,41 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 fn gen_serialize(shape: &Shape) -> String {
     let (name, body) = match shape {
         Shape::NamedStruct { name, fields } => {
-            let pairs: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
-                .collect();
-            (
-                name,
-                format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", ")),
-            )
+            let body = if fields.iter().any(|f| f.skip_if.is_some()) {
+                // Push-based form so skip-marked fields can be omitted.
+                let pushes: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let n = &f.name;
+                        let push = format!(
+                            "pairs.push((::std::string::String::from(\"{n}\"), \
+                             ::serde::Serialize::to_value(&self.{n})));"
+                        );
+                        match &f.skip_if {
+                            Some(pred) => format!("if !{pred}(&self.{n}) {{ {push} }}"),
+                            None => push,
+                        }
+                    })
+                    .collect();
+                format!(
+                    "{{ let mut pairs = ::std::vec::Vec::new(); {} \
+                     ::serde::Value::Object(pairs) }}",
+                    pushes.join(" ")
+                )
+            } else {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let n = &f.name;
+                        format!(
+                            "(::std::string::String::from(\"{n}\"), \
+                             ::serde::Serialize::to_value(&self.{n}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+            };
+            (name, body)
         }
         Shape::TupleStruct { name, arity: 1 } => {
             (name, "::serde::Serialize::to_value(&self.0)".to_string())
@@ -284,7 +376,14 @@ fn gen_deserialize(shape: &Shape) -> String {
         Shape::NamedStruct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de_field(v, \"{f}\")?,"))
+                .map(|f| {
+                    let n = &f.name;
+                    if f.skip_if.is_some() {
+                        format!("{n}: ::serde::de_field_or_default(v, \"{n}\")?,")
+                    } else {
+                        format!("{n}: ::serde::de_field(v, \"{n}\")?,")
+                    }
+                })
                 .collect();
             (
                 name,
