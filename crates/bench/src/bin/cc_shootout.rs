@@ -24,10 +24,12 @@
 //! JSON is near-zero for cache hits (`--no-cache` to force fresh runs).
 
 use ccfit::experiment::ExperimentSpec;
-use ccfit::{ConfigId, Mechanism};
-use ccfit_bench::harness::{mechanisms_from_args, run_all, RunCtx};
+use ccfit::traffic::incast;
+use ccfit::{ConfigId, Mechanism, Workload};
+use ccfit_bench::harness::{mechanisms_from_args, run_specs, RunCtx};
 use ccfit_engine::ids::FlowId;
 use ccfit_metrics::SimReport;
+use ccfit_orchestrator::RunSpec;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -40,6 +42,9 @@ enum JainSet {
     /// The long-running flows (no scheduled end): how evenly the
     /// background/victim population rides out the burst.
     LongRunning,
+    /// The sized flows of a workload panel: how evenly the mechanism
+    /// shares the fan-in among flows racing to completion.
+    Sized,
 }
 
 /// What "the victim" means for recovery measurement.
@@ -57,6 +62,10 @@ enum Victim {
 /// as fractions of the run so the same shape works at any time scale.
 struct Panel {
     config: ConfigId,
+    /// Sized-flow workload replacing the config's traffic pattern
+    /// (`None` = the config's own rate-window schedule). Workload
+    /// panels additionally report the FCT columns.
+    workload: Option<Workload>,
     /// Throughput/fairness window: full congestion, every contributor on.
     congested: (f64, f64),
     /// Victim baseline window is `[0, baseline_to)`.
@@ -68,23 +77,49 @@ struct Panel {
     jain: JainSet,
 }
 
+/// The closed-loop panel: a 4-into-1 incast of 64 KiB flows on the
+/// 8-node tree. The congested window covers the fan-in's lifetime; the
+/// FCT columns (not the victim metrics) are this panel's headline.
+fn incast_panel() -> Panel {
+    Panel {
+        config: ConfigId::UniformTree {
+            ary: 2,
+            levels: 3,
+            load: 1.0, // replaced by the workload; must parse as a valid rate
+            duration_ns: 600_000.0,
+        },
+        workload: Some(incast(4, 65_536)),
+        congested: (0.0, 0.25),
+        baseline_to: 0.25,
+        recover_from: 0.0,
+        victim: Victim::Network,
+        jain: JainSet::Sized,
+    }
+}
+
 fn panels(smoke: bool) -> Vec<Panel> {
     if smoke {
-        // CI shape: the Config #1 hotspot compressed to 0.2 ms.
-        return vec![Panel {
-            config: ConfigId::Config1Case1 { scale: 0.02 },
-            congested: (0.65, 1.0),
-            baseline_to: 0.2,
-            recover_from: 0.2,
-            victim: Victim::Flow,
-            jain: JainSet::Contributors,
-        }];
+        // CI shape: the Config #1 hotspot compressed to 0.2 ms, plus
+        // the incast workload panel so the FCT path stays exercised.
+        return vec![
+            Panel {
+                config: ConfigId::Config1Case1 { scale: 0.02 },
+                workload: None,
+                congested: (0.65, 1.0),
+                baseline_to: 0.2,
+                recover_from: 0.2,
+                victim: Victim::Flow,
+                jain: JainSet::Contributors,
+            },
+            incast_panel(),
+        ];
     }
     vec![
         // Config #1 / Case #1 at 2 ms: victim F0 vs staggered
         // contributors converging on node 4 (onset at 20 % of the run).
         Panel {
             config: ConfigId::Config1Case1 { scale: 0.2 },
+            workload: None,
             congested: (0.65, 1.0),
             baseline_to: 0.2,
             recover_from: 0.2,
@@ -95,6 +130,7 @@ fn panels(smoke: bool) -> Vec<Panel> {
         // the established flow from node 1 plays the victim role.
         Panel {
             config: ConfigId::Config2Case2 { scale: 0.2 },
+            workload: None,
             congested: (0.65, 1.0),
             baseline_to: 0.2,
             recover_from: 0.2,
@@ -110,12 +146,14 @@ fn panels(smoke: bool) -> Vec<Panel> {
                 duration_ms: 4.0,
                 scale: 0.1,
             },
+            workload: None,
             congested: (0.25, 0.5),
             baseline_to: 0.25,
             recover_from: 0.5,
             victim: Victim::Network,
             jain: JainSet::LongRunning,
         },
+        incast_panel(),
     ]
 }
 
@@ -172,6 +210,17 @@ struct MechResult {
     victim_recovery_ns: Option<f64>,
     /// Jain's index over the panel's competing-flow set, congested window.
     jain: f64,
+    /// Flow-completion-time columns, populated on workload panels only
+    /// (`null` for rate-window panels, which have no sized flows).
+    fct_avg_ns: Option<f64>,
+    fct_p50_ns: Option<f64>,
+    fct_p99_ns: Option<f64>,
+    fct_p999_ns: Option<f64>,
+    fct_avg_slowdown: Option<f64>,
+    /// Sized flows that ran to completion within the run.
+    fct_completed: Option<usize>,
+    /// Total sized flows in the workload.
+    fct_flows: Option<usize>,
     delivered_packets: u64,
     /// Wall-clock seconds for the simulation (near-zero on cache hits).
     wall_s: f64,
@@ -221,10 +270,17 @@ fn score(
         .filter(|f| match panel.jain {
             JainSet::Contributors => f.end_ns.is_some(),
             JainSet::LongRunning => f.end_ns.is_none(),
+            JainSet::Sized => false,
         })
         .map(|f| f.id)
         .collect();
+    let jain_flows = match panel.jain {
+        JainSet::Sized => spec.pattern.sized_ids(),
+        _ => jain_flows,
+    };
     let jain = report.jain_over(&jain_flows, cw_from, cw_to);
+
+    let fct = report.fct.as_ref();
 
     const CC_PREFIXES: [&str; 9] = [
         "ecn_", "fecn_", "becn_", "cnp_", "ack_", "wire_", "ctrl_", "dcqcn_", "throttle",
@@ -245,6 +301,13 @@ fn score(
         p99_ns,
         victim_recovery_ns,
         jain,
+        fct_avg_ns: fct.map(|f| f.avg_fct_ns),
+        fct_p50_ns: fct.map(|f| f.p50_fct_ns),
+        fct_p99_ns: fct.map(|f| f.p99_fct_ns),
+        fct_p999_ns: fct.map(|f| f.p999_fct_ns),
+        fct_avg_slowdown: fct.map(|f| f.avg_slowdown),
+        fct_completed: fct.map(|f| f.completed),
+        fct_flows: fct.map(|f| f.flows.len()),
         delivered_packets: report.delivered_packets,
         wall_s,
         cc_counters,
@@ -292,20 +355,63 @@ fn main() {
 
     let mut results = Vec::new();
     for panel in panels(smoke) {
-        let spec = panel.config.resolve();
+        let mut spec = panel.config.resolve();
+        if let Some(w) = &panel.workload {
+            spec = spec.with_workload(w);
+        }
         let d = spec.duration_ns;
         println!("=== {} ({:.2} ms simulated) ===", spec.name, d / 1e6);
         println!(
-            "{:<8} {:>7} {:>12} {:>10} {:>10} {:>12} {:>7} {:>8}",
-            "mech", "thput", "mean lat ns", "p95 ns", "p99 ns", "recovery ns", "jain", "wall s"
+            "{:<8} {:>7} {:>12} {:>10} {:>10} {:>12} {:>7} {:>12} {:>8} {:>8}",
+            "mech",
+            "thput",
+            "mean lat ns",
+            "p95 ns",
+            "p99 ns",
+            "recovery ns",
+            "jain",
+            "fct p99 ns",
+            "slowdn",
+            "wall s"
         );
         // ~100 bins per run regardless of time scale.
-        let runs = run_all(&panel.config, &mechs, seed, d / 100.0, &ctx);
+        let run_specs_list: Vec<RunSpec> = mechs
+            .iter()
+            .map(|m| {
+                let mut s = RunSpec::new(panel.config.clone(), m.clone(), seed, d / 100.0);
+                if let Some(w) = &panel.workload {
+                    s = s.with_workload(w.clone());
+                }
+                s
+            })
+            .collect();
+        let runs = run_specs(&run_specs_list, &ctx);
         let mut per_mech = Vec::new();
         for out in runs {
             let r = score(&panel, &spec, out.mechanism, &out.report, out.wall_s);
+            if panel.workload.is_some() {
+                // Every workload run must produce a finite, populated
+                // FCT block — CI's --smoke leg rides this assertion.
+                for (what, v) in [
+                    ("fct_avg_ns", r.fct_avg_ns),
+                    ("fct_p50_ns", r.fct_p50_ns),
+                    ("fct_p99_ns", r.fct_p99_ns),
+                    ("fct_p999_ns", r.fct_p999_ns),
+                    ("fct_avg_slowdown", r.fct_avg_slowdown),
+                ] {
+                    let v = v.unwrap_or_else(|| {
+                        panic!("{}: workload panel missing {what}", r.mechanism)
+                    });
+                    assert!(v.is_finite() && v > 0.0, "{}: {what} = {v}", r.mechanism);
+                }
+                assert!(
+                    r.fct_completed.unwrap_or(0) > 0,
+                    "{}: no sized flow completed",
+                    r.mechanism
+                );
+            }
             println!(
-                "{:<8} {:>7.4} {:>12.0} {:>10.0} {:>10.0} {:>12} {:>7.4} {:>8.2}",
+                "{:<8} {:>7.4} {:>12.0} {:>10.0} {:>10.0} {:>12} {:>7.4} {:>12} {:>8} {:>8.2}",
                 r.mechanism,
                 r.throughput,
                 r.mean_latency_ns,
@@ -314,6 +420,8 @@ fn main() {
                 r.victim_recovery_ns
                     .map_or("never".into(), |v| format!("{v:.0}")),
                 r.jain,
+                r.fct_p99_ns.map_or("-".into(), |v| format!("{v:.0}")),
+                r.fct_avg_slowdown.map_or("-".into(), |v| format!("{v:.2}")),
                 r.wall_s,
             );
             per_mech.push(r);

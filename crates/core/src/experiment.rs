@@ -12,7 +12,7 @@ use crate::simulator::{SimBuilder, SimConfig};
 use ccfit_engine::ids::SwitchId;
 use ccfit_metrics::SimReport;
 use ccfit_topology::{config1_topology, KAryNTree, LinkParams, Mesh2D, RoutingTable, Topology};
-use ccfit_traffic::{case1, case2, case3, case4, uniform_all, TrafficPattern};
+use ccfit_traffic::{case1, case2, case3, case4, uniform_all, TrafficPattern, Workload};
 use serde::{Deserialize, Serialize};
 
 /// A fully specified experiment minus the mechanism.
@@ -87,7 +87,21 @@ impl ExperimentSpec {
                 *e *= scale;
             }
         }
+        for f in &mut self.pattern.sized {
+            f.start_ns *= scale;
+        }
         self.duration_ns *= scale;
+        self
+    }
+
+    /// Replace the traffic pattern with a closed-loop [`Workload`]
+    /// resolved against this spec's machine size, renaming the spec
+    /// `<name>+<workload>`. The topology, routing and duration are
+    /// kept — the workload rides the host configuration's network.
+    #[must_use]
+    pub fn with_workload(mut self, workload: &Workload) -> Self {
+        self.pattern = workload.build(self.topology.num_nodes());
+        self.name = format!("{}+{}", self.name, workload.name());
         self
     }
 

@@ -52,6 +52,7 @@ pub use ccfit_faults::{
     FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent, RandomFaults, ScheduledEvent,
 };
 pub use ccfit_metrics::{CcEvent, CcEventKind, EventClass, EventConfig, FaultKind};
+pub use ccfit_traffic::{SizedFlow, Workload};
 pub use experiment::{ConfigId, ExperimentSpec};
 pub use parallel::{EngineDecision, FallbackReason, ParallelConfig, ParallelFallback};
 pub use params::{

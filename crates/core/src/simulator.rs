@@ -21,8 +21,8 @@ use ccfit_engine::units::{Cycle, UnitModel};
 use ccfit_engine::CalendarQueue;
 use ccfit_faults::{FaultConfig, FaultPolicy, FaultSchedule, NetworkEvent};
 use ccfit_metrics::{
-    CcEvent, CcEventKind, EventClass, EventConfig, FaultKind, FaultSummary, MetricsCollector,
-    MetricsSink, SimReport,
+    CcEvent, CcEventKind, EventClass, EventConfig, FaultKind, FaultSummary, FlowGoal,
+    MetricsCollector, MetricsSink, SimReport,
 };
 use ccfit_topology::{Endpoint, LinkParams, RoutingTable, Topology};
 use ccfit_traffic::{GenPacket, NodeGenerator, TrafficPattern};
@@ -780,6 +780,42 @@ pub struct Simulator {
     act_stats: ActiveSetStats,
 }
 
+/// Lower-bound completion time for a sized flow, in cycles: the whole
+/// flow serialized through the narrowest link on its route, plus the
+/// sum of link propagation delays from source NIC to destination NIC
+/// (injection link + every traced hop, reception link included).
+/// Switch-crossing and queueing cycles are deliberately excluded, and
+/// the serialization term is `ceil(flits / bw) - 1` because the source
+/// token bucket can emit the packet containing the last byte as soon as
+/// that many cycles of budget have accrued — so measured FCT ≥ ideal
+/// holds by construction, never by margin-tuning.
+fn ideal_fct_cycles(
+    topo: &Topology,
+    routing: &RoutingTable,
+    units: &UnitModel,
+    f: &ccfit_traffic::SizedFlow,
+) -> Cycle {
+    let mtu = ccfit_traffic::SIZED_PACKET_BYTES;
+    let full_packets = f.bytes / mtu as u64;
+    let tail_bytes = (f.bytes % mtu as u64) as u32;
+    let mut flits = full_packets * units.bytes_to_flits(mtu) as u64;
+    if tail_bytes > 0 {
+        flits += units.bytes_to_flits(tail_bytes) as u64;
+    }
+    let (_, _, inject) = topo.node_attachment(f.src);
+    let mut min_bw = inject.bw_flits_per_cycle.max(1);
+    let mut delay = inject.delay_cycles;
+    let path = routing
+        .trace(topo, f.src, f.dst)
+        .expect("sized flow route must deliver");
+    for (sw, port) in path {
+        let (_, params) = topo.peer(sw, port).expect("traced hop is connected");
+        min_bw = min_bw.min(params.bw_flits_per_cycle.max(1));
+        delay += params.delay_cycles;
+    }
+    (flits.div_ceil(min_bw as u64).saturating_sub(1) + delay).max(1)
+}
+
 impl Simulator {
     fn assemble(
         topo: Topology,
@@ -1047,6 +1083,25 @@ impl Simulator {
         let mut metrics = MetricsCollector::new(units, cfg.metrics_bin_ns);
         if let Some(ec) = cfg.events {
             metrics.enable_events(ec);
+        }
+        if !pattern.sized.is_empty() {
+            let goals = pattern
+                .sized
+                .iter()
+                .map(|f| FlowGoal {
+                    id: f.id,
+                    label: f.label.clone(),
+                    bytes: f.bytes,
+                    // The start the source generator actually observes:
+                    // its activation cycle, back in ns. Using the raw
+                    // (un-quantized) start_ns could make slowdown dip
+                    // below 1 by a fraction of a cycle.
+                    start_ns: units.cycles_to_ns(units.ns_to_cycles(f.start_ns)),
+                    ideal_ns: units.cycles_to_ns(ideal_fct_cycles(&topo, &routing, &units, f)),
+                    priority: f.priority,
+                })
+                .collect();
+            metrics.track_flows(goals);
         }
         let end = units.ns_to_cycles(cfg.duration_ns);
 
@@ -3048,6 +3103,7 @@ impl Simulator {
             .flows
             .iter()
             .map(|f| (f.id, f.label.clone()))
+            .chain(self.pattern.sized.iter().map(|f| (f.id, f.label.clone())))
             .collect();
         // Reception capacity: Σ node-link bandwidths, in bytes/ns.
         let capacity: f64 = self

@@ -2,6 +2,7 @@
 
 use crate::events::{CcEvent, EventClass, EventConfig, EventLog};
 use crate::faults::FaultSummary;
+use crate::fct::{FctTracker, FlowGoal};
 use crate::histogram::LatencyHistogram;
 use crate::report::{FlowReport, SimReport};
 use crate::series::TimeSeries;
@@ -27,6 +28,7 @@ pub struct MetricsCollector {
     delivered_bytes: u64,
     faults: Option<FaultSummary>,
     events: Option<EventLog>,
+    fct: Option<FctTracker>,
 }
 
 impl MetricsCollector {
@@ -46,7 +48,18 @@ impl MetricsCollector {
             delivered_bytes: 0,
             faults: None,
             events: None,
+            fct: None,
         }
+    }
+
+    /// Track flow completion for the given sized-flow goals (set once
+    /// before the run starts; runs without sized flows leave it unset
+    /// so their reports carry a `null` FCT block). Completion is
+    /// detected inside [`Self::record_delivery`], which every engine
+    /// invokes serially in canonical order, so FCTs are byte-identical
+    /// across engines for free.
+    pub fn track_flows(&mut self, goals: Vec<FlowGoal>) {
+        self.fct = Some(FctTracker::new(goals));
     }
 
     /// Turn on the structured CC event log (off by default — fully
@@ -90,6 +103,9 @@ impl MetricsCollector {
             return;
         }
         let ns = self.units.cycles_to_ns(now);
+        if let Some(t) = &mut self.fct {
+            t.on_delivery(ns, pkt.flow, pkt.size_bytes as u64);
+        }
         let bytes = pkt.size_bytes as f64;
         self.per_flow_bytes
             .entry(pkt.flow)
@@ -191,6 +207,7 @@ impl MetricsCollector {
             simulated_cycles: self.units.ns_to_cycles(duration_ns),
             faults: self.faults,
             events: self.events.map(EventLog::into_report),
+            fct: self.fct.map(FctTracker::into_report),
         }
     }
 }

@@ -22,6 +22,7 @@ pub mod events;
 pub mod export;
 pub mod fairness;
 pub mod faults;
+pub mod fct;
 pub mod histogram;
 pub mod report;
 pub mod scratch;
@@ -33,6 +34,7 @@ pub use events::{
 };
 pub use fairness::jain_index;
 pub use faults::FaultSummary;
+pub use fct::{FctReport, FctTracker, FlowFct, FlowGoal};
 pub use histogram::LatencyHistogram;
 pub use report::{FlowReport, SimReport};
 pub use scratch::{MetricOp, MetricsScratch, MetricsSink};

@@ -3,6 +3,7 @@
 use crate::events::EventLogReport;
 use crate::fairness::jain_index;
 use crate::faults::FaultSummary;
+use crate::fct::FctReport;
 use crate::histogram::LatencyHistogram;
 use crate::series::TimeSeries;
 use ccfit_engine::ids::FlowId;
@@ -63,6 +64,9 @@ pub struct SimReport {
     /// Structured CC event log; `None` (serialized as `null`) when the
     /// run did not enable event recording.
     pub events: Option<EventLogReport>,
+    /// Flow-completion-time block; `None` (serialized as `null`) when
+    /// the workload had no sized flows.
+    pub fct: Option<FctReport>,
 }
 
 impl SimReport {
@@ -269,6 +273,7 @@ mod tests {
             simulated_cycles: 2500,
             faults: None,
             events: None,
+            fct: None,
         }
     }
 

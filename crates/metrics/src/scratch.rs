@@ -6,6 +6,12 @@
 //! it would have performed into a [`MetricsScratch`] op log; the main
 //! thread replays the logs into the real [`MetricsCollector`] in canonical
 //! shard order, reproducing the serial call sequence bit for bit.
+//!
+//! Flow-completion tracking ([`crate::fct`]) needs no op of its own:
+//! completions are detected inside `record_delivery`, and node-bound
+//! deliveries never go through a scratch — every engine (dense, sparse,
+//! sharded) performs them serially on the main thread in canonical
+//! order, so replaying `Delivery` ops already replays completions.
 
 use crate::collector::MetricsCollector;
 use crate::events::{CcEvent, EventClass};

@@ -30,11 +30,17 @@
 //! switch = 0
 //! port = 4
 //! policy = "fail-stop"
+//!
+//! [matrix.workload]      # optional sized-flow workload; replaces each
+//! kind = "incast"        # config's traffic pattern (see parse_workload)
+//! senders = 4
+//! bytes = 65536
 //! ```
 
 use ccfit::engine::ids::{PortId, SwitchId};
 use ccfit::faults::{FaultPolicy, FaultSchedule};
-use ccfit::{ConfigId, Mechanism};
+use ccfit::traffic::parse_trace;
+use ccfit::{ConfigId, Mechanism, Workload};
 use serde::Value;
 
 use crate::spec::{EngineKnobs, RunSpec};
@@ -55,6 +61,9 @@ pub struct ExperimentMatrix {
     pub metrics_bin_ns: f64,
     /// Fault schedule applied to every run (empty = fault-free).
     pub faults: Option<FaultSchedule>,
+    /// Sized-flow workload applied to every run (`[matrix.workload]`);
+    /// replaces each config's traffic pattern.
+    pub workload: Option<Workload>,
     /// Result-neutral engine knobs.
     pub engine: EngineKnobs,
 }
@@ -106,6 +115,10 @@ impl ExperimentMatrix {
             }
             None => None,
         };
+        let workload = match m.get("workload") {
+            Some(w) => Some(parse_workload(w)?),
+            None => None,
+        };
         let engine = match m.get("engine") {
             Some(e) => EngineKnobs {
                 threads: opt_usize(e, "threads")?.unwrap_or(1),
@@ -123,6 +136,7 @@ impl ExperimentMatrix {
             seeds,
             metrics_bin_ns,
             faults,
+            workload,
             engine,
         })
     }
@@ -139,6 +153,9 @@ impl ExperimentMatrix {
                         RunSpec::new(config.clone(), mech.clone(), seed, self.metrics_bin_ns);
                     if let Some(f) = &self.faults {
                         spec = spec.with_faults(f.clone());
+                    }
+                    if let Some(w) = &self.workload {
+                        spec = spec.with_workload(w.clone());
                     }
                     specs.push(spec);
                 }
@@ -236,6 +253,43 @@ fn parse_config(table: &Value) -> Result<ConfigId, String> {
         other => Err(format!(
             "unknown config kind {other:?}; known: config1/case1, config2/case2, \
              config2/case3, config3/case4, uniform-tree, uniform-mesh"
+        )),
+    }
+}
+
+/// The `[matrix.workload]` table → [`Workload`], keyed by `kind`.
+/// `kind = "trace"` reads and parses `file` at matrix-parse time, so
+/// the resolved specs embed the trace content (and hash it).
+fn parse_workload(table: &Value) -> Result<Workload, String> {
+    let kind = get_str(table, "kind")?;
+    let what = format!("[matrix.workload] kind={kind}");
+    match kind.as_str() {
+        "incast" => Ok(Workload::Incast {
+            senders: req_u64(table, "senders", &what)? as usize,
+            bytes: req_u64(table, "bytes", &what)?,
+        }),
+        "all-to-all" => Ok(Workload::AllToAll {
+            bytes: req_u64(table, "bytes", &what)?,
+        }),
+        "permutation-shift" => Ok(Workload::PermutationShift {
+            shift: req_u64(table, "shift", &what)? as usize,
+            bytes: req_u64(table, "bytes", &what)?,
+        }),
+        "mpi-phase-bursts" => Ok(Workload::MpiPhaseBursts {
+            phases: req_u64(table, "phases", &what)? as usize,
+            bytes: req_u64(table, "bytes", &what)?,
+            gap_ns: req_f64(table, "gap_ns", &what)?,
+        }),
+        "trace" => {
+            let file = get_str(table, "file")?;
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("{what}: cannot read {file:?}: {e}"))?;
+            let flows = parse_trace(&text).map_err(|e| format!("{what}: {file}: {e}"))?;
+            Ok(Workload::Trace { flows })
+        }
+        other => Err(format!(
+            "unknown workload kind {other:?}; known: incast, all-to-all, \
+             permutation-shift, mpi-phase-bursts, trace"
         )),
     }
 }
@@ -345,6 +399,45 @@ duration_ns = 600000.0
             .link_up(220000, SwitchId(0), PortId(4));
         assert_eq!(matrix.faults, Some(expected));
         assert!(matrix.resolve().iter().all(|s| s.faults.is_some()));
+    }
+
+    #[test]
+    fn workload_table_applies_to_every_spec() {
+        let doc =
+            format!("{DOC}\n[matrix.workload]\nkind = \"incast\"\nsenders = 4\nbytes = 65536\n");
+        let matrix = ExperimentMatrix::from_toml_str(&doc).unwrap();
+        assert_eq!(
+            matrix.workload,
+            Some(Workload::Incast {
+                senders: 4,
+                bytes: 65536
+            })
+        );
+        let specs = matrix.resolve();
+        assert!(specs.iter().all(|s| s.workload.is_some()));
+        assert!(specs[0].label().contains("incast-4x65536B"));
+        // The workload changes the cache key relative to a bare matrix.
+        let bare = ExperimentMatrix::from_toml_str(DOC).unwrap().resolve();
+        assert_ne!(specs[0].cache_key(), bare[0].cache_key());
+    }
+
+    #[test]
+    fn trace_workload_embeds_file_content() {
+        let trace = concat!(env!("CARGO_MANIFEST_DIR"), "/../../traces/incast4.trace");
+        let doc = format!("{DOC}\n[matrix.workload]\nkind = \"trace\"\nfile = \"{trace}\"\n");
+        let matrix = ExperimentMatrix::from_toml_str(&doc).unwrap();
+        match matrix.workload.as_ref().unwrap() {
+            Workload::Trace { flows } => {
+                assert_eq!(flows.len(), 4);
+                assert!(flows.iter().all(|f| f.dst.0 == 0));
+            }
+            other => panic!("expected trace workload, got {other:?}"),
+        }
+
+        let missing =
+            format!("{DOC}\n[matrix.workload]\nkind = \"trace\"\nfile = \"/nonexistent.trace\"\n");
+        let err = ExperimentMatrix::from_toml_str(&missing).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! value — two equal specs always produce identical bytes (pinned by
 //! the proptest in `tests/cache_keys.rs`).
 
-use ccfit::{ConfigId, FaultConfig, FaultSchedule, Mechanism, ParallelConfig, SimConfig};
+use ccfit::{ConfigId, FaultConfig, FaultSchedule, Mechanism, ParallelConfig, SimConfig, Workload};
 use ccfit_metrics::SimReport;
 use serde::{Deserialize, Serialize};
 
@@ -32,7 +32,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// streams, …). Old entries then simply never match again and
 /// `ccfit-sweep gc` can prune them. Perf-only changes proven
 /// byte-neutral by `tests/determinism.rs` do not need a bump.
-pub const ENGINE_SALT: &str = "ccfit-engine/v9";
+pub const ENGINE_SALT: &str = "ccfit-engine/v10";
 
 /// Result-neutral execution knobs.
 ///
@@ -72,6 +72,11 @@ pub struct RunSpec {
     pub metrics_bin_ns: f64,
     /// Dynamic network-event schedule, if the run injects faults.
     pub faults: Option<FaultSchedule>,
+    /// Closed-loop sized-flow workload replacing the config's traffic
+    /// pattern (the config then only contributes topology, routing and
+    /// duration). Trace workloads embed their flows by value, so the
+    /// cache key covers trace *content*, not a file path.
+    pub workload: Option<Workload>,
 }
 
 impl RunSpec {
@@ -84,6 +89,7 @@ impl RunSpec {
             seed,
             metrics_bin_ns,
             faults: None,
+            workload: None,
         }
     }
 
@@ -91,6 +97,13 @@ impl RunSpec {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Replace the config's traffic pattern with a sized-flow workload.
+    #[must_use]
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
         self
     }
 
@@ -116,8 +129,12 @@ impl RunSpec {
         } else {
             ""
         };
+        let workload = match &self.workload {
+            Some(w) => format!("+{}", w.name()),
+            None => String::new(),
+        };
         format!(
-            "{} {} seed={}{faults}",
+            "{}{workload} {} seed={}{faults}",
             self.config.label(),
             self.mechanism.name(),
             self.seed
@@ -127,7 +144,10 @@ impl RunSpec {
     /// Simulate this spec and return the report. `knobs` select the
     /// execution engine only; the report is identical for every value.
     pub fn execute(&self, knobs: &EngineKnobs) -> SimReport {
-        let experiment = self.config.resolve();
+        let mut experiment = self.config.resolve();
+        if let Some(w) = &self.workload {
+            experiment = experiment.with_workload(w);
+        }
         let cfg = SimConfig {
             metrics_bin_ns: self.metrics_bin_ns,
             parallel: ParallelConfig {
@@ -180,5 +200,18 @@ mod tests {
         let back: RunSpec = serde_json::from_str(&s.canonical_bytes()).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.cache_key(), s.cache_key());
+    }
+
+    #[test]
+    fn workload_shows_in_label_and_roundtrips() {
+        let s = spec().with_workload(ccfit::traffic::incast(4, 65_536));
+        assert!(
+            s.label().contains("+incast-4x65536B"),
+            "label: {}",
+            s.label()
+        );
+        let back: RunSpec = serde_json::from_str(&s.canonical_bytes()).unwrap();
+        assert_eq!(back, s);
+        assert_ne!(s.cache_key(), spec().cache_key());
     }
 }

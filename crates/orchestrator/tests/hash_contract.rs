@@ -3,8 +3,9 @@
 //! guarantee, and the lossless spec ⇄ canonical-bytes roundtrip that
 //! byte-identical caching rests on.
 
-use ccfit::engine::ids::{PortId, SwitchId};
-use ccfit::{ConfigId, FaultPolicy, FaultSchedule, Mechanism};
+use ccfit::engine::ids::{NodeId, PortId, SwitchId};
+use ccfit::traffic::incast;
+use ccfit::{ConfigId, FaultPolicy, FaultSchedule, Mechanism, SizedFlow, Workload};
 use ccfit_orchestrator::{RunSpec, ENGINE_SALT, SCHEMA_VERSION};
 use proptest::prelude::*;
 
@@ -25,15 +26,15 @@ fn golden_cache_keys_for_paper_configs() {
     let pins = [
         (
             ConfigId::config1_case1(),
-            "0dda7e627dd227836cb8c69cc936302e801c62efe437354e6d8edd22464261e2",
+            "a84055e29a52a48b09c65dab5ef9739240c167c1b36ea598788a42feffaf9c1c",
         ),
         (
             ConfigId::config2_case2(),
-            "93167d245d5cf18de4dc87b11aed408ea26ebb47dab2af22c9e4967b0da151aa",
+            "a61a71a14df9ff1cc7981f5effe99072dcfcd6de1ec6d14c243b86d9975ebc21",
         ),
         (
             ConfigId::config3_case4(1),
-            "a3f28752ed2eb895a4f90bb0e72ae54ba185dadec708e245e5ec20dc39fd5c2a",
+            "76989de27291c7a650d9ed342836e20dae14867fac7f5d234c147be9600e355f",
         ),
     ];
     for (config, want) in pins {
@@ -67,7 +68,8 @@ fn canonical_bytes_cover_exactly_the_documented_fields() {
             "mechanism",
             "seed",
             "metrics_bin_ns",
-            "faults"
+            "faults",
+            "workload"
         ],
         "RunSpec gained/lost/reordered fields — update the hash contract \
          tests and consider an ENGINE_SALT bump"
@@ -111,6 +113,20 @@ fn every_field_flip_changes_the_cache_key() {
             ),
         ),
         ("faults", base.clone().with_faults(faulty)),
+        (
+            "workload (preset)",
+            base.clone().with_workload(incast(2, 4096)),
+        ),
+        (
+            "workload (param)",
+            base.clone().with_workload(incast(2, 8192)),
+        ),
+        (
+            "workload (trace content)",
+            base.clone().with_workload(Workload::Trace {
+                flows: vec![SizedFlow::new(0, NodeId(1), NodeId(0), 4096, 0.0)],
+            }),
+        ),
     ];
 
     let base_key = base.cache_key();
@@ -175,10 +191,20 @@ proptest! {
         mech_idx in 0usize..64,
         seed in any::<u64>(),
         bin in 1e2f64..1e7,
+        wl in 0usize..4,
+        wl_bytes in 1u64..1_000_000,
     ) {
         let all = Mechanism::all();
         let mech = all[mech_idx % all.len()].clone();
-        let spec = RunSpec::new(config, mech, seed, bin);
+        let mut spec = RunSpec::new(config, mech, seed, bin);
+        spec = match wl {
+            0 => spec, // no workload
+            1 => spec.with_workload(incast(3, wl_bytes)),
+            2 => spec.with_workload(ccfit::traffic::permutation_shift(1, wl_bytes)),
+            _ => spec.with_workload(Workload::Trace {
+                flows: vec![SizedFlow::new(0, NodeId(2), NodeId(0), wl_bytes, 10.5)],
+            }),
+        };
         let bytes = spec.canonical_bytes();
         let back: RunSpec = serde_json::from_str(&bytes).expect("canonical bytes parse");
         prop_assert_eq!(&back, &spec, "roundtrip changed the spec");

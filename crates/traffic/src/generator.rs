@@ -11,6 +11,7 @@
 //! NIC.
 
 use crate::flow::{Burstiness, Destination, FlowSpec};
+use crate::sized::SizedFlow;
 use ccfit_engine::ids::{FlowId, NodeId};
 use ccfit_engine::rng::SeedSplitter;
 use ccfit_engine::units::{Cycle, UnitModel};
@@ -61,6 +62,34 @@ struct FlowState {
     /// boundary and mean phase lengths in cycles.
     onoff: Option<OnOffState>,
     link_bw: f64,
+    /// Closed-loop sized flows: payload bytes left to inject. `None`
+    /// for open-loop rate-window flows; `Some(0)` = drained (the flow
+    /// never acts again).
+    remaining: Option<u64>,
+}
+
+impl FlowState {
+    /// Active = inside the time window and, for sized flows, not yet
+    /// drained.
+    fn is_active(&self, now: Cycle) -> bool {
+        if self.remaining == Some(0) {
+            return false;
+        }
+        now >= self.start && self.end.is_none_or(|e| now < e)
+    }
+
+    /// `(flits, bytes)` of the next packet this flow would emit: the
+    /// configured packet size, except a sized flow's final packet
+    /// carries only the remainder.
+    fn next_packet(&self, flit_bytes: u32) -> (u32, u32) {
+        match self.remaining {
+            Some(rem) if rem < self.packet_bytes as u64 => {
+                let bytes = rem as u32;
+                (bytes.div_ceil(flit_bytes), bytes)
+            }
+            _ => (self.packet_flits, self.packet_bytes),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +105,7 @@ struct OnOffState {
 pub struct NodeGenerator {
     node: NodeId,
     num_nodes: usize,
+    flit_bytes: u32,
     flows: Vec<FlowState>,
     /// Last cycle [`Self::tick`] ran, `Cycle::MAX` before the first
     /// tick. The sparse engine parks emission-idle nodes and skips
@@ -98,7 +128,34 @@ impl NodeGenerator {
         num_nodes: usize,
         seeds: &SeedSplitter,
     ) -> Self {
-        let flows = flows
+        Self::new_with_sized(
+            node,
+            flows,
+            &[],
+            units,
+            link_bw_flits_per_cycle,
+            num_nodes,
+            seeds,
+        )
+    }
+
+    /// [`Self::new`] plus closed-loop sized flows. Sized flows inject
+    /// at line rate (an application handing the NIC a complete message)
+    /// and go permanently idle once their byte budget is drained; the
+    /// final packet carries the remainder so delivered bytes sum
+    /// exactly to [`SizedFlow::bytes`]. Rate flows come first, sized
+    /// flows after, each in declaration order — the per-cycle emission
+    /// order is part of the byte-identity contract.
+    pub fn new_with_sized(
+        node: NodeId,
+        flows: &[FlowSpec],
+        sized: &[SizedFlow],
+        units: &UnitModel,
+        link_bw_flits_per_cycle: u32,
+        num_nodes: usize,
+        seeds: &SeedSplitter,
+    ) -> Self {
+        let mut flows: Vec<FlowState> = flows
             .iter()
             .filter(|f| f.src == node)
             .map(|f| {
@@ -128,12 +185,28 @@ impl NodeGenerator {
                     rng: seeds.rng("traffic-flow", f.id.0 as u64),
                     onoff,
                     link_bw: link_bw_flits_per_cycle as f64,
+                    remaining: None,
                 }
             })
             .collect();
+        flows.extend(sized.iter().filter(|f| f.src == node).map(|f| FlowState {
+            id: f.id,
+            dst: Destination::Fixed(f.dst),
+            start: units.ns_to_cycles(f.start_ns),
+            end: None,
+            flits_per_cycle: link_bw_flits_per_cycle as f64,
+            packet_flits: units.bytes_to_flits(crate::sized::SIZED_PACKET_BYTES),
+            packet_bytes: crate::sized::SIZED_PACKET_BYTES,
+            tokens: 0.0,
+            rng: seeds.rng("traffic-flow", f.id.0 as u64),
+            onoff: None,
+            link_bw: link_bw_flits_per_cycle as f64,
+            remaining: Some(f.bytes),
+        }));
         Self {
             node,
             num_nodes,
+            flit_bytes: units.flit_bytes,
             flows,
             last_tick: Cycle::MAX,
         }
@@ -151,9 +224,7 @@ impl NodeGenerator {
 
     /// True if any flow is active at `now`.
     pub fn any_active(&self, now: Cycle) -> bool {
-        self.flows
-            .iter()
-            .any(|f| now >= f.start && f.end.is_none_or(|e| now < e))
+        self.flows.iter().any(|f| f.is_active(now))
     }
 
     /// Earliest cycle after `now` at which a not-yet-started flow
@@ -189,14 +260,15 @@ impl NodeGenerator {
     pub fn next_park_wake(&self, now: Cycle) -> Option<Cycle> {
         let mut wake = Cycle::MAX;
         for f in &self.flows {
-            if f.end.is_some_and(|e| now >= e) {
+            if f.end.is_some_and(|e| now >= e) || f.remaining == Some(0) {
                 continue;
             }
             if f.start > now {
                 wake = wake.min(f.start);
                 continue;
             }
-            if f.tokens >= f.packet_flits as f64 {
+            let (next_flits, _) = f.next_packet(self.flit_bytes);
+            if f.tokens >= next_flits as f64 {
                 return None;
             }
             let accrual = match &f.onoff {
@@ -212,7 +284,7 @@ impl NodeGenerator {
                 }
             };
             if accrual > 0.0 {
-                let k = ((f.packet_flits as f64 - f.tokens) / accrual).floor() as Cycle;
+                let k = ((next_flits as f64 - f.tokens) / accrual).floor() as Cycle;
                 let margin = 2 + (k >> 16);
                 wake = wake.min(now + k.saturating_sub(margin).max(1));
             }
@@ -230,6 +302,7 @@ impl NodeGenerator {
     /// leapfrogged, matching the engine's dense gate which skips the
     /// tick outright on those cycles.
     fn replay_to(&mut self, now: Cycle) {
+        let flit_bytes = self.flit_bytes;
         let mut c = match self.last_tick {
             Cycle::MAX => 0,
             t => t + 1,
@@ -243,8 +316,7 @@ impl NodeGenerator {
                 continue;
             }
             for f in &mut self.flows {
-                let active = c >= f.start && f.end.is_none_or(|e| c < e);
-                if !active {
+                if !f.is_active(c) {
                     f.tokens = 0.0;
                     continue;
                 }
@@ -259,11 +331,12 @@ impl NodeGenerator {
                         }
                     }
                 };
-                f.tokens = (f.tokens + accrual).min(BURST_CAP_PACKETS * f.packet_flits as f64);
-                debug_assert!(
-                    f.tokens < f.packet_flits as f64,
-                    "parked across an emission"
-                );
+                // `remaining` cannot change inside a parked gap, so the
+                // next-packet threshold is the same constant a real tick
+                // would have used on every replayed cycle.
+                let (next_flits, _) = f.next_packet(flit_bytes);
+                f.tokens = (f.tokens + accrual).min(BURST_CAP_PACKETS * next_flits as f64);
+                debug_assert!(f.tokens < next_flits as f64, "parked across an emission");
             }
             c += 1;
         }
@@ -278,9 +351,9 @@ impl NodeGenerator {
             self.replay_to(now);
         }
         self.last_tick = now;
+        let flit_bytes = self.flit_bytes;
         for f in &mut self.flows {
-            let active = now >= f.start && f.end.is_none_or(|e| now < e);
-            if !active {
+            if !f.is_active(now) {
                 // Budget does not accumulate while inactive; leftover
                 // tokens are discarded so a reactivated flow starts
                 // cleanly.
@@ -312,8 +385,9 @@ impl NodeGenerator {
                     }
                 }
             };
-            f.tokens = (f.tokens + accrual).min(BURST_CAP_PACKETS * f.packet_flits as f64);
-            if f.tokens >= f.packet_flits as f64 {
+            let (next_flits, next_bytes) = f.next_packet(flit_bytes);
+            f.tokens = (f.tokens + accrual).min(BURST_CAP_PACKETS * next_flits as f64);
+            if f.tokens >= next_flits as f64 {
                 let dst = match f.dst {
                     Destination::Fixed(d) => d,
                     Destination::Uniform => {
@@ -326,11 +400,14 @@ impl NodeGenerator {
                 let accepted = sink.try_inject(GenPacket {
                     flow: f.id,
                     dst,
-                    size_flits: f.packet_flits,
-                    size_bytes: f.packet_bytes,
+                    size_flits: next_flits,
+                    size_bytes: next_bytes,
                 });
                 if accepted {
-                    f.tokens -= f.packet_flits as f64;
+                    f.tokens -= next_flits as f64;
+                    if let Some(rem) = &mut f.remaining {
+                        *rem -= next_bytes as u64;
+                    }
                 }
                 // On refusal the tokens stay (capped), modelling a
                 // saturated source that retries immediately.
@@ -566,6 +643,136 @@ mod tests {
         let g = gen_for(&specs, 0);
         assert!(!g.any_active(0));
         assert!(g.any_active(units().ns_to_cycles(1e6)));
+    }
+}
+
+#[cfg(test)]
+mod sized_tests {
+    use super::*;
+    use crate::sized::{SizedFlow, SIZED_PACKET_BYTES};
+
+    fn gen_sized(specs: &[SizedFlow], node: u32) -> NodeGenerator {
+        NodeGenerator::new_with_sized(
+            NodeId(node),
+            &[],
+            specs,
+            &UnitModel::default(),
+            1,
+            8,
+            &SeedSplitter::new(42),
+        )
+    }
+
+    fn drain(g: &mut NodeGenerator, cycles: u64) -> Vec<GenPacket> {
+        let mut got = Vec::new();
+        let mut sink = |p: GenPacket| {
+            got.push(p);
+            true
+        };
+        for now in 0..cycles {
+            g.tick(now, &mut sink);
+        }
+        got
+    }
+
+    #[test]
+    fn sized_flow_emits_exactly_its_bytes_then_goes_idle() {
+        // 5 full MTU packets plus a 100 B tail.
+        let bytes = 5 * SIZED_PACKET_BYTES as u64 + 100;
+        let specs = vec![SizedFlow::new(0, NodeId(0), NodeId(4), bytes, 0.0)];
+        let mut g = gen_sized(&specs, 0);
+        let got = drain(&mut g, 10_000);
+        assert_eq!(got.len(), 6);
+        assert_eq!(got.iter().map(|p| p.size_bytes as u64).sum::<u64>(), bytes);
+        assert_eq!(got[5].size_bytes, 100);
+        assert_eq!(got[5].size_flits, 2, "100 B = 2 flits of 64 B");
+        assert!(!g.any_active(10_000), "drained flow is inactive");
+        assert_eq!(g.next_park_wake(10_000), Some(Cycle::MAX));
+    }
+
+    #[test]
+    fn sized_flow_survives_backpressure_without_losing_bytes() {
+        let bytes = 3 * SIZED_PACKET_BYTES as u64;
+        let specs = vec![SizedFlow::new(0, NodeId(0), NodeId(4), bytes, 0.0)];
+        let mut g = gen_sized(&specs, 0);
+        let mut refuse = |_: GenPacket| false;
+        for now in 0..500u64 {
+            g.tick(now, &mut refuse);
+        }
+        assert_eq!(g.next_park_wake(499), None, "banked packet forbids parking");
+        let mut got = Vec::new();
+        let mut accept = |p: GenPacket| {
+            got.push(p);
+            true
+        };
+        for now in 500..5000u64 {
+            g.tick(now, &mut accept);
+        }
+        assert_eq!(got.iter().map(|p| p.size_bytes as u64).sum::<u64>(), bytes);
+    }
+
+    #[test]
+    fn parked_sized_flows_emit_identically() {
+        let specs = vec![
+            SizedFlow::new(0, NodeId(0), NodeId(4), 10 * 2048 + 700, 0.0),
+            SizedFlow::new(
+                1,
+                NodeId(0),
+                NodeId(5),
+                3 * 2048,
+                2000.0 * UnitModel::default().cycle_ns,
+            ),
+        ];
+        let mut dense = gen_sized(&specs, 0);
+        let mut dense_got = Vec::new();
+        for now in 0..20_000u64 {
+            if dense.any_active(now) {
+                let mut sink = |p: GenPacket| {
+                    dense_got.push((now, p));
+                    true
+                };
+                dense.tick(now, &mut sink);
+            }
+        }
+        let mut parked = gen_sized(&specs, 0);
+        let mut parked_got = Vec::new();
+        let mut now = 0u64;
+        while now < 20_000 {
+            if parked.any_active(now) {
+                let mut sink = |p: GenPacket| {
+                    parked_got.push((now, p));
+                    true
+                };
+                parked.tick(now, &mut sink);
+            }
+            now = match parked.next_park_wake(now) {
+                None => now + 1,
+                Some(Cycle::MAX) => break,
+                Some(at) => at.max(now + 1),
+            };
+        }
+        assert_eq!(dense_got, parked_got);
+        assert!(!dense_got.is_empty());
+    }
+
+    #[test]
+    fn sized_and_rate_flows_coexist() {
+        let rate = vec![FlowSpec::hotspot(0, NodeId(0), NodeId(4), 0.0, None)];
+        let sized = vec![SizedFlow::new(1, NodeId(0), NodeId(5), 2048, 0.0)];
+        let mut g = NodeGenerator::new_with_sized(
+            NodeId(0),
+            &rate,
+            &sized,
+            &UnitModel::default(),
+            1,
+            8,
+            &SeedSplitter::new(42),
+        );
+        assert_eq!(g.num_flows(), 2);
+        let got = drain(&mut g, 3200);
+        let sized_pkts: Vec<_> = got.iter().filter(|p| p.flow == FlowId(1)).collect();
+        assert_eq!(sized_pkts.len(), 1);
+        assert!(got.iter().filter(|p| p.flow == FlowId(0)).count() > 50);
     }
 }
 

@@ -27,8 +27,14 @@ pub mod cases;
 pub mod flow;
 pub mod generator;
 pub mod pattern;
+pub mod sized;
+pub mod trace;
+pub mod workload;
 
 pub use cases::{case1, case2, case3, case4, uniform_all};
 pub use flow::{Burstiness, Destination, FlowSpec};
 pub use generator::{GenPacket, InjectSink, NodeGenerator};
 pub use pattern::TrafficPattern;
+pub use sized::{SizedFlow, SIZED_PACKET_BYTES};
+pub use trace::{format_trace, parse_trace, TraceError};
+pub use workload::{all_to_all, incast, mpi_phase_bursts, permutation_shift, Workload};

@@ -2,6 +2,7 @@
 
 use crate::flow::FlowSpec;
 use crate::generator::NodeGenerator;
+use crate::sized::SizedFlow;
 use ccfit_engine::ids::{FlowId, NodeId};
 use ccfit_engine::rng::SeedSplitter;
 use ccfit_engine::units::UnitModel;
@@ -12,45 +13,90 @@ use serde::{Deserialize, Serialize};
 pub struct TrafficPattern {
     /// Pattern name (e.g. `"case1"`).
     pub name: String,
-    /// The flows.
+    /// The open-loop rate-window flows.
     pub flows: Vec<FlowSpec>,
+    /// Closed-loop sized flows (see [`SizedFlow`]); omitted from the
+    /// serialized form when empty so pre-FCT archives stay readable.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub sized: Vec<SizedFlow>,
 }
 
 impl TrafficPattern {
-    /// Create a pattern from parts.
+    /// Create a pattern from rate-window flows only.
     pub fn new(name: impl Into<String>, flows: Vec<FlowSpec>) -> Self {
+        Self::with_sized(name, flows, Vec::new())
+    }
+
+    /// Create a pattern from sized flows only (how [`crate::workload`]
+    /// presets resolve).
+    pub fn sized_only(name: impl Into<String>, sized: Vec<SizedFlow>) -> Self {
+        Self::with_sized(name, Vec::new(), sized)
+    }
+
+    /// Create a pattern from both kinds of flow. Ids share one space.
+    pub fn with_sized(
+        name: impl Into<String>,
+        flows: Vec<FlowSpec>,
+        sized: Vec<SizedFlow>,
+    ) -> Self {
         let p = Self {
             name: name.into(),
             flows,
+            sized,
         };
         p.validate();
         p
     }
 
     fn validate(&self) {
-        let mut ids: Vec<FlowId> = self.flows.iter().map(|f| f.id).collect();
+        let mut ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .map(|f| f.id)
+            .chain(self.sized.iter().map(|f| f.id))
+            .collect();
+        let declared = ids.len();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), self.flows.len(), "duplicate flow ids in pattern");
+        assert_eq!(ids.len(), declared, "duplicate flow ids in pattern");
         for f in &self.flows {
             assert!(f.rate > 0.0 && f.rate <= 1.0, "flow rate must be in (0, 1]");
             if let Some(e) = f.end_ns {
                 assert!(e > f.start_ns, "flow ends before it starts");
             }
         }
+        for f in &self.sized {
+            assert!(f.bytes > 0, "sized flow carries 0 bytes");
+            assert!(f.src != f.dst, "sized flow sends to itself");
+            assert!(
+                f.start_ns.is_finite() && f.start_ns >= 0.0,
+                "sized flow start_ns must be finite and >= 0"
+            );
+        }
     }
 
-    /// All flow ids, in declaration order.
+    /// All rate-window flow ids, in declaration order.
     pub fn flow_ids(&self) -> Vec<FlowId> {
         self.flows.iter().map(|f| f.id).collect()
     }
 
-    /// Label for a flow id, if declared.
+    /// All sized-flow ids, in declaration order.
+    pub fn sized_ids(&self) -> Vec<FlowId> {
+        self.sized.iter().map(|f| f.id).collect()
+    }
+
+    /// Label for a flow id (either kind), if declared.
     pub fn label(&self, id: FlowId) -> Option<&str> {
         self.flows
             .iter()
             .find(|f| f.id == id)
             .map(|f| f.label.as_str())
+            .or_else(|| {
+                self.sized
+                    .iter()
+                    .find(|f| f.id == id)
+                    .map(|f| f.label.as_str())
+            })
     }
 
     /// Largest node index referenced (source or fixed destination);
@@ -65,6 +111,11 @@ impl TrafficPattern {
                 };
                 [f.src.index(), d]
             })
+            .chain(
+                self.sized
+                    .iter()
+                    .flat_map(|f| [f.src.index(), f.dst.index()]),
+            )
             .max()
             .unwrap_or(0)
     }
@@ -87,7 +138,15 @@ impl TrafficPattern {
         (0..num_nodes)
             .map(|n| {
                 let node = NodeId::from(n);
-                NodeGenerator::new(node, &self.flows, units, link_bw(node), num_nodes, seeds)
+                NodeGenerator::new_with_sized(
+                    node,
+                    &self.flows,
+                    &self.sized,
+                    units,
+                    link_bw(node),
+                    num_nodes,
+                    seeds,
+                )
             })
             .collect()
     }

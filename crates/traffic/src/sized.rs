@@ -1,0 +1,102 @@
+//! Closed-loop sized flows: a fixed number of bytes, then done.
+//!
+//! A [`SizedFlow`] is the flow-completion-time counterpart of the
+//! open-loop rate-window [`crate::flow::FlowSpec`]: instead of injecting
+//! at a configured rate over a time window, it carries `bytes` of
+//! payload from `src` to `dst` starting at `start_ns`, injecting at
+//! line rate until the last byte has been handed to the NIC, and is
+//! *complete* when the destination end node has received every byte
+//! (tracked by the metrics collector, reported as FCT).
+
+use ccfit_engine::ids::{FlowId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Wire packet size sized flows are chopped into: the MTU used
+/// throughout the paper (2048 B). The final packet of a flow carries
+/// the remainder, so a flow's delivered bytes sum exactly to
+/// [`SizedFlow::bytes`].
+pub const SIZED_PACKET_BYTES: u32 = 2048;
+
+/// One closed-loop flow: `bytes` of payload from `src` to `dst`,
+/// injected at line rate from `start_ns` until drained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizedFlow {
+    /// Identifier used in per-flow metrics and the FCT report. Shares
+    /// the [`FlowId`] space with rate-window flows in the same pattern.
+    pub id: FlowId,
+    /// Human-readable label (e.g. `"S3 0->7"`).
+    pub label: String,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node (sized flows always have a fixed destination —
+    /// completion is meaningless for a uniform spray).
+    pub dst: NodeId,
+    /// Total payload to transfer, in bytes. Must be > 0.
+    pub bytes: u64,
+    /// Time the source starts injecting, in nanoseconds.
+    pub start_ns: f64,
+    /// Priority tag carried into the FCT report (0 = highest). Recorded
+    /// per flow for slowdown-by-class analysis; it does not yet affect
+    /// switch arbitration.
+    pub priority: u8,
+}
+
+impl SizedFlow {
+    /// A priority-0 sized flow labelled `S<id> <src>-><dst>`.
+    pub fn new(id: u32, src: NodeId, dst: NodeId, bytes: u64, start_ns: f64) -> Self {
+        Self {
+            id: FlowId(id),
+            label: format!("S{} {}->{}", id, src.0, dst.0),
+            src,
+            dst,
+            bytes,
+            start_ns,
+            priority: 0,
+        }
+    }
+
+    /// Same flow with a different priority tag.
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Number of wire packets the flow is chopped into (full
+    /// [`SIZED_PACKET_BYTES`] packets plus a possibly-smaller tail).
+    pub fn num_packets(&self) -> u64 {
+        self.bytes.div_ceil(SIZED_PACKET_BYTES as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_defaults() {
+        let f = SizedFlow::new(3, NodeId(1), NodeId(4), 100_000, 2e6);
+        assert_eq!(f.id, FlowId(3));
+        assert_eq!(f.label, "S3 1->4");
+        assert_eq!(f.priority, 0);
+        assert_eq!(f.with_priority(2).priority, 2);
+    }
+
+    #[test]
+    fn packet_count_rounds_up() {
+        let f = |b: u64| SizedFlow::new(0, NodeId(0), NodeId(1), b, 0.0).num_packets();
+        assert_eq!(f(1), 1);
+        assert_eq!(f(2048), 1);
+        assert_eq!(f(2049), 2);
+        assert_eq!(f(4096), 2);
+        assert_eq!(f(65_536), 32);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = SizedFlow::new(7, NodeId(2), NodeId(5), 1 << 20, 1.5e6).with_priority(1);
+        let json = serde_json::to_string(&f).unwrap();
+        let g: SizedFlow = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,159 @@
+//! Plain-text flow-trace format: one sized flow per line.
+//!
+//! ```text
+//! # src dst bytes start_ns [priority]
+//! 1 0 65536 0
+//! 2 0 65536 1000.5
+//! 3 7 1048576 2000 1
+//! ```
+//!
+//! Whitespace-separated fields; `#` starts a comment (whole-line or
+//! trailing); blank lines are ignored. Parsing is total — malformed
+//! input yields a line-numbered [`TraceError`], never a panic — and
+//! [`format_trace`] ⇄ [`parse_trace`] round-trips losslessly (floats
+//! use shortest round-trip rendering).
+
+use crate::sized::SizedFlow;
+use ccfit_engine::ids::NodeId;
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(line: usize, msg: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parse a trace file's text into sized flows.
+///
+/// Flow ids are assigned sequentially (0, 1, 2, …) in file order, and
+/// labels take the [`SizedFlow::new`] default, so a trace line is
+/// exactly `(src, dst, bytes, start_ns, priority)` — nothing else to
+/// drift out of sync on a round-trip.
+pub fn parse_trace(text: &str) -> Result<Vec<SizedFlow>, TraceError> {
+    let mut flows = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 4 || fields.len() > 5 {
+            return Err(err(
+                lineno,
+                format!(
+                    "expected `<src> <dst> <bytes> <start_ns> [priority]`, got {} fields",
+                    fields.len()
+                ),
+            ));
+        }
+        let src: u32 = fields[0]
+            .parse()
+            .map_err(|e| err(lineno, format!("bad src {:?}: {e}", fields[0])))?;
+        let dst: u32 = fields[1]
+            .parse()
+            .map_err(|e| err(lineno, format!("bad dst {:?}: {e}", fields[1])))?;
+        if src == dst {
+            return Err(err(lineno, format!("src == dst ({src})")));
+        }
+        let bytes: u64 = fields[2]
+            .parse()
+            .map_err(|e| err(lineno, format!("bad bytes {:?}: {e}", fields[2])))?;
+        if bytes == 0 {
+            return Err(err(lineno, "flow carries 0 bytes"));
+        }
+        let start_ns: f64 = fields[3]
+            .parse()
+            .map_err(|e| err(lineno, format!("bad start_ns {:?}: {e}", fields[3])))?;
+        if !start_ns.is_finite() || start_ns < 0.0 {
+            return Err(err(
+                lineno,
+                format!("start_ns must be finite and >= 0, got {start_ns}"),
+            ));
+        }
+        let priority: u8 = match fields.get(4) {
+            Some(p) => p
+                .parse()
+                .map_err(|e| err(lineno, format!("bad priority {p:?}: {e}")))?,
+            None => 0,
+        };
+        let id = flows.len() as u32;
+        flows.push(
+            SizedFlow::new(id, NodeId(src), NodeId(dst), bytes, start_ns).with_priority(priority),
+        );
+    }
+    Ok(flows)
+}
+
+/// Render flows back into trace-file text ([`parse_trace`]'s inverse).
+pub fn format_trace(flows: &[SizedFlow]) -> String {
+    let mut out = String::from("# src dst bytes start_ns priority\n");
+    for f in flows {
+        out.push_str(&format!(
+            "{} {} {} {} {}\n",
+            f.src.0, f.dst.0, f.bytes, f.start_ns, f.priority
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_priorities() {
+        let text = "\n# header\n1 0 65536 0\n\n2 0 4096 1000.5 3 # trailing\n";
+        let flows = parse_trace(text).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].id.0, 0);
+        assert_eq!(flows[0].src, NodeId(1));
+        assert_eq!(flows[0].bytes, 65_536);
+        assert_eq!(flows[0].priority, 0);
+        assert_eq!(flows[1].start_ns, 1000.5);
+        assert_eq!(flows[1].priority, 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("1 0 65536\n", 1, "got 3 fields"),           // wrong arity
+            ("1 0 65536 0\nx 0 1 0\n", 2, "bad src"),     // unparseable
+            ("0 0 64 0\n", 1, "src == dst"),              // self-send
+            ("1 0 0 0\n", 1, "0 bytes"),                  // empty flow
+            ("1 0 64 -5\n", 1, "finite and >= 0"),        // negative start
+            ("1 0 64 NaN\n", 1, "finite and >= 0"),       // non-finite
+            ("1 0 99999999999999999999 0\n", 1, "bytes"), // u64 overflow
+            ("1 0 64 0 300\n", 1, "bad priority"),        // u8 overflow
+        ];
+        for (text, line, needle) in cases {
+            let e = parse_trace(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}: {e}");
+            assert!(e.msg.contains(needle), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let flows = parse_trace("1 0 65536 0\n2 0 4096 1000.5 3\n5 3 1 0.1\n").unwrap();
+        assert_eq!(parse_trace(&format_trace(&flows)).unwrap(), flows);
+    }
+}

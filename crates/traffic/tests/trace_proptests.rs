@@ -1,0 +1,108 @@
+//! Property-based tests for the plain-text trace format: the
+//! parse ⇄ format round-trip is lossless, and malformed input is
+//! rejected with a 1-based line number instead of a panic.
+
+use ccfit_engine::ids::NodeId;
+use ccfit_traffic::{format_trace, parse_trace, SizedFlow};
+use proptest::prelude::*;
+
+/// Build a flow list the way the parser would: sequential ids from 0
+/// and default labels, so round-trip equality is exact.
+fn flows_from(raw: &[(u32, u32, u64, f64, u8)]) -> Vec<SizedFlow> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(src, dst, bytes, start_ns, prio))| {
+            SizedFlow::new(i as u32, NodeId(src), NodeId(dst), bytes, start_ns).with_priority(prio)
+        })
+        .collect()
+}
+
+proptest! {
+    /// format_trace → parse_trace is the identity on any valid flow
+    /// list (floats included: start times render shortest-round-trip).
+    #[test]
+    fn format_parse_round_trip(
+        raw in prop::collection::vec(
+            (0u32..64, 0u32..64, 1u64..10_000_000, 0.0f64..1e9, 0u8..8),
+            0..20,
+        )
+    ) {
+        let raw: Vec<_> = raw
+            .into_iter()
+            .map(|(s, d, b, t, p)| if s == d { (s, (d + 1) % 64, b, t, p) } else { (s, d, b, t, p) })
+            .collect();
+        let flows = flows_from(&raw);
+        let text = format_trace(&flows);
+        let back = parse_trace(&text).expect("formatted trace parses");
+        prop_assert_eq!(back, flows);
+    }
+
+    /// Comments and blank lines never change what parses.
+    #[test]
+    fn comments_and_blanks_are_transparent(
+        raw in prop::collection::vec(
+            (0u32..16, 0u32..16, 1u64..100_000, 0.0f64..1e6, 0u8..4),
+            1..8,
+        ),
+        gap in 0usize..4,
+    ) {
+        let raw: Vec<_> = raw
+            .into_iter()
+            .map(|(s, d, b, t, p)| if s == d { (s, (d + 1) % 16, b, t, p) } else { (s, d, b, t, p) })
+            .collect();
+        let flows = flows_from(&raw);
+        let plain = format_trace(&flows);
+        let mut noisy = String::from("# header comment\n\n");
+        for line in plain.lines() {
+            noisy.push_str(line);
+            noisy.push_str("  # trailing comment\n");
+            for _ in 0..gap {
+                noisy.push('\n');
+            }
+        }
+        prop_assert_eq!(parse_trace(&noisy).expect("noisy trace parses"), flows);
+    }
+
+    /// Arbitrary junk never panics the parser — it either parses or
+    /// returns an error whose line number points inside the input.
+    /// (The vendored proptest has no regex string strategy, so the text
+    /// is assembled from printable-byte draws; 95 maps to newline.)
+    #[test]
+    fn arbitrary_text_never_panics(
+        bytes in prop::collection::vec(0u8..96, 0..200)
+    ) {
+        let text: String = bytes
+            .iter()
+            .map(|&b| if b == 95 { '\n' } else { (b' ' + b) as char })
+            .collect();
+        match parse_trace(&text) {
+            Ok(_) => {}
+            Err(e) => {
+                let lines = text.lines().count().max(1);
+                prop_assert!(
+                    e.line >= 1 && e.line <= lines,
+                    "error line {} outside 1..={lines}", e.line
+                );
+            }
+        }
+    }
+
+    /// A single malformed line injected into an otherwise-valid trace is
+    /// reported with exactly its (1-based) line number.
+    #[test]
+    fn malformed_line_is_reported_by_number(
+        n_good in 1usize..8,
+        at in 0usize..8,
+        bad_idx in 0usize..5,
+    ) {
+        let bad = ["nope", "1 2 3", "1 1 64 0", "1 2 0 0", "1 2 64 -5"][bad_idx];
+        let at = at.min(n_good);
+        let mut lines: Vec<String> = (0..n_good)
+            .map(|i| format!("{} {} 4096 {}", i % 4, (i + 1) % 4 + 4, i * 100))
+            .collect();
+        lines.insert(at, bad.to_string());
+        let text = lines.join("\n");
+        let err = parse_trace(&text).expect_err("malformed line must be rejected");
+        prop_assert_eq!(err.line, at + 1, "wrong line in {:?}: {}", text, err);
+    }
+}

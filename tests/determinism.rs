@@ -355,6 +355,65 @@ fn parallel_tick_traces_and_events_identical_across_threads() {
     }
 }
 
+/// Sized-flow workloads must obey the same byte-identity contract as
+/// the rate-window patterns: flow completion is detected inside the
+/// serial node-delivery phase (shard outboxes replay deliveries in
+/// canonical order), so the FCT block — completion times, slowdowns,
+/// aggregates — may not depend on engine choice, thread count or batch
+/// size. Covers the generated presets and a trace-file-loaded workload.
+#[test]
+fn sized_flow_workloads_are_bit_identical_across_engines() {
+    use ccfit::traffic::{all_to_all, incast, parse_trace, permutation_shift};
+    use ccfit::{ConfigId, Workload};
+
+    let trace_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../traces/incast4.trace"
+    ))
+    .expect("checked-in trace file");
+    let workloads = [
+        incast(4, 65_536),
+        all_to_all(8_192),
+        permutation_shift(3, 32_768),
+        Workload::Trace {
+            flows: parse_trace(&trace_text).expect("checked-in trace parses"),
+        },
+    ];
+    let host = ConfigId::UniformTree {
+        ary: 2,
+        levels: 3,
+        load: 1.0,
+        duration_ns: 600_000.0,
+    };
+    for w in &workloads {
+        let spec = host.resolve().with_workload(w);
+        let serial = spec.run_with(Mechanism::ccfit(), 7, cfg(true)).to_json();
+        assert!(
+            serial.contains("\"fct\": {"),
+            "{}: report carries no FCT block",
+            w.name()
+        );
+        assert_eq!(
+            spec.run_with(Mechanism::ccfit(), 7, cfg_sparse(true))
+                .to_json(),
+            serial,
+            "{}: sparse scheduler diverges from the serial engine",
+            w.name()
+        );
+        for threads in [1usize, 2, 4] {
+            for batch in [1usize, 16] {
+                assert_eq!(
+                    spec.run_with(Mechanism::ccfit(), 7, cfg_batch(threads, batch))
+                        .to_json(),
+                    serial,
+                    "{}: threads={threads} batch={batch} diverges from the serial engine",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
 /// Parallel byte-identity must also hold with a dynamic fault schedule
 /// in play: purges, re-routes and link-rate changes all cross shard
 /// boundaries.

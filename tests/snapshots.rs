@@ -85,6 +85,45 @@ fn config1_case1_modern_cc_reports_match_golden_snapshots() {
     }
 }
 
+/// Flow-completion-time golden pins (DESIGN.md §15): incast and
+/// permutation sized-flow workloads on the 8-node tree, under CCFIT and
+/// both modern mechanisms. Only the FCT block is pinned — it contains
+/// every per-flow completion time, slowdown and the tail aggregates, so
+/// any shift in flow scheduling, throttling response or the ideal-FCT
+/// bound shows up as a one-file diff per (workload, mechanism).
+#[test]
+fn flow_workload_fct_blocks_match_golden_snapshots() {
+    use ccfit::traffic::{incast, permutation_shift};
+    use ccfit::ConfigId;
+
+    let host = ConfigId::UniformTree {
+        ary: 2,
+        levels: 3,
+        load: 1.0,
+        duration_ns: 600_000.0,
+    };
+    let workloads = [
+        ("incast4", incast(4, 65_536)),
+        ("perm3", permutation_shift(3, 32_768)),
+    ];
+    let mechs = [Mechanism::ccfit(), Mechanism::dcqcn(), Mechanism::hpcc()];
+    for (wname, w) in &workloads {
+        for mech in &mechs {
+            let file = format!(
+                "fct_{wname}_{}.json",
+                mech.name().to_ascii_lowercase().replace('/', "_")
+            );
+            let report = host
+                .resolve()
+                .with_workload(w)
+                .run_with(mech.clone(), 7, cfg());
+            let fct = report.fct.as_ref().expect("sized workload has FCT block");
+            assert_eq!(fct.completed, fct.flows.len(), "{file}: incomplete flows");
+            check_snapshot(&file, &serde_json::to_string_pretty(fct).unwrap());
+        }
+    }
+}
+
 /// The CCFIT event log itself is pinned too: isolation and Stop/Go
 /// transitions on the congestion-tree classes form a compact, fully
 /// deterministic transcript of the mechanism's §III behaviour.
